@@ -1,0 +1,75 @@
+// Figure 5 (complexity table): empirical validation of the asymptotic rows.
+//  * TTF scaling: for the any-k algorithms TT(1) grows ~linearly in n
+//    (Eager included here because its choice sets are lazily initialized, as
+//    in the paper's implementation), while Batch's TT(1) tracks the full
+//    output size.
+//  * Delay scaling: time per result between k-checkpoints stays near-flat
+//    (logarithmic) for the strict variants, grows for All (O(l*n) inserts),
+//    and is O(l log n) for Recursive.
+//  * MEM(k): candidate-set growth per result (measured via counters in the
+//    invariant tests; here we report times).
+
+#include "bench_common.h"
+#include "query/cq.h"
+#include "workload/generators.h"
+
+using namespace anyk;
+using namespace anyk::bench;
+
+int main() {
+  PrintHeader();
+  PaperNote("fig5",
+            "TTF: O(ln) for all any-k (Eager O(ln log n) if pre-sorted); "
+            "Delay: Take2/Eager O(log k + l), Lazy + log n, All + ln, "
+            "Recursive O(l log n); Batch TTF = |out|(log|out| + l)");
+
+  // TTF vs n (k = 1).
+  SectionNote("TT(1) scaling with n, 4-path");
+  for (size_t n : {25000, 50000, 100000, 200000, 400000}) {
+    Database db = MakePathDatabase(n, 4, 500 + n);
+    ConjunctiveQuery q = ConjunctiveQuery::Path(4);
+    for (Algorithm algo : AllAnyKAlgorithms()) {
+      RunAndPrint<TropicalDioid>("fig5-ttf", "4path", "synthetic", n,
+                                 AlgorithmName(algo),
+                                 MakeFactory<TropicalDioid>(db, q, algo), 1);
+    }
+  }
+  // Batch TT(1) tracks output size — one smaller point for reference.
+  for (size_t n : {5000, 10000, 20000}) {
+    Database db = MakePathDatabase(n, 4, 500 + n);
+    ConjunctiveQuery q = ConjunctiveQuery::Path(4);
+    RunAndPrint<TropicalDioid>("fig5-ttf", "4path", "synthetic", n, "Batch",
+                               MakeFactory<TropicalDioid>(db, q,
+                                                          Algorithm::kBatch),
+                               1);
+  }
+
+  // Delay vs k: cumulative TT(k) at geometric checkpoints; the per-decade
+  // increments expose the delay trend.
+  SectionNote("TT(k) growth with k, 4-path n=100000");
+  {
+    const size_t n = 100000;
+    Database db = MakePathDatabase(n, 4, 555);
+    ConjunctiveQuery q = ConjunctiveQuery::Path(4);
+    RunAlgorithms("fig5-delay", "4path", "synthetic", n, db, q, 200000,
+                  AllAnyKAlgorithms());
+  }
+
+  // Measured worst-case delay between consecutive results (Fig. 5's
+  // Delay(k) column): the strict variants and Take2 stay flat; All pays its
+  // O(l*n) candidate insertions.
+  SectionNote("max inter-result delay over 100k results, 4-path n=100000");
+  {
+    const size_t n = 100000;
+    Database db = MakePathDatabase(n, 4, 556);
+    ConjunctiveQuery q = ConjunctiveQuery::Path(4);
+    for (Algorithm algo : AllAnyKAlgorithms()) {
+      auto series = MeasureTT<TropicalDioid>(
+          MakeFactory<TropicalDioid>(db, q, algo), 100000, {},
+          /*track_delay=*/true);
+      std::printf("RESULT,fig5-maxdelay,4path,synthetic,%zu,%s,%zu,%.6f\n", n,
+                  AlgorithmName(algo), series.produced, series.max_delay);
+    }
+  }
+  return 0;
+}

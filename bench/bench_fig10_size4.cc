@@ -1,0 +1,129 @@
+// Figure 10 (a-l): ranked enumeration of size-4 queries — 4-path, 4-star,
+// 4-cycle — on (a,e,i) small synthetic inputs enumerated to completion,
+// (b,f,j) large synthetic inputs for the top n/2, and (c,d,g,h,k,l) the
+// power-law stand-ins for Bitcoin OTC and Twitter.
+//
+// Sizes are scaled down from the paper so the whole suite runs on a laptop
+// in minutes; the comparisons of interest are *relative* (who wins at small
+// k, who wins at TTL).
+
+#include "bench_common.h"
+#include "query/cq.h"
+#include "workload/generators.h"
+#include "workload/graph_gen.h"
+
+using namespace anyk;
+using namespace anyk::bench;
+
+int main() {
+  PrintHeader();
+
+  // ---- (a,b) 4-Path synthetic ----
+  PaperNote("fig10a",
+            "4-path, all results: Recursive finishes before Batch; "
+            "Batch(no-sort) < Recursive < Batch < part-variants");
+  {
+    Database db = MakePathDatabase(2000, 4, 1001);
+    ConjunctiveQuery q = ConjunctiveQuery::Path(4);
+    RunAlgorithms("fig10a", "4path", "synthetic-small", 2000, db, q, SIZE_MAX,
+                  AllRankedAlgorithms());
+  }
+  PaperNote("fig10b",
+            "4-path large, top n/2: Lazy best; Batch infeasible at n=1e6");
+  {
+    const size_t n = 200000;
+    Database db = MakePathDatabase(n, 4, 1002);
+    ConjunctiveQuery q = ConjunctiveQuery::Path(4);
+    RunAlgorithms("fig10b", "4path", "synthetic-large", n, db, q, n / 2,
+                  AllAnyKAlgorithms());
+  }
+
+  // ---- (c,d) 4-Path on graph stand-ins ----
+  PaperNote("fig10c", "4-path Bitcoin, top n/2: Lazy fastest for small k");
+  {
+    GraphStats stats;
+    Database db = MakeBitcoinStandIn(5881, 35592, 4, 1003, &stats);
+    ConjunctiveQuery q = ConjunctiveQuery::Path(4);
+    RunAlgorithms("fig10c", "4path", "bitcoin-standin", stats.edges, db, q,
+                  stats.edges / 2, AllAnyKAlgorithms());
+  }
+  PaperNote("fig10d", "4-path Twitter, top n/2: any-k far ahead of Batch");
+  {
+    GraphStats stats;
+    Database db = MakeTwitterStandIn(20000, 220000, 4, 1004, &stats);
+    ConjunctiveQuery q = ConjunctiveQuery::Path(4);
+    RunAlgorithms("fig10d", "4path", "twitter-standin", stats.edges, db, q,
+                  stats.edges / 2, AllAnyKAlgorithms());
+  }
+
+  // ---- (e,f,g,h) 4-Star ----
+  PaperNote("fig10e",
+            "4-star, all results: Recursive degenerates to ANYK-PART "
+            "(shallow tree), Eager/Lazy best at TTL");
+  {
+    Database db = MakeStarDatabase(2000, 4, 1005);
+    ConjunctiveQuery q = ConjunctiveQuery::Star(4);
+    RunAlgorithms("fig10e", "4star", "synthetic-small", 2000, db, q, SIZE_MAX,
+                  AllRankedAlgorithms());
+  }
+  PaperNote("fig10f", "4-star large, top n/2: Take2 near the top");
+  {
+    const size_t n = 200000;
+    Database db = MakeStarDatabase(n, 4, 1006);
+    ConjunctiveQuery q = ConjunctiveQuery::Star(4);
+    RunAlgorithms("fig10f", "4star", "synthetic-large", n, db, q, n / 2,
+                  AllAnyKAlgorithms());
+  }
+  PaperNote("fig10g", "4-star Bitcoin, top n/2: Lazy shines for small k");
+  {
+    GraphStats stats;
+    Database db = MakeBitcoinStandIn(5881, 35592, 4, 1007, &stats);
+    ConjunctiveQuery q = ConjunctiveQuery::Star(4);
+    RunAlgorithms("fig10g", "4star", "bitcoin-standin", stats.edges, db, q,
+                  stats.edges / 2, AllAnyKAlgorithms());
+  }
+  PaperNote("fig10h", "4-star Twitter, top n/2");
+  {
+    GraphStats stats;
+    Database db = MakeTwitterStandIn(20000, 220000, 4, 1008, &stats);
+    ConjunctiveQuery q = ConjunctiveQuery::Star(4);
+    RunAlgorithms("fig10h", "4star", "twitter-standin", stats.edges, db, q,
+                  stats.edges / 2, AllAnyKAlgorithms());
+  }
+
+  // ---- (i,j,k,l) 4-Cycle (decomposition + UT-DP) ----
+  PaperNote("fig10i",
+            "4-cycle worst-case, all results: Recursive terminates around "
+            "the time Batch starts sorting");
+  {
+    Database db = MakeWorstCaseCycleDatabase(1000, 4, 1009);
+    ConjunctiveQuery q = ConjunctiveQuery::Cycle(4);
+    RunAlgorithms("fig10i", "4cycle", "synthetic-worstcase", 1000, db, q,
+                  SIZE_MAX, AllRankedAlgorithms());
+  }
+  PaperNote("fig10j", "4-cycle large, top n/2: any-k TTF ~ n^1.5 not n^2");
+  {
+    const size_t n = 30000;
+    Database db = MakeWorstCaseCycleDatabase(n, 4, 1010);
+    ConjunctiveQuery q = ConjunctiveQuery::Cycle(4);
+    RunAlgorithms("fig10j", "4cycle", "synthetic-large", n, db, q, n / 2,
+                  AllAnyKAlgorithms());
+  }
+  PaperNote("fig10k", "4-cycle Bitcoin, top 10n");
+  {
+    GraphStats stats;
+    Database db = MakeBitcoinStandIn(5881, 35592, 4, 1011, &stats);
+    ConjunctiveQuery q = ConjunctiveQuery::Cycle(4);
+    RunAlgorithms("fig10k", "4cycle", "bitcoin-standin", stats.edges, db, q,
+                  10 * stats.edges, AllAnyKAlgorithms());
+  }
+  PaperNote("fig10l", "4-cycle TwitterS, top 10n");
+  {
+    GraphStats stats;
+    Database db = MakeTwitterStandIn(8000, 88000, 4, 1012, &stats);
+    ConjunctiveQuery q = ConjunctiveQuery::Cycle(4);
+    RunAlgorithms("fig10l", "4cycle", "twitter-standin", stats.edges, db, q,
+                  10 * stats.edges, AllAnyKAlgorithms());
+  }
+  return 0;
+}

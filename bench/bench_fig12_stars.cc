@@ -1,0 +1,66 @@
+// Figure 12 (a-h): star queries of sizes 3 and 6. Stars are the worst case
+// for Recursive's reuse (depth-1 tree): it degenerates to an ANYK-PART-like
+// behaviour, and Eager/Lazy win at TTL.
+
+#include "bench_common.h"
+#include "query/cq.h"
+#include "workload/generators.h"
+#include "workload/graph_gen.h"
+
+using namespace anyk;
+using namespace anyk::bench;
+
+int main() {
+  PrintHeader();
+
+  PaperNote("fig12a", "3-star, all results: strict part-variants at TTL");
+  {
+    Database db = MakeStarDatabase(20000, 3, 1201);
+    ConjunctiveQuery q = ConjunctiveQuery::Star(3);
+    RunAlgorithms("fig12a", "3star", "synthetic-small", 20000, db, q,
+                  SIZE_MAX, AllRankedAlgorithms());
+  }
+  PaperNote("fig12b", "3-star large, top n/2");
+  {
+    const size_t n = 200000;
+    Database db = MakeStarDatabase(n, 3, 1202);
+    ConjunctiveQuery q = ConjunctiveQuery::Star(3);
+    RunAlgorithms("fig12b", "3star", "synthetic-large", n, db, q, n / 2,
+                  AllAnyKAlgorithms());
+  }
+  PaperNote("fig12c", "3-star Bitcoin, top n/2");
+  {
+    GraphStats stats;
+    Database db = MakeBitcoinStandIn(5881, 35592, 3, 1203, &stats);
+    ConjunctiveQuery q = ConjunctiveQuery::Star(3);
+    RunAlgorithms("fig12c", "3star", "bitcoin-standin", stats.edges, db, q,
+                  stats.edges / 2, AllAnyKAlgorithms());
+  }
+
+  PaperNote("fig12e",
+            "6-star, all results: Recursive behaves like ANYK-PART; Eager "
+            "pays off when many results are returned");
+  {
+    Database db = MakeStarDatabase(100, 6, 1205);  // ~1e7 results, as in the paper
+    ConjunctiveQuery q = ConjunctiveQuery::Star(6);
+    RunAlgorithms("fig12e", "6star", "synthetic-small", 100, db, q, SIZE_MAX,
+                  AllRankedAlgorithms());
+  }
+  PaperNote("fig12f", "6-star large, top n/2");
+  {
+    const size_t n = 200000;
+    Database db = MakeStarDatabase(n, 6, 1206);
+    ConjunctiveQuery q = ConjunctiveQuery::Star(6);
+    RunAlgorithms("fig12f", "6star", "synthetic-large", n, db, q, n / 2,
+                  AllAnyKAlgorithms());
+  }
+  PaperNote("fig12g", "6-star Bitcoin, top n/2");
+  {
+    GraphStats stats;
+    Database db = MakeBitcoinStandIn(5881, 35592, 6, 1207, &stats);
+    ConjunctiveQuery q = ConjunctiveQuery::Star(6);
+    RunAlgorithms("fig12g", "6star", "bitcoin-standin", stats.edges, db, q,
+                  stats.edges / 2, AllAnyKAlgorithms());
+  }
+  return 0;
+}

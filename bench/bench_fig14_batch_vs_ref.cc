@@ -1,0 +1,115 @@
+// Figure 14 (table): our Batch implementation vs a conventional RDBMS-style
+// executor on full-result computation. PostgreSQL is unavailable offline, so
+// the stand-in is a generic left-deep tuple-at-a-time hash-join pipeline
+// with full materialization + sort (join/reference_executor.h). The paper
+// found its Batch 12%-54% faster than PSQL; the point reproduced here is
+// that Batch is a *competitive* batch baseline, not a strawman.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "dioid/lift.h"
+#include "join/generic_join.h"
+#include "join/reference_executor.h"
+#include "query/cq.h"
+#include "query/gyo.h"
+#include "util/timer.h"
+#include "workload/generators.h"
+
+using namespace anyk;
+using namespace anyk::bench;
+
+namespace {
+
+// Engine-level Batch, as in the paper: Yannakakis-style full enumeration
+// over the reduced DP graph + sort for acyclic queries; worst-case-optimal
+// join + sort for cyclic ones. (No per-row conversion layer on either side,
+// matching what ReferenceHashJoin measures.)
+size_t RunBatch(const Database& db, const ConjunctiveQuery& q) {
+  if (IsAcyclic(q)) {
+    TDPInstance inst = BuildAcyclicInstance(db, q);
+    StageGraph<TropicalDioid> g = BuildStageGraph<TropicalDioid>(inst);
+    BatchEnumerator<TropicalDioid> batch(&g);
+    return batch.OutputSize();  // materializes + sorts
+  }
+  JoinResultSet rs = GenericJoin(db, q);
+  const size_t na = q.NumAtoms();
+  std::vector<double> weights(rs.size());
+  std::vector<const Relation*> rels;
+  for (size_t a = 0; a < na; ++a) rels.push_back(&db.Get(q.atom(a).relation));
+  for (size_t i = 0; i < rs.size(); ++i) {
+    double w = 0;
+    for (size_t a = 0; a < na; ++a) w += rels[a]->Weight(rs.witness(i)[a]);
+    weights[i] = w;
+  }
+  std::sort(weights.begin(), weights.end());
+  return weights.size();
+}
+
+void Compare(const char* label, const Database& db,
+             const ConjunctiveQuery& q, size_t n) {
+  Timer t1;
+  const size_t out_batch = RunBatch(db, q);
+  const double batch_s = t1.Seconds();
+
+  // Reference executor ("PSQL stand-in").
+  Timer t2;
+  BatchOutput ref = ReferenceHashJoin(db, q, /*sort=*/true);
+  const double ref_s = t2.Seconds();
+
+  std::printf("RESULT,fig14,%s,n=%zu,results=%zu,Batch=%.3fs,RefExec=%.3fs,"
+              "batch_faster_pct=%.0f%%\n",
+              label, n, out_batch, batch_s, ref_s,
+              100.0 * (ref_s - batch_s) / ref_s);
+  if (out_batch != ref.size()) {
+    std::printf("# WARNING: result count mismatch (%zu vs %zu)\n", out_batch,
+                ref.size());
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("RESULT,figure,query,n,results,batch,refexec,delta\n");
+  bench::PaperNote("fig14",
+                   "Batch 12%-54% faster than PostgreSQL across 3/4/6-path, "
+                   "3/4/6-star, 4/6-cycle on full results");
+  {
+    Database db = MakePathDatabase(20000, 3, 1401);
+    Compare("3path", db, ConjunctiveQuery::Path(3), 20000);
+  }
+  {
+    Database db = MakePathDatabase(2000, 4, 1402);
+    Compare("4path", db, ConjunctiveQuery::Path(4), 2000);
+  }
+  {
+    Database db = MakePathDatabase(100, 6, 1403, {.fanout = 5.0});
+    Compare("6path", db, ConjunctiveQuery::Path(6), 100);
+  }
+  {
+    Database db = MakeStarDatabase(20000, 3, 1404);
+    Compare("3star", db, ConjunctiveQuery::Star(3), 20000);
+  }
+  {
+    Database db = MakeStarDatabase(2000, 4, 1405);
+    Compare("4star", db, ConjunctiveQuery::Star(4), 2000);
+  }
+  {
+    Database db = MakeStarDatabase(100, 6, 1406, {.fanout = 5.0});
+    Compare("6star", db, ConjunctiveQuery::Star(6), 100);
+  }
+  // Cyclic rows use uniform data: closing the cycle discards most of the
+  // left-deep pipeline's intermediate tuples, which is where a worst-case
+  // optimal join wins (on worst-case-output instances the intermediates
+  // roughly equal the output and the generic pipeline is competitive).
+  {
+    Database db = MakePathDatabase(20000, 4, 1407);
+    Compare("4cycle", db, ConjunctiveQuery::Cycle(4), 20000);
+  }
+  {
+    Database db = MakePathDatabase(3000, 6, 1408, {.fanout = 6.0});
+    Compare("6cycle", db, ConjunctiveQuery::Cycle(6), 3000);
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 17 (Section 9.1.1): on database I1, a worst-case-optimal batch join
+// (our NPRR-style GenericJoin) needs Θ(n^2) even for the *first* 4-cycle
+// result, while the any-k TTF grows linearly (the decomposition needs only
+// O(n) here because every relation has a single heavy value). TTL of the
+// any-k algorithms remains quadratic — the output itself is Θ(n^2).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "join/generic_join.h"
+#include "query/cq.h"
+#include "util/timer.h"
+#include "workload/paper_instances.h"
+
+using namespace anyk;
+using namespace anyk::bench;
+
+int main() {
+  PrintHeader();
+  PaperNote("fig17",
+            "NPRR TTF grows ~n^2 (100s at n=16k, Java); Recursive/Lazy TTF "
+            "grows ~n (300ms at 16k); any-k TTL is ~n^2 like the output");
+
+  for (size_t n : {500, 1000, 2000, 4000}) {
+    Database db = MakeI1Database(n, 1700 + n);
+    ConjunctiveQuery q = ConjunctiveQuery::Cycle(4);
+
+    // NPRR-style batch: full worst-case-optimal join (TTF == TTL here; the
+    // sort is omitted, which only helps the baseline).
+    {
+      Timer t;
+      JoinResultSet rs = GenericJoin(db, q);
+      PrintRow("fig17", "4cycle", "I1", n, "NPRR(TTF)", rs.size(),
+               t.Seconds());
+    }
+
+    for (Algorithm algo : {Algorithm::kRecursive, Algorithm::kLazy}) {
+      // TTF.
+      RunAndPrint<TropicalDioid>(
+          "fig17", "4cycle", "I1", n,
+          std::string(AlgorithmName(algo)) + "(TTF)",
+          MakeFactory<TropicalDioid>(db, q, algo), 1);
+      // TTL (full ranked enumeration) — only for the smaller sizes, since
+      // the output is Θ(n^2).
+      if (n <= 2000) {
+        auto series = MeasureTT<TropicalDioid>(
+            MakeFactory<TropicalDioid>(db, q, algo), SIZE_MAX, {});
+        PrintRow("fig17", "4cycle", "I1", n,
+                 std::string(AlgorithmName(algo)) + "(TTL)", series.produced,
+                 series.total_seconds);
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Proposition 13 / Fig. 6: a Cartesian-product instance on which Recursive
+// needs Θ(n * l * log n) for the first k = n results — each of the first n
+// results uses a different tuple of the last relation, so no suffix ranking
+// is reused — while Take2 needs only O(n log n + n l).
+
+#include "bench_common.h"
+#include "query/cq.h"
+#include "workload/generators.h"
+
+using namespace anyk;
+using namespace anyk::bench;
+
+int main() {
+  PrintHeader();
+  PaperNote("prop13",
+            "TT(n): Recursive strictly slower than the best ANYK-PART on the "
+            "adversarial Cartesian product (weights j * (n+1)^{l-1-i})");
+
+  const size_t l = 3;
+  for (size_t n : {20000, 40000, 80000, 160000}) {
+    Database db = MakeRecursiveWorstCaseDatabase(n, l);
+    ConjunctiveQuery q = ConjunctiveQuery::Product(l);
+    for (Algorithm algo :
+         {Algorithm::kRecursive, Algorithm::kTake2, Algorithm::kLazy}) {
+      auto series = MeasureTT<TropicalDioid>(
+          MakeFactory<TropicalDioid>(db, q, algo), n, {});
+      PrintRow("prop13", "product3", "fig6-adversarial", n,
+               std::string(AlgorithmName(algo)) + "(TTn)", series.produced,
+               series.total_seconds);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+#include "harness.h"
+
+namespace anyk {
+namespace bench {
+
+std::vector<size_t> GeometricCheckpoints(size_t max_k) {
+  std::vector<size_t> cps;
+  size_t decade = 1;
+  while (decade <= max_k && decade < (size_t{1} << 62)) {
+    for (size_t mult : {1, 2, 5}) {
+      const size_t k = decade * mult;
+      if (k <= max_k) cps.push_back(k);
+    }
+    if (decade > max_k / 10) break;
+    decade *= 10;
+  }
+  return cps;
+}
+
+void PrintHeader() {
+  std::printf("RESULT,figure,query,dataset,n,algorithm,k,seconds\n");
+}
+
+void PrintRow(const std::string& figure, const std::string& query,
+              const std::string& dataset, size_t n,
+              const std::string& algorithm, size_t k, double seconds) {
+  std::printf("RESULT,%s,%s,%s,%zu,%s,%zu,%.6f\n", figure.c_str(),
+              query.c_str(), dataset.c_str(), n, algorithm.c_str(), k,
+              seconds);
+  std::fflush(stdout);
+}
+
+void PaperNote(const std::string& figure, const std::string& note) {
+  std::printf("# paper %s: %s\n", figure.c_str(), note.c_str());
+}
+
+void SectionNote(const std::string& text) {
+  std::printf("#\n# ==== %s ====\n", text.c_str());
+}
+
+}  // namespace bench
+}  // namespace anyk

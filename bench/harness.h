@@ -1,0 +1,104 @@
+// Benchmark harness: measures TTF / TT(k) / TTL of any enumerator pipeline
+// and prints uniform CSV-style rows, one per checkpoint:
+//
+//   RESULT,<figure>,<query>,<dataset>,<n>,<algorithm>,<k>,<seconds>
+//
+// Preprocessing (building decompositions, stage graphs, sorting...) happens
+// inside the factory closure, so it is charged to TT like in the paper.
+// `# paper:` comment lines next to the measurements record what the paper
+// observed for the corresponding figure, so shape comparison is immediate.
+
+#ifndef ANYK_BENCH_HARNESS_H_
+#define ANYK_BENCH_HARNESS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "anyk/enumerator.h"
+#include "util/timer.h"
+
+namespace anyk {
+namespace bench {
+
+/// Checkpoints 1, 2, 5, 10, 20, 50, ... up to max_k.
+std::vector<size_t> GeometricCheckpoints(size_t max_k);
+
+void PrintHeader();
+void PrintRow(const std::string& figure, const std::string& query,
+              const std::string& dataset, size_t n,
+              const std::string& algorithm, size_t k, double seconds);
+void PaperNote(const std::string& figure, const std::string& note);
+void SectionNote(const std::string& text);
+
+struct TTSeries {
+  std::vector<std::pair<size_t, double>> points;  // (k, seconds)
+  size_t produced = 0;
+  double total_seconds = 0;   // time when enumeration stopped
+  double max_delay = 0;       // worst gap between consecutive results
+  double preprocessing = 0;   // time spent in make() before the first Next()
+  bool exhausted = false;
+};
+
+/// Run `make()` (preprocessing) + Next() until `max_k` results or
+/// exhaustion, recording cumulative time at each checkpoint. When
+/// `track_delay` is set, every result is timestamped to report the maximum
+/// inter-result delay (Fig. 5's Delay(k) column, measured).
+template <typename D>
+TTSeries MeasureTT(
+    const std::function<std::unique_ptr<Enumerator<D>>()>& make, size_t max_k,
+    const std::vector<size_t>& checkpoints, bool track_delay = false) {
+  TTSeries series;
+  Timer timer;
+  std::unique_ptr<Enumerator<D>> e = make();
+  series.preprocessing = timer.Seconds();
+  size_t next_cp = 0;
+  double last = series.preprocessing;
+  while (series.produced < max_k) {
+    auto row = e->Next();
+    if (!row) {
+      series.exhausted = true;
+      break;
+    }
+    ++series.produced;
+    if (track_delay) {
+      const double now = timer.Seconds();
+      series.max_delay = std::max(series.max_delay, now - last);
+      last = now;
+    }
+    if (next_cp < checkpoints.size() &&
+        series.produced == checkpoints[next_cp]) {
+      series.points.emplace_back(series.produced, timer.Seconds());
+      ++next_cp;
+    }
+  }
+  series.total_seconds = timer.Seconds();
+  if (series.points.empty() ||
+      series.points.back().first != series.produced) {
+    series.points.emplace_back(series.produced, series.total_seconds);
+  }
+  return series;
+}
+
+/// Measure and print all checkpoint rows.
+template <typename D>
+TTSeries RunAndPrint(
+    const std::string& figure, const std::string& query,
+    const std::string& dataset, size_t n, const std::string& algorithm,
+    const std::function<std::unique_ptr<Enumerator<D>>()>& make,
+    size_t max_k) {
+  TTSeries series = MeasureTT<D>(make, max_k, GeometricCheckpoints(max_k));
+  for (const auto& [k, secs] : series.points) {
+    PrintRow(figure, query, dataset, n, algorithm, k, secs);
+  }
+  return series;
+}
+
+}  // namespace bench
+}  // namespace anyk
+
+#endif  // ANYK_BENCH_HARNESS_H_

@@ -1,0 +1,65 @@
+// Influence chains: rank 4-hop follower paths in a Twitter-like power-law
+// graph by the sum of endpoint PageRanks (the paper's Twitter workload,
+// Section 7). Demonstrates: graph stand-in generation, PageRank weighting,
+// self-join path queries, any-k enumeration with early termination, and the
+// TTF advantage over batch evaluation.
+
+#include <cstdio>
+
+#include "anyk/ranked_query.h"
+#include "dioid/max_plus.h"
+#include "query/cq.h"
+#include "util/timer.h"
+#include "workload/graph_gen.h"
+
+int main() {
+  using namespace anyk;
+
+  GraphStats stats;
+  Database db = MakeTwitterStandIn(/*num_nodes=*/20000, /*num_edges=*/150000,
+                                   /*l=*/4, /*seed=*/7, &stats);
+  std::printf("graph: %zu nodes, %zu edges, max degree %zu, avg %.1f\n",
+              stats.nodes, stats.edges, stats.max_degree, stats.avg_degree);
+
+  // Q(x1..x5) :- R1(x1,x2), R2(x2,x3), R3(x3,x4), R4(x4,x5):
+  // 4-hop "influence chains", heaviest PageRank mass first.
+  ConjunctiveQuery q = ConjunctiveQuery::Path(4);
+
+  RankedQuery<MaxPlusDioid>::Options opts;
+  opts.algorithm = Algorithm::kLazy;  // best time-to-first in the paper
+  Timer timer;
+  RankedQuery<MaxPlusDioid> ranked(db, q, opts);
+
+  std::printf("\ntop influence chains (PageRank-weighted, ~1e9 results "
+              "exist; we look at 5):\n");
+  for (int k = 1; k <= 5; ++k) {
+    auto row = ranked.Next();
+    if (!row) break;
+    if (k == 1) {
+      std::printf("  time-to-first: %.1f ms (batch evaluation would "
+                  "materialize everything first)\n",
+                  timer.Millis());
+    }
+    std::printf("  #%d  mass=%-10.0f %lld", k, row->weight,
+                static_cast<long long>(row->assignment[0]));
+    for (size_t v = 1; v < row->assignment.size(); ++v) {
+      std::printf(" -> %lld", static_cast<long long>(row->assignment[v]));
+    }
+    std::printf("\n");
+  }
+
+  // Any-k means k need not be known in advance: keep pulling until the
+  // chains drop below 90% of the best chain's mass.
+  Timer restart;
+  RankedQuery<MaxPlusDioid> again(db, q, opts);
+  const double best_mass = again.Next()->weight;
+  size_t extra = 0;
+  while (auto row = again.Next()) {
+    if (row->weight < 0.9 * best_mass) break;
+    ++extra;
+  }
+  std::printf("\n%zu further chains above the mass threshold "
+              "(enumerated in %.1f ms total)\n",
+              extra, timer.Millis());
+  return 0;
+}

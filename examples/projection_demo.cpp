@@ -1,0 +1,39 @@
+// Projections with min-weight semantics (paper Section 8.1): "for each
+// source airport, what is the cheapest 3-leg itinerary starting there?" —
+// i.e. Q(x1) :- R1(x1,x2), R2(x2,x3), R3(x3,x4) ORDER BY MIN(total price),
+// one row per x1. The query is free-connex, so ranked enumeration of the
+// *grouped minima* runs with O(n) preprocessing and logarithmic delay,
+// without materializing the full join.
+
+#include <cstdio>
+
+#include "dioid/tropical.h"
+#include "dp/projection.h"
+#include "query/cq.h"
+#include "workload/generators.h"
+
+int main() {
+  using namespace anyk;
+
+  Database db = MakePathDatabase(/*n=*/100000, /*l=*/3, /*seed=*/11);
+  ConjunctiveQuery q =
+      ConjunctiveQuery::Parse("Q(x1) :- R1(x1,x2), R2(x2,x3), R3(x3,x4)");
+  std::printf("query: %s  (~1e11 full answers; we rank the grouped minima)\n",
+              q.ToString().c_str());
+
+  MinWeightProjection<TropicalDioid> proj(db, q, Algorithm::kTake2);
+  std::printf("\ncheapest itinerary per source, best sources first:\n");
+  for (int k = 1; k <= 8; ++k) {
+    auto row = proj.Next();
+    if (!row) break;
+    std::printf("  #%d  source=%-6lld min_total=%.0f\n", k,
+                static_cast<long long>(row->assignment[0]), row->weight);
+  }
+
+  // Non-free-connex heads are rejected up front with Corollary 22's bound.
+  ConjunctiveQuery bad =
+      ConjunctiveQuery::Parse("Q(x1,x3) :- R1(x1,x2), R2(x2,x3)");
+  std::printf("\nQ(x1,x3) over a 2-path is NOT free-connex: %s\n",
+              IsFreeConnexAcyclic(bad) ? "??" : "correctly classified");
+  return 0;
+}

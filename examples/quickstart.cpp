@@ -1,0 +1,47 @@
+// Quickstart: rank the answers of a 3-path join by total weight and print
+// the top 5 — the smallest possible end-to-end use of the library.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "anyk/ranked_query.h"
+#include "query/cq.h"
+#include "storage/database.h"
+
+int main() {
+  using namespace anyk;
+
+  // A tiny weighted edge relation (think: road segments with travel times).
+  Database db;
+  Relation& edges = db.AddRelation("Edge", 2);
+  edges.Add({1, 2}, 10.0);
+  edges.Add({1, 3}, 2.0);
+  edges.Add({2, 4}, 1.0);
+  edges.Add({3, 4}, 5.0);
+  edges.Add({4, 5}, 3.0);
+  edges.Add({4, 6}, 1.0);
+  edges.Add({3, 6}, 20.0);
+
+  // Q(x1..x4) :- Edge(x1,x2), Edge(x2,x3), Edge(x3,x4): weighted 3-hop
+  // paths, lightest first.
+  ConjunctiveQuery q =
+      ConjunctiveQuery::Path(3, "Edge", /*single_relation=*/true);
+
+  RankedQuery<TropicalDioid>::Options opts;
+  opts.algorithm = Algorithm::kTake2;  // optimal delay after linear TTF
+  RankedQuery<TropicalDioid> ranked(db, q, opts);
+
+  std::printf("top weighted 3-hop paths:\n");
+  for (int k = 1; k <= 5; ++k) {
+    auto row = ranked.Next();
+    if (!row) break;
+    std::printf("  #%d  weight=%5.1f  path = %lld", k, row->weight,
+                static_cast<long long>(row->assignment[0]));
+    for (size_t v = 1; v < row->assignment.size(); ++v) {
+      std::printf(" -> %lld", static_cast<long long>(row->assignment[v]));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,253 @@
+// ANYK-PART (paper Algorithm 1): ranked enumeration by repeated partitioning
+// of the solution space (Lawler procedure), specialized to T-DP.
+//
+// A candidate is the best solution of one Lawler subspace: a prefix over the
+// serialized stages σ1..σ_{r-1}, a deviating choice at stage σr, and the
+// weight of its optimal completion. Popping the lightest candidate from the
+// global priority queue Cand yields the next result; expanding it creates
+// one new subspace per remaining stage (successors of the taken choices).
+//
+// Prefixes are persistent (parent-pointer arena), so creating a candidate is
+// O(1) and MEM(k) = O(l*n + k*l).
+//
+// Candidate weights: expanding a solution with top choices provably keeps
+// its total weight unchanged, so only deviations need arithmetic. With a
+// dioid inverse (tropical), a deviation's total is
+//     total ⊘ member_val[current] ⊗ member_val[deviation]      (O(1));
+// without one we recompute from the assigned prefix and the *frontier* of
+// pending connectors (Section 6.2's O(l) fallback).
+
+#ifndef ANYK_ANYK_ANYK_PART_H_
+#define ANYK_ANYK_ANYK_PART_H_
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "anyk/enumerator.h"
+#include "anyk/strategies.h"
+#include "dp/stage_graph.h"
+#include "util/binary_heap.h"
+#include "util/logging.h"
+
+namespace anyk {
+
+struct AnyKPartStats {
+  size_t pops = 0;
+  size_t pushes = 0;
+  size_t max_cand_size = 0;
+  size_t prefix_nodes = 0;
+};
+
+/// Algorithm 1, parameterized by successor strategy and candidate PQ.
+template <SelectiveDioid D, template <class> class Strategy,
+          template <class, class> class PQT = BinaryHeap>
+class AnyKPartEnumerator : public Enumerator<D> {
+  using V = typename D::Value;
+  static constexpr uint32_t kNoPrefix = UINT32_MAX;
+
+ public:
+  explicit AnyKPartEnumerator(const StageGraph<D>* g, EnumOptions opts = {})
+      : g_(g), opts_(opts), strategy_(g) {
+    if (!g_->Empty()) {
+      const uint32_t top = strategy_.Top(0, StageGraph<D>::kRootConn);
+      const uint32_t pos =
+          strategy_.MemberPos(0, StageGraph<D>::kRootConn, top);
+      Push(Candidate{g_->stages[0].member_val[pos], kNoPrefix, 0,
+                     StageGraph<D>::kRootConn, top});
+    }
+  }
+
+  std::optional<ResultRow<D>> Next() override {
+    if (cand_.Empty()) return std::nullopt;
+    const size_t L = g_->stages.size();
+    Candidate c = cand_.PopMin();
+    ++stats_.pops;
+
+    // Reconstruct the assigned prefix σ1..σ_{r-1}.
+    states_.assign(L, 0);
+    {
+      uint32_t p = c.prefix;
+      uint32_t idx = c.dev_stage;
+      while (p != kNoPrefix) {
+        states_[--idx] = arena_[p].state;
+        p = arena_[p].parent;
+      }
+      ANYK_DCHECK(idx == 0);
+    }
+
+    if constexpr (!D::kHasInverse) RebuildFrontier(c.dev_stage);
+
+    // Deviations of the popped candidate within its own subspace (the first
+    // iteration of Algorithm 1's for-loop, r = dev_stage).
+    GenerateCandidates(c.dev_stage, c.conn, c.choice, c.total, c.prefix);
+
+    // Assign the deviating choice and expand stage by stage with top
+    // choices, spawning one subspace per stage.
+    uint32_t prefix = c.prefix;
+    AssignStage(c.dev_stage, c.conn, c.choice, &prefix);
+    for (uint32_t j = c.dev_stage + 1; j < L; ++j) {
+      const auto& stj = g_->stages[j];
+      const auto& par = g_->stages[stj.parent_stage];
+      const uint32_t conn =
+          par.conn_of_state[states_[stj.parent_stage] * par.num_slots +
+                            stj.parent_slot];
+      const uint32_t top = strategy_.Top(j, conn);
+      GenerateCandidates(j, conn, top, c.total, prefix);
+      AssignStage(j, conn, top, &prefix);
+    }
+
+    return Assemble(c.total);
+  }
+
+  const AnyKPartStats& stats() const { return stats_; }
+  const StrategyStats& strategy_stats() const { return strategy_.stats(); }
+  size_t CandSize() const { return cand_.Size(); }
+  static const char* Name() { return Strategy<D>::kName; }
+
+ private:
+  struct Candidate {
+    V total;            // weight of the subspace's best full solution
+    uint32_t prefix;    // assigned states σ1..σ_{r-1} (arena id)
+    uint32_t dev_stage; // r
+    uint32_t conn;      // connector at stage r (local id)
+    uint32_t choice;    // strategy-specific choice handle
+  };
+  struct CandLess {
+    bool operator()(const Candidate& a, const Candidate& b) const {
+      return D::Less(a.total, b.total);
+    }
+  };
+  struct PrefixNode {
+    uint32_t parent;
+    uint32_t state;
+  };
+
+  void Push(Candidate cand) {
+    cand_.Push(std::move(cand));
+    ++stats_.pushes;
+    stats_.max_cand_size = std::max(stats_.max_cand_size, cand_.Size());
+  }
+
+  /// Record the chosen state for `stage` and append it to the prefix.
+  void AssignStage(uint32_t stage, uint32_t conn, uint32_t choice,
+                   uint32_t* prefix) {
+    const auto& st = g_->stages[stage];
+    const uint32_t pos = strategy_.MemberPos(stage, conn, choice);
+    const uint32_t state = st.members[pos];
+    states_[stage] = state;
+    arena_.push_back(PrefixNode{*prefix, state});
+    *prefix = static_cast<uint32_t>(arena_.size() - 1);
+    stats_.prefix_nodes = arena_.size();
+    if constexpr (!D::kHasInverse) {
+      // Frontier maintenance: this stage's connector is now resolved; the
+      // chosen state's child connectors become pending.
+      RemoveFromFrontier(stage);
+      assigned_weight_ = D::Combine(assigned_weight_, st.weight[state]);
+      for (uint32_t slot = 0; slot < st.num_slots; ++slot) {
+        frontier_.push_back(
+            {g_->child_stage[stage][slot],
+             st.conn_of_state[state * st.num_slots + slot]});
+      }
+    }
+  }
+
+  /// Push one candidate per successor of `cur_choice` at (stage, conn).
+  void GenerateCandidates(uint32_t stage, uint32_t conn, uint32_t cur_choice,
+                          const V& solution_total, uint32_t prefix) {
+    succ_buf_.clear();
+    strategy_.Successors(stage, conn, cur_choice, &succ_buf_);
+    if (succ_buf_.empty()) return;
+    const auto& st = g_->stages[stage];
+    V base;
+    if constexpr (D::kHasInverse) {
+      const uint32_t cur_pos = strategy_.MemberPos(stage, conn, cur_choice);
+      base = D::Subtract(solution_total, st.member_val[cur_pos]);
+    } else {
+      (void)solution_total;
+      base = FrontierBase(stage);
+    }
+    for (uint32_t h : succ_buf_) {
+      const uint32_t pos = strategy_.MemberPos(stage, conn, h);
+      Push(Candidate{D::Combine(base, st.member_val[pos]), prefix, stage, conn,
+                     h});
+    }
+  }
+
+  // ---- no-inverse fallback: explicit frontier of pending connectors ----
+
+  void RebuildFrontier(uint32_t dev_stage) {
+    frontier_.clear();
+    assigned_weight_ = D::One();
+    for (uint32_t i = 0; i < dev_stage; ++i) {
+      assigned_weight_ = D::Combine(assigned_weight_, g_->stages[i].weight[states_[i]]);
+    }
+    // Pending = stages whose parent is assigned but that are not assigned
+    // themselves; stage 0's connector is the root connector.
+    const size_t L = g_->stages.size();
+    if (dev_stage == 0) {
+      frontier_.push_back({0, StageGraph<D>::kRootConn});
+      return;
+    }
+    for (uint32_t j = dev_stage; j < L; ++j) {
+      const auto& stj = g_->stages[j];
+      if (stj.parent_stage >= 0 &&
+          static_cast<uint32_t>(stj.parent_stage) < dev_stage) {
+        const auto& par = g_->stages[stj.parent_stage];
+        frontier_.push_back(
+            {j, par.conn_of_state[states_[stj.parent_stage] * par.num_slots +
+                                  stj.parent_slot]});
+      }
+    }
+  }
+
+  void RemoveFromFrontier(uint32_t stage) {
+    for (size_t i = 0; i < frontier_.size(); ++i) {
+      if (frontier_[i].first == stage) {
+        frontier_[i] = frontier_.back();
+        frontier_.pop_back();
+        return;
+      }
+    }
+    ANYK_CHECK(false) << "stage " << stage << " not pending";
+  }
+
+  /// assigned ⊗ best completions of every pending connector except the one
+  /// at `dev_stage` (which the caller replaces with an explicit choice).
+  V FrontierBase(uint32_t dev_stage) const {
+    V base = assigned_weight_;
+    for (const auto& [stg, conn] : frontier_) {
+      if (stg == dev_stage) continue;
+      base = D::Combine(base, g_->stages[stg].ConnBestVal(conn));
+    }
+    return base;
+  }
+
+  std::optional<ResultRow<D>> Assemble(const V& total) {
+    ResultRow<D> row;
+    row.weight = total;
+    row.assignment.assign(g_->instance->num_vars, 0);
+    if (opts_.with_witness) row.witness.assign(g_->instance->num_atoms, kNoRow);
+    for (uint32_t j = 0; j < g_->stages.size(); ++j) {
+      BindState(*g_, j, states_[j], &row.assignment,
+                opts_.with_witness ? &row.witness : nullptr);
+    }
+    return row;
+  }
+
+  const StageGraph<D>* g_;
+  EnumOptions opts_;
+  Strategy<D> strategy_;
+  PQT<Candidate, CandLess> cand_{CandLess{}};
+  std::vector<PrefixNode> arena_;
+  std::vector<uint32_t> states_;
+  std::vector<uint32_t> succ_buf_;
+  std::vector<std::pair<uint32_t, uint32_t>> frontier_;  // (stage, conn)
+  V assigned_weight_ = D::One();
+  AnyKPartStats stats_;
+};
+
+}  // namespace anyk
+
+#endif  // ANYK_ANYK_ANYK_PART_H_

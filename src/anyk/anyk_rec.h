@@ -1,0 +1,279 @@
+// ANYK-REC (paper Algorithm 2, "Recursive" / REA): ranked enumeration via
+// the generalized principle of optimality — if the k-th solution through a
+// state takes that state's j-th best suffix, the next one through it takes
+// the (j+1)-st.
+//
+// Suffix rankings are maintained *per connector* (Fig. 3 sharing: all parent
+// states with the same join key reuse one ranking — the reason Recursive can
+// beat Batch on time-to-last, Theorem 11). A connector's ranking is a
+// materialized list Π1, Π2, ... plus a heap of (member, next-rank)
+// candidates; a `next` call pops the heap and recursively advances the
+// popped member's own suffix ranking one step, i.e. O(l) priority-queue
+// operations per result (delay O(l log n)).
+//
+// Tree case (Section 5.1): a state with λ ≥ 2 child slots ranks the
+// Cartesian product of its branch rankings. We enumerate that product with
+// the classic frontier scheme — a combination's successors advance one
+// branch at a time, only at or after the last-advanced branch — which is
+// duplicate-free and accesses each branch ranking in sorted order (the
+// paper's "run ANYK-PART over the product space" construction).
+
+#ifndef ANYK_ANYK_ANYK_REC_H_
+#define ANYK_ANYK_ANYK_REC_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "anyk/enumerator.h"
+#include "dp/stage_graph.h"
+#include "util/binary_heap.h"
+#include "util/logging.h"
+
+namespace anyk {
+
+struct AnyKRecStats {
+  size_t heap_pushes = 0;
+  size_t heap_pops = 0;
+  size_t conns_initialized = 0;
+  size_t combos_created = 0;
+};
+
+template <SelectiveDioid D>
+class RecursiveEnumerator : public Enumerator<D> {
+  using V = typename D::Value;
+
+ public:
+  explicit RecursiveEnumerator(const StageGraph<D>* g, EnumOptions opts = {})
+      : g_(g), opts_(opts), conn_rank_(g->total_connectors) {}
+
+  std::optional<ResultRow<D>> Next() override {
+    if (g_->Empty()) return std::nullopt;
+    ++k_;
+    if (!EnsureConnRank(0, StageGraph<D>::kRootConn, k_)) return std::nullopt;
+    const ConnEntry e = RankedEntry(0, StageGraph<D>::kRootConn, k_);
+
+    ResultRow<D> row;
+    row.weight = e.val;
+    row.assignment.assign(g_->instance->num_vars, 0);
+    if (opts_.with_witness) row.witness.assign(g_->instance->num_atoms, kNoRow);
+    AssembleState(0, g_->stages[0].members[e.member_pos], e.rank, &row);
+    return row;
+  }
+
+  const AnyKRecStats& stats() const { return stats_; }
+  static const char* Name() { return "Recursive"; }
+
+ private:
+  // One materialized suffix: the member (position in Stage::members) whose
+  // own suffix ranking contributes at `rank`, and the resulting value
+  // (member weight ⊗ member's rank-th completion).
+  struct ConnEntry {
+    V val;
+    uint32_t member_pos;
+    uint32_t rank;
+  };
+  struct EntryLess {
+    bool operator()(const ConnEntry& a, const ConnEntry& b) const {
+      return D::Less(a.val, b.val);
+    }
+  };
+  struct ConnRank {
+    bool init = false;
+    std::vector<ConnEntry> ranked;  // Π1, Π2, ... of this connector
+    BinaryHeap<ConnEntry, EntryLess> heap;
+  };
+
+  // Cartesian-product ranking for states with λ ≥ 2 child slots.
+  struct Combo {
+    V val;
+    std::vector<uint32_t> ranks;  // per-slot rank into the branch ranking
+    uint32_t last_advanced = 0;
+  };
+  struct ComboLess {
+    bool operator()(const Combo& a, const Combo& b) const {
+      return D::Less(a.val, b.val);
+    }
+  };
+  struct StateRank {
+    std::vector<Combo> ranked;
+    BinaryHeap<Combo, ComboLess> heap;
+    bool exhausted = false;
+  };
+
+  const ConnEntry& RankedEntry(uint32_t stage, uint32_t conn, uint32_t k) {
+    return conn_rank_[g_->GlobalConn(stage, conn)].ranked[k - 1];
+  }
+
+  /// Materialize Πk of the connector; false if fewer than k suffixes exist.
+  ///
+  /// Lazy peek-then-pop scheme (Algorithm 2, lines 24-34): rank j is the
+  /// heap *peek* after j-1 pops. Advancing pops the previously peeked entry
+  /// and replaces it with the next-heavier suffix through the same member,
+  /// which recursively advances exactly one rank per stage — O(l) priority-
+  /// queue operations per result.
+  bool EnsureConnRank(uint32_t stage, uint32_t conn, uint32_t k) {
+    ConnRank& cr = conn_rank_[g_->GlobalConn(stage, conn)];
+    const auto& st = g_->stages[stage];
+    if (!cr.init) {
+      cr.init = true;
+      ++stats_.conns_initialized;
+      std::vector<ConnEntry> initial;
+      initial.reserve(st.ConnSize(conn));
+      for (uint32_t p = st.conn_begin[conn]; p < st.conn_begin[conn + 1]; ++p) {
+        initial.push_back(ConnEntry{st.member_val[p], p, 1});
+      }
+      stats_.heap_pushes += initial.size();
+      cr.heap.Assign(std::move(initial));
+    }
+    while (cr.ranked.size() < k) {
+      if (!cr.ranked.empty()) {
+        // Advance: pop the entry peeked as the last rank (still the top) and
+        // push the next suffix through the same member, if any.
+        if (cr.heap.Empty()) return false;
+        ConnEntry e = cr.heap.PopMin();
+        ++stats_.heap_pops;
+        const uint32_t state = st.members[e.member_pos];
+        V below;
+        if (EnsureStateRank(stage, state, e.rank + 1, &below)) {
+          cr.heap.Push(ConnEntry{D::Combine(st.weight[state], below),
+                                 e.member_pos, e.rank + 1});
+          ++stats_.heap_pushes;
+        }
+      }
+      if (cr.heap.Empty()) return false;
+      cr.ranked.push_back(cr.heap.Min());  // peek defines the next rank
+    }
+    return true;
+  }
+
+  /// Rank-j completion *below* `state` (excluding its own weight); true and
+  /// sets *out_val if it exists.
+  bool EnsureStateRank(uint32_t stage, uint32_t state, uint32_t j, V* out_val) {
+    const auto& st = g_->stages[stage];
+    const uint32_t slots = st.num_slots;
+    if (slots == 0) {
+      if (j != 1) return false;
+      *out_val = D::One();
+      return true;
+    }
+    if (slots == 1) {
+      // Single branch: delegate to the child connector's ranking (shared by
+      // all states that point at the same connector).
+      const uint32_t cs = g_->child_stage[stage][0];
+      const uint32_t conn = st.conn_of_state[state];
+      if (!EnsureConnRank(cs, conn, j)) return false;
+      *out_val = RankedEntry(cs, conn, j).val;
+      return true;
+    }
+    // λ ≥ 2: rank the product of branch rankings (peek-then-pop, like the
+    // connector case).
+    StateRank& sr = StateRankOf(stage, state);
+    if (sr.ranked.empty() && sr.heap.Empty() && !sr.exhausted) {
+      // Initial combination (1, ..., 1) with value π1(state).
+      Combo c;
+      c.val = st.pi1[state];
+      c.ranks.assign(slots, 1);
+      c.last_advanced = 0;
+      sr.heap.Push(std::move(c));
+      ++stats_.heap_pushes;
+      ++stats_.combos_created;
+    }
+    while (sr.ranked.size() < j) {
+      if (!sr.ranked.empty()) {
+        if (sr.heap.Empty()) return false;
+        Combo c = sr.heap.PopMin();
+        ++stats_.heap_pops;
+        // Successors: advance one branch, at or after the last advanced one
+        // (the classic duplicate-free product-space expansion).
+        for (uint32_t b = c.last_advanced; b < slots; ++b) {
+          const uint32_t cs = g_->child_stage[stage][b];
+          const uint32_t conn = st.conn_of_state[state * slots + b];
+          if (!EnsureConnRank(cs, conn, c.ranks[b] + 1)) continue;
+          Combo nc;
+          nc.ranks = c.ranks;
+          nc.ranks[b] += 1;
+          nc.last_advanced = b;
+          if constexpr (D::kHasInverse) {
+            nc.val = D::Combine(
+                D::Subtract(c.val, RankedEntry(cs, conn, c.ranks[b]).val),
+                RankedEntry(cs, conn, c.ranks[b] + 1).val);
+          } else {
+            nc.val = D::One();
+            for (uint32_t b2 = 0; b2 < slots; ++b2) {
+              const uint32_t cs2 = g_->child_stage[stage][b2];
+              const uint32_t conn2 = st.conn_of_state[state * slots + b2];
+              const bool ok = EnsureConnRank(cs2, conn2, nc.ranks[b2]);
+              ANYK_CHECK(ok);
+              nc.val =
+                  D::Combine(nc.val, RankedEntry(cs2, conn2, nc.ranks[b2]).val);
+            }
+          }
+          sr.heap.Push(std::move(nc));
+          ++stats_.heap_pushes;
+          ++stats_.combos_created;
+        }
+      }
+      if (sr.heap.Empty()) {
+        sr.exhausted = true;
+        return false;
+      }
+      sr.ranked.push_back(sr.heap.Min());
+    }
+    *out_val = sr.ranked[j - 1].val;
+    return true;
+  }
+
+  /// Write `state`'s bindings and recurse into the children realizing its
+  /// rank-j completion (everything is already materialized).
+  void AssembleState(uint32_t stage, uint32_t state, uint32_t j,
+                     ResultRow<D>* row) {
+    BindState(*g_, stage, state, &row->assignment,
+              opts_.with_witness ? &row->witness : nullptr);
+    const auto& st = g_->stages[stage];
+    const uint32_t slots = st.num_slots;
+    if (slots == 0) return;
+    if (slots == 1) {
+      const uint32_t cs = g_->child_stage[stage][0];
+      const uint32_t conn = st.conn_of_state[state];
+      const bool ok = EnsureConnRank(cs, conn, j);  // cheap if materialized
+      ANYK_CHECK(ok);
+      const ConnEntry e = RankedEntry(cs, conn, j);
+      AssembleState(cs, g_->stages[cs].members[e.member_pos], e.rank, row);
+      return;
+    }
+    V dummy;
+    const bool have = EnsureStateRank(stage, state, j, &dummy);
+    ANYK_CHECK(have);
+    const StateRank& sr = state_rank_.at(StateKey(stage, state));
+    const Combo c = sr.ranked[j - 1];
+    for (uint32_t b = 0; b < slots; ++b) {
+      const uint32_t cs = g_->child_stage[stage][b];
+      const uint32_t conn = st.conn_of_state[state * slots + b];
+      const bool ok = EnsureConnRank(cs, conn, c.ranks[b]);
+      ANYK_CHECK(ok);
+      const ConnEntry e = RankedEntry(cs, conn, c.ranks[b]);
+      AssembleState(cs, g_->stages[cs].members[e.member_pos], e.rank, row);
+    }
+  }
+
+  static uint64_t StateKey(uint32_t stage, uint32_t state) {
+    return (static_cast<uint64_t>(stage) << 32) | state;
+  }
+
+  StateRank& StateRankOf(uint32_t stage, uint32_t state) {
+    return state_rank_[StateKey(stage, state)];
+  }
+
+  const StageGraph<D>* g_;
+  EnumOptions opts_;
+  std::vector<ConnRank> conn_rank_;
+  std::unordered_map<uint64_t, StateRank> state_rank_;
+  uint32_t k_ = 0;
+  AnyKRecStats stats_;
+};
+
+}  // namespace anyk
+
+#endif  // ANYK_ANYK_ANYK_REC_H_

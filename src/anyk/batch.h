@@ -1,0 +1,133 @@
+// Batch baseline (paper Section 4.3): produce the *full* unranked output by
+// DFS over the (semi-join-reduced) stage graph — this is exactly the
+// Yannakakis algorithm for acyclic queries, O(n + |out|) — and then sort it
+// by weight. TTF equals TTL, MEM is O(|out| * l).
+//
+// The unsorted variant ("Batch(No sort)" in the paper's plots) is available
+// through `BatchOptions::sort = false`.
+
+#ifndef ANYK_ANYK_BATCH_H_
+#define ANYK_ANYK_BATCH_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <optional>
+#include <vector>
+
+#include "anyk/enumerator.h"
+#include "dp/stage_graph.h"
+#include "util/logging.h"
+
+namespace anyk {
+
+struct BatchOptions {
+  bool sort = true;
+  EnumOptions enum_opts;
+};
+
+template <SelectiveDioid D>
+class BatchEnumerator : public Enumerator<D> {
+  using V = typename D::Value;
+
+ public:
+  explicit BatchEnumerator(const StageGraph<D>* g, BatchOptions opts = {})
+      : g_(g), opts_(opts) {}
+
+  std::optional<ResultRow<D>> Next() override {
+    if (!materialized_) Materialize();
+    if (cursor_ >= order_.size()) return std::nullopt;
+    const size_t L = g_->stages.size();
+    const uint32_t idx = order_[cursor_++];
+    ResultRow<D> row;
+    row.weight = weights_[idx];
+    row.assignment.assign(g_->instance->num_vars, 0);
+    if (opts_.enum_opts.with_witness) {
+      row.witness.assign(g_->instance->num_atoms, kNoRow);
+    }
+    for (uint32_t j = 0; j < L; ++j) {
+      BindState(*g_, j, solutions_[static_cast<size_t>(idx) * L + j],
+                &row.assignment,
+                opts_.enum_opts.with_witness ? &row.witness : nullptr);
+    }
+    return row;
+  }
+
+  /// Number of output tuples (forces materialization).
+  size_t OutputSize() {
+    if (!materialized_) Materialize();
+    return weights_.size();
+  }
+
+  static const char* Name() { return "Batch"; }
+
+ private:
+  void Materialize() {
+    materialized_ = true;
+    if (g_->Empty()) return;
+    const size_t L = g_->stages.size();
+    std::vector<uint32_t> states(L);
+    std::vector<V> partial(L + 1);
+    partial[0] = D::One();
+
+    // DFS over the stage graph in serialization order: at stage j iterate
+    // the members of the connector selected by the parent state.
+    std::vector<uint32_t> pos(L);    // current member position per stage
+    std::vector<uint32_t> end(L);    // member range end per stage
+    int j = 0;
+    SetRange(0, states, &pos, &end);
+    while (j >= 0) {
+      if (pos[j] >= end[j]) {
+        --j;
+        if (j >= 0) ++pos[j];
+        continue;
+      }
+      const auto& st = g_->stages[j];
+      states[j] = st.members[pos[j]];
+      partial[j + 1] = D::Combine(partial[j], st.weight[states[j]]);
+      if (static_cast<size_t>(j) + 1 == L) {
+        for (uint32_t s : states) solutions_.push_back(s);
+        weights_.push_back(partial[L]);
+        ++pos[j];
+      } else {
+        ++j;
+        SetRange(j, states, &pos, &end);
+      }
+    }
+
+    order_.resize(weights_.size());
+    std::iota(order_.begin(), order_.end(), 0u);
+    if (opts_.sort) {
+      std::sort(order_.begin(), order_.end(), [&](uint32_t a, uint32_t b) {
+        return D::Less(weights_[a], weights_[b]);
+      });
+    }
+  }
+
+  void SetRange(int j, const std::vector<uint32_t>& states,
+                std::vector<uint32_t>* pos, std::vector<uint32_t>* end) {
+    const auto& st = g_->stages[j];
+    uint32_t conn;
+    if (j == 0) {
+      conn = StageGraph<D>::kRootConn;
+    } else {
+      const auto& par = g_->stages[st.parent_stage];
+      conn = par.conn_of_state[states[st.parent_stage] * par.num_slots +
+                               st.parent_slot];
+    }
+    (*pos)[j] = st.conn_begin[conn];
+    (*end)[j] = st.conn_begin[conn + 1];
+  }
+
+  const StageGraph<D>* g_;
+  BatchOptions opts_;
+  bool materialized_ = false;
+  std::vector<uint32_t> solutions_;  // |out| * L state ids
+  std::vector<V> weights_;
+  std::vector<uint32_t> order_;
+  size_t cursor_ = 0;
+};
+
+}  // namespace anyk
+
+#endif  // ANYK_ANYK_BATCH_H_

@@ -1,0 +1,43 @@
+// Common interface of all ranked-enumeration ("any-k") algorithms.
+
+#ifndef ANYK_ANYK_ENUMERATOR_H_
+#define ANYK_ANYK_ENUMERATOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "dioid/dioid.h"
+#include "storage/value.h"
+
+namespace anyk {
+
+inline constexpr uint32_t kNoRow = UINT32_MAX;
+
+/// One query answer: its dioid weight, the variable assignment (indexed by
+/// the query's variable ids) and, optionally, the witness — the original row
+/// id per atom (Section 2.1: "we often represent an output tuple as a vector
+/// of those input tuples that joined to produce it").
+template <SelectiveDioid D>
+struct ResultRow {
+  typename D::Value weight;
+  std::vector<Value> assignment;
+  std::vector<uint32_t> witness;  // empty if witnesses were not requested
+};
+
+struct EnumOptions {
+  bool with_witness = true;
+};
+
+/// Pull-based enumerator: Next() returns answers in non-decreasing rank
+/// order until exhausted.
+template <SelectiveDioid D>
+class Enumerator {
+ public:
+  virtual ~Enumerator() = default;
+  virtual std::optional<ResultRow<D>> Next() = 0;
+};
+
+}  // namespace anyk
+
+#endif  // ANYK_ANYK_ENUMERATOR_H_

@@ -1,0 +1,58 @@
+// Plan inspection: sizes and shape of the DP structures behind a ranked
+// query, for debugging and for the size-bound tests of the decompositions.
+
+#ifndef ANYK_ANYK_EXPLAIN_H_
+#define ANYK_ANYK_EXPLAIN_H_
+
+#include <sstream>
+#include <string>
+
+#include "anyk/ranked_query.h"
+#include "dp/stage_graph.h"
+
+namespace anyk {
+
+struct GraphStatsSummary {
+  size_t stages = 0;
+  size_t states = 0;      // surviving tuples across stages
+  size_t connectors = 0;  // shared choice sets
+  size_t input_rows = 0;  // rows before bottom-up pruning
+};
+
+template <SelectiveDioid D>
+GraphStatsSummary SummarizeGraph(const StageGraph<D>& g) {
+  GraphStatsSummary s;
+  s.stages = g.stages.size();
+  s.connectors = g.total_connectors;
+  for (const auto& st : g.stages) s.states += st.NumStates();
+  for (const auto& node : g.instance->nodes) s.input_rows += node.NumRows();
+  return s;
+}
+
+template <SelectiveDioid D>
+std::string Explain(const RankedQuery<D>& rq) {
+  std::ostringstream out;
+  switch (rq.plan()) {
+    case QueryPlan::kAcyclicTree:
+      out << "plan: acyclic join tree (GYO), 1 T-DP problem\n";
+      break;
+    case QueryPlan::kCycleUnion:
+      out << "plan: simple-cycle decomposition, UT-DP union of "
+          << rq.NumTrees() << " trees\n";
+      break;
+    case QueryPlan::kGenericJoinBatch:
+      out << "plan: worst-case-optimal generic join + sort (batch fallback)\n";
+      break;
+  }
+  for (size_t t = 0; t < rq.graphs().size(); ++t) {
+    GraphStatsSummary s = SummarizeGraph(*rq.graphs()[t]);
+    out << "  tree " << t << ": " << s.stages << " stages, " << s.input_rows
+        << " bag rows, " << s.states << " surviving states, " << s.connectors
+        << " connectors\n";
+  }
+  return out.str();
+}
+
+}  // namespace anyk
+
+#endif  // ANYK_ANYK_EXPLAIN_H_

@@ -1,0 +1,84 @@
+// Algorithm registry: constructs any of the six ranked-enumeration
+// algorithms of the paper's experimental study (Section 7) over a stage
+// graph.
+
+#ifndef ANYK_ANYK_FACTORY_H_
+#define ANYK_ANYK_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "anyk/anyk_part.h"
+#include "anyk/anyk_rec.h"
+#include "anyk/batch.h"
+#include "anyk/enumerator.h"
+#include "util/logging.h"
+
+namespace anyk {
+
+enum class Algorithm {
+  kRecursive,  // ANYK-REC (REA)
+  kTake2,      // ANYK-PART, heap-children successors (this paper)
+  kLazy,       // ANYK-PART, incrementally drained heap (Chang et al.)
+  kEager,      // ANYK-PART, pre-sorted choice sets
+  kAll,        // ANYK-PART, insert all siblings (Yang et al.)
+  kBatch,      // full result via Yannakakis-style DFS + sort
+  kBatchNoSort // full result, unranked (reference only)
+};
+
+inline const char* AlgorithmName(Algorithm a) {
+  switch (a) {
+    case Algorithm::kRecursive: return "Recursive";
+    case Algorithm::kTake2: return "Take2";
+    case Algorithm::kLazy: return "Lazy";
+    case Algorithm::kEager: return "Eager";
+    case Algorithm::kAll: return "All";
+    case Algorithm::kBatch: return "Batch";
+    case Algorithm::kBatchNoSort: return "BatchNoSort";
+  }
+  return "?";
+}
+
+/// The five any-k algorithms (no batch variants).
+inline std::vector<Algorithm> AllAnyKAlgorithms() {
+  return {Algorithm::kRecursive, Algorithm::kTake2, Algorithm::kLazy,
+          Algorithm::kEager, Algorithm::kAll};
+}
+
+/// All ranked algorithms including Batch.
+inline std::vector<Algorithm> AllRankedAlgorithms() {
+  auto v = AllAnyKAlgorithms();
+  v.push_back(Algorithm::kBatch);
+  return v;
+}
+
+template <SelectiveDioid D>
+std::unique_ptr<Enumerator<D>> MakeEnumerator(const StageGraph<D>* g,
+                                              Algorithm algo,
+                                              EnumOptions opts = {}) {
+  switch (algo) {
+    case Algorithm::kRecursive:
+      return std::make_unique<RecursiveEnumerator<D>>(g, opts);
+    case Algorithm::kTake2:
+      return std::make_unique<AnyKPartEnumerator<D, Take2Strategy>>(g, opts);
+    case Algorithm::kLazy:
+      return std::make_unique<AnyKPartEnumerator<D, LazyStrategy>>(g, opts);
+    case Algorithm::kEager:
+      return std::make_unique<AnyKPartEnumerator<D, EagerStrategy>>(g, opts);
+    case Algorithm::kAll:
+      return std::make_unique<AnyKPartEnumerator<D, AllStrategy>>(g, opts);
+    case Algorithm::kBatch:
+      return std::make_unique<BatchEnumerator<D>>(g,
+                                                  BatchOptions{true, opts});
+    case Algorithm::kBatchNoSort:
+      return std::make_unique<BatchEnumerator<D>>(g,
+                                                  BatchOptions{false, opts});
+  }
+  ANYK_CHECK(false) << "unknown algorithm";
+  return nullptr;
+}
+
+}  // namespace anyk
+
+#endif  // ANYK_ANYK_FACTORY_H_

@@ -1,0 +1,271 @@
+// Successor strategies for ANYK-PART (paper Section 4.1.3).
+//
+// Algorithm 1 is parameterized by how the choice set of a connector is
+// organized and how Succ(state, choice) finds (a superset of) the next-best
+// choice:
+//   * Eager  — sort the whole choice set; Succ is the next rank.        O(n log n) init
+//   * Lazy   — binary heap, incrementally drained into a sorted list.   O(n) init
+//   * All    — no order at all; Succ(top) returns every other choice.   O(1) init
+//   * Take2  — binary heap used as a *static* partial order; Succ(slot)
+//              returns the slot's two heap children.                    O(n) init
+//
+// A "choice handle" is a uint32 whose meaning is strategy-specific (rank,
+// heap slot, or absolute member position). All strategies initialize a
+// connector's data structure lazily on first touch (the paper applies this
+// optimization to all algorithms in Section 7).
+
+#ifndef ANYK_ANYK_STRATEGIES_H_
+#define ANYK_ANYK_STRATEGIES_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "dp/stage_graph.h"
+#include "util/binary_heap.h"
+#include "util/logging.h"
+
+namespace anyk {
+
+/// Counters shared by all strategies (used by invariant tests).
+struct StrategyStats {
+  size_t conns_initialized = 0;
+  size_t init_work = 0;  // total members touched during initialization
+  size_t succ_calls = 0;
+  size_t succ_returned = 0;
+};
+
+/// Eager Sort: pre-sorts each choice set on first access.
+template <SelectiveDioid D>
+class EagerStrategy {
+ public:
+  static constexpr const char* kName = "Eager";
+
+  explicit EagerStrategy(const StageGraph<D>* g)
+      : g_(g), conns_(g->total_connectors) {}
+
+  /// Handle of the best choice of the connector.
+  uint32_t Top(uint32_t stage, uint32_t conn) {
+    Init(stage, conn);
+    return 0;  // rank 0
+  }
+
+  /// Absolute member position (into Stage::members) of a choice handle.
+  uint32_t MemberPos(uint32_t stage, uint32_t conn, uint32_t choice) {
+    return conns_[g_->GlobalConn(stage, conn)].sorted[choice];
+  }
+
+  /// Append the successor handles of `choice` to `out`.
+  void Successors(uint32_t stage, uint32_t conn, uint32_t choice,
+                  std::vector<uint32_t>* out) {
+    ++stats_.succ_calls;
+    const auto& cd = conns_[g_->GlobalConn(stage, conn)];
+    if (choice + 1 < cd.sorted.size()) {
+      out->push_back(choice + 1);
+      ++stats_.succ_returned;
+    }
+  }
+
+  const StrategyStats& stats() const { return stats_; }
+
+ private:
+  struct ConnData {
+    bool init = false;
+    std::vector<uint32_t> sorted;  // member positions, ascending by value
+  };
+
+  void Init(uint32_t stage, uint32_t conn) {
+    ConnData& cd = conns_[g_->GlobalConn(stage, conn)];
+    if (cd.init) return;
+    cd.init = true;
+    const auto& st = g_->stages[stage];
+    cd.sorted.resize(st.ConnSize(conn));
+    for (uint32_t i = 0; i < cd.sorted.size(); ++i) {
+      cd.sorted[i] = st.conn_begin[conn] + i;
+    }
+    std::sort(cd.sorted.begin(), cd.sorted.end(), [&](uint32_t a, uint32_t b) {
+      return D::Less(st.member_val[a], st.member_val[b]);
+    });
+    ++stats_.conns_initialized;
+    stats_.init_work += cd.sorted.size();
+  }
+
+  const StageGraph<D>* g_;
+  std::vector<ConnData> conns_;
+  StrategyStats stats_;
+};
+
+/// Lazy Sort (Chang et al.): heapify on first access, then migrate choices
+/// from the heap into a sorted list as successors are requested.
+template <SelectiveDioid D>
+class LazyStrategy {
+ public:
+  static constexpr const char* kName = "Lazy";
+
+  explicit LazyStrategy(const StageGraph<D>* g)
+      : g_(g), conns_(g->total_connectors) {}
+
+  uint32_t Top(uint32_t stage, uint32_t conn) {
+    Init(stage, conn);
+    return 0;
+  }
+
+  uint32_t MemberPos(uint32_t stage, uint32_t conn, uint32_t choice) {
+    const auto& cd = conns_[g_->GlobalConn(stage, conn)];
+    ANYK_DCHECK(choice < cd.sorted.size());
+    return cd.sorted[choice];
+  }
+
+  void Successors(uint32_t stage, uint32_t conn, uint32_t choice,
+                  std::vector<uint32_t>* out) {
+    ++stats_.succ_calls;
+    ConnData& cd = conns_[g_->GlobalConn(stage, conn)];
+    // Materialize rank choice+1 if the heap still holds it.
+    if (choice + 1 >= cd.sorted.size() && !cd.heap.Empty()) {
+      cd.sorted.push_back(cd.heap.PopMin());
+    }
+    if (choice + 1 < cd.sorted.size()) {
+      out->push_back(choice + 1);
+      ++stats_.succ_returned;
+    }
+  }
+
+  const StrategyStats& stats() const { return stats_; }
+
+ private:
+  struct Cmp {
+    const StageGraph<D>* g;
+    uint32_t stage;
+    bool operator()(uint32_t a, uint32_t b) const {
+      return D::Less(g->stages[stage].member_val[a],
+                     g->stages[stage].member_val[b]);
+    }
+  };
+
+  struct ConnData {
+    bool init = false;
+    std::vector<uint32_t> sorted;      // drained prefix, ascending
+    BinaryHeap<uint32_t, Cmp> heap{Cmp{nullptr, 0}};
+  };
+
+  void Init(uint32_t stage, uint32_t conn) {
+    ConnData& cd = conns_[g_->GlobalConn(stage, conn)];
+    if (cd.init) return;
+    cd.init = true;
+    const auto& st = g_->stages[stage];
+    std::vector<uint32_t> all(st.ConnSize(conn));
+    for (uint32_t i = 0; i < all.size(); ++i) all[i] = st.conn_begin[conn] + i;
+    cd.heap = BinaryHeap<uint32_t, Cmp>(Cmp{g_, stage});
+    cd.heap.Assign(std::move(all));
+    // The paper pops the top two up front: nearly all successor requests in
+    // one repeat-loop iteration ask for the second-best choice.
+    cd.sorted.push_back(cd.heap.PopMin());
+    if (!cd.heap.Empty()) cd.sorted.push_back(cd.heap.PopMin());
+    ++stats_.conns_initialized;
+    stats_.init_work += st.ConnSize(conn);
+  }
+
+  const StageGraph<D>* g_;
+  std::vector<ConnData> conns_;
+  StrategyStats stats_;
+};
+
+/// All (Yang et al.): no per-connector structure; deviating from the top
+/// choice inserts every other choice at once.
+template <SelectiveDioid D>
+class AllStrategy {
+ public:
+  static constexpr const char* kName = "All";
+
+  explicit AllStrategy(const StageGraph<D>* g) : g_(g) {}
+
+  // Choice handles are absolute member positions.
+  uint32_t Top(uint32_t stage, uint32_t conn) {
+    return g_->stages[stage].conn_best[conn];
+  }
+
+  uint32_t MemberPos(uint32_t /*stage*/, uint32_t /*conn*/, uint32_t choice) {
+    return choice;
+  }
+
+  void Successors(uint32_t stage, uint32_t conn, uint32_t choice,
+                  std::vector<uint32_t>* out) {
+    ++stats_.succ_calls;
+    const auto& st = g_->stages[stage];
+    if (choice != st.conn_best[conn]) return;  // siblings already inserted
+    for (uint32_t p = st.conn_begin[conn]; p < st.conn_begin[conn + 1]; ++p) {
+      if (p == choice) continue;
+      out->push_back(p);
+      ++stats_.succ_returned;
+    }
+  }
+
+  const StrategyStats& stats() const { return stats_; }
+
+ private:
+  const StageGraph<D>* g_;
+  StrategyStats stats_;
+};
+
+/// Take2 (this paper): heapify once; the heap is never popped but used as a
+/// static partial order — the successors of a slot are its two children.
+template <SelectiveDioid D>
+class Take2Strategy {
+ public:
+  static constexpr const char* kName = "Take2";
+
+  explicit Take2Strategy(const StageGraph<D>* g)
+      : g_(g), conns_(g->total_connectors) {}
+
+  uint32_t Top(uint32_t stage, uint32_t conn) {
+    Init(stage, conn);
+    return 0;  // heap slot 0
+  }
+
+  uint32_t MemberPos(uint32_t stage, uint32_t conn, uint32_t choice) {
+    return conns_[g_->GlobalConn(stage, conn)].heap[choice];
+  }
+
+  void Successors(uint32_t stage, uint32_t conn, uint32_t choice,
+                  std::vector<uint32_t>* out) {
+    ++stats_.succ_calls;
+    const auto& cd = conns_[g_->GlobalConn(stage, conn)];
+    for (uint32_t child = 2 * choice + 1;
+         child <= 2 * choice + 2 && child < cd.heap.size(); ++child) {
+      out->push_back(child);
+      ++stats_.succ_returned;
+    }
+  }
+
+  const StrategyStats& stats() const { return stats_; }
+
+ private:
+  struct ConnData {
+    bool init = false;
+    std::vector<uint32_t> heap;  // member positions in heap order
+  };
+
+  void Init(uint32_t stage, uint32_t conn) {
+    ConnData& cd = conns_[g_->GlobalConn(stage, conn)];
+    if (cd.init) return;
+    cd.init = true;
+    const auto& st = g_->stages[stage];
+    cd.heap.resize(st.ConnSize(conn));
+    for (uint32_t i = 0; i < cd.heap.size(); ++i) {
+      cd.heap[i] = st.conn_begin[conn] + i;
+    }
+    Heapify(&cd.heap, [&](uint32_t a, uint32_t b) {
+      return D::Less(st.member_val[a], st.member_val[b]);
+    });
+    ++stats_.conns_initialized;
+    stats_.init_work += cd.heap.size();
+  }
+
+  const StageGraph<D>* g_;
+  std::vector<ConnData> conns_;
+  StrategyStats stats_;
+};
+
+}  // namespace anyk
+
+#endif  // ANYK_ANYK_STRATEGIES_H_

@@ -1,0 +1,42 @@
+// Convenience wrappers for the common "give me the top k" use case.
+
+#ifndef ANYK_ANYK_TOPK_H_
+#define ANYK_ANYK_TOPK_H_
+
+#include <vector>
+
+#include "anyk/ranked_query.h"
+
+namespace anyk {
+
+/// The k lightest answers of a full CQ (fewer if the output is smaller).
+template <SelectiveDioid D = TropicalDioid>
+std::vector<ResultRow<D>> TopK(const Database& db, const ConjunctiveQuery& q,
+                               size_t k,
+                               typename RankedQuery<D>::Options opts = {}) {
+  RankedQuery<D> rq(db, q, opts);
+  std::vector<ResultRow<D>> out;
+  out.reserve(k);
+  while (out.size() < k) {
+    auto row = rq.Next();
+    if (!row) break;
+    out.push_back(std::move(*row));
+  }
+  return out;
+}
+
+/// Count the full output by draining an unranked batch enumeration.
+template <SelectiveDioid D = TropicalDioid>
+size_t CountOutput(const Database& db, const ConjunctiveQuery& q) {
+  typename RankedQuery<D>::Options opts;
+  opts.algorithm = Algorithm::kBatchNoSort;
+  opts.enum_opts.with_witness = false;
+  RankedQuery<D> rq(db, q, opts);
+  size_t n = 0;
+  while (rq.Next()) ++n;
+  return n;
+}
+
+}  // namespace anyk
+
+#endif  // ANYK_ANYK_TOPK_H_

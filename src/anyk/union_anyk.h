@@ -1,0 +1,87 @@
+// UT-DP: ranked enumeration over a union of T-DP problems (paper
+// Section 5.2). A top-level priority queue holds the last-pulled pending
+// result of every sub-enumerator; popping the minimum emits it and refills
+// from the same sub-problem.
+//
+// With overlapping decompositions (e.g. PANDA-style), the same output can be
+// produced by several trees. Under a tie-breaking dioid (Section 6.3) no two
+// *distinct* outputs compare equal, so duplicates arrive consecutively and
+// `dedup = true` filters them with delay linear in the number of trees —
+// constant in data complexity.
+
+#ifndef ANYK_ANYK_UNION_ANYK_H_
+#define ANYK_ANYK_UNION_ANYK_H_
+
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "anyk/enumerator.h"
+#include "util/binary_heap.h"
+
+namespace anyk {
+
+template <SelectiveDioid D>
+class UnionEnumerator : public Enumerator<D> {
+  using V = typename D::Value;
+
+ public:
+  explicit UnionEnumerator(std::vector<std::unique_ptr<Enumerator<D>>> parts,
+                           bool dedup = false)
+      : parts_(std::move(parts)), dedup_(dedup) {
+    for (size_t i = 0; i < parts_.size(); ++i) {
+      Refill(static_cast<uint32_t>(i));
+    }
+  }
+
+  std::optional<ResultRow<D>> Next() override {
+    while (!heap_.Empty()) {
+      Pending p = heap_.PopMin();
+      const uint32_t source = p.source;
+      ResultRow<D> row = std::move(p.row);
+      Refill(source);
+      if (dedup_ && have_last_ && DioidEq<D>(row.weight, last_weight_) &&
+          row.assignment == last_assignment_) {
+        ++duplicates_filtered_;
+        continue;  // duplicate of the previously emitted result
+      }
+      have_last_ = true;
+      last_weight_ = row.weight;
+      last_assignment_ = row.assignment;
+      return row;
+    }
+    return std::nullopt;
+  }
+
+  size_t duplicates_filtered() const { return duplicates_filtered_; }
+
+ private:
+  struct Pending {
+    ResultRow<D> row;
+    uint32_t source;
+  };
+  struct PendingLess {
+    bool operator()(const Pending& a, const Pending& b) const {
+      return D::Less(a.row.weight, b.row.weight);
+    }
+  };
+
+  void Refill(uint32_t source) {
+    if (auto next = parts_[source]->Next()) {
+      heap_.Push(Pending{std::move(*next), source});
+    }
+  }
+
+  std::vector<std::unique_ptr<Enumerator<D>>> parts_;
+  bool dedup_;
+  BinaryHeap<Pending, PendingLess> heap_;
+  bool have_last_ = false;
+  V last_weight_{};
+  std::vector<Value> last_assignment_;
+  size_t duplicates_filtered_ = 0;
+};
+
+}  // namespace anyk
+
+#endif  // ANYK_ANYK_UNION_ANYK_H_

@@ -1,0 +1,35 @@
+// Umbrella header: the library's public surface in one include.
+//
+//   #include "anyk_api.h"
+//   using namespace anyk;
+//   Database db; ...
+//   RankedQuery<TropicalDioid> rq(db, ConjunctiveQuery::Parse("Q(*) :- ..."));
+//   for (const auto& row : Results(&rq)) { ... }
+
+#ifndef ANYK_ANYK_API_H_
+#define ANYK_ANYK_API_H_
+
+#include "anyk/enumerator.h"
+#include "anyk/explain.h"
+#include "anyk/factory.h"
+#include "anyk/range.h"
+#include "anyk/ranked_query.h"
+#include "anyk/topk.h"
+#include "dioid/boolean.h"
+#include "dioid/lex.h"
+#include "dioid/max_plus.h"
+#include "dioid/max_times.h"
+#include "dioid/min_max.h"
+#include "dioid/tiebreak.h"
+#include "dioid/tropical.h"
+#include "dp/projection.h"
+#include "query/attribute_weights.h"
+#include "query/bag_decomposition.h"
+#include "query/cq.h"
+#include "query/cycle_decomposition.h"
+#include "query/gyo.h"
+#include "query/sql.h"
+#include "storage/csv.h"
+#include "storage/database.h"
+
+#endif  // ANYK_ANYK_API_H_

@@ -1,0 +1,34 @@
+// The Boolean semiring ({0,1}, ∨, ∧, 0, 1) with the *inverted* order 1 ≤ 0
+// (paper Section 6.4): ranked enumeration degenerates to standard (unranked)
+// query evaluation, and the any-k machinery enumerates all answers — all of
+// which carry weight "true".
+
+#ifndef ANYK_DIOID_BOOLEAN_H_
+#define ANYK_DIOID_BOOLEAN_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace anyk {
+
+struct BooleanDioid {
+  using Value = uint8_t;  // 0 = false, 1 = true
+
+  static Value One() { return 1; }
+  static Value Zero() { return 0; }
+  static Value Combine(Value a, Value b) { return a & b; }
+  // Order inverted so that true (satisfied) ranks before false.
+  static bool Less(Value a, Value b) { return a > b; }
+
+  // Conjunction has no inverse (Example 17 of the paper).
+  static constexpr bool kHasInverse = false;
+  static Value Subtract(Value, Value);  // intentionally not defined
+
+  static Value FromWeight(double /*w*/, size_t /*atom*/, size_t /*l*/) {
+    return 1;  // every present tuple contributes "true"
+  }
+};
+
+}  // namespace anyk
+
+#endif  // ANYK_DIOID_BOOLEAN_H_

@@ -1,0 +1,64 @@
+// Selective dioids (paper Section 2.2).
+//
+// A selective dioid (W, ⊕, ⊗, 0̄, 1̄) is a semiring whose addition is
+// selective (always returns one of its operands), which induces a total
+// order on W: x ≤ y iff x ⊕ y = x. Result weights are aggregates of input
+// tuple weights under ⊗, and ⊕ ranks them.
+//
+// Every dioid in this library is a stateless type exposing:
+//
+//   using Value   = ...;                    // element of W
+//   static Value One();                     // 1̄ (identity of ⊗)
+//   static Value Zero();                    // 0̄ (identity of ⊕, absorbing)
+//   static Value Combine(a, b);             // ⊗
+//   static bool  Less(a, b);                // strict order induced by ⊕
+//   static constexpr bool kHasInverse;      // is (W, ⊗) a group?
+//   static Value Subtract(total, part);     // only if kHasInverse
+//   static Value FromWeight(w, atom, l);    // lift an input tuple weight
+//
+// FromWeight maps the double weight of a tuple of the atom at position
+// `atom` (of `l` atoms) into W; most dioids ignore the position, the
+// lexicographic dioid uses it (Section 2.2, "Generality").
+
+#ifndef ANYK_DIOID_DIOID_H_
+#define ANYK_DIOID_DIOID_H_
+
+#include <concepts>
+#include <cstddef>
+
+namespace anyk {
+
+/// Concept checked by all DP / any-k templates.
+template <typename D>
+concept SelectiveDioid = requires(typename D::Value a, typename D::Value b,
+                                  double w, size_t atom, size_t l) {
+  { D::One() } -> std::convertible_to<typename D::Value>;
+  { D::Zero() } -> std::convertible_to<typename D::Value>;
+  { D::Combine(a, b) } -> std::convertible_to<typename D::Value>;
+  { D::Less(a, b) } -> std::convertible_to<bool>;
+  { D::FromWeight(w, atom, l) } -> std::convertible_to<typename D::Value>;
+  { D::kHasInverse } -> std::convertible_to<bool>;
+};
+
+/// ⊕ of a selective dioid: returns the operand selected by the order.
+template <typename D>
+typename D::Value DioidPlus(const typename D::Value& a,
+                            const typename D::Value& b) {
+  return D::Less(b, a) ? b : a;
+}
+
+/// x ≤ y in the induced total order (non-strict).
+template <typename D>
+bool DioidLeq(const typename D::Value& a, const typename D::Value& b) {
+  return !D::Less(b, a);
+}
+
+/// Equality in the induced order (neither strictly precedes the other).
+template <typename D>
+bool DioidEq(const typename D::Value& a, const typename D::Value& b) {
+  return !D::Less(a, b) && !D::Less(b, a);
+}
+
+}  // namespace anyk
+
+#endif  // ANYK_DIOID_DIOID_H_

@@ -1,0 +1,67 @@
+// Lexicographic ordering as a selective dioid (paper Section 2.2,
+// "Generality"): tuple weights are ℓ-dimensional vectors that are zero except
+// at the position of the owning atom; ⊗ is element-wise addition and ⊕
+// selects the lexicographically smaller vector. Enumeration order is then
+// "first by the R1 component, ties by the R2 component, ...".
+
+#ifndef ANYK_DIOID_LEX_H_
+#define ANYK_DIOID_LEX_H_
+
+#include <array>
+#include <cstddef>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace anyk {
+
+/// Lexicographic dioid over fixed-capacity weight vectors. `MaxAtoms` bounds
+/// the query size ℓ; unused positions stay zero.
+template <size_t MaxAtoms>
+struct LexDioid {
+  using Value = std::array<double, MaxAtoms>;
+
+  static Value One() {
+    Value v{};
+    return v;  // all zeros
+  }
+
+  static Value Zero() {
+    Value v;
+    v.fill(std::numeric_limits<double>::infinity());
+    return v;
+  }
+
+  static Value Combine(const Value& a, const Value& b) {
+    Value out;
+    for (size_t i = 0; i < MaxAtoms; ++i) out[i] = a[i] + b[i];
+    return out;
+  }
+
+  static bool Less(const Value& a, const Value& b) {
+    for (size_t i = 0; i < MaxAtoms; ++i) {
+      if (a[i] != b[i]) return a[i] < b[i];
+    }
+    return false;
+  }
+
+  // Element-wise addition over reals is a group (γ = O(ℓ) per op, as the
+  // paper notes for lexicographic orderings).
+  static constexpr bool kHasInverse = true;
+  static Value Subtract(const Value& total, const Value& part) {
+    Value out;
+    for (size_t i = 0; i < MaxAtoms; ++i) out[i] = total[i] - part[i];
+    return out;
+  }
+
+  static Value FromWeight(double w, size_t atom, size_t l) {
+    ANYK_CHECK_LE(l, MaxAtoms);
+    Value v{};
+    v[atom] = w;
+    return v;
+  }
+};
+
+}  // namespace anyk
+
+#endif  // ANYK_DIOID_LEX_H_

@@ -1,0 +1,36 @@
+// Customization point for lifting an input tuple's weight into a dioid value.
+//
+// Most dioids only need (weight, atom position, query size). Tie-breaking
+// dioids (Section 6.3) additionally embed the identity of the tuple, so the
+// DP builders funnel every lift through LiftWeight, which forwards the row id
+// to dioids that declare FromWeightRow.
+
+#ifndef ANYK_DIOID_LIFT_H_
+#define ANYK_DIOID_LIFT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "dioid/dioid.h"
+
+namespace anyk {
+
+template <typename D>
+concept HasRowLift = requires(double w, size_t atom, size_t l, uint32_t row) {
+  { D::FromWeightRow(w, atom, l, row) } -> std::convertible_to<typename D::Value>;
+};
+
+/// Lift the weight of row `row` of the atom at position `atom` (of `l`).
+template <SelectiveDioid D>
+typename D::Value LiftWeight(double w, size_t atom, size_t l, uint32_t row) {
+  if constexpr (HasRowLift<D>) {
+    return D::FromWeightRow(w, atom, l, row);
+  } else {
+    (void)row;
+    return D::FromWeight(w, atom, l);
+  }
+}
+
+}  // namespace anyk
+
+#endif  // ANYK_DIOID_LIFT_H_

@@ -1,0 +1,29 @@
+// The arctic semiring (R ∪ {−∞}, max, +, −∞, 0): heaviest witnesses first
+// ("longest paths", paper Section 6.4).
+
+#ifndef ANYK_DIOID_MAX_PLUS_H_
+#define ANYK_DIOID_MAX_PLUS_H_
+
+#include <cstddef>
+#include <limits>
+
+namespace anyk {
+
+struct MaxPlusDioid {
+  using Value = double;
+
+  static Value One() { return 0.0; }
+  static Value Zero() { return -std::numeric_limits<double>::infinity(); }
+  static Value Combine(Value a, Value b) { return a + b; }
+  // ⊕ = max, so the induced order ranks larger values first.
+  static bool Less(Value a, Value b) { return a > b; }
+
+  static constexpr bool kHasInverse = true;
+  static Value Subtract(Value total, Value part) { return total - part; }
+
+  static Value FromWeight(double w, size_t /*atom*/, size_t /*l*/) { return w; }
+};
+
+}  // namespace anyk
+
+#endif  // ANYK_DIOID_MAX_PLUS_H_

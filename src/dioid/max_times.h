@@ -1,0 +1,29 @@
+// The Viterbi-style semiring ([0, ∞), max, ×, 0, 1) — paper Section 6.4:
+// with tuple weights as multiplicities, the first result is the output tuple
+// with the largest bag-semantics multiplicity.
+
+#ifndef ANYK_DIOID_MAX_TIMES_H_
+#define ANYK_DIOID_MAX_TIMES_H_
+
+#include <cstddef>
+
+namespace anyk {
+
+struct MaxTimesDioid {
+  using Value = double;  // non-negative
+
+  static Value One() { return 1.0; }
+  static Value Zero() { return 0.0; }
+  static Value Combine(Value a, Value b) { return a * b; }
+  static bool Less(Value a, Value b) { return a > b; }
+
+  // Division by zero makes the inverse partial; stay on the monoid path.
+  static constexpr bool kHasInverse = false;
+  static Value Subtract(Value, Value);  // intentionally not defined
+
+  static Value FromWeight(double w, size_t /*atom*/, size_t /*l*/) { return w; }
+};
+
+}  // namespace anyk
+
+#endif  // ANYK_DIOID_MAX_TIMES_H_

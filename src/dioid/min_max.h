@@ -1,0 +1,32 @@
+// The bottleneck semiring (R ∪ {±∞}, min, max, +∞, −∞): the weight of a
+// result is its *largest* input-tuple weight, and results with the smallest
+// bottleneck come first (widest-path / minimax ranking). A selective dioid —
+// max distributes over min — so every any-k algorithm applies unchanged;
+// max has no inverse, exercising the monoid code path (Section 6.2).
+
+#ifndef ANYK_DIOID_MIN_MAX_H_
+#define ANYK_DIOID_MIN_MAX_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+
+namespace anyk {
+
+struct MinMaxDioid {
+  using Value = double;
+
+  static Value One() { return -std::numeric_limits<double>::infinity(); }
+  static Value Zero() { return std::numeric_limits<double>::infinity(); }
+  static Value Combine(Value a, Value b) { return std::max(a, b); }
+  static bool Less(Value a, Value b) { return a < b; }
+
+  static constexpr bool kHasInverse = false;
+  static Value Subtract(Value, Value);  // intentionally not defined
+
+  static Value FromWeight(double w, size_t /*atom*/, size_t /*l*/) { return w; }
+};
+
+}  // namespace anyk
+
+#endif  // ANYK_DIOID_MIN_MAX_H_

@@ -1,0 +1,91 @@
+// Tie-breaking adapter (paper Section 6.3).
+//
+// Wraps a base selective dioid with a second dimension that captures a
+// lexicographic order on *witnesses*: each input tuple contributes its row id
+// at its atom's position, ⊗ merges the (disjoint-support) id vectors, and ⊕
+// breaks base-weight ties by the id vector. The result is again a selective
+// dioid, and under it no two distinct witnesses compare equal — so when a
+// decomposition produces overlapping trees, duplicates of an output tuple
+// arrive consecutively and can be filtered with constant (data-complexity)
+// delay by the UT-DP union operator.
+
+#ifndef ANYK_DIOID_TIEBREAK_H_
+#define ANYK_DIOID_TIEBREAK_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "dioid/dioid.h"
+#include "util/logging.h"
+
+namespace anyk {
+
+/// Tie-breaking dioid over base dioid `B`. `MaxAtoms` bounds query size.
+template <typename B, size_t MaxAtoms>
+struct TieBreakDioid {
+  static constexpr int64_t kUnset = -1;
+  using IdVec = std::array<int64_t, MaxAtoms>;
+
+  struct Value {
+    typename B::Value base;
+    IdVec id;
+  };
+
+  static Value One() { return {B::One(), UnsetId()}; }
+  static Value Zero() { return {B::Zero(), UnsetId()}; }
+
+  static Value Combine(const Value& a, const Value& b) {
+    Value out{B::Combine(a.base, b.base), UnsetId()};
+    for (size_t i = 0; i < MaxAtoms; ++i) {
+      // Supports are disjoint in every DP combination: a solution assembles
+      // each atom's contribution exactly once.
+      ANYK_DCHECK(a.id[i] == kUnset || b.id[i] == kUnset);
+      out.id[i] = (a.id[i] != kUnset) ? a.id[i] : b.id[i];
+    }
+    return out;
+  }
+
+  static bool Less(const Value& a, const Value& b) {
+    if (B::Less(a.base, b.base)) return true;
+    if (B::Less(b.base, a.base)) return false;
+    for (size_t i = 0; i < MaxAtoms; ++i) {
+      if (a.id[i] != b.id[i]) return a.id[i] < b.id[i];
+    }
+    return false;
+  }
+
+  static constexpr bool kHasInverse = B::kHasInverse;
+
+  /// Inverse of Combine under the disjoint-support invariant: removes the
+  /// id positions contributed by `part`.
+  static Value Subtract(const Value& total, const Value& part) {
+    Value out{B::Subtract(total.base, part.base), total.id};
+    for (size_t i = 0; i < MaxAtoms; ++i) {
+      if (part.id[i] != kUnset) out.id[i] = kUnset;
+    }
+    return out;
+  }
+
+  static Value FromWeight(double w, size_t atom, size_t l) {
+    return FromWeightRow(w, atom, l, 0);
+  }
+
+  static Value FromWeightRow(double w, size_t atom, size_t l, uint32_t row) {
+    ANYK_CHECK_LE(l, MaxAtoms);
+    Value v{B::FromWeight(w, atom, l), UnsetId()};
+    v.id[atom] = static_cast<int64_t>(row);
+    return v;
+  }
+
+ private:
+  static IdVec UnsetId() {
+    IdVec id;
+    id.fill(kUnset);
+    return id;
+  }
+};
+
+}  // namespace anyk
+
+#endif  // ANYK_DIOID_TIEBREAK_H_

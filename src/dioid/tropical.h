@@ -1,0 +1,49 @@
+// The tropical semiring (R ∪ {∞}, min, +, ∞, 0) — the paper's default
+// ranking function: result weight is the sum of input-tuple weights, smaller
+// is better.
+
+#ifndef ANYK_DIOID_TROPICAL_H_
+#define ANYK_DIOID_TROPICAL_H_
+
+#include <cstddef>
+#include <limits>
+
+namespace anyk {
+
+struct TropicalDioid {
+  using Value = double;
+
+  static Value One() { return 0.0; }
+  static Value Zero() { return std::numeric_limits<double>::infinity(); }
+  static Value Combine(Value a, Value b) { return a + b; }
+  static bool Less(Value a, Value b) { return a < b; }
+
+  // (R, +) is a group, enabling the O(1) T-DP candidate-weight update of
+  // Section 6.2. With integral weights all sums are exact in doubles.
+  static constexpr bool kHasInverse = true;
+  static Value Subtract(Value total, Value part) { return total - part; }
+
+  static Value FromWeight(double w, size_t /*atom*/, size_t /*l*/) { return w; }
+};
+
+/// The tropical semiring *without* using the additive inverse: semantically
+/// identical to TropicalDioid, but the algorithms must take the monoid code
+/// path of Section 6.2 (explicit frontier recomputation, O(l^2)-delay
+/// candidate generation in T-DP). Exists to test and measure that path.
+struct TropicalMonoidDioid {
+  using Value = double;
+
+  static Value One() { return 0.0; }
+  static Value Zero() { return std::numeric_limits<double>::infinity(); }
+  static Value Combine(Value a, Value b) { return a + b; }
+  static bool Less(Value a, Value b) { return a < b; }
+
+  static constexpr bool kHasInverse = false;
+  static Value Subtract(Value, Value);  // intentionally not defined
+
+  static Value FromWeight(double w, size_t /*atom*/, size_t /*l*/) { return w; }
+};
+
+}  // namespace anyk
+
+#endif  // ANYK_DIOID_TROPICAL_H_

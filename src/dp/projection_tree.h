@@ -1,0 +1,47 @@
+// Layered join trees for free-connex projections (paper Section 8.1).
+//
+// For a free-connex acyclic query Q(y), we build a join tree whose *upper
+// layer* U consists of nodes over free variables only (original atoms whose
+// variables are all free, plus distinct-projection auxiliaries π_{vars∩y}
+// for mixed atoms — the paper's R'3 = π_{Y1,Y4}(R3) construction), while the
+// original atoms with existential variables hang below. Running intersection
+// is verified explicitly; pruning the lower layer and folding its branch
+// minima into the U states (Theorem 20) then yields ranked enumeration under
+// min-weight-projection semantics with O(n) TTF and O(log k) delay.
+
+#ifndef ANYK_DP_PROJECTION_TREE_H_
+#define ANYK_DP_PROJECTION_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "query/cq.h"
+#include "query/join_tree.h"
+#include "storage/database.h"
+
+namespace anyk {
+
+struct LayeredInstance {
+  // The full layered tree: U nodes first, then the lower layer.
+  TDPInstance full;
+  // Indices (into full.nodes) of the U layer; u_nodes[0] is the root.
+  std::vector<uint32_t> u_nodes;
+  // For each U node, the full-layer children that get pruned.
+  std::vector<std::vector<uint32_t>> pruned_children;
+  // Free variable ids of the query.
+  std::vector<uint32_t> free_vars;
+};
+
+/// Build the layered instance. CHECK-fails if the query is not free-connex
+/// acyclic, or if it needs a join-tree rearrangement outside the supported
+/// class (the resulting tree is always verified for running intersection).
+LayeredInstance BuildLayeredInstance(const Database& db,
+                                     const ConjunctiveQuery& q);
+
+/// Verify the running-intersection property of an instance's tree: for every
+/// variable, the nodes containing it form a connected subtree.
+bool HasRunningIntersection(const TDPInstance& inst);
+
+}  // namespace anyk
+
+#endif  // ANYK_DP_PROJECTION_TREE_H_

@@ -1,0 +1,280 @@
+// The multi-stage DP state graph (paper Sections 3 and 5.1).
+//
+// Stages correspond to join-tree nodes, serialized in preorder; states are
+// surviving tuples. The equi-join transformation of Fig. 3 is realized by
+// *connectors*: a connector groups the states of a stage by their join-key
+// with the parent stage, so that all parent states with that key share one
+// choice set. This keeps the edge representation at O(l*n) and lets the
+// any-k algorithms share per-connector data structures across states — the
+// source of Recursive's suffix reuse.
+//
+// Building the graph runs the DP bottom-up phase (Eq. 2 / Eq. 7):
+//   pi1(s) = combine over child slots of best(connector(s, slot)),
+// pruning dangling states on the way (the semi-join reduction of
+// Yannakakis), and finishes with the root connector whose best entry is the
+// weight of the top-1 solution.
+
+#ifndef ANYK_DP_STAGE_GRAPH_H_
+#define ANYK_DP_STAGE_GRAPH_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "dioid/dioid.h"
+#include "dioid/lift.h"
+#include "query/join_tree.h"
+#include "storage/group_index.h"
+#include "storage/value.h"
+#include "util/logging.h"
+
+namespace anyk {
+
+/// DP state graph for one T-DP instance, specialized to a selective dioid.
+template <SelectiveDioid D>
+struct StageGraph {
+  using V = typename D::Value;
+  static constexpr uint32_t kNoState = UINT32_MAX;
+
+  struct Stage {
+    uint32_t node_idx = 0;    // join-tree node backing this stage
+    int parent_stage = -1;    // serialized index of the parent stage
+    uint32_t parent_slot = 0; // which child slot of the parent we occupy
+    uint32_t num_slots = 0;   // number of child stages of this stage
+
+    // --- states (surviving rows) ---
+    std::vector<uint32_t> row_of_state;  // original row in the node table
+    std::vector<V> weight;               // lifted tuple weight w(s)
+    std::vector<V> pi1;                  // optimal completion below s
+    // state s, child slot j -> connector id in the child stage
+    // (flattened: conn_of_state[s * num_slots + j])
+    std::vector<uint32_t> conn_of_state;
+
+    // --- connectors (this stage's states grouped by parent join key) ---
+    std::vector<uint32_t> conn_begin;  // connector c spans members
+                                       // [conn_begin[c], conn_begin[c+1])
+    std::vector<uint32_t> members;     // state ids, grouped by connector
+    std::vector<V> member_val;         // weight[s] (+) pi1[s], aligned
+    std::vector<uint32_t> conn_best;   // member *position* of the minimum
+    uint32_t conn_global_base = 0;     // first global connector id
+
+    size_t NumStates() const { return row_of_state.size(); }
+    size_t NumConns() const { return conn_begin.size() - 1; }
+    uint32_t ConnSize(uint32_t c) const {
+      return conn_begin[c + 1] - conn_begin[c];
+    }
+    const V& ConnBestVal(uint32_t c) const { return member_val[conn_best[c]]; }
+  };
+
+  const TDPInstance* instance = nullptr;
+  std::vector<Stage> stages;      // serialized preorder; stages[0] is root
+  uint32_t total_connectors = 0;  // across all stages
+  // Child stages of stage i, by slot: child_stage[i][j].
+  std::vector<std::vector<uint32_t>> child_stage;
+  // Per stage: parent join key -> local connector id (kept after the build;
+  // the projection machinery of Section 8.1 uses it to read branch minima).
+  std::vector<std::unordered_map<Key, uint32_t, KeyHash>> conn_of_key;
+
+  bool Empty() const { return stages[0].NumConns() == 0; }
+
+  /// Weight of the top-1 solution (D::Zero() if the output is empty).
+  V TopWeight() const {
+    if (Empty()) return D::Zero();
+    return stages[0].ConnBestVal(0);
+  }
+
+  /// Global connector id of (stage, local connector).
+  uint32_t GlobalConn(uint32_t stage, uint32_t conn) const {
+    return stages[stage].conn_global_base + conn;
+  }
+
+  /// The root connector holds all root-stage states under the empty key.
+  static constexpr uint32_t kRootConn = 0;
+};
+
+/// Optional per-state weight adjustment: returns an extra dioid value
+/// combined into the state's weight, or nullopt to prune the state. Used by
+/// min-weight-projection (Section 8.1) to fold the best completion of a
+/// pruned branch into the retained states (Theorem 20).
+template <SelectiveDioid D>
+using StateWeightHook =
+    std::function<std::optional<typename D::Value>(uint32_t node_idx,
+                                                   uint32_t row)>;
+
+/// Build the stage graph for `inst`, running the bottom-up phase.
+///
+/// `num_atoms_override` sets the paper's l used for weight lifting (defaults
+/// to the instance's atom count; unions of trees pass the original query's).
+template <SelectiveDioid D>
+StageGraph<D> BuildStageGraph(const TDPInstance& inst,
+                              size_t num_atoms_override = 0,
+                              const StateWeightHook<D>* hook = nullptr) {
+  using V = typename D::Value;
+  const size_t num_atoms =
+      num_atoms_override == 0 ? inst.num_atoms : num_atoms_override;
+  const size_t L = inst.nodes.size();
+
+  StageGraph<D> g;
+  g.instance = &inst;
+  g.stages.resize(L);
+  g.child_stage.assign(L, {});
+
+  // Map join-tree node index -> serialized stage index.
+  std::vector<uint32_t> stage_of_node(L);
+  for (size_t k = 0; k < L; ++k) stage_of_node[inst.order[k]] = k;
+
+  for (size_t k = 0; k < L; ++k) {
+    auto& st = g.stages[k];
+    st.node_idx = inst.order[k];
+    const TDPNode& nd = inst.nodes[st.node_idx];
+    if (nd.parent >= 0) {
+      st.parent_stage = static_cast<int>(stage_of_node[nd.parent]);
+    }
+  }
+  for (size_t k = 0; k < L; ++k) {
+    if (g.stages[k].parent_stage >= 0) {
+      auto& parent = g.stages[g.stages[k].parent_stage];
+      g.stages[k].parent_slot = parent.num_slots++;
+      g.child_stage[g.stages[k].parent_stage].push_back(
+          static_cast<uint32_t>(k));
+    }
+  }
+
+  // Per-stage key -> connector id map, alive while parents are processed.
+  std::vector<std::unordered_map<Key, uint32_t, KeyHash>> conn_of_key(L);
+
+  // Bottom-up: reverse preorder processes children before parents.
+  for (size_t kk = L; kk-- > 0;) {
+    auto& st = g.stages[kk];
+    const TDPNode& nd = inst.nodes[st.node_idx];
+    const size_t rows = nd.NumRows();
+    const size_t pins = nd.NumPins();
+    const size_t slots = st.num_slots;
+
+    st.row_of_state.reserve(rows);
+    st.weight.reserve(rows);
+    st.pi1.reserve(rows);
+    st.conn_of_state.reserve(rows * slots);
+
+    std::vector<uint32_t> row_conns(slots);
+    for (size_t r = 0; r < rows; ++r) {
+      // Resolve one connector per child slot; prune if any child has no
+      // matching key (dangling tuple).
+      bool alive = true;
+      V pi1 = D::One();
+      for (size_t j = 0; j < slots && alive; ++j) {
+        const uint32_t cs = g.child_stage[kk][j];
+        const TDPNode& cnd = inst.nodes[g.stages[cs].node_idx];
+        Key key;
+        key.reserve(cnd.parent_key_cols.size());
+        for (uint32_t pc : cnd.parent_key_cols) key.push_back(nd.table->At(r, pc));
+        auto it = conn_of_key[cs].find(key);
+        if (it == conn_of_key[cs].end()) {
+          alive = false;
+        } else {
+          row_conns[j] = it->second;
+          pi1 = D::Combine(pi1, g.stages[cs].ConnBestVal(it->second));
+        }
+      }
+      if (!alive) continue;
+
+      V w = D::One();
+      for (size_t p = 0; p < pins; ++p) {
+        w = D::Combine(
+            w, LiftWeight<D>(nd.pin_weights[r * pins + p], nd.pinned_atoms[p],
+                             num_atoms, nd.pin_rows[r * pins + p]));
+      }
+      if (hook != nullptr) {
+        std::optional<V> extra = (*hook)(st.node_idx, static_cast<uint32_t>(r));
+        if (!extra.has_value()) continue;  // hook prunes the state
+        w = D::Combine(w, *extra);
+      }
+      st.row_of_state.push_back(static_cast<uint32_t>(r));
+      st.weight.push_back(w);
+      st.pi1.push_back(pi1);
+      for (size_t j = 0; j < slots; ++j) st.conn_of_state.push_back(row_conns[j]);
+    }
+
+    // Group surviving states into connectors by the parent join key (root
+    // stage: single connector under the empty key).
+    const size_t ns = st.NumStates();
+    std::vector<std::vector<uint32_t>> groups;
+    if (st.parent_stage < 0) {
+      if (ns > 0) {
+        conn_of_key[kk].emplace(Key{}, 0);
+        groups.emplace_back();
+        groups[0].reserve(ns);
+        for (size_t s = 0; s < ns; ++s) groups[0].push_back(static_cast<uint32_t>(s));
+      }
+    } else {
+      for (size_t s = 0; s < ns; ++s) {
+        Key key;
+        key.reserve(nd.key_cols.size());
+        for (uint32_t c : nd.key_cols) {
+          key.push_back(nd.table->At(st.row_of_state[s], c));
+        }
+        auto [it, inserted] =
+            conn_of_key[kk].try_emplace(std::move(key), groups.size());
+        if (inserted) groups.emplace_back();
+        groups[it->second].push_back(static_cast<uint32_t>(s));
+      }
+    }
+
+    st.conn_begin.assign(1, 0);
+    st.conn_begin.reserve(groups.size() + 1);
+    st.members.reserve(ns);
+    st.member_val.reserve(ns);
+    st.conn_best.reserve(groups.size());
+    for (auto& grp : groups) {
+      const uint32_t begin = st.conn_begin.back();
+      for (uint32_t s : grp) {
+        st.members.push_back(s);
+        st.member_val.push_back(D::Combine(st.weight[s], st.pi1[s]));
+      }
+      uint32_t best_pos = begin;
+      for (uint32_t p = begin + 1; p < st.members.size(); ++p) {
+        if (D::Less(st.member_val[p], st.member_val[best_pos])) best_pos = p;
+      }
+      st.conn_best.push_back(best_pos);
+      st.conn_begin.push_back(static_cast<uint32_t>(st.members.size()));
+    }
+  }
+
+  // Assign global connector ids and keep the key maps.
+  uint32_t base = 0;
+  for (auto& st : g.stages) {
+    st.conn_global_base = base;
+    base += static_cast<uint32_t>(st.NumConns());
+  }
+  g.total_connectors = base;
+  g.conn_of_key = std::move(conn_of_key);
+  return g;
+}
+
+/// Write the variable bindings of `state` in `stage` into `assignment`
+/// (indexed by variable id) and the original rows into `witness` (indexed by
+/// atom; pass nullptr to skip).
+template <SelectiveDioid D>
+void BindState(const StageGraph<D>& g, uint32_t stage, uint32_t state,
+               std::vector<Value>* assignment,
+               std::vector<uint32_t>* witness) {
+  const auto& st = g.stages[stage];
+  const TDPNode& nd = g.instance->nodes[st.node_idx];
+  const uint32_t row = st.row_of_state[state];
+  for (size_t c = 0; c < nd.vars.size(); ++c) {
+    (*assignment)[nd.vars[c]] = nd.table->At(row, c);
+  }
+  if (witness != nullptr) {
+    const size_t pins = nd.NumPins();
+    for (size_t p = 0; p < pins; ++p) {
+      (*witness)[nd.pinned_atoms[p]] = nd.pin_rows[row * pins + p];
+    }
+  }
+}
+
+}  // namespace anyk
+
+#endif  // ANYK_DP_STAGE_GRAPH_H_

@@ -1,0 +1,95 @@
+#include "join/brute_force.h"
+
+#include <span>
+
+#include "storage/group_index.h"
+#include "util/logging.h"
+
+namespace anyk {
+
+namespace {
+
+// Role of each column of an atom during backtracking.
+enum class ColRole {
+  kKeyed,   // variable bound by an earlier atom: part of the lookup key
+  kFresh,   // first occurrence overall: binds the variable
+  kRepeat,  // repeats a kFresh column of the same atom: verified per row
+};
+
+struct AtomPlan {
+  const Relation* rel = nullptr;
+  std::vector<ColRole> roles;
+  std::vector<uint32_t> key_cols;  // columns with role kKeyed
+  GroupIndex index;                // grouped by key_cols
+};
+
+}  // namespace
+
+JoinResultSet BruteForceJoin(const Database& db, const ConjunctiveQuery& q) {
+  const size_t na = q.NumAtoms();
+  std::vector<AtomPlan> plan(na);
+  std::vector<bool> bound(q.NumVars(), false);
+  for (size_t i = 0; i < na; ++i) {
+    plan[i].rel = &db.Get(q.atom(i).relation);
+    const auto& vars = q.AtomVarIds(i);
+    ANYK_CHECK_EQ(plan[i].rel->arity(), vars.size());
+    std::vector<bool> seen_here(q.NumVars(), false);
+    for (size_t c = 0; c < vars.size(); ++c) {
+      if (bound[vars[c]]) {
+        plan[i].roles.push_back(ColRole::kKeyed);
+        plan[i].key_cols.push_back(static_cast<uint32_t>(c));
+      } else if (seen_here[vars[c]]) {
+        plan[i].roles.push_back(ColRole::kRepeat);
+      } else {
+        plan[i].roles.push_back(ColRole::kFresh);
+        seen_here[vars[c]] = true;
+      }
+    }
+    for (uint32_t v : vars) bound[v] = true;
+    plan[i].index.Build(*plan[i].rel,
+                        std::span<const uint32_t>(plan[i].key_cols));
+  }
+
+  JoinResultSet out;
+  out.num_atoms = na;
+  std::vector<Value> binding(q.NumVars(), 0);
+  std::vector<uint32_t> witness(na, 0);
+
+  auto recurse = [&](auto&& self, size_t i) -> void {
+    if (i == na) {
+      out.witnesses.insert(out.witnesses.end(), witness.begin(),
+                           witness.end());
+      return;
+    }
+    const AtomPlan& ap = plan[i];
+    const auto& vars = q.AtomVarIds(i);
+    Key key;
+    key.reserve(ap.key_cols.size());
+    for (uint32_t c : ap.key_cols) key.push_back(binding[vars[c]]);
+    for (uint32_t r : ap.index.Lookup(key)) {
+      bool ok = true;
+      for (size_t c = 0; c < vars.size(); ++c) {
+        const Value v = ap.rel->At(r, c);
+        switch (ap.roles[c]) {
+          case ColRole::kKeyed:
+            break;  // consistent by key construction
+          case ColRole::kFresh:
+            binding[vars[c]] = v;
+            break;
+          case ColRole::kRepeat:
+            if (binding[vars[c]] != v) ok = false;
+            break;
+        }
+        if (!ok) break;
+      }
+      if (ok) {
+        witness[i] = r;
+        self(self, i + 1);
+      }
+    }
+  };
+  recurse(recurse, 0);
+  return out;
+}
+
+}  // namespace anyk

@@ -1,0 +1,21 @@
+// Independent oracle join used by the test suite: straightforward
+// tuple-at-a-time backtracking over the atoms with hash indexes on the
+// already-bound variables. Deliberately implemented differently from both
+// the DP pipeline and GenericJoin so the three can cross-check each other.
+
+#ifndef ANYK_JOIN_BRUTE_FORCE_H_
+#define ANYK_JOIN_BRUTE_FORCE_H_
+
+#include "join/generic_join.h"
+#include "query/cq.h"
+#include "storage/database.h"
+
+namespace anyk {
+
+/// All witnesses of the full CQ (projections ignored), in no particular
+/// order.
+JoinResultSet BruteForceJoin(const Database& db, const ConjunctiveQuery& q);
+
+}  // namespace anyk
+
+#endif  // ANYK_JOIN_BRUTE_FORCE_H_

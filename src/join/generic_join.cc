@@ -1,0 +1,194 @@
+#include "join/generic_join.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "storage/value.h"
+#include "util/logging.h"
+
+namespace anyk {
+
+namespace {
+
+// Per-atom access structures over distinct values.
+struct AtomIndex {
+  uint32_t var[2] = {0, 0};  // distinct variable ids (var[1] unused if unary)
+  bool unary = false;
+
+  std::vector<Value> distinct[2];  // sorted distinct values per column
+  // adjacency: value in column c -> sorted distinct values in the other one
+  std::unordered_map<Value, std::vector<Value>> adj[2];
+  // bound tuple -> matching row ids (key has 1 or 2 values)
+  std::unordered_map<Key, std::vector<uint32_t>, KeyHash> rows;
+};
+
+void SortDedup(std::vector<Value>* v) {
+  std::sort(v->begin(), v->end());
+  v->erase(std::unique(v->begin(), v->end()), v->end());
+}
+
+AtomIndex BuildAtomIndex(const Relation& rel,
+                         const std::vector<uint32_t>& var_ids) {
+  AtomIndex idx;
+  // Distinct variables in first-occurrence order; positions of each.
+  std::vector<uint32_t> cols_of_var[2];
+  size_t num_distinct = 0;
+  for (size_t c = 0; c < var_ids.size(); ++c) {
+    bool found = false;
+    for (size_t d = 0; d < num_distinct; ++d) {
+      if (idx.var[d] == var_ids[c]) {
+        cols_of_var[d].push_back(static_cast<uint32_t>(c));
+        found = true;
+      }
+    }
+    if (!found) {
+      ANYK_CHECK_LT(num_distinct, 2u)
+          << "GenericJoin supports atoms with at most two distinct variables";
+      idx.var[num_distinct] = var_ids[c];
+      cols_of_var[num_distinct].push_back(static_cast<uint32_t>(c));
+      ++num_distinct;
+    }
+  }
+  idx.unary = (num_distinct == 1);
+
+  for (size_t r = 0; r < rel.NumRows(); ++r) {
+    // Repeated-variable columns must agree.
+    Value v[2];
+    bool ok = true;
+    for (size_t d = 0; d < num_distinct; ++d) {
+      v[d] = rel.At(r, cols_of_var[d][0]);
+      for (uint32_t c : cols_of_var[d]) {
+        if (rel.At(r, c) != v[d]) ok = false;
+      }
+    }
+    if (!ok) continue;
+    if (idx.unary) {
+      idx.distinct[0].push_back(v[0]);
+      idx.rows[Key{v[0]}].push_back(static_cast<uint32_t>(r));
+    } else {
+      idx.distinct[0].push_back(v[0]);
+      idx.distinct[1].push_back(v[1]);
+      idx.adj[0][v[0]].push_back(v[1]);
+      idx.adj[1][v[1]].push_back(v[0]);
+      idx.rows[Key{v[0], v[1]}].push_back(static_cast<uint32_t>(r));
+    }
+  }
+  SortDedup(&idx.distinct[0]);
+  SortDedup(&idx.distinct[1]);
+  for (int c = 0; c < 2; ++c) {
+    for (auto& [_, nbrs] : idx.adj[c]) SortDedup(&nbrs);
+  }
+  return idx;
+}
+
+struct Joiner {
+  const Database& db;
+  const ConjunctiveQuery& q;
+  std::vector<uint32_t> var_order;
+  std::vector<AtomIndex> atoms;
+  std::vector<Value> binding;
+  std::vector<bool> bound;
+  JoinResultSet out;
+
+  static const std::vector<Value> kEmpty;
+
+  // Constraint list for variable v in `atom` under the current binding;
+  // nullptr means the atom does not constrain v beyond its distinct values.
+  const std::vector<Value>* Constraint(const AtomIndex& a, uint32_t v) const {
+    if (a.unary) return &a.distinct[0];
+    const int c = (a.var[0] == v) ? 0 : 1;
+    const uint32_t other = a.var[1 - c];
+    if (bound[other]) {
+      auto it = a.adj[1 - c].find(binding[other]);
+      return it == a.adj[1 - c].end() ? &kEmpty : &it->second;
+    }
+    return &a.distinct[c];
+  }
+
+  void Recurse(size_t depth) {
+    if (depth == var_order.size()) {
+      Emit();
+      return;
+    }
+    const uint32_t v = var_order[depth];
+    // Gather constraint lists of atoms containing v.
+    std::vector<const std::vector<Value>*> lists;
+    for (const auto& a : atoms) {
+      if (a.var[0] == v || (!a.unary && a.var[1] == v)) {
+        lists.push_back(Constraint(a, v));
+      }
+    }
+    ANYK_CHECK(!lists.empty()) << "variable " << v << " not covered";
+    // Iterate the smallest list, probing the others (worst-case optimal).
+    size_t smallest = 0;
+    for (size_t i = 1; i < lists.size(); ++i) {
+      if (lists[i]->size() < lists[smallest]->size()) smallest = i;
+    }
+    bound[v] = true;
+    for (Value val : *lists[smallest]) {
+      bool ok = true;
+      for (size_t i = 0; i < lists.size() && ok; ++i) {
+        if (i == smallest) continue;
+        ok = std::binary_search(lists[i]->begin(), lists[i]->end(), val);
+      }
+      if (!ok) continue;
+      binding[v] = val;
+      Recurse(depth + 1);
+    }
+    bound[v] = false;
+  }
+
+  // All variables bound: emit every witness combination (cross product of
+  // the matching row lists per atom — handles duplicate input rows).
+  void Emit() {
+    const size_t na = atoms.size();
+    std::vector<const std::vector<uint32_t>*> rows(na);
+    for (size_t i = 0; i < na; ++i) {
+      Key key;
+      key.push_back(binding[atoms[i].var[0]]);
+      if (!atoms[i].unary) key.push_back(binding[atoms[i].var[1]]);
+      auto it = atoms[i].rows.find(key);
+      if (it == atoms[i].rows.end()) return;  // defensive; cannot happen
+      rows[i] = &it->second;
+    }
+    std::vector<size_t> cursor(na, 0);
+    while (true) {
+      for (size_t i = 0; i < na; ++i) {
+        out.witnesses.push_back((*rows[i])[cursor[i]]);
+      }
+      size_t i = na;
+      while (i-- > 0) {
+        if (++cursor[i] < rows[i]->size()) break;
+        cursor[i] = 0;
+        if (i == 0) return;
+      }
+    }
+  }
+};
+
+const std::vector<Value> Joiner::kEmpty;
+
+}  // namespace
+
+JoinResultSet GenericJoin(const Database& db, const ConjunctiveQuery& q,
+                          std::vector<uint32_t> var_order) {
+  Joiner joiner{db, q, {}, {}, {}, {}, {}};
+  if (var_order.empty()) {
+    for (uint32_t v = 0; v < q.NumVars(); ++v) joiner.var_order.push_back(v);
+  } else {
+    ANYK_CHECK_EQ(var_order.size(), q.NumVars());
+    joiner.var_order = std::move(var_order);
+  }
+  joiner.atoms.reserve(q.NumAtoms());
+  for (size_t i = 0; i < q.NumAtoms(); ++i) {
+    joiner.atoms.push_back(
+        BuildAtomIndex(db.Get(q.atom(i).relation), q.AtomVarIds(i)));
+  }
+  joiner.binding.assign(q.NumVars(), 0);
+  joiner.bound.assign(q.NumVars(), false);
+  joiner.out.num_atoms = q.NumAtoms();
+  joiner.Recurse(0);
+  return joiner.out;
+}
+
+}  // namespace anyk

@@ -1,0 +1,40 @@
+// Worst-case optimal multiway join in the NPRR / Generic-Join family
+// (paper Section 9.1.1 uses NPRR as the batch baseline for cyclic queries).
+//
+// Attribute-at-a-time backtracking: for the next variable in a global order,
+// the candidate values are the intersection of the constraint lists of all
+// atoms containing it, iterated from the smallest list (the key to
+// worst-case optimality). Supports atoms with one or two distinct variables
+// (all of the paper's queries are binary); results are *witnesses* — one row
+// id per atom — so duplicate input rows and weights are handled exactly.
+
+#ifndef ANYK_JOIN_GENERIC_JOIN_H_
+#define ANYK_JOIN_GENERIC_JOIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "query/cq.h"
+#include "storage/database.h"
+
+namespace anyk {
+
+/// Flat set of join results at witness granularity.
+struct JoinResultSet {
+  size_t num_atoms = 0;
+  std::vector<uint32_t> witnesses;  // size() * num_atoms row ids
+
+  size_t size() const { return num_atoms == 0 ? 0 : witnesses.size() / num_atoms; }
+  const uint32_t* witness(size_t i) const {
+    return witnesses.data() + i * num_atoms;
+  }
+};
+
+/// Evaluate the full CQ `q` (ignoring any projection). `var_order` optionally
+/// fixes the variable elimination order (default: variable id order).
+JoinResultSet GenericJoin(const Database& db, const ConjunctiveQuery& q,
+                          std::vector<uint32_t> var_order = {});
+
+}  // namespace anyk
+
+#endif  // ANYK_JOIN_GENERIC_JOIN_H_

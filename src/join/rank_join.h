@@ -1,0 +1,63 @@
+// HRJN-style Rank-Join baseline (paper Section 9.1.3).
+//
+// Classic top-k join operator in the spirit of Ilyas et al.'s Rank-Join /
+// HRJN: inputs are consumed in weight order, every new tuple is joined
+// against all previously seen tuples of the other input, and joined results
+// wait in an output buffer until their weight is no larger than the
+// corridor threshold T = max(wL_top + wR_first, wL_first + wR_top). Multiway
+// path queries are evaluated as a left-deep cascade of binary operators.
+//
+// The paper shows (database I2, Fig. 19) that this class of algorithms can
+// consume Θ(n^{l-1}) input combinations before emitting the top-1 result,
+// whereas the any-k algorithms need O(n * l).
+
+#ifndef ANYK_JOIN_RANK_JOIN_H_
+#define ANYK_JOIN_RANK_JOIN_H_
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "query/cq.h"
+#include "storage/database.h"
+#include "storage/value.h"
+
+namespace anyk {
+
+/// A (partial) join result flowing through the operator tree.
+struct RankJoinTuple {
+  double weight = 0;
+  std::vector<Value> values;  // concatenated variable bindings, path order
+};
+
+struct RankJoinStats {
+  size_t input_tuples_pulled = 0;   // base-relation accesses
+  size_t join_combinations = 0;     // probe pairs considered
+  size_t buffered_peak = 0;         // max output-buffer size over all ops
+};
+
+/// Top-k evaluator for *path* CQs under sum-of-weights ranking.
+class RankJoin {
+ public:
+  /// `q` must be a path query QPl: R1(x1,x2), ..., Rl(xl, xl+1).
+  RankJoin(const Database& db, const ConjunctiveQuery& q);
+  ~RankJoin();
+
+  /// Next result in increasing weight order; values are the bindings of
+  /// x1..x_{l+1}.
+  std::optional<RankJoinTuple> Next();
+
+  const RankJoinStats& stats() const;
+
+ private:
+  class Operator;
+  class Scan;
+  class Hrjn;
+  std::unique_ptr<Operator> root_;
+  std::shared_ptr<RankJoinStats> stats_;
+};
+
+}  // namespace anyk
+
+#endif  // ANYK_JOIN_RANK_JOIN_H_

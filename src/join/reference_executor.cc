@@ -1,0 +1,87 @@
+#include "join/reference_executor.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "storage/group_index.h"
+#include "util/logging.h"
+
+namespace anyk {
+
+BatchOutput ReferenceHashJoin(const Database& db, const ConjunctiveQuery& q,
+                              bool sort) {
+  const size_t nv = q.NumVars();
+  BatchOutput out;
+  out.num_vars = nv;
+
+  // Intermediate: flat assignments over all query variables (unbound = 0)
+  // plus a bound-mask per variable shared by all rows of the stage.
+  std::vector<Value> inter;        // rows * nv
+  std::vector<double> weights;
+  std::vector<bool> bound(nv, false);
+  size_t rows = 0;
+
+  for (size_t a = 0; a < q.NumAtoms(); ++a) {
+    const Relation& rel = db.Get(q.atom(a).relation);
+    const auto& vars = q.AtomVarIds(a);
+    // Join columns: atom columns whose variable is already bound.
+    std::vector<uint32_t> join_cols;
+    for (size_t c = 0; c < vars.size(); ++c) {
+      if (bound[vars[c]]) join_cols.push_back(static_cast<uint32_t>(c));
+    }
+    GroupIndex idx(rel, std::span<const uint32_t>(join_cols));
+
+    std::vector<Value> next;
+    std::vector<double> next_weights;
+
+    auto extend = [&](const Value* base, double base_w) {
+      Key key;
+      key.reserve(join_cols.size());
+      for (uint32_t c : join_cols) key.push_back(base[vars[c]]);
+      for (uint32_t r : idx.Lookup(key)) {
+        // Verify within-atom repeated variables.
+        bool ok = true;
+        for (size_t c = 0; c < vars.size() && ok; ++c) {
+          for (size_t d = c + 1; d < vars.size() && ok; ++d) {
+            if (vars[c] == vars[d] && rel.At(r, c) != rel.At(r, d)) ok = false;
+          }
+        }
+        if (!ok) continue;
+        const size_t at = next.size();
+        next.insert(next.end(), base, base + nv);
+        for (size_t c = 0; c < vars.size(); ++c) {
+          next[at + vars[c]] = rel.At(r, c);
+        }
+        next_weights.push_back(base_w + rel.Weight(r));
+      }
+    };
+
+    if (a == 0) {
+      std::vector<Value> empty(nv, 0);
+      extend(empty.data(), 0.0);
+    } else {
+      for (size_t i = 0; i < rows; ++i) {
+        extend(inter.data() + i * nv, weights[i]);
+      }
+    }
+    inter = std::move(next);
+    weights = std::move(next_weights);
+    rows = weights.size();
+    for (uint32_t v : vars) bound[v] = true;
+    if (rows == 0) break;
+  }
+
+  out.assignments = std::move(inter);
+  out.weights = std::move(weights);
+  out.order.resize(out.weights.size());
+  std::iota(out.order.begin(), out.order.end(), 0u);
+  if (sort) {
+    std::sort(out.order.begin(), out.order.end(), [&](uint32_t x, uint32_t y) {
+      return out.weights[x] < out.weights[y];
+    });
+  }
+  return out;
+}
+
+}  // namespace anyk

@@ -1,0 +1,43 @@
+// Reference batch executor: a deliberately conventional left-deep
+// tuple-at-a-time hash-join pipeline with full intermediate materialization,
+// followed by a sort on the result weight.
+//
+// This stands in for the PostgreSQL comparison of the paper's Fig. 14 (no
+// RDBMS is available offline): it plays the role of "a competent generic
+// executor evaluating ORDER BY <sum of weights> LIMIT k the batch way", so
+// that our Batch implementation can be validated as a fair baseline.
+
+#ifndef ANYK_JOIN_REFERENCE_EXECUTOR_H_
+#define ANYK_JOIN_REFERENCE_EXECUTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "query/cq.h"
+#include "storage/database.h"
+#include "storage/value.h"
+
+namespace anyk {
+
+/// Fully materialized, optionally sorted output.
+struct BatchOutput {
+  size_t num_vars = 0;
+  std::vector<Value> assignments;  // size() * num_vars bindings
+  std::vector<double> weights;     // summed tuple weights
+  std::vector<uint32_t> order;     // permutation (ascending weight if sorted)
+
+  size_t size() const { return weights.size(); }
+  const Value* row(size_t i) const {
+    return assignments.data() + static_cast<size_t>(order[i]) * num_vars;
+  }
+  double weight(size_t i) const { return weights[order[i]]; }
+};
+
+/// Evaluate the full CQ with binary hash joins in atom order, materializing
+/// every intermediate result, then sort by total weight (if `sort`).
+BatchOutput ReferenceHashJoin(const Database& db, const ConjunctiveQuery& q,
+                              bool sort = true);
+
+}  // namespace anyk
+
+#endif  // ANYK_JOIN_REFERENCE_EXECUTOR_H_

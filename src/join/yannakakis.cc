@@ -1,0 +1,145 @@
+#include "join/yannakakis.h"
+
+#include <unordered_set>
+
+#include "query/gyo.h"
+#include "query/join_tree.h"
+#include "storage/group_index.h"
+#include "util/logging.h"
+
+namespace anyk {
+
+namespace {
+
+// Key of `row` of `node` on its join columns with the parent.
+Key ParentKey(const TDPNode& node, size_t row) {
+  Key key;
+  key.reserve(node.key_cols.size());
+  for (uint32_t c : node.key_cols) key.push_back(node.table->At(row, c));
+  return key;
+}
+
+}  // namespace
+
+JoinResultSet YannakakisJoin(const Database& db, const ConjunctiveQuery& q) {
+  // Join tree via GYO; reuse the instance machinery for schemas/keys but do
+  // classic row-set semi-joins rather than DP.
+  TDPInstance inst = BuildAcyclicInstance(db, q);
+  const size_t L = inst.nodes.size();
+
+  std::vector<std::vector<char>> alive(L);
+  for (size_t i = 0; i < L; ++i) alive[i].assign(inst.nodes[i].NumRows(), 1);
+
+  // Bottom-up semi-joins: a parent row survives only if every child has a
+  // surviving row with a matching key.
+  for (size_t kk = L; kk-- > 0;) {
+    const uint32_t u = inst.order[kk];
+    const TDPNode& node = inst.nodes[u];
+    if (node.parent < 0) continue;
+    std::unordered_set<Key, KeyHash> keys;
+    for (size_t r = 0; r < node.NumRows(); ++r) {
+      if (alive[u][r]) keys.insert(ParentKey(node, r));
+    }
+    const TDPNode& parent = inst.nodes[node.parent];
+    auto& palive = alive[node.parent];
+    for (size_t r = 0; r < parent.NumRows(); ++r) {
+      if (!palive[r]) continue;
+      Key key;
+      key.reserve(node.parent_key_cols.size());
+      for (uint32_t c : node.parent_key_cols) {
+        key.push_back(parent.table->At(r, c));
+      }
+      if (keys.find(key) == keys.end()) palive[r] = 0;
+    }
+  }
+
+  // Top-down semi-joins: a child row survives only if some surviving parent
+  // row matches.
+  for (size_t kk = 0; kk < L; ++kk) {
+    const uint32_t u = inst.order[kk];
+    const TDPNode& node = inst.nodes[u];
+    if (node.parent < 0) continue;
+    const TDPNode& parent = inst.nodes[node.parent];
+    std::unordered_set<Key, KeyHash> keys;
+    for (size_t r = 0; r < parent.NumRows(); ++r) {
+      if (!alive[node.parent][r]) continue;
+      Key key;
+      key.reserve(node.parent_key_cols.size());
+      for (uint32_t c : node.parent_key_cols) {
+        key.push_back(parent.table->At(r, c));
+      }
+      keys.insert(std::move(key));
+    }
+    for (size_t r = 0; r < node.NumRows(); ++r) {
+      if (alive[u][r] && keys.find(ParentKey(node, r)) == keys.end()) {
+        alive[u][r] = 0;
+      }
+    }
+  }
+
+  // Build per-node surviving-row indexes grouped by parent key.
+  std::vector<Relation> reduced(L);
+  std::vector<std::vector<uint32_t>> reduced_rows(L);  // -> node row ids
+  std::vector<GroupIndex> index(L);
+  for (size_t u = 0; u < L; ++u) {
+    const TDPNode& node = inst.nodes[u];
+    reduced[u] = Relation("red", node.vars.size());
+    for (size_t r = 0; r < node.NumRows(); ++r) {
+      if (!alive[u][r]) continue;
+      reduced[u].AddRow(node.table->Row(r), 0.0);
+      reduced_rows[u].push_back(static_cast<uint32_t>(r));
+    }
+    index[u].Build(reduced[u], std::span<const uint32_t>(node.key_cols));
+  }
+
+  // Enumerate by backtracking in preorder; after full reduction no branch
+  // dead-ends, so this is O(|out|) modulo constants.
+  JoinResultSet out;
+  out.num_atoms = q.NumAtoms();
+  std::vector<uint32_t> chosen(L, 0);  // reduced-row id per serialized stage
+
+  auto recurse = [&](auto&& self, size_t kk) -> void {
+    if (kk == L) {
+      std::vector<uint32_t> witness(q.NumAtoms(), 0);
+      for (size_t j = 0; j < L; ++j) {
+        const uint32_t u = inst.order[j];
+        const TDPNode& node = inst.nodes[u];
+        const uint32_t row = reduced_rows[u][chosen[j]];
+        const size_t pins = node.NumPins();
+        for (size_t p = 0; p < pins; ++p) {
+          witness[node.pinned_atoms[p]] = node.pin_rows[row * pins + p];
+        }
+      }
+      out.witnesses.insert(out.witnesses.end(), witness.begin(),
+                           witness.end());
+      return;
+    }
+    const uint32_t u = inst.order[kk];
+    const TDPNode& node = inst.nodes[u];
+    if (node.parent < 0) {
+      for (size_t r = 0; r < reduced[u].NumRows(); ++r) {
+        chosen[kk] = static_cast<uint32_t>(r);
+        self(self, kk + 1);
+      }
+      return;
+    }
+    // Parent's serialized position: find it (L is tiny).
+    size_t pk = 0;
+    while (inst.order[pk] != static_cast<uint32_t>(node.parent)) ++pk;
+    const TDPNode& parent = inst.nodes[node.parent];
+    const uint32_t prow = reduced_rows[node.parent][chosen[pk]];
+    Key key;
+    key.reserve(node.parent_key_cols.size());
+    for (uint32_t c : node.parent_key_cols) {
+      key.push_back(parent.table->At(prow, c));
+    }
+    for (uint32_t r : index[u].Lookup(key)) {
+      chosen[kk] = r;
+      self(self, kk + 1);
+    }
+  };
+  recurse(recurse, 0);
+  return out;
+}
+
+}  // namespace anyk

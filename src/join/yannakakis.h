@@ -1,0 +1,22 @@
+// The Yannakakis algorithm for acyclic full CQs: full semi-join reduction
+// (bottom-up + top-down) followed by dangling-free enumeration, O(n + |out|)
+// in data complexity. This is the unranked engine behind the paper's Batch
+// baseline; implemented independently of the DP pipeline so the two
+// cross-check each other.
+
+#ifndef ANYK_JOIN_YANNAKAKIS_H_
+#define ANYK_JOIN_YANNAKAKIS_H_
+
+#include "join/generic_join.h"
+#include "query/cq.h"
+#include "storage/database.h"
+
+namespace anyk {
+
+/// Full output (witness granularity) of an acyclic CQ. CHECK-fails on cyclic
+/// queries.
+JoinResultSet YannakakisJoin(const Database& db, const ConjunctiveQuery& q);
+
+}  // namespace anyk
+
+#endif  // ANYK_JOIN_YANNAKAKIS_H_

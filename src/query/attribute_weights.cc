@@ -1,0 +1,36 @@
+#include "query/attribute_weights.h"
+
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace anyk {
+
+std::string AddAttributeWeight(Database* db, ConjunctiveQuery* q,
+                               const std::string& var,
+                               const std::function<double(Value)>& weight_fn) {
+  const int64_t var_id = q->FindVar(var);
+  ANYK_CHECK_GE(var_id, 0) << "unknown variable " << var;
+
+  // Active domain of the variable across all atoms binding it.
+  std::unordered_set<Value> domain;
+  for (size_t a = 0; a < q->NumAtoms(); ++a) {
+    const auto& vars = q->AtomVarIds(a);
+    const Relation& rel = db->Get(q->atom(a).relation);
+    for (size_t c = 0; c < vars.size(); ++c) {
+      if (vars[c] != static_cast<uint32_t>(var_id)) continue;
+      for (size_t r = 0; r < rel.NumRows(); ++r) domain.insert(rel.At(r, c));
+    }
+  }
+
+  const std::string name = "W_" + var;
+  Relation& w = db->AddRelation(name, 1);
+  w.Reserve(domain.size());
+  for (Value v : domain) {
+    w.AddRow(std::span<const Value>(&v, 1), weight_fn(v));
+  }
+  q->AddAtom(name, {var});
+  return name;
+}
+
+}  // namespace anyk

@@ -1,0 +1,26 @@
+// Attribute weights (paper Section 6.1, Example 16): weights on individual
+// attribute values are folded into the framework by adding a unary relation
+// over the variable's active domain, carrying the per-value weight, plus a
+// corresponding atom to the query.
+
+#ifndef ANYK_QUERY_ATTRIBUTE_WEIGHTS_H_
+#define ANYK_QUERY_ATTRIBUTE_WEIGHTS_H_
+
+#include <functional>
+#include <string>
+
+#include "query/cq.h"
+#include "storage/database.h"
+
+namespace anyk {
+
+/// Attach weight_fn(value) to every binding of variable `var`: creates the
+/// unary relation "W_<var>" over the variable's active domain and appends
+/// the atom W_<var>(var) to the query. Returns the new relation's name.
+std::string AddAttributeWeight(Database* db, ConjunctiveQuery* q,
+                               const std::string& var,
+                               const std::function<double(Value)>& weight_fn);
+
+}  // namespace anyk
+
+#endif  // ANYK_QUERY_ATTRIBUTE_WEIGHTS_H_

@@ -1,0 +1,119 @@
+#include "query/bag_decomposition.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "dp/projection_tree.h"
+#include "join/generic_join.h"
+#include "storage/group_index.h"
+#include "util/logging.h"
+
+namespace anyk {
+
+TDPInstance BuildBagInstance(const Database& db, const ConjunctiveQuery& q,
+                             const std::vector<BagSpec>& bags) {
+  const size_t na = q.NumAtoms();
+  // Validate the pinning partition.
+  std::vector<int> pin_bag(na, -1);
+  std::vector<bool> covered(na, false);
+  for (size_t b = 0; b < bags.size(); ++b) {
+    for (uint32_t a : bags[b].cover_atoms) {
+      ANYK_CHECK_LT(a, na);
+      covered[a] = true;
+    }
+    for (uint32_t a : bags[b].pinned_atoms) {
+      ANYK_CHECK_EQ(pin_bag[a], -1)
+          << "atom " << a << " pinned by two bags (weights counted twice)";
+      pin_bag[a] = static_cast<int>(b);
+      ANYK_CHECK(std::find(bags[b].cover_atoms.begin(),
+                           bags[b].cover_atoms.end(),
+                           a) != bags[b].cover_atoms.end())
+          << "bag pins atom " << a << " it does not cover";
+    }
+  }
+  for (size_t a = 0; a < na; ++a) {
+    ANYK_CHECK(covered[a]) << "atom " << a << " not covered by any bag";
+    ANYK_CHECK_GE(pin_bag[a], 0) << "atom " << a << " not pinned";
+  }
+
+  TDPInstance inst;
+  inst.num_vars = q.NumVars();
+  inst.num_atoms = na;
+
+  for (const BagSpec& bag : bags) {
+    // Subquery over the covered atoms; variables in first-appearance order.
+    ConjunctiveQuery sub;
+    std::vector<uint32_t> sub_to_full_var;  // sub var id -> full var id
+    std::unordered_map<uint32_t, uint32_t> full_to_sub;
+    for (uint32_t a : bag.cover_atoms) {
+      std::vector<std::string> names;
+      for (uint32_t v : q.AtomVarIds(a)) {
+        names.push_back(q.VarName(v));
+        if (full_to_sub.emplace(v, sub_to_full_var.size()).second) {
+          sub_to_full_var.push_back(v);
+        }
+      }
+      sub.AddAtom(q.atom(a).relation, names);
+    }
+
+    JoinResultSet join = GenericJoin(db, sub);
+
+    // Positions of pinned atoms within the bag's cover list.
+    std::vector<uint32_t> pin_pos;
+    for (uint32_t a : bag.pinned_atoms) {
+      for (size_t i = 0; i < bag.cover_atoms.size(); ++i) {
+        if (bag.cover_atoms[i] == a) pin_pos.push_back(static_cast<uint32_t>(i));
+      }
+    }
+
+    auto table = std::make_shared<Relation>("bag", sub_to_full_var.size());
+    TDPNode node;
+    node.vars = sub_to_full_var;
+    node.parent = bag.parent;
+    node.pinned_atoms = bag.pinned_atoms;
+
+    // Deduplicate to (values, pinned witness): unpinned covered atoms only
+    // attest existence.
+    std::unordered_set<Key, KeyHash> seen;
+    std::vector<Value> values(sub_to_full_var.size());
+    for (size_t i = 0; i < join.size(); ++i) {
+      const uint32_t* wit = join.witness(i);
+      // Bag values from any witness (all agree on the assignment): read them
+      // off the sub-atoms' rows.
+      for (size_t ai = 0; ai < bag.cover_atoms.size(); ++ai) {
+        const Relation& rel = db.Get(q.atom(bag.cover_atoms[ai]).relation);
+        const auto& svars = sub.AtomVarIds(ai);
+        for (size_t c = 0; c < svars.size(); ++c) {
+          values[svars[c]] = rel.At(wit[ai], c);
+        }
+      }
+      Key dedup(values.begin(), values.end());
+      for (uint32_t p : pin_pos) {
+        dedup.push_back(static_cast<Value>(wit[p]));
+      }
+      if (!seen.insert(std::move(dedup)).second) continue;
+
+      double total = 0;
+      for (size_t pi = 0; pi < pin_pos.size(); ++pi) {
+        const uint32_t a = bag.pinned_atoms[pi];
+        const uint32_t row = wit[pin_pos[pi]];
+        node.pin_weights.push_back(db.Get(q.atom(a).relation).Weight(row));
+        node.pin_rows.push_back(row);
+        total += node.pin_weights.back();
+      }
+      table->AddRow(values, total);
+    }
+    node.table = table.get();
+    node.owned = std::move(table);
+    inst.nodes.push_back(std::move(node));
+  }
+
+  FinalizeTopology(&inst);
+  ComputeJoinKeys(&inst);
+  ANYK_CHECK(HasRunningIntersection(inst))
+      << "bag tree violates the running-intersection property";
+  return inst;
+}
+
+}  // namespace anyk

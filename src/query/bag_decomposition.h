@@ -1,0 +1,43 @@
+// User-supplied hypertree decompositions (paper Section 5.3).
+//
+// The framework is "orthogonal to the decomposition algorithm used": any
+// decomposition of a cyclic CQ into a tree (or union of trees) of bags adds
+// ranked enumeration "for free". This module materializes such a
+// decomposition: each bag covers a set of atoms (its subquery is evaluated
+// with the worst-case-optimal GenericJoin), *pins* a subset of them for
+// weight accounting — every atom must be pinned in exactly one bag per tree
+// (the paper's schema-level lineage tracking) — and the bags form a rooted
+// tree joined on their shared variables.
+//
+// Bag rows are deduplicated to (bag values, pinned witness rows): covered-
+// but-unpinned atoms contribute existence, not multiplicity, so each full
+// witness of the query is produced exactly once per tree.
+
+#ifndef ANYK_QUERY_BAG_DECOMPOSITION_H_
+#define ANYK_QUERY_BAG_DECOMPOSITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "query/cq.h"
+#include "query/join_tree.h"
+#include "storage/database.h"
+
+namespace anyk {
+
+struct BagSpec {
+  std::vector<uint32_t> cover_atoms;   // atoms joined into this bag
+  std::vector<uint32_t> pinned_atoms;  // subset charged for weights/witnesses
+  int parent = -1;                     // bag tree structure
+};
+
+/// Materialize one join-tree instance from a bag decomposition.
+/// Requirements (checked): every atom covered by >= 1 bag; every atom pinned
+/// in exactly one bag; pinned atoms are covered by their bag; the bag tree
+/// satisfies the running-intersection property over the bags' variables.
+TDPInstance BuildBagInstance(const Database& db, const ConjunctiveQuery& q,
+                             const std::vector<BagSpec>& bags);
+
+}  // namespace anyk
+
+#endif  // ANYK_QUERY_BAG_DECOMPOSITION_H_

@@ -1,0 +1,97 @@
+// Conjunctive-query model (paper Section 2.1).
+//
+// A full CQ  Q(x) :- g1(x1), ..., gl(xl)  is a list of atoms, each naming a
+// physical relation and binding its columns to variables. Different atoms may
+// reference the same relation (self-joins). Non-full queries additionally
+// designate a subset of free (head) variables.
+
+#ifndef ANYK_QUERY_CQ_H_
+#define ANYK_QUERY_CQ_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace anyk {
+
+/// One atom g_i(x_i): a relation name plus variable names per column.
+struct Atom {
+  std::string relation;
+  std::vector<std::string> vars;
+};
+
+/// A conjunctive query over named variables.
+///
+/// Variables are interned to dense ids in first-appearance order; the same
+/// name in different atoms encodes an equi-join.
+class ConjunctiveQuery {
+ public:
+  ConjunctiveQuery() = default;
+
+  /// Append an atom; returns its index.
+  size_t AddAtom(const std::string& relation,
+                 const std::vector<std::string>& vars);
+
+  /// Declare the free (head) variables; by default the query is full.
+  void SetFreeVars(const std::vector<std::string>& names);
+
+  size_t NumAtoms() const { return atoms_.size(); }
+  size_t NumVars() const { return var_names_.size(); }
+  const Atom& atom(size_t i) const { return atoms_[i]; }
+
+  /// Dense variable ids of atom i's columns.
+  const std::vector<uint32_t>& AtomVarIds(size_t i) const {
+    return atom_var_ids_[i];
+  }
+
+  const std::string& VarName(uint32_t id) const { return var_names_[id]; }
+  /// Id for an existing variable name; -1 if unknown.
+  int64_t FindVar(const std::string& name) const;
+
+  bool IsFull() const { return free_vars_.empty(); }
+  /// Free variable ids (empty means full query: all variables are free).
+  const std::vector<uint32_t>& FreeVarIds() const { return free_vars_; }
+
+  /// Human-readable Datalog-style rendering.
+  std::string ToString() const;
+
+  // ---- Factory helpers for the paper's query families (Example 2). ----
+
+  /// QPl: R1(x1,x2), R2(x2,x3), ..., Rl(xl, xl+1). `relation_prefix` names
+  /// the relations R1..Rl; pass the same name l times for a self-join over a
+  /// single edge table by setting `single_relation`.
+  static ConjunctiveQuery Path(size_t l, const std::string& relation_prefix = "R",
+                               bool single_relation = false);
+
+  /// Star: R1(x1,x2), R2(x1,x3), ..., Rl(x1, xl+1) — joined on the center x1.
+  static ConjunctiveQuery Star(size_t l, const std::string& relation_prefix = "R",
+                               bool single_relation = false);
+
+  /// QCl: R1(x1,x2), ..., Rl(xl, x1).
+  static ConjunctiveQuery Cycle(size_t l, const std::string& relation_prefix = "R",
+                                bool single_relation = false);
+
+  /// Cartesian product: R1(a1,b1), ..., Rl(al,bl) with no shared variables
+  /// (the running example of Section 3 and the instances of Theorem 11).
+  static ConjunctiveQuery Product(size_t l, const std::string& relation_prefix = "R",
+                                  bool single_relation = false);
+
+  /// Parse Datalog-ish notation: "Q(x,y) :- R(x,z), S(z,y)". The head's
+  /// variable list becomes the free variables (a head equal to all variables
+  /// or the shorthand "Q(*)" keeps the query full).
+  static ConjunctiveQuery Parse(const std::string& text);
+
+ private:
+  uint32_t InternVar(const std::string& name);
+
+  std::vector<Atom> atoms_;
+  std::vector<std::vector<uint32_t>> atom_var_ids_;
+  std::vector<std::string> var_names_;
+  std::unordered_map<std::string, uint32_t> var_ids_;
+  std::vector<uint32_t> free_vars_;
+};
+
+}  // namespace anyk
+
+#endif  // ANYK_QUERY_CQ_H_

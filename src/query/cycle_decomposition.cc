@@ -1,0 +1,320 @@
+#include "query/cycle_decomposition.h"
+
+#include <cmath>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "storage/group_index.h"
+#include "util/logging.h"
+
+namespace anyk {
+
+CycleShape DetectSimpleCycle(const ConjunctiveQuery& q) {
+  CycleShape shape;
+  const size_t l = q.NumAtoms();
+  if (l < 3 || q.NumVars() != l) return shape;
+  // Every atom binary with distinct variables; every variable exactly once
+  // in first and once in second position.
+  std::vector<int> atom_of_first(q.NumVars(), -1);
+  for (size_t i = 0; i < l; ++i) {
+    const auto& vars = q.AtomVarIds(i);
+    if (vars.size() != 2 || vars[0] == vars[1]) return shape;
+    if (atom_of_first[vars[0]] != -1) return shape;
+    atom_of_first[vars[0]] = static_cast<int>(i);
+  }
+  // Walk the cycle starting from atom 0.
+  shape.atom_order.reserve(l);
+  shape.var_order.reserve(l);
+  uint32_t atom = 0;
+  for (size_t step = 0; step < l; ++step) {
+    shape.atom_order.push_back(atom);
+    shape.var_order.push_back(q.AtomVarIds(atom)[0]);
+    const uint32_t next_var = q.AtomVarIds(atom)[1];
+    const int next_atom = atom_of_first[next_var];
+    if (next_atom < 0) return shape;
+    atom = static_cast<uint32_t>(next_atom);
+  }
+  if (atom != 0) return shape;  // did not close after exactly l steps
+  // All atoms must have been visited exactly once.
+  std::vector<bool> seen(l, false);
+  for (uint32_t a : shape.atom_order) {
+    if (seen[a]) return shape;
+    seen[a] = true;
+  }
+  shape.is_cycle = true;
+  return shape;
+}
+
+namespace {
+
+enum class Part { kFull, kLight, kHeavy };
+
+// A partition-filtered copy of a relation, remembering original row ids.
+struct FilteredRel {
+  Relation rel{"", 2};
+  std::vector<uint32_t> orig_rows;
+};
+
+using CountMap = std::unordered_map<Value, uint32_t>;
+
+CountMap CountFirstAttr(const Relation& rel) {
+  CountMap counts;
+  counts.reserve(rel.NumRows());
+  for (size_t r = 0; r < rel.NumRows(); ++r) ++counts[rel.At(r, 0)];
+  return counts;
+}
+
+FilteredRel Filter(const Relation& rel, Part part, const CountMap& counts,
+                   double threshold) {
+  FilteredRel out;
+  out.rel = Relation(rel.name(), 2);
+  for (size_t r = 0; r < rel.NumRows(); ++r) {
+    const bool heavy = counts.at(rel.At(r, 0)) >= threshold;
+    if (part == Part::kFull || (part == Part::kHeavy) == heavy) {
+      out.rel.AddRow(rel.Row(r), rel.Weight(r));
+      out.orig_rows.push_back(static_cast<uint32_t>(r));
+    }
+  }
+  return out;
+}
+
+// Bag under construction: schema + rows + pins to original (atom, row).
+class BagBuilder {
+ public:
+  BagBuilder(std::vector<uint32_t> vars, std::vector<uint32_t> pinned_atoms)
+      : vars_(std::move(vars)), pinned_atoms_(std::move(pinned_atoms)) {
+    table_ = std::make_shared<Relation>("bag", vars_.size());
+  }
+
+  // `values` over the bag schema; `pin_weights` / `pin_rows` aligned with
+  // the pinned atoms.
+  void AddRow(std::span<const Value> values,
+              std::span<const double> pin_weights,
+              std::span<const uint32_t> pin_rows) {
+    double total = 0;
+    for (double w : pin_weights) total += w;
+    table_->AddRow(values, total);
+    pin_weights_.insert(pin_weights_.end(), pin_weights.begin(),
+                        pin_weights.end());
+    pin_rows_.insert(pin_rows_.end(), pin_rows.begin(), pin_rows.end());
+  }
+
+  TDPNode Finish(int parent) && {
+    TDPNode node;
+    node.vars = std::move(vars_);
+    node.parent = parent;
+    node.pinned_atoms = std::move(pinned_atoms_);
+    node.pin_weights = std::move(pin_weights_);
+    node.pin_rows = std::move(pin_rows_);
+    node.table = table_.get();
+    node.owned = std::move(table_);
+    return node;
+  }
+
+ private:
+  std::vector<uint32_t> vars_;
+  std::vector<uint32_t> pinned_atoms_;
+  std::shared_ptr<Relation> table_;
+  std::vector<double> pin_weights_;
+  std::vector<uint32_t> pin_rows_;
+};
+
+}  // namespace
+
+std::vector<TDPInstance> DecomposeCycle(const Database& db,
+                                        const ConjunctiveQuery& q,
+                                        const CycleDecompositionOptions& opts) {
+  const CycleShape shape = DetectSimpleCycle(q);
+  ANYK_CHECK(shape.is_cycle) << "not a simple cycle: " << q.ToString();
+  const size_t l = q.NumAtoms();
+  ANYK_CHECK_GE(l, 4u) << "cycle decomposition requires length >= 4 "
+                          "(triangles gain nothing over the batch join)";
+
+  // Cycle-position accessors: atom p joins x_p with x_{p+1 mod l}.
+  auto rel_at = [&](size_t p) -> const Relation& {
+    return db.Get(q.atom(shape.atom_order[p % l]).relation);
+  };
+  auto orig_atom = [&](size_t p) { return shape.atom_order[p % l]; };
+  auto var_at = [&](size_t p) { return shape.var_order[p % l]; };
+
+  size_t n = 0;
+  for (size_t p = 0; p < l; ++p) n = std::max(n, rel_at(p).NumRows());
+  const double threshold = opts.threshold_override > 0
+                               ? opts.threshold_override
+                               : std::pow(static_cast<double>(n), 2.0 / l);
+
+  std::vector<CountMap> counts(l);
+  for (size_t p = 0; p < l; ++p) counts[p] = CountFirstAttr(rel_at(p));
+
+  // Partition part of cycle-atom p within the tree broken at heavy atom h:
+  // atoms before h light, h heavy, after h unrestricted.
+  auto part_for = [&](size_t p, size_t h) {
+    if (p == h) return Part::kHeavy;
+    return p < h ? Part::kLight : Part::kFull;
+  };
+
+  std::vector<TDPInstance> result;
+  result.reserve(l + 1);
+
+  // ---- Heavy trees T_h, h = 0..l-1 (paper's T_1..T_l) ----
+  for (size_t h = 0; h < l; ++h) {
+    std::vector<FilteredRel> filtered(l);
+    for (size_t p = 0; p < l; ++p) {
+      filtered[p] = Filter(rel_at((h + p) % l), part_for((h + p) % l, h),
+                           counts[(h + p) % l], threshold);
+    }
+    // filtered[j] is the relation of cycle atom h+j.
+    std::unordered_set<Value> heavy_vals;
+    for (size_t r = 0; r < filtered[0].rel.NumRows(); ++r) {
+      heavy_vals.insert(filtered[0].rel.At(r, 0));
+    }
+
+    TDPInstance inst;
+    inst.num_vars = q.NumVars();
+    inst.num_atoms = q.NumAtoms();
+    const size_t bags = l - 2;
+
+    // Bag 0: atoms h and h+1 joined on x_{h+1}.
+    {
+      BagBuilder bag({var_at(h), var_at(h + 1), var_at(h + 2)},
+                     {orig_atom(h), orig_atom(h + 1)});
+      const GroupIndex idx(filtered[1].rel, std::array<uint32_t, 1>{0});
+      for (size_t r = 0; r < filtered[0].rel.NumRows(); ++r) {
+        const Value a = filtered[0].rel.At(r, 0);
+        const Value b = filtered[0].rel.At(r, 1);
+        for (uint32_t r2 : idx.Lookup({b})) {
+          const Value c = filtered[1].rel.At(r2, 1);
+          bag.AddRow(std::array<Value, 3>{a, b, c},
+                     std::array<double, 2>{filtered[0].rel.Weight(r),
+                                           filtered[1].rel.Weight(r2)},
+                     std::array<uint32_t, 2>{filtered[0].orig_rows[r],
+                                             filtered[1].orig_rows[r2]});
+        }
+      }
+      inst.nodes.push_back(std::move(bag).Finish(-1));
+    }
+
+    // Middle bags j = 1..l-4: heavy values x hanging relation h+j+1.
+    for (size_t j = 1; j + 1 < bags; ++j) {
+      const size_t c = j + 1;  // cycle offset of the covered atom
+      BagBuilder bag({var_at(h), var_at(h + c), var_at(h + c + 1)},
+                     {orig_atom(h + c)});
+      for (Value a : heavy_vals) {
+        for (size_t r = 0; r < filtered[c].rel.NumRows(); ++r) {
+          bag.AddRow(std::array<Value, 3>{a, filtered[c].rel.At(r, 0),
+                                          filtered[c].rel.At(r, 1)},
+                     std::array<double, 1>{filtered[c].rel.Weight(r)},
+                     std::array<uint32_t, 1>{filtered[c].orig_rows[r]});
+        }
+      }
+      inst.nodes.push_back(std::move(bag).Finish(static_cast<int>(j) - 1));
+    }
+
+    // Last bag: atoms h+l-2 and h+l-1 joined on x_{h+l-1}, closing at x_h.
+    {
+      BagBuilder bag({var_at(h), var_at(h + l - 2), var_at(h + l - 1)},
+                     {orig_atom(h + l - 2), orig_atom(h + l - 1)});
+      const GroupIndex idx(filtered[l - 2].rel, std::array<uint32_t, 1>{1});
+      for (size_t r3 = 0; r3 < filtered[l - 1].rel.NumRows(); ++r3) {
+        const Value a = filtered[l - 1].rel.At(r3, 1);  // x_h value
+        if (heavy_vals.find(a) == heavy_vals.end()) continue;
+        const Value b = filtered[l - 1].rel.At(r3, 0);  // x_{h+l-1} value
+        for (uint32_t r2 : idx.Lookup({b})) {
+          bag.AddRow(
+              std::array<Value, 3>{a, filtered[l - 2].rel.At(r2, 0), b},
+              std::array<double, 2>{filtered[l - 2].rel.Weight(r2),
+                                    filtered[l - 1].rel.Weight(r3)},
+              std::array<uint32_t, 2>{filtered[l - 2].orig_rows[r2],
+                                      filtered[l - 1].orig_rows[r3]});
+        }
+      }
+      inst.nodes.push_back(std::move(bag).Finish(static_cast<int>(bags) - 2));
+    }
+
+    FinalizeTopology(&inst);
+    ComputeJoinKeys(&inst);
+    result.push_back(std::move(inst));
+  }
+
+  // ---- All-light tree T_{l+1}: two chain-join bags ----
+  {
+    std::vector<FilteredRel> light(l);
+    for (size_t p = 0; p < l; ++p) {
+      light[p] = Filter(rel_at(p), Part::kLight, counts[p], threshold);
+    }
+    const size_t m = (l + 1) / 2;  // split point: atoms [0,m) and [m,l)
+
+    TDPInstance inst;
+    inst.num_vars = q.NumVars();
+    inst.num_atoms = q.NumAtoms();
+
+    // Chain-join atoms [from, to) into one bag over x_from..x_to.
+    auto chain_bag = [&](size_t from, size_t to, int parent) {
+      std::vector<uint32_t> vars;
+      std::vector<uint32_t> atoms;
+      for (size_t p = from; p <= to; ++p) vars.push_back(var_at(p));
+      for (size_t p = from; p < to; ++p) atoms.push_back(orig_atom(p));
+      BagBuilder bag(std::move(vars), std::move(atoms));
+
+      const size_t width = to - from;
+      std::vector<GroupIndex> idx(width);
+      for (size_t p = from + 1; p < to; ++p) {
+        idx[p - from].Build(light[p].rel, std::array<uint32_t, 1>{0});
+      }
+      // Backtracking extension.
+      std::vector<Value> values(width + 1);
+      std::vector<double> wts(width);
+      std::vector<uint32_t> rows(width);
+      std::vector<std::span<const uint32_t>> matches(width);
+      std::vector<size_t> cursor(width);
+
+      for (size_t r0 = 0; r0 < light[from].rel.NumRows(); ++r0) {
+        values[0] = light[from].rel.At(r0, 0);
+        values[1] = light[from].rel.At(r0, 1);
+        wts[0] = light[from].rel.Weight(r0);
+        rows[0] = light[from].orig_rows[r0];
+        size_t d = 1;
+        if (width == 1) {
+          bag.AddRow(values, wts, rows);
+          continue;
+        }
+        matches[1] = idx[1].Lookup({values[1]});
+        cursor[1] = 0;
+        while (d >= 1) {
+          if (d == 0) break;
+          if (cursor[d] >= matches[d].size()) {
+            --d;
+            if (d >= 1) ++cursor[d];
+            continue;
+          }
+          const uint32_t r = matches[d][cursor[d]];
+          const auto& rel = light[from + d].rel;
+          values[d + 1] = rel.At(r, 1);
+          wts[d] = rel.Weight(r);
+          rows[d] = light[from + d].orig_rows[r];
+          if (d + 1 == width) {
+            bag.AddRow(values, wts, rows);
+            ++cursor[d];
+          } else {
+            ++d;
+            matches[d] = idx[d].Lookup({values[d]});
+            cursor[d] = 0;
+          }
+        }
+      }
+      inst.nodes.push_back(std::move(bag).Finish(parent));
+    };
+
+    chain_bag(0, m, -1);
+    chain_bag(m, l, 0);
+
+    FinalizeTopology(&inst);
+    ComputeJoinKeys(&inst);
+    result.push_back(std::move(inst));
+  }
+
+  return result;
+}
+
+}  // namespace anyk

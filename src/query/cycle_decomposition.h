@@ -1,0 +1,56 @@
+// Simple-cycle decomposition (paper Section 5.3.1, Fig. 8).
+//
+// An l-cycle query QCl (l >= 4) is decomposed into l+1 database partitions,
+// each with its own join tree of materialized bags:
+//   * T_i (one per atom i): tuples of R_1..R_{i-1} restricted to *light*,
+//     R_i to *heavy*, the rest unrestricted. The cycle is "broken" at the
+//     heavy attribute A_i, which joins every bag of a path-shaped tree.
+//   * T_{l+1}: all relations light; two chain-join bags split the cycle in
+//     half.
+// A tuple is heavy iff its first attribute's value occurs at least n^{2/l}
+// times in that column. Every output tuple is produced by exactly one
+// partition, all bags materialize in O(n^{2 - 2/l}), and ranked enumeration
+// over the union of the l+1 trees (UT-DP) yields TTF matching the best
+// known Boolean bound for simple cycles — e.g. O(n^{1.5}) for 4-cycles.
+
+#ifndef ANYK_QUERY_CYCLE_DECOMPOSITION_H_
+#define ANYK_QUERY_CYCLE_DECOMPOSITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "query/cq.h"
+#include "query/join_tree.h"
+#include "storage/database.h"
+
+namespace anyk {
+
+/// Canonical form of a simple-cycle query.
+struct CycleShape {
+  bool is_cycle = false;
+  // atom_order[p] = original atom index of the p-th cycle edge
+  // (x_p, x_{p+1 mod l}); var_order[p] = original variable id of x_p.
+  std::vector<uint32_t> atom_order;
+  std::vector<uint32_t> var_order;
+};
+
+/// Detect whether `q` is a simple cycle: binary atoms R(x_p, x_{p+1}) whose
+/// variables each occur exactly once in first and once in second position,
+/// closing a single cycle covering all atoms.
+CycleShape DetectSimpleCycle(const ConjunctiveQuery& q);
+
+struct CycleDecompositionOptions {
+  // Override the heavy threshold (default 0 = use n^{2/l}).
+  double threshold_override = 0.0;
+};
+
+/// Decompose an l-cycle (l >= 4) into l+1 materialized join-tree instances.
+/// Pins reference the original atoms/rows, so witnesses, weights and
+/// tie-breaking behave exactly as for the undecomposed query.
+std::vector<TDPInstance> DecomposeCycle(
+    const Database& db, const ConjunctiveQuery& q,
+    const CycleDecompositionOptions& opts = {});
+
+}  // namespace anyk
+
+#endif  // ANYK_QUERY_CYCLE_DECOMPOSITION_H_

@@ -1,0 +1,101 @@
+#include "query/gyo.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/logging.h"
+
+namespace anyk {
+
+namespace {
+
+bool IsSubset(const std::vector<uint32_t>& a, const std::vector<uint32_t>& b) {
+  // Both sorted.
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+}  // namespace
+
+GyoResult GyoReduce(const Hypergraph& h) {
+  const size_t m = h.edges.size();
+  GyoResult result;
+  result.tree.parent.assign(m, -1);
+  if (m == 0) {
+    result.acyclic = true;
+    return result;
+  }
+
+  std::vector<std::vector<uint32_t>> edges = h.edges;  // reduced copies
+  std::vector<bool> alive(m, true);
+  size_t alive_count = m;
+
+  bool progress = true;
+  while (progress && alive_count > 1) {
+    progress = false;
+
+    // (a) Remove ear vertices: variables occurring in exactly one live edge.
+    std::vector<uint32_t> occurrences(h.num_nodes, 0);
+    for (size_t i = 0; i < m; ++i) {
+      if (!alive[i]) continue;
+      for (uint32_t v : edges[i]) ++occurrences[v];
+    }
+    for (size_t i = 0; i < m; ++i) {
+      if (!alive[i]) continue;
+      auto& e = edges[i];
+      size_t before = e.size();
+      e.erase(std::remove_if(e.begin(), e.end(),
+                             [&](uint32_t v) { return occurrences[v] == 1; }),
+              e.end());
+      if (e.size() != before) progress = true;
+    }
+
+    // (b) Remove edges contained in another live edge; the container becomes
+    // the tree parent of the removed edge (the "ear" attaches to a witness).
+    // Among multiple witnesses we prefer the *smallest* one and remove one
+    // edge at a time: any witness keeps GYO sound, but small witnesses give
+    // tighter join trees (e.g. the paper's Fig. 15b attaches R4' = π(R4)
+    // under R2, not under the wide head edge).
+    while (alive_count > 1) {
+      int best_e = -1, best_f = -1;
+      for (size_t i = 0; i < m; ++i) {
+        if (!alive[i]) continue;
+        for (size_t j = 0; j < m; ++j) {
+          if (i == j || !alive[j]) continue;
+          if (!IsSubset(edges[i], edges[j])) continue;
+          if (best_f < 0 ||
+              edges[j].size() < edges[best_f].size() ||
+              (edges[j].size() == edges[best_f].size() &&
+               static_cast<int>(j) < best_f)) {
+            best_e = static_cast<int>(i);
+            best_f = static_cast<int>(j);
+          }
+        }
+      }
+      if (best_e < 0) break;
+      alive[best_e] = false;
+      --alive_count;
+      result.tree.parent[best_e] = best_f;
+      progress = true;
+    }
+  }
+
+  result.acyclic = (alive_count == 1);
+  if (result.acyclic) {
+    for (size_t i = 0; i < m; ++i) {
+      if (alive[i]) result.tree.root = static_cast<int>(i);
+    }
+    ANYK_CHECK_GE(result.tree.root, 0);
+  }
+  return result;
+}
+
+bool IsAcyclic(const ConjunctiveQuery& q) {
+  return GyoReduce(Hypergraph::FromQuery(q)).acyclic;
+}
+
+bool IsFreeConnexAcyclic(const ConjunctiveQuery& q) {
+  if (!GyoReduce(Hypergraph::FromQuery(q)).acyclic) return false;
+  return GyoReduce(Hypergraph::FromQueryWithHeadEdge(q)).acyclic;
+}
+
+}  // namespace anyk

@@ -1,0 +1,48 @@
+// GYO reduction (Graham / Yu-Ozsoyoglu): decides alpha-acyclicity of a query
+// hypergraph in polynomial time and, when acyclic, produces a join tree
+// (paper Section 2.1).
+
+#ifndef ANYK_QUERY_GYO_H_
+#define ANYK_QUERY_GYO_H_
+
+#include <vector>
+
+#include "query/hypergraph.h"
+
+namespace anyk {
+
+/// Join-tree topology over atom (edge) indices.
+struct JoinTreeTopology {
+  std::vector<int> parent;  // parent[i] = parent atom index, -1 for the root
+  int root = -1;
+
+  std::vector<std::vector<int>> Children() const {
+    std::vector<std::vector<int>> ch(parent.size());
+    for (size_t i = 0; i < parent.size(); ++i) {
+      if (parent[i] >= 0) ch[parent[i]].push_back(static_cast<int>(i));
+    }
+    return ch;
+  }
+};
+
+struct GyoResult {
+  bool acyclic = false;
+  JoinTreeTopology tree;  // meaningful only if acyclic
+};
+
+/// Run the GYO reduction: repeatedly (a) delete vertices occurring in a
+/// single edge ("ear vertices"), (b) delete edges contained in another edge,
+/// recording the container as tree parent. Acyclic iff one edge remains.
+GyoResult GyoReduce(const Hypergraph& h);
+
+/// Convenience: is the query (alpha-)acyclic?
+bool IsAcyclic(const ConjunctiveQuery& q);
+
+/// Is the (possibly non-full) query free-connex acyclic? (Acyclic, and the
+/// hypergraph extended with a head edge over the free variables is acyclic
+/// too — Section 8.1.)
+bool IsFreeConnexAcyclic(const ConjunctiveQuery& q);
+
+}  // namespace anyk
+
+#endif  // ANYK_QUERY_GYO_H_

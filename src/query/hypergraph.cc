@@ -1,0 +1,42 @@
+#include "query/hypergraph.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace anyk {
+
+void Hypergraph::AddEdge(std::vector<uint32_t> nodes) {
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  for (uint32_t v : nodes) {
+    num_nodes = std::max<size_t>(num_nodes, v + 1);
+  }
+  edges.push_back(std::move(nodes));
+}
+
+Hypergraph Hypergraph::FromQuery(const ConjunctiveQuery& q) {
+  Hypergraph h;
+  h.num_nodes = q.NumVars();
+  for (size_t i = 0; i < q.NumAtoms(); ++i) {
+    std::vector<uint32_t> e = q.AtomVarIds(i);
+    std::sort(e.begin(), e.end());
+    e.erase(std::unique(e.begin(), e.end()), e.end());
+    h.edges.push_back(std::move(e));
+  }
+  return h;
+}
+
+Hypergraph Hypergraph::FromQueryWithHeadEdge(const ConjunctiveQuery& q) {
+  Hypergraph h = FromQuery(q);
+  std::vector<uint32_t> head = q.FreeVarIds();
+  if (head.empty()) {
+    // Full query: the head covers all variables.
+    head.resize(q.NumVars());
+    for (size_t i = 0; i < head.size(); ++i) head[i] = static_cast<uint32_t>(i);
+  }
+  h.AddEdge(std::move(head));
+  return h;
+}
+
+}  // namespace anyk

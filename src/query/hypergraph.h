@@ -1,0 +1,30 @@
+// Query hypergraph: variables as nodes, atoms as hyperedges (Section 2.1).
+
+#ifndef ANYK_QUERY_HYPERGRAPH_H_
+#define ANYK_QUERY_HYPERGRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "query/cq.h"
+
+namespace anyk {
+
+/// Plain hypergraph over dense node ids.
+struct Hypergraph {
+  size_t num_nodes = 0;
+  std::vector<std::vector<uint32_t>> edges;  // each sorted, deduplicated
+
+  /// Hypergraph of a CQ: one edge per atom over its variable ids.
+  static Hypergraph FromQuery(const ConjunctiveQuery& q);
+
+  /// Hypergraph of a CQ plus one extra "head" edge over the free variables
+  /// (used for the free-connex test, Section 8.1).
+  static Hypergraph FromQueryWithHeadEdge(const ConjunctiveQuery& q);
+
+  void AddEdge(std::vector<uint32_t> nodes);
+};
+
+}  // namespace anyk
+
+#endif  // ANYK_QUERY_HYPERGRAPH_H_

@@ -1,0 +1,299 @@
+#include "query/sql.h"
+
+#include <cctype>
+#include <numeric>
+#include <unordered_map>
+
+#include "anyk/ranked_query.h"
+#include "dioid/max_plus.h"
+#include "dioid/tropical.h"
+#include "util/logging.h"
+
+namespace anyk {
+
+namespace {
+
+struct Token {
+  std::string text;   // uppercased for keywords, original for identifiers
+  std::string upper;
+};
+
+std::vector<Token> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  auto push = [&](std::string t) {
+    Token tok;
+    tok.text = t;
+    tok.upper = t;
+    for (char& c : tok.upper) c = static_cast<char>(std::toupper(c));
+    tokens.push_back(std::move(tok));
+  };
+  while (i < sql.size()) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+    } else if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < sql.size() &&
+             (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+              sql[i] == '_')) {
+        ++i;
+      }
+      push(sql.substr(start, i - start));
+    } else if (c == '.' || c == ',' || c == '=' || c == '*' || c == ';') {
+      push(std::string(1, c));
+      ++i;
+    } else {
+      ANYK_CHECK(false) << "SQL: unexpected character '" << c << "'";
+    }
+  }
+  return tokens;
+}
+
+struct Cursor {
+  const std::vector<Token>& toks;
+  size_t pos = 0;
+
+  bool AtEnd() const { return pos >= toks.size(); }
+  const Token& Peek() const {
+    ANYK_CHECK(!AtEnd()) << "SQL: unexpected end of statement";
+    return toks[pos];
+  }
+  Token Take() {
+    Token t = Peek();
+    ++pos;
+    return t;
+  }
+  bool TryKeyword(const std::string& kw) {
+    if (!AtEnd() && toks[pos].upper == kw) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+  void Expect(const std::string& kw) {
+    ANYK_CHECK(TryKeyword(kw)) << "SQL: expected " << kw << " near '"
+                               << (AtEnd() ? "<end>" : Peek().text) << "'";
+  }
+};
+
+struct ColumnRef {
+  std::string table;  // alias
+  size_t column;      // zero-based
+};
+
+// alias.A<k>
+ColumnRef ParseColumnRef(Cursor* cur) {
+  ColumnRef ref;
+  ref.table = cur->Take().text;
+  cur->Expect(".");
+  const std::string col = cur->Take().text;
+  ANYK_CHECK(col.size() >= 2 && (col[0] == 'A' || col[0] == 'a'))
+      << "SQL: columns are addressed as A1..An, got '" << col << "'";
+  const long idx = std::strtol(col.c_str() + 1, nullptr, 10);
+  ANYK_CHECK_GE(idx, 1) << "SQL: bad column '" << col << "'";
+  ref.column = static_cast<size_t>(idx - 1);
+  return ref;
+}
+
+// Union-find over (table, column) slots.
+struct Slots {
+  std::vector<int> parent;
+  int Find(int x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  }
+  void Union(int a, int b) { parent[Find(a)] = Find(b); }
+};
+
+}  // namespace
+
+SqlStatement ParseSql(const std::string& sql, const Database* db) {
+  const std::vector<Token> toks = Tokenize(sql);
+  Cursor cur{toks};
+  cur.Expect("SELECT");
+
+  // SELECT list (resolved after FROM).
+  bool select_all = false;
+  std::vector<std::pair<std::string, std::string>> select_raw;  // (tbl, col)
+  if (cur.TryKeyword("*")) {
+    select_all = true;
+  } else {
+    do {
+      const std::string tbl = cur.Take().text;
+      cur.Expect(".");
+      select_raw.emplace_back(tbl, cur.Take().text);
+    } while (cur.TryKeyword(","));
+  }
+
+  cur.Expect("FROM");
+  std::vector<std::pair<std::string, std::string>> tables;  // (relation, alias)
+  std::unordered_map<std::string, size_t> alias_idx;
+  do {
+    const std::string rel = cur.Take().text;
+    std::string alias = rel;
+    if (!cur.AtEnd() && cur.Peek().upper != "WHERE" &&
+        cur.Peek().upper != "ORDER" && cur.Peek().upper != "LIMIT" &&
+        cur.Peek().upper != "," && cur.Peek().upper != ";") {
+      alias = cur.Take().text;
+    }
+    ANYK_CHECK(alias_idx.emplace(alias, tables.size()).second)
+        << "SQL: duplicate table alias '" << alias << "'";
+    tables.emplace_back(rel, alias);
+  } while (cur.TryKeyword(","));
+  ANYK_CHECK(!tables.empty()) << "SQL: empty FROM clause";
+
+  // Equality conditions.
+  std::vector<std::pair<ColumnRef, ColumnRef>> equalities;
+  if (cur.TryKeyword("WHERE")) {
+    do {
+      ColumnRef lhs = ParseColumnRef(&cur);
+      cur.Expect("=");
+      ColumnRef rhs = ParseColumnRef(&cur);
+      equalities.emplace_back(lhs, rhs);
+    } while (cur.TryKeyword("AND"));
+  }
+
+  SqlStatement stmt;
+  if (cur.TryKeyword("ORDER")) {
+    cur.Expect("BY");
+    cur.Expect("WEIGHT");
+    if (cur.TryKeyword("DESC")) {
+      stmt.ascending = false;
+    } else {
+      cur.TryKeyword("ASC");
+    }
+  }
+  if (cur.TryKeyword("LIMIT")) {
+    stmt.limit = static_cast<size_t>(std::stoull(cur.Take().text));
+  }
+  cur.TryKeyword(";");
+  ANYK_CHECK(cur.AtEnd()) << "SQL: trailing input near '" << cur.Peek().text
+                          << "'";
+
+  // Build the CQ: one variable slot per (table, column); equalities merge
+  // slots. First find how many columns each table needs.
+  std::vector<size_t> max_col(tables.size(), 0);
+  auto touch = [&](const ColumnRef& ref) {
+    auto it = alias_idx.find(ref.table);
+    ANYK_CHECK(it != alias_idx.end())
+        << "SQL: unknown table alias '" << ref.table << "'";
+    max_col[it->second] = std::max(max_col[it->second], ref.column + 1);
+    return it->second;
+  };
+  for (const auto& [lhs, rhs] : equalities) {
+    touch(lhs);
+    touch(rhs);
+  }
+  for (const auto& [tbl, col] : select_raw) {
+    ColumnRef ref;
+    ref.table = tbl;
+    ANYK_CHECK(col.size() >= 2) << "SQL: bad column '" << col << "'";
+    ref.column = static_cast<size_t>(std::strtol(col.c_str() + 1, nullptr, 10) - 1);
+    touch(ref);
+  }
+  // With a database the true arities are known; otherwise default tables to
+  // binary unless more columns were referenced.
+  for (size_t t = 0; t < tables.size(); ++t) {
+    if (db != nullptr) {
+      const size_t arity = db->Get(tables[t].first).arity();
+      ANYK_CHECK_LE(max_col[t], arity)
+          << "SQL: column out of range for " << tables[t].first;
+      max_col[t] = arity;
+    } else {
+      max_col[t] = std::max<size_t>(max_col[t], 2);
+    }
+  }
+
+  // Slot ids: prefix sums.
+  std::vector<size_t> slot_base(tables.size() + 1, 0);
+  for (size_t t = 0; t < tables.size(); ++t) {
+    slot_base[t + 1] = slot_base[t] + max_col[t];
+  }
+  Slots slots;
+  slots.parent.resize(slot_base.back());
+  std::iota(slots.parent.begin(), slots.parent.end(), 0);
+  auto slot_of = [&](const ColumnRef& ref) {
+    const size_t t = alias_idx.at(ref.table);
+    ANYK_CHECK_LT(ref.column, max_col[t]) << "SQL: column out of range";
+    return static_cast<int>(slot_base[t] + ref.column);
+  };
+  for (const auto& [lhs, rhs] : equalities) {
+    slots.Union(slot_of(lhs), slot_of(rhs));
+  }
+
+  // Variable name per slot class.
+  std::unordered_map<int, std::string> class_name;
+  auto var_name = [&](int slot) {
+    const int root = slots.Find(slot);
+    auto [it, inserted] =
+        class_name.emplace(root, "v" + std::to_string(class_name.size()));
+    return it->second;
+  };
+  for (size_t t = 0; t < tables.size(); ++t) {
+    std::vector<std::string> vars;
+    for (size_t c = 0; c < max_col[t]; ++c) {
+      vars.push_back(var_name(static_cast<int>(slot_base[t] + c)));
+    }
+    stmt.query.AddAtom(tables[t].first, vars);
+  }
+
+  if (!select_all) {
+    std::vector<std::string> head;
+    for (const auto& [tbl, col] : select_raw) {
+      ColumnRef ref;
+      ref.table = tbl;
+      ref.column = static_cast<size_t>(
+          std::strtol(col.c_str() + 1, nullptr, 10) - 1);
+      head.push_back(var_name(slot_of(ref)));
+      stmt.select_vars.push_back(static_cast<uint32_t>(
+          stmt.query.FindVar(head.back())));
+    }
+    // Note: we do NOT call SetFreeVars — SQL projection uses all-weight
+    // semantics (enumerate the full query, project each result), so the CQ
+    // stays full and select_vars drives the projection at output time.
+  }
+  return stmt;
+}
+
+namespace {
+
+template <typename D>
+std::vector<SqlResult> Run(const Database& db, const SqlStatement& stmt) {
+  typename RankedQuery<D>::Options opts;
+  opts.algorithm = Algorithm::kLazy;
+  opts.enum_opts.with_witness = false;
+  RankedQuery<D> rq(db, stmt.query, opts);
+  std::vector<SqlResult> out;
+  while (stmt.limit == 0 || out.size() < stmt.limit) {
+    auto row = rq.Next();
+    if (!row) break;
+    SqlResult res;
+    res.weight = row->weight;
+    if (stmt.select_vars.empty()) {
+      res.values = row->assignment;
+    } else {
+      for (uint32_t v : stmt.select_vars) {
+        res.values.push_back(row->assignment[v]);
+      }
+    }
+    out.push_back(std::move(res));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<SqlResult> ExecuteSql(const Database& db, const std::string& sql) {
+  SqlStatement stmt = ParseSql(sql, &db);
+  // Validate arities against the database.
+  for (size_t a = 0; a < stmt.query.NumAtoms(); ++a) {
+    const Relation& rel = db.Get(stmt.query.atom(a).relation);
+    ANYK_CHECK_EQ(rel.arity(), stmt.query.AtomVarIds(a).size())
+        << "SQL: relation " << rel.name() << " has arity " << rel.arity();
+  }
+  return stmt.ascending ? Run<TropicalDioid>(db, stmt)
+                        : Run<MaxPlusDioid>(db, stmt);
+}
+
+}  // namespace anyk

@@ -1,0 +1,53 @@
+// Minimal SQL front-end for the query dialect the paper uses in its
+// examples (Example 1, Section 8.1):
+//
+//   SELECT *                       -- or a list of columns
+//   FROM R1, R2 [, Edge e1, Edge e2 ...]        -- aliases enable self-joins
+//   WHERE R1.A2 = R2.A1 [AND ...]               -- conjunctive equi-joins
+//   ORDER BY WEIGHT [ASC|DESC]                  -- sum of tuple weights
+//   LIMIT k                                     -- optional
+//
+// Columns are addressed positionally as A1..A<arity>. The statement compiles
+// to a ConjunctiveQuery: every (atom, column) slot gets a variable, WHERE
+// equalities merge variables (union-find), and a non-* SELECT list becomes
+// the free variables. Execution uses the tropical (ASC) or arctic (DESC)
+// dioid; projections follow the paper's all-weight-projection semantics
+// (Section 8.1, option 1) — use MinWeightProjection for option 2.
+
+#ifndef ANYK_QUERY_SQL_H_
+#define ANYK_QUERY_SQL_H_
+
+#include <string>
+#include <vector>
+
+#include "query/cq.h"
+#include "storage/database.h"
+#include "storage/value.h"
+
+namespace anyk {
+
+struct SqlStatement {
+  ConjunctiveQuery query;
+  bool ascending = true;  // ORDER BY WEIGHT ASC (lightest first)
+  size_t limit = 0;       // 0 = unlimited
+  // Variable ids of the SELECT list (empty for SELECT *).
+  std::vector<uint32_t> select_vars;
+};
+
+/// Parse the SQL dialect above; CHECK-fails with a message on syntax errors.
+/// With a database, relation arities are taken from it (otherwise every
+/// table defaults to the largest referenced column, at least binary).
+SqlStatement ParseSql(const std::string& sql, const Database* db = nullptr);
+
+struct SqlResult {
+  double weight;
+  std::vector<Value> values;  // SELECT-list order (all variables for *)
+};
+
+/// Parse and execute: ranked enumeration honoring ORDER BY/LIMIT, with
+/// all-weight-projection semantics for column lists.
+std::vector<SqlResult> ExecuteSql(const Database& db, const std::string& sql);
+
+}  // namespace anyk
+
+#endif  // ANYK_QUERY_SQL_H_

@@ -1,0 +1,95 @@
+#include "storage/csv.h"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace anyk {
+
+namespace {
+
+std::vector<std::string> SplitLine(const std::string& line, char delim) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream in(line);
+  while (std::getline(in, field, delim)) fields.push_back(field);
+  return fields;
+}
+
+int64_t ParseInt(const std::string& s, const std::string& path) {
+  int64_t v = 0;
+  const char* begin = s.data();
+  const char* end = s.data() + s.size();
+  while (begin < end && (*begin == ' ' || *begin == '\t')) ++begin;
+  auto [ptr, ec] = std::from_chars(begin, end, v);
+  ANYK_CHECK(ec == std::errc()) << "bad integer '" << s << "' in " << path;
+  return v;
+}
+
+double ParseDouble(const std::string& s, const std::string& path) {
+  try {
+    return std::stod(s);
+  } catch (...) {
+    ANYK_CHECK(false) << "bad weight '" << s << "' in " << path;
+    return 0;
+  }
+}
+
+}  // namespace
+
+Relation& LoadRelationCsv(Database* db, const std::string& name,
+                          const std::string& path, const CsvOptions& opts) {
+  std::ifstream in(path);
+  ANYK_CHECK(in.good()) << "cannot open " << path;
+  std::string line;
+  if (opts.has_header) std::getline(in, line);
+
+  size_t arity = 0;
+  Relation* rel = nullptr;
+  std::vector<Value> row;
+  size_t loaded = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    auto fields = SplitLine(line, opts.delimiter);
+    if (rel == nullptr) {
+      const size_t cols = fields.size();
+      ANYK_CHECK(opts.weight_column < static_cast<int>(cols))
+          << "weight column out of range in " << path;
+      arity = cols - (opts.weight_column >= 0 ? 1 : 0);
+      ANYK_CHECK_GE(arity, 1u) << "no value columns in " << path;
+      rel = &db->AddRelation(name, arity);
+    }
+    row.clear();
+    double weight = 0;
+    for (size_t c = 0; c < fields.size(); ++c) {
+      if (static_cast<int>(c) == opts.weight_column) {
+        weight = ParseDouble(fields[c], path);
+      } else {
+        row.push_back(ParseInt(fields[c], path));
+      }
+    }
+    ANYK_CHECK_EQ(row.size(), arity) << "ragged row in " << path;
+    rel->AddRow(row, weight);
+    if (opts.limit > 0 && ++loaded >= opts.limit) break;
+  }
+  ANYK_CHECK(rel != nullptr) << "empty CSV " << path;
+  return *rel;
+}
+
+void SaveRelationCsv(const Relation& rel, const std::string& path,
+                     char delimiter) {
+  std::ofstream out(path);
+  ANYK_CHECK(out.good()) << "cannot write " << path;
+  for (size_t r = 0; r < rel.NumRows(); ++r) {
+    for (size_t c = 0; c < rel.arity(); ++c) {
+      out << rel.At(r, c) << delimiter;
+    }
+    out << rel.Weight(r) << "\n";
+  }
+}
+
+}  // namespace anyk

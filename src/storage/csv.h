@@ -1,0 +1,37 @@
+// CSV import/export for relations.
+//
+// Values are 64-bit integers (dictionary-encode strings upstream); one
+// column may be designated as the tuple weight. This is the practical entry
+// point for loading edge lists like the paper's Bitcoin OTC snapshot
+// (source,target,rating,...).
+
+#ifndef ANYK_STORAGE_CSV_H_
+#define ANYK_STORAGE_CSV_H_
+
+#include <string>
+
+#include "storage/database.h"
+
+namespace anyk {
+
+struct CsvOptions {
+  char delimiter = ',';
+  bool has_header = false;
+  // Index of the weight column, or -1 for weightless tuples (weight 0).
+  int weight_column = -1;
+  // Maximum rows to load (0 = all).
+  size_t limit = 0;
+};
+
+/// Load `path` into a new relation `name`; arity is the number of non-weight
+/// columns of the first row. CHECK-fails on malformed input.
+Relation& LoadRelationCsv(Database* db, const std::string& name,
+                          const std::string& path, const CsvOptions& opts = {});
+
+/// Write a relation as CSV with the weight as the last column.
+void SaveRelationCsv(const Relation& rel, const std::string& path,
+                     char delimiter = ',');
+
+}  // namespace anyk
+
+#endif  // ANYK_STORAGE_CSV_H_

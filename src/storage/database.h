@@ -1,0 +1,64 @@
+// A database is a named collection of relations.
+
+#ifndef ANYK_STORAGE_DATABASE_H_
+#define ANYK_STORAGE_DATABASE_H_
+
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "storage/relation.h"
+#include "util/logging.h"
+
+namespace anyk {
+
+/// Owning container mapping relation names to relations.
+///
+/// Several query atoms may reference the same physical relation (self-joins);
+/// lookup is by name, so that sharing is free.
+class Database {
+ public:
+  /// Create (or replace) a relation and return a reference to it.
+  Relation& AddRelation(const std::string& name, size_t arity) {
+    auto [it, _] = relations_.insert_or_assign(name, Relation(name, arity));
+    return it->second;
+  }
+
+  /// Move an existing relation into the database under its own name.
+  Relation& AddRelation(Relation rel) {
+    std::string name = rel.name();
+    auto [it, _] = relations_.insert_or_assign(name, std::move(rel));
+    return it->second;
+  }
+
+  bool Has(const std::string& name) const { return relations_.count(name) > 0; }
+
+  const Relation& Get(const std::string& name) const {
+    auto it = relations_.find(name);
+    ANYK_CHECK(it != relations_.end()) << "unknown relation: " << name;
+    return it->second;
+  }
+
+  Relation& GetMutable(const std::string& name) {
+    auto it = relations_.find(name);
+    ANYK_CHECK(it != relations_.end()) << "unknown relation: " << name;
+    return it->second;
+  }
+
+  /// Largest relation cardinality (the paper's n).
+  size_t MaxCardinality() const {
+    size_t n = 0;
+    for (const auto& [_, rel] : relations_) n = std::max(n, rel.NumRows());
+    return n;
+  }
+
+  size_t NumRelations() const { return relations_.size(); }
+
+ private:
+  std::unordered_map<std::string, Relation> relations_;
+};
+
+}  // namespace anyk
+
+#endif  // ANYK_STORAGE_DATABASE_H_

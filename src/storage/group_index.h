@@ -1,0 +1,78 @@
+// Hash-grouping of relation rows by a composite key.
+//
+// This is the "data structure that can be built in linear time to support
+// tuple lookups in constant time" assumed by the paper (Section 2.3). It maps
+// each distinct key (projection of a row onto the key columns) to the dense
+// list of matching row ids. Groups are the physical realization of the
+// connector nodes of the equi-join graph transformation (Fig. 3).
+
+#ifndef ANYK_STORAGE_GROUP_INDEX_H_
+#define ANYK_STORAGE_GROUP_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/relation.h"
+#include "storage/value.h"
+
+namespace anyk {
+
+/// Groups row ids of a relation by the projection onto `key_cols`.
+class GroupIndex {
+ public:
+  GroupIndex() = default;
+
+  /// Build in expected O(rows) time.
+  GroupIndex(const Relation& rel, std::span<const uint32_t> key_cols) {
+    Build(rel, key_cols);
+  }
+
+  void Build(const Relation& rel, std::span<const uint32_t> key_cols) {
+    key_cols_.assign(key_cols.begin(), key_cols.end());
+    group_of_key_.clear();
+    groups_.clear();
+    const size_t rows = rel.NumRows();
+    group_of_key_.reserve(rows);
+    for (size_t r = 0; r < rows; ++r) {
+      Key key = rel.ProjectRow(r, key_cols_);
+      auto [it, inserted] =
+          group_of_key_.try_emplace(std::move(key), groups_.size());
+      if (inserted) groups_.emplace_back();
+      groups_[it->second].push_back(static_cast<uint32_t>(r));
+    }
+  }
+
+  size_t NumGroups() const { return groups_.size(); }
+
+  /// Group id for `key`, or -1 if the key does not occur.
+  int64_t Find(const Key& key) const {
+    auto it = group_of_key_.find(key);
+    return it == group_of_key_.end() ? -1 : static_cast<int64_t>(it->second);
+  }
+
+  /// Rows in group `g`.
+  const std::vector<uint32_t>& Rows(size_t g) const { return groups_[g]; }
+
+  /// Rows matching `key` (empty if absent).
+  std::span<const uint32_t> Lookup(const Key& key) const {
+    int64_t g = Find(key);
+    if (g < 0) return {};
+    return groups_[static_cast<size_t>(g)];
+  }
+
+  /// Iterate all (key, rows) pairs.
+  const std::unordered_map<Key, size_t, KeyHash>& KeyMap() const {
+    return group_of_key_;
+  }
+
+ private:
+  std::vector<uint32_t> key_cols_;
+  std::unordered_map<Key, size_t, KeyHash> group_of_key_;
+  std::vector<std::vector<uint32_t>> groups_;
+};
+
+}  // namespace anyk
+
+#endif  // ANYK_STORAGE_GROUP_INDEX_H_

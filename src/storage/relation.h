@@ -1,0 +1,84 @@
+// In-memory relation: row-major flat value array plus a per-tuple weight.
+//
+// The weight column holds the input-tuple weight w(r) of the paper (Def. 4).
+// Weights are stored as doubles; dioid-specific weight types are derived at
+// DP-build time through a weight functor, so a single physical relation can
+// be ranked under different selective dioids.
+
+#ifndef ANYK_STORAGE_RELATION_H_
+#define ANYK_STORAGE_RELATION_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "storage/value.h"
+#include "util/logging.h"
+
+namespace anyk {
+
+/// A named relation with fixed arity, dense row storage and tuple weights.
+class Relation {
+ public:
+  Relation() = default;
+  Relation(std::string name, size_t arity)
+      : name_(std::move(name)), arity_(arity) {}
+
+  const std::string& name() const { return name_; }
+  size_t arity() const { return arity_; }
+  size_t NumRows() const { return arity_ == 0 ? 0 : values_.size() / arity_; }
+
+  /// Append a tuple; `row.size()` must equal the arity.
+  void AddRow(std::span<const Value> row, double weight) {
+    ANYK_DCHECK(row.size() == arity_);
+    values_.insert(values_.end(), row.begin(), row.end());
+    weights_.push_back(weight);
+  }
+
+  /// Convenience overload for literals: rel.Add({1, 2}, 3.5).
+  void Add(std::initializer_list<Value> row, double weight) {
+    AddRow(std::span<const Value>(row.begin(), row.size()), weight);
+  }
+
+  /// Read access to row `r` as a contiguous span of `arity` values.
+  std::span<const Value> Row(size_t r) const {
+    return {values_.data() + r * arity_, arity_};
+  }
+
+  Value At(size_t r, size_t c) const {
+    ANYK_DCHECK(c < arity_);
+    return values_[r * arity_ + c];
+  }
+
+  double Weight(size_t r) const { return weights_[r]; }
+  void SetWeight(size_t r, double w) { weights_[r] = w; }
+
+  /// Project row `r` onto the given columns (materializes a key).
+  Key ProjectRow(size_t r, std::span<const uint32_t> cols) const {
+    Key key;
+    key.reserve(cols.size());
+    for (uint32_t c : cols) key.push_back(At(r, c));
+    return key;
+  }
+
+  void Reserve(size_t rows) {
+    values_.reserve(rows * arity_);
+    weights_.reserve(rows);
+  }
+
+  void Clear() {
+    values_.clear();
+    weights_.clear();
+  }
+
+ private:
+  std::string name_;
+  size_t arity_ = 0;
+  std::vector<Value> values_;   // row-major, NumRows() * arity_ entries
+  std::vector<double> weights_;  // one per row
+};
+
+}  // namespace anyk
+
+#endif  // ANYK_STORAGE_RELATION_H_

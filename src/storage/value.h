@@ -1,0 +1,46 @@
+// Basic value and key types for the storage layer.
+//
+// All attribute values are dictionary-encoded 64-bit integers (the paper's
+// model charges O(1) per data element; real systems would sit a dictionary in
+// front). Composite join keys are short runs of values with a mixing hash.
+
+#ifndef ANYK_STORAGE_VALUE_H_
+#define ANYK_STORAGE_VALUE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace anyk {
+
+/// A single attribute value (dictionary-encoded).
+using Value = int64_t;
+
+/// A materialized composite key (projection of a row onto key columns).
+using Key = std::vector<Value>;
+
+/// 64-bit mixer (splitmix64 finalizer) — good avalanche for hash combining.
+inline uint64_t MixHash(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Hash functor for composite keys.
+struct KeyHash {
+  size_t operator()(const Key& k) const {
+    uint64_t h = 0x2545F4914F6CDD1DULL ^ (k.size() * 0x9E3779B97F4A7C15ULL);
+    for (Value v : k) {
+      h = MixHash(h ^ static_cast<uint64_t>(v));
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace anyk
+
+#endif  // ANYK_STORAGE_VALUE_H_

@@ -1,0 +1,133 @@
+// Array-backed binary min-heaps.
+//
+// Three use cases in the any-k algorithms, all covered here:
+//  * dynamic heaps for candidate sets (push / pop_min / bulk construction),
+//  * O(size) heapification of choice sets (Lazy / Take2 preprocessing),
+//  * *static* heaps whose array layout is addressed directly: Take2 reads the
+//    two children of a slot (2i+1, 2i+2) without ever popping.
+
+#ifndef ANYK_UTIL_BINARY_HEAP_H_
+#define ANYK_UTIL_BINARY_HEAP_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace anyk {
+
+/// Establish the min-heap property on `v` in O(|v|) using Floyd's method.
+template <typename T, typename Less>
+void Heapify(std::vector<T>* v, Less less) {
+  auto& a = *v;
+  const size_t n = a.size();
+  if (n < 2) return;
+  for (size_t i = n / 2; i-- > 0;) {
+    size_t hole = i;
+    T value = std::move(a[hole]);
+    while (true) {
+      size_t child = 2 * hole + 1;
+      if (child >= n) break;
+      if (child + 1 < n && less(a[child + 1], a[child])) ++child;
+      if (!less(a[child], value)) break;
+      a[hole] = std::move(a[child]);
+      hole = child;
+    }
+    a[hole] = std::move(value);
+  }
+}
+
+/// Binary min-heap over entries of type T ordered by Less.
+///
+/// Exposes the underlying array (`Slot`) so callers can use the heap as a
+/// static partial order (Take2-style child navigation).
+template <typename T, typename Less = std::less<T>>
+class BinaryHeap {
+ public:
+  explicit BinaryHeap(Less less = Less()) : less_(less) {}
+
+  /// Take ownership of `entries` and heapify them in O(n).
+  void Assign(std::vector<T> entries) {
+    data_ = std::move(entries);
+    Heapify(&data_, less_);
+  }
+
+  bool Empty() const { return data_.empty(); }
+  size_t Size() const { return data_.size(); }
+
+  const T& Min() const {
+    ANYK_DCHECK(!data_.empty());
+    return data_[0];
+  }
+
+  /// Read-only access to the heap array (static-heap navigation).
+  const T& Slot(size_t i) const { return data_[i]; }
+
+  void Push(T value) {
+    data_.push_back(std::move(value));
+    SiftUp(data_.size() - 1);
+  }
+
+  /// Insert a batch of entries; O(b log n) worst case, but cheaper in
+  /// practice because sift-ups on fresh leaves terminate early.
+  void PushBulk(const std::vector<T>& values) {
+    for (const T& v : values) Push(v);
+  }
+
+  T PopMin() {
+    ANYK_DCHECK(!data_.empty());
+    T top = std::move(data_[0]);
+    T last = std::move(data_.back());
+    data_.pop_back();
+    if (!data_.empty()) {
+      data_[0] = std::move(last);
+      SiftDown(0);
+    }
+    return top;
+  }
+
+  /// Pop the minimum and insert `value` in one sift (a "replace-top").
+  T ReplaceMin(T value) {
+    ANYK_DCHECK(!data_.empty());
+    T top = std::move(data_[0]);
+    data_[0] = std::move(value);
+    SiftDown(0);
+    return top;
+  }
+
+  void Clear() { data_.clear(); }
+
+ private:
+  void SiftUp(size_t hole) {
+    T value = std::move(data_[hole]);
+    while (hole > 0) {
+      size_t parent = (hole - 1) / 2;
+      if (!less_(value, data_[parent])) break;
+      data_[hole] = std::move(data_[parent]);
+      hole = parent;
+    }
+    data_[hole] = std::move(value);
+  }
+
+  void SiftDown(size_t hole) {
+    const size_t n = data_.size();
+    T value = std::move(data_[hole]);
+    while (true) {
+      size_t child = 2 * hole + 1;
+      if (child >= n) break;
+      if (child + 1 < n && less_(data_[child + 1], data_[child])) ++child;
+      if (!less_(data_[child], value)) break;
+      data_[hole] = std::move(data_[child]);
+      hole = child;
+    }
+    data_[hole] = std::move(value);
+  }
+
+  Less less_;
+  std::vector<T> data_;
+};
+
+}  // namespace anyk
+
+#endif  // ANYK_UTIL_BINARY_HEAP_H_

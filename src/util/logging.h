@@ -1,0 +1,69 @@
+// Lightweight assertion / logging macros used across the library.
+//
+// We deliberately avoid a heavyweight logging dependency: the library is a
+// research reproduction and only needs fail-fast invariant checks (always on,
+// including release builds, because enumeration-order bugs are silent
+// otherwise) and a debug-only variant for hot loops.
+
+#ifndef ANYK_UTIL_LOGGING_H_
+#define ANYK_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace anyk {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr, const std::string& msg) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s %s\n", file, line, expr,
+               msg.c_str());
+  std::abort();
+}
+
+// Stream collector so CHECK(x) << "context " << v; works.
+class CheckMessage {
+ public:
+  CheckMessage(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+  [[noreturn]] ~CheckMessage() { CheckFailed(file_, line_, expr_, out_.str()); }
+  template <typename T>
+  CheckMessage& operator<<(const T& v) {
+    out_ << v;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream out_;
+};
+
+}  // namespace internal
+}  // namespace anyk
+
+#define ANYK_CHECK(cond)                                             \
+  if (cond) {                                                        \
+  } else                                                             \
+    ::anyk::internal::CheckMessage(__FILE__, __LINE__, #cond)
+
+#define ANYK_CHECK_EQ(a, b) ANYK_CHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ") "
+#define ANYK_CHECK_NE(a, b) ANYK_CHECK((a) != (b))
+#define ANYK_CHECK_LT(a, b) ANYK_CHECK((a) < (b)) << " (" << (a) << " vs " << (b) << ") "
+#define ANYK_CHECK_LE(a, b) ANYK_CHECK((a) <= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define ANYK_CHECK_GT(a, b) ANYK_CHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ") "
+#define ANYK_CHECK_GE(a, b) ANYK_CHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "
+
+#ifdef NDEBUG
+#define ANYK_DCHECK(cond) \
+  if (true) {             \
+  } else                  \
+    ::anyk::internal::CheckMessage(__FILE__, __LINE__, #cond)
+#else
+#define ANYK_DCHECK(cond) ANYK_CHECK(cond)
+#endif
+
+#endif  // ANYK_UTIL_LOGGING_H_

@@ -1,0 +1,119 @@
+// Pairing heap with O(1) insert/meld and O(log n) amortized pop-min.
+//
+// The complexity analysis of ANYK-PART (paper Section 7, "Implementation
+// details") assumes constant-time inserts for the candidate priority queue.
+// The paper notes that such structures "are well-known to perform poorly in
+// practice" and falls back to bulk-inserting binary heaps; we implement the
+// pairing heap as well so the trade-off can be measured (bench_ablation_pq).
+
+#ifndef ANYK_UTIL_PAIRING_HEAP_H_
+#define ANYK_UTIL_PAIRING_HEAP_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace anyk {
+
+/// Min-ordered pairing heap; nodes live in an arena so memory is contiguous
+/// and freed slots are recycled through a free list.
+template <typename T, typename Less = std::less<T>>
+class PairingHeap {
+ public:
+  explicit PairingHeap(Less less = Less()) : less_(less) {}
+
+  bool Empty() const { return root_ == kNull; }
+  size_t Size() const { return size_; }
+
+  const T& Min() const {
+    ANYK_DCHECK(root_ != kNull);
+    return nodes_[root_].value;
+  }
+
+  void Push(T value) {
+    uint32_t id = Allocate(std::move(value));
+    root_ = (root_ == kNull) ? id : Meld(root_, id);
+    ++size_;
+  }
+
+  T PopMin() {
+    ANYK_DCHECK(root_ != kNull);
+    uint32_t old_root = root_;
+    T result = std::move(nodes_[old_root].value);
+    root_ = MergePairs(nodes_[old_root].child);
+    Free(old_root);
+    --size_;
+    return result;
+  }
+
+ private:
+  static constexpr uint32_t kNull = UINT32_MAX;
+
+  struct Node {
+    T value;
+    uint32_t child = kNull;
+    uint32_t sibling = kNull;
+  };
+
+  uint32_t Allocate(T value) {
+    if (free_ != kNull) {
+      uint32_t id = free_;
+      free_ = nodes_[id].sibling;
+      nodes_[id].value = std::move(value);
+      nodes_[id].child = kNull;
+      nodes_[id].sibling = kNull;
+      return id;
+    }
+    nodes_.push_back(Node{std::move(value)});
+    return static_cast<uint32_t>(nodes_.size() - 1);
+  }
+
+  void Free(uint32_t id) {
+    nodes_[id].sibling = free_;
+    free_ = id;
+  }
+
+  uint32_t Meld(uint32_t a, uint32_t b) {
+    if (less_(nodes_[b].value, nodes_[a].value)) std::swap(a, b);
+    nodes_[b].sibling = nodes_[a].child;
+    nodes_[a].child = b;
+    return a;
+  }
+
+  // Two-pass pairing: left-to-right pairwise melds, then right-to-left fold.
+  uint32_t MergePairs(uint32_t first) {
+    if (first == kNull) return kNull;
+    scratch_.clear();
+    while (first != kNull) {
+      uint32_t a = first;
+      uint32_t b = nodes_[a].sibling;
+      if (b == kNull) {
+        nodes_[a].sibling = kNull;
+        scratch_.push_back(a);
+        break;
+      }
+      first = nodes_[b].sibling;
+      nodes_[a].sibling = kNull;
+      nodes_[b].sibling = kNull;
+      scratch_.push_back(Meld(a, b));
+    }
+    uint32_t result = scratch_.back();
+    for (size_t i = scratch_.size() - 1; i-- > 0;) {
+      result = Meld(scratch_[i], result);
+    }
+    return result;
+  }
+
+  Less less_;
+  std::vector<Node> nodes_;
+  std::vector<uint32_t> scratch_;
+  uint32_t root_ = kNull;
+  uint32_t free_ = kNull;
+  size_t size_ = 0;
+};
+
+}  // namespace anyk
+
+#endif  // ANYK_UTIL_PAIRING_HEAP_H_

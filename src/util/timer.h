@@ -1,0 +1,33 @@
+// Wall-clock timer used by the benchmark harness (TTF / TT(k) / TTL).
+
+#ifndef ANYK_UTIL_TIMER_H_
+#define ANYK_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace anyk {
+
+/// Monotonic stopwatch with sub-microsecond resolution.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restart the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace anyk
+
+#endif  // ANYK_UTIL_TIMER_H_

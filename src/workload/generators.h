@@ -1,0 +1,62 @@
+// Synthetic workload generators matching the paper's experimental setup
+// (Section 7): uniform data for path/star queries, the worst-case cycle
+// construction of NPRR, and Cartesian-product instances for the TTL /
+// worst-case analyses (Fig. 6, Theorem 11, Proposition 13).
+//
+// Weights are uniform *integers* in [0, 10000] (the paper draws uniform
+// reals from the same range); integral weights make every sum exact in
+// doubles, so enumeration order is bit-reproducible and comparable against
+// oracles.
+
+#ifndef ANYK_WORKLOAD_GENERATORS_H_
+#define ANYK_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "storage/database.h"
+#include "util/random.h"
+
+namespace anyk {
+
+struct GeneratorOptions {
+  int64_t weight_min = 0;
+  int64_t weight_max = 10000;
+  // Average join fan-out for uniform data; the domain is n / fanout values
+  // (the paper samples from N_{n/10}, i.e. fanout 10).
+  double fanout = 10.0;
+};
+
+/// Fill `name` with n uniform binary tuples over `domain` values.
+void AddUniformBinaryRelation(Database* db, const std::string& name, size_t n,
+                              size_t domain, Rng* rng,
+                              const GeneratorOptions& opts = {});
+
+/// Database for an l-path query (relations R1..Rl, n tuples each, values
+/// uniform over n/fanout so that tuples join with ~fanout partners).
+Database MakePathDatabase(size_t n, size_t l, uint64_t seed,
+                          const GeneratorOptions& opts = {});
+
+/// Database for an l-star query (same distribution; the star center is the
+/// first column of every relation).
+Database MakeStarDatabase(size_t n, size_t l, uint64_t seed,
+                          const GeneratorOptions& opts = {});
+
+/// Worst-case l-cycle instance [NPRR]: each relation holds n/2 tuples (0, i)
+/// and n/2 tuples (i, 0), i in 1..n/2, yielding Θ((n/2)^{l/2}) output.
+Database MakeWorstCaseCycleDatabase(size_t n, size_t l, uint64_t seed,
+                                    const GeneratorOptions& opts = {});
+
+/// Cartesian product of l relations (single shared join value), uniform
+/// weights — the setting of Theorem 11 (Recursive's TTL beats Batch).
+Database MakeCartesianDatabase(size_t n, size_t l, uint64_t seed,
+                               const GeneratorOptions& opts = {});
+
+/// Fig. 6 / Proposition 13 worst case for Recursive: a Cartesian product
+/// where tuple j of relation i weighs j * 10^{l-1-i}, so each of the first n
+/// results uses a different tuple of the last relation.
+Database MakeRecursiveWorstCaseDatabase(size_t n, size_t l);
+
+}  // namespace anyk
+
+#endif  // ANYK_WORKLOAD_GENERATORS_H_

@@ -1,0 +1,47 @@
+// Power-law graph generation: stand-ins for the paper's real datasets
+// (Fig. 9). Bitcoin OTC carries trust weights in [-10, 10]; Twitter is
+// weighted by the sum of endpoint PageRanks. We match node/edge counts and
+// degree skew with a Zipf-endpoint model.
+
+#ifndef ANYK_WORKLOAD_GRAPH_GEN_H_
+#define ANYK_WORKLOAD_GRAPH_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "storage/database.h"
+#include "util/random.h"
+
+namespace anyk {
+
+struct GraphStats {
+  size_t nodes = 0;
+  size_t edges = 0;
+  size_t max_degree = 0;   // max total (in+out) degree
+  double avg_degree = 0.0;
+};
+
+/// Directed multigraph-free edge list with endpoints drawn from a Zipf(skew)
+/// distribution over node ids (self-loops and duplicate edges rejected).
+std::vector<std::pair<uint32_t, uint32_t>> MakePowerLawEdges(
+    size_t num_nodes, size_t num_edges, double skew, uint64_t seed);
+
+GraphStats ComputeGraphStats(size_t num_nodes,
+                             const std::vector<std::pair<uint32_t, uint32_t>>& edges);
+
+/// Bitcoin-OTC stand-in: power-law graph with integer trust weights in
+/// [-10, 10] (shifted by +10 so all weights are non-negative, preserving the
+/// ranking). Registers relations R1..Rl, all aliases of one edge table.
+Database MakeBitcoinStandIn(size_t num_nodes, size_t num_edges, size_t l,
+                            uint64_t seed, GraphStats* stats = nullptr);
+
+/// Twitter stand-in: power-law graph, edge weight = (PageRank(u) +
+/// PageRank(v)) * 10^6, rounded to integers for exact arithmetic.
+Database MakeTwitterStandIn(size_t num_nodes, size_t num_edges, size_t l,
+                            uint64_t seed, GraphStats* stats = nullptr);
+
+}  // namespace anyk
+
+#endif  // ANYK_WORKLOAD_GRAPH_GEN_H_

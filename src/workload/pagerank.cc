@@ -1,0 +1,32 @@
+#include "workload/pagerank.h"
+
+namespace anyk {
+
+std::vector<double> PageRank(
+    size_t num_nodes, const std::vector<std::pair<uint32_t, uint32_t>>& edges,
+    const PageRankOptions& opts) {
+  std::vector<double> rank(num_nodes, num_nodes ? 1.0 / num_nodes : 0.0);
+  std::vector<double> next(num_nodes, 0.0);
+  std::vector<uint32_t> out_degree(num_nodes, 0);
+  for (const auto& [u, _] : edges) ++out_degree[u];
+
+  for (size_t it = 0; it < opts.iterations; ++it) {
+    double dangling = 0.0;
+    for (size_t v = 0; v < num_nodes; ++v) {
+      next[v] = 0.0;
+      if (out_degree[v] == 0) dangling += rank[v];
+    }
+    for (const auto& [u, v] : edges) {
+      next[v] += rank[u] / out_degree[u];
+    }
+    const double base =
+        (1.0 - opts.damping) / num_nodes + opts.damping * dangling / num_nodes;
+    for (size_t v = 0; v < num_nodes; ++v) {
+      next[v] = base + opts.damping * next[v];
+    }
+    rank.swap(next);
+  }
+  return rank;
+}
+
+}  // namespace anyk

@@ -1,0 +1,28 @@
+// PageRank over an edge list — used to weight the Twitter stand-in graphs
+// exactly the way the paper does ("edge weight is set to the sum of the
+// PageRanks of both endpoints").
+
+#ifndef ANYK_WORKLOAD_PAGERANK_H_
+#define ANYK_WORKLOAD_PAGERANK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace anyk {
+
+struct PageRankOptions {
+  double damping = 0.85;
+  std::size_t iterations = 30;
+};
+
+/// PageRank scores for nodes 0..num_nodes-1 of the directed edge list.
+/// Dangling mass is redistributed uniformly; scores sum to 1.
+std::vector<double> PageRank(std::size_t num_nodes,
+                             const std::vector<std::pair<uint32_t, uint32_t>>& edges,
+                             const PageRankOptions& opts = {});
+
+}  // namespace anyk
+
+#endif  // ANYK_WORKLOAD_PAGERANK_H_

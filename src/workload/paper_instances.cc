@@ -1,0 +1,63 @@
+#include "workload/paper_instances.h"
+
+#include "util/random.h"
+
+namespace anyk {
+
+Database MakeI1Database(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  auto w = [&] { return static_cast<double>(rng.Uniform(0, 10000)); };
+  Database db;
+  Relation& r1 = db.AddRelation("R1", 2);  // R(A, B)
+  Relation& r2 = db.AddRelation("R2", 2);  // S(B, C)
+  Relation& r3 = db.AddRelation("R3", 2);  // T(C, D)
+  Relation& r4 = db.AddRelation("R4", 2);  // W(D, A)
+  const Value N = static_cast<Value>(n);
+  for (Value i = 1; i <= N; ++i) {
+    r1.Add({i, 0}, w());
+    r1.Add({0, i}, w());
+    r2.Add({0, i}, w());
+    r2.Add({i, 0}, w());
+    r3.Add({i, 0}, w());
+    r3.Add({0, i}, w());
+    r4.Add({0, i}, w());
+    r4.Add({i, 0}, w());
+  }
+  return db;
+}
+
+Database MakeI2Database(size_t n) {
+  Database db;
+  Relation& r1 = db.AddRelation("R1", 2);  // R(A, B)
+  Relation& r2 = db.AddRelation("R2", 2);  // S(B, C)
+  Relation& r3 = db.AddRelation("R3", 2);  // T(C, D')
+  const Value N = static_cast<Value>(n);
+  // r_0, s_0 are the lightest tuples of R1, R2; t_0 is the heaviest of R3 by
+  // a wide margin. Under max-plus ranking the top result is (r_0, s_0, t_0),
+  // but all (n-1)^2 heavier R1xR2 combinations join with each other.
+  r1.Add({0, 0}, 1.0);
+  r2.Add({0, 0}, 10.0);
+  r3.Add({0, 0}, 100.0 * static_cast<double>(n));
+  for (Value i = 1; i < N; ++i) {
+    r1.Add({i, 1}, static_cast<double>(i + 1));
+    r2.Add({1, i}, 10.0 * static_cast<double>(i + 1));
+    r3.Add({i, 0}, 1.0);
+  }
+  return db;
+}
+
+Database MakeFactorizedBadDatabase(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  (void)rng;
+  Database db;
+  Relation& r1 = db.AddRelation("R1", 2);  // R(A, B): (i, 1)
+  Relation& r2 = db.AddRelation("R2", 2);  // S(B, C): (1, i)
+  const Value N = static_cast<Value>(n);
+  for (Value i = 1; i <= N; ++i) {
+    r1.Add({i, 1}, static_cast<double>(i));
+    r2.Add({1, i}, static_cast<double>(i));
+  }
+  return db;
+}
+
+}  // namespace anyk

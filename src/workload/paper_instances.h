@@ -1,0 +1,36 @@
+// Concrete database families from the paper's analytical sections:
+//   * I1 (Fig. 16): 4-cycle input on which NPRR needs Θ(n^2) for the top-1
+//     result while the any-k algorithms need O(n) (Section 9.1.1).
+//   * I2 (Fig. 19): 3-path input on which Rank-Join / J* inspect
+//     Θ(n^{l-1}) combinations before the top-1 result (Section 9.1.3).
+//   * FactorizedBad (Fig. 18): 2-path instance where a factorized
+//     representation restructured for the lexicographic order A -> C -> B
+//     blows up to Θ(n^2) (Section 9.1.2).
+
+#ifndef ANYK_WORKLOAD_PAPER_INSTANCES_H_
+#define ANYK_WORKLOAD_PAPER_INSTANCES_H_
+
+#include <cstddef>
+
+#include "storage/database.h"
+
+namespace anyk {
+
+/// Fig. 16: relations R1..R4 (named for the 4-cycle query QC4).
+/// R(A,B) = {(a_i, b_0)} ∪ {(a_0, b_j)}, and rotations; every relation has
+/// 2n tuples. Node ids: a_i = i, b_i = 1000000 + i, etc. — distinct ranges
+/// per attribute. Weights are uniform integers.
+Database MakeI1Database(size_t n, uint64_t seed);
+
+/// Fig. 19: R(A,B), S(B,C), T(C) as binary/unary-coded relations R1,R2,R3
+/// for a 3-path query; the top result combines the *lightest* tuples of
+/// R1, R2 with the *heaviest* tuple of R3.
+Database MakeI2Database(size_t n);
+
+/// Fig. 18: R1 = {(i, 0) : i in 1..n}, R2 = {(0, i) : i in 1..n} for the
+/// 2-path query; all n^2 results share the single B value.
+Database MakeFactorizedBadDatabase(size_t n, uint64_t seed);
+
+}  // namespace anyk
+
+#endif  // ANYK_WORKLOAD_PAPER_INSTANCES_H_

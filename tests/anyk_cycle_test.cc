@@ -1,0 +1,172 @@
+// Cyclic queries via the simple-cycle decomposition + UT-DP union (paper
+// Sections 5.2-5.3): correctness against the oracle, partition disjointness
+// and coverage, threshold extremes, and the triangle fallback.
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "anyk/factory.h"
+#include "anyk/ranked_query.h"
+#include "dioid/tropical.h"
+#include "query/cycle_decomposition.h"
+#include "test_util.h"
+#include "workload/generators.h"
+#include "workload/paper_instances.h"
+
+namespace anyk {
+namespace {
+
+using testing::ExpectMatchesOracle;
+
+std::string AlgoName(const ::testing::TestParamInfo<Algorithm>& info) {
+  return AlgorithmName(info.param);
+}
+
+Database RandomCycleDatabase(size_t n, size_t l, uint64_t seed,
+                             double fanout) {
+  return MakePathDatabase(n, l, seed, {.fanout = fanout});
+}
+
+void CheckCycle(const Database& db, const ConjunctiveQuery& q, Algorithm algo,
+                size_t max_results = SIZE_MAX,
+                double threshold_override = 0.0) {
+  typename RankedQuery<TropicalDioid>::Options opts;
+  opts.algorithm = algo;
+  opts.cycle_opts.threshold_override = threshold_override;
+  RankedQuery<TropicalDioid> rq(db, q, opts);
+  EXPECT_EQ(rq.plan(), QueryPlan::kCycleUnion);
+  EXPECT_EQ(rq.NumTrees(), q.NumAtoms() + 1);
+  ExpectMatchesOracle<TropicalDioid>(rq.enumerator(), db, q, max_results);
+}
+
+class CycleTest : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(CycleTest, FourCycleRandom) {
+  Database db = RandomCycleDatabase(40, 4, 51, 6.0);
+  CheckCycle(db, ConjunctiveQuery::Cycle(4), GetParam());
+}
+
+TEST_P(CycleTest, FourCycleWorstCase) {
+  Database db = MakeWorstCaseCycleDatabase(16, 4, 52);
+  CheckCycle(db, ConjunctiveQuery::Cycle(4), GetParam());
+}
+
+TEST_P(CycleTest, FiveCycleRandom) {
+  Database db = RandomCycleDatabase(30, 5, 53, 5.0);
+  CheckCycle(db, ConjunctiveQuery::Cycle(5), GetParam());
+}
+
+TEST_P(CycleTest, SixCycleRandom) {
+  Database db = RandomCycleDatabase(24, 6, 54, 4.0);
+  CheckCycle(db, ConjunctiveQuery::Cycle(6), GetParam());
+}
+
+TEST_P(CycleTest, SixCycleWorstCase) {
+  Database db = MakeWorstCaseCycleDatabase(10, 6, 55);
+  CheckCycle(db, ConjunctiveQuery::Cycle(6), GetParam(), 500);
+}
+
+TEST_P(CycleTest, FourCycleI1) {
+  Database db = MakeI1Database(12, 56);
+  CheckCycle(db, ConjunctiveQuery::Cycle(4), GetParam());
+}
+
+TEST_P(CycleTest, ThresholdAllHeavy) {
+  Database db = RandomCycleDatabase(30, 4, 57, 5.0);
+  CheckCycle(db, ConjunctiveQuery::Cycle(4), GetParam(), SIZE_MAX, 1.0);
+}
+
+TEST_P(CycleTest, ThresholdAllLight) {
+  Database db = RandomCycleDatabase(30, 4, 58, 5.0);
+  CheckCycle(db, ConjunctiveQuery::Cycle(4), GetParam(), SIZE_MAX, 1e18);
+}
+
+TEST_P(CycleTest, CycleWithTies) {
+  GeneratorOptions gen;
+  gen.weight_min = 0;
+  gen.weight_max = 1;
+  gen.fanout = 5.0;
+  Database db = MakePathDatabase(30, 4, 59, gen);
+  CheckCycle(db, ConjunctiveQuery::Cycle(4), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Algos, CycleTest,
+                         ::testing::ValuesIn(AllRankedAlgorithms()), AlgoName);
+
+TEST(CycleShapeTest, DetectsCycles) {
+  EXPECT_TRUE(DetectSimpleCycle(ConjunctiveQuery::Cycle(3)).is_cycle);
+  EXPECT_TRUE(DetectSimpleCycle(ConjunctiveQuery::Cycle(4)).is_cycle);
+  EXPECT_TRUE(DetectSimpleCycle(ConjunctiveQuery::Cycle(7)).is_cycle);
+  EXPECT_FALSE(DetectSimpleCycle(ConjunctiveQuery::Path(4)).is_cycle);
+  EXPECT_FALSE(DetectSimpleCycle(ConjunctiveQuery::Star(4)).is_cycle);
+  // Two disjoint 2-cycles are not a single simple cycle.
+  ConjunctiveQuery q;
+  q.AddAtom("R1", {"a", "b"});
+  q.AddAtom("R2", {"b", "a"});
+  q.AddAtom("R3", {"c", "d"});
+  q.AddAtom("R4", {"d", "c"});
+  EXPECT_FALSE(DetectSimpleCycle(q).is_cycle);
+}
+
+TEST(CycleShapeTest, DetectsRotatedCycle) {
+  // Atoms listed out of cycle order still form a 4-cycle.
+  ConjunctiveQuery q;
+  q.AddAtom("R1", {"c", "d"});
+  q.AddAtom("R2", {"a", "b"});
+  q.AddAtom("R3", {"b", "c"});
+  q.AddAtom("R4", {"d", "a"});
+  EXPECT_TRUE(DetectSimpleCycle(q).is_cycle);
+  Database db = RandomCycleDatabase(25, 4, 60, 5.0);
+  CheckCycle(db, q, Algorithm::kLazy);
+}
+
+// Every output witness must be produced by exactly one partition tree.
+TEST(CycleDecompositionTest, PartitionsDisjointAndCover) {
+  Database db = RandomCycleDatabase(35, 4, 61, 5.0);
+  ConjunctiveQuery q = ConjunctiveQuery::Cycle(4);
+  auto instances = DecomposeCycle(db, q);
+  ASSERT_EQ(instances.size(), 5u);
+
+  std::multiset<std::vector<uint32_t>> produced;
+  for (auto& inst : instances) {
+    StageGraph<TropicalDioid> g = BuildStageGraph<TropicalDioid>(inst);
+    auto e = MakeEnumerator<TropicalDioid>(&g, Algorithm::kBatchNoSort);
+    while (auto r = e->Next()) produced.insert(r->witness);
+  }
+  auto oracle = testing::Oracle<TropicalDioid>(db, q);
+  std::multiset<std::vector<uint32_t>> expected;
+  for (const auto& row : oracle) expected.insert(row.witness);
+  EXPECT_EQ(produced, expected);  // multiset equality = disjoint + covering
+}
+
+// Triangles fall back to the generic-join batch plan.
+TEST(CycleFallbackTest, TriangleUsesGenericJoin) {
+  Database db = RandomCycleDatabase(30, 3, 62, 4.0);
+  ConjunctiveQuery q = ConjunctiveQuery::Cycle(3);
+  RankedQuery<TropicalDioid> rq(db, q);
+  EXPECT_EQ(rq.plan(), QueryPlan::kGenericJoinBatch);
+  ExpectMatchesOracle<TropicalDioid>(rq.enumerator(), db, q);
+}
+
+// Non-simple cyclic query (chordal square) also falls back.
+TEST(CycleFallbackTest, ChordedSquare) {
+  Rng rng(63);
+  Database db;
+  for (int i = 1; i <= 5; ++i) {
+    auto& rel = db.AddRelation("R" + std::to_string(i), 2);
+    for (int t = 0; t < 40; ++t) {
+      rel.Add({rng.Uniform(0, 7), rng.Uniform(0, 7)},
+              static_cast<double>(rng.Uniform(0, 100)));
+    }
+  }
+  ConjunctiveQuery q = ConjunctiveQuery::Cycle(4);
+  q.AddAtom("R5", {"x1", "x3"});  // chord
+  RankedQuery<TropicalDioid> rq(db, q);
+  EXPECT_EQ(rq.plan(), QueryPlan::kGenericJoinBatch);
+  ExpectMatchesOracle<TropicalDioid>(rq.enumerator(), db, q);
+}
+
+}  // namespace
+}  // namespace anyk

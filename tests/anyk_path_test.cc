@@ -1,0 +1,165 @@
+// Property tests: every any-k algorithm enumerates path-query answers in
+// exactly the oracle's ranked order, across sizes, seeds and weight
+// distributions (paper Sections 3-4).
+
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "anyk/factory.h"
+#include "anyk/ranked_query.h"
+#include "dioid/tropical.h"
+#include "dp/stage_graph.h"
+#include "query/cq.h"
+#include "query/join_tree.h"
+#include "test_util.h"
+#include "workload/generators.h"
+
+namespace anyk {
+namespace {
+
+using testing::ExpectMatchesOracle;
+
+struct PathCase {
+  size_t n;
+  size_t l;
+  uint64_t seed;
+  double fanout;
+};
+
+class AnyKPathTest
+    : public ::testing::TestWithParam<std::tuple<Algorithm, PathCase>> {};
+
+std::string PathCaseName(
+    const ::testing::TestParamInfo<std::tuple<Algorithm, PathCase>>& info) {
+  const Algorithm algo = std::get<0>(info.param);
+  const PathCase& pc = std::get<1>(info.param);
+  return std::string(AlgorithmName(algo)) + "_n" + std::to_string(pc.n) +
+         "_l" + std::to_string(pc.l) + "_s" + std::to_string(pc.seed);
+}
+
+std::string AlgoName(const ::testing::TestParamInfo<Algorithm>& info) {
+  return AlgorithmName(info.param);
+}
+
+TEST_P(AnyKPathTest, MatchesOracle) {
+  const auto& [algo, pc] = GetParam();
+  GeneratorOptions gen;
+  gen.fanout = pc.fanout;
+  Database db = MakePathDatabase(pc.n, pc.l, pc.seed, gen);
+  ConjunctiveQuery q = ConjunctiveQuery::Path(pc.l);
+  TDPInstance inst = BuildAcyclicInstance(db, q);
+  StageGraph<TropicalDioid> g = BuildStageGraph<TropicalDioid>(inst);
+  auto e = MakeEnumerator<TropicalDioid>(&g, algo);
+  ExpectMatchesOracle<TropicalDioid>(e.get(), db, q);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AnyKPathTest,
+    ::testing::Combine(
+        ::testing::ValuesIn(AllRankedAlgorithms()),
+        ::testing::Values(PathCase{1, 2, 1, 1.0}, PathCase{5, 2, 2, 2.0},
+                          PathCase{30, 2, 3, 5.0}, PathCase{30, 3, 4, 5.0},
+                          PathCase{50, 3, 5, 10.0}, PathCase{20, 4, 6, 4.0},
+                          PathCase{40, 4, 7, 8.0}, PathCase{15, 5, 8, 3.0},
+                          PathCase{12, 6, 9, 3.0}, PathCase{60, 2, 10, 30.0},
+                          PathCase{25, 3, 11, 25.0})),
+    PathCaseName);
+
+// Ties: many equal weights must still enumerate a valid non-decreasing
+// permutation of the oracle.
+class AnyKPathTiesTest : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(AnyKPathTiesTest, AllWeightsEqual) {
+  GeneratorOptions gen;
+  gen.weight_min = 7;
+  gen.weight_max = 7;
+  gen.fanout = 3.0;
+  Database db = MakePathDatabase(20, 3, 42, gen);
+  ConjunctiveQuery q = ConjunctiveQuery::Path(3);
+  TDPInstance inst = BuildAcyclicInstance(db, q);
+  StageGraph<TropicalDioid> g = BuildStageGraph<TropicalDioid>(inst);
+  auto e = MakeEnumerator<TropicalDioid>(&g, GetParam());
+  ExpectMatchesOracle<TropicalDioid>(e.get(), db, q);
+}
+
+TEST_P(AnyKPathTiesTest, TwoDistinctWeights) {
+  GeneratorOptions gen;
+  gen.weight_min = 0;
+  gen.weight_max = 1;
+  gen.fanout = 4.0;
+  Database db = MakePathDatabase(24, 4, 43, gen);
+  ConjunctiveQuery q = ConjunctiveQuery::Path(4);
+  TDPInstance inst = BuildAcyclicInstance(db, q);
+  StageGraph<TropicalDioid> g = BuildStageGraph<TropicalDioid>(inst);
+  auto e = MakeEnumerator<TropicalDioid>(&g, GetParam());
+  ExpectMatchesOracle<TropicalDioid>(e.get(), db, q);
+}
+
+INSTANTIATE_TEST_SUITE_P(Algos, AnyKPathTiesTest,
+                         ::testing::ValuesIn(AllRankedAlgorithms()), AlgoName);
+
+// Edge cases shared by all algorithms.
+class AnyKPathEdgeTest : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(AnyKPathEdgeTest, EmptyRelation) {
+  Database db;
+  db.AddRelation("R1", 2).Add({1, 2}, 1.0);
+  db.AddRelation("R2", 2);  // empty
+  ConjunctiveQuery q = ConjunctiveQuery::Path(2);
+  TDPInstance inst = BuildAcyclicInstance(db, q);
+  StageGraph<TropicalDioid> g = BuildStageGraph<TropicalDioid>(inst);
+  auto e = MakeEnumerator<TropicalDioid>(&g, GetParam());
+  EXPECT_FALSE(e->Next().has_value());
+}
+
+TEST_P(AnyKPathEdgeTest, NoJoinPartner) {
+  Database db;
+  auto& r1 = db.AddRelation("R1", 2);
+  r1.Add({1, 2}, 1.0);
+  r1.Add({1, 3}, 2.0);
+  auto& r2 = db.AddRelation("R2", 2);
+  r2.Add({9, 5}, 1.0);  // never joins
+  ConjunctiveQuery q = ConjunctiveQuery::Path(2);
+  TDPInstance inst = BuildAcyclicInstance(db, q);
+  StageGraph<TropicalDioid> g = BuildStageGraph<TropicalDioid>(inst);
+  auto e = MakeEnumerator<TropicalDioid>(&g, GetParam());
+  EXPECT_FALSE(e->Next().has_value());
+}
+
+TEST_P(AnyKPathEdgeTest, SingleResult) {
+  Database db;
+  db.AddRelation("R1", 2).Add({1, 2}, 3.0);
+  db.AddRelation("R2", 2).Add({2, 4}, 4.0);
+  ConjunctiveQuery q = ConjunctiveQuery::Path(2);
+  TDPInstance inst = BuildAcyclicInstance(db, q);
+  StageGraph<TropicalDioid> g = BuildStageGraph<TropicalDioid>(inst);
+  auto e = MakeEnumerator<TropicalDioid>(&g, GetParam());
+  auto r = e->Next();
+  ASSERT_TRUE(r.has_value());
+  EXPECT_DOUBLE_EQ(r->weight, 7.0);
+  EXPECT_EQ(r->assignment, (std::vector<Value>{1, 2, 4}));
+  EXPECT_FALSE(e->Next().has_value());
+}
+
+TEST_P(AnyKPathEdgeTest, SelfJoinSameRelation) {
+  Database db;
+  auto& rel = db.AddRelation("E", 2);
+  rel.Add({1, 2}, 1.0);
+  rel.Add({2, 3}, 2.0);
+  rel.Add({2, 1}, 4.0);
+  rel.Add({3, 2}, 8.0);
+  ConjunctiveQuery q = ConjunctiveQuery::Path(3, "E", /*single_relation=*/true);
+  TDPInstance inst = BuildAcyclicInstance(db, q);
+  StageGraph<TropicalDioid> g = BuildStageGraph<TropicalDioid>(inst);
+  auto e = MakeEnumerator<TropicalDioid>(&g, GetParam());
+  ExpectMatchesOracle<TropicalDioid>(e.get(), db, q);
+}
+
+INSTANTIATE_TEST_SUITE_P(Algos, AnyKPathEdgeTest,
+                         ::testing::ValuesIn(AllRankedAlgorithms()), AlgoName);
+
+}  // namespace
+}  // namespace anyk

@@ -1,0 +1,225 @@
+// T-DP tests (paper Section 5.1): star queries, deeper branching join
+// trees, Cartesian products, and the dioid sweep (tropical / max-plus /
+// boolean / max-times / lexicographic / tie-breaking).
+
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "anyk/factory.h"
+#include "dioid/boolean.h"
+#include "dioid/lex.h"
+#include "dioid/max_plus.h"
+#include "dioid/max_times.h"
+#include "dioid/min_max.h"
+#include "dioid/tiebreak.h"
+#include "dioid/tropical.h"
+#include "dp/stage_graph.h"
+#include "query/cq.h"
+#include "query/join_tree.h"
+#include "test_util.h"
+#include "workload/generators.h"
+
+namespace anyk {
+namespace {
+
+using testing::ExpectMatchesOracle;
+
+std::string AlgoName(const ::testing::TestParamInfo<Algorithm>& info) {
+  return AlgorithmName(info.param);
+}
+
+template <SelectiveDioid D>
+void CheckQuery(const Database& db, const ConjunctiveQuery& q, Algorithm algo,
+                size_t max_results = SIZE_MAX) {
+  TDPInstance inst = BuildAcyclicInstance(db, q);
+  StageGraph<D> g = BuildStageGraph<D>(inst);
+  auto e = MakeEnumerator<D>(&g, algo);
+  ExpectMatchesOracle<D>(e.get(), db, q, max_results);
+}
+
+class AnyKTreeTest : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(AnyKTreeTest, Star3) {
+  Database db = MakeStarDatabase(40, 3, 21, {.fanout = 8.0});
+  CheckQuery<TropicalDioid>(db, ConjunctiveQuery::Star(3), GetParam());
+}
+
+TEST_P(AnyKTreeTest, Star4) {
+  Database db = MakeStarDatabase(30, 4, 22, {.fanout = 6.0});
+  CheckQuery<TropicalDioid>(db, ConjunctiveQuery::Star(4), GetParam());
+}
+
+TEST_P(AnyKTreeTest, Star6) {
+  Database db = MakeStarDatabase(14, 6, 23, {.fanout = 4.0});
+  CheckQuery<TropicalDioid>(db, ConjunctiveQuery::Star(6), GetParam());
+}
+
+// A genuinely branching tree: R1(a,b) with children R2(b,c) -> R3(c,d) and
+// R4(b,e) -> { R5(e,f), R6(e,g) }.
+ConjunctiveQuery BranchingQuery() {
+  ConjunctiveQuery q;
+  q.AddAtom("R1", {"a", "b"});
+  q.AddAtom("R2", {"b", "c"});
+  q.AddAtom("R3", {"c", "d"});
+  q.AddAtom("R4", {"b", "e"});
+  q.AddAtom("R5", {"e", "f"});
+  q.AddAtom("R6", {"e", "g"});
+  return q;
+}
+
+TEST_P(AnyKTreeTest, BranchingTree) {
+  Database db = MakePathDatabase(25, 6, 24, {.fanout = 5.0});
+  CheckQuery<TropicalDioid>(db, BranchingQuery(), GetParam());
+}
+
+TEST_P(AnyKTreeTest, BranchingTreeTies) {
+  GeneratorOptions gen;
+  gen.weight_min = 0;
+  gen.weight_max = 2;
+  gen.fanout = 4.0;
+  Database db = MakePathDatabase(16, 6, 25, gen);
+  CheckQuery<TropicalDioid>(db, BranchingQuery(), GetParam());
+}
+
+TEST_P(AnyKTreeTest, CartesianProduct) {
+  Database db = MakeCartesianDatabase(8, 3, 26);
+  CheckQuery<TropicalDioid>(db, ConjunctiveQuery::Product(3), GetParam());
+}
+
+TEST_P(AnyKTreeTest, CartesianProductTopK) {
+  Database db = MakeCartesianDatabase(30, 3, 27);
+  CheckQuery<TropicalDioid>(db, ConjunctiveQuery::Product(3), GetParam(), 200);
+}
+
+// Ternary relations: Q :- R1(a,b,c), R2(b,c,d), R3(c,e) — wider join keys.
+TEST_P(AnyKTreeTest, TernaryAtoms) {
+  Rng rng(28);
+  Database db;
+  auto& r1 = db.AddRelation("R1", 3);
+  auto& r2 = db.AddRelation("R2", 3);
+  auto& r3 = db.AddRelation("R3", 2);
+  for (int i = 0; i < 60; ++i) {
+    r1.Add({rng.Uniform(0, 5), rng.Uniform(0, 5), rng.Uniform(0, 5)},
+           static_cast<double>(rng.Uniform(0, 100)));
+    r2.Add({rng.Uniform(0, 5), rng.Uniform(0, 5), rng.Uniform(0, 5)},
+           static_cast<double>(rng.Uniform(0, 100)));
+    r3.Add({rng.Uniform(0, 5), rng.Uniform(0, 5)},
+           static_cast<double>(rng.Uniform(0, 100)));
+  }
+  ConjunctiveQuery q;
+  q.AddAtom("R1", {"a", "b", "c"});
+  q.AddAtom("R2", {"b", "c", "d"});
+  q.AddAtom("R3", {"c", "e"});
+  CheckQuery<TropicalDioid>(db, q, GetParam());
+}
+
+// Repeated variable inside an atom: R1(a,a,b) filters to a==a' rows.
+TEST_P(AnyKTreeTest, RepeatedVariableAtom) {
+  Rng rng(29);
+  Database db;
+  auto& r1 = db.AddRelation("R1", 3);
+  auto& r2 = db.AddRelation("R2", 2);
+  for (int i = 0; i < 50; ++i) {
+    r1.Add({rng.Uniform(0, 4), rng.Uniform(0, 4), rng.Uniform(0, 4)},
+           static_cast<double>(rng.Uniform(0, 100)));
+    r2.Add({rng.Uniform(0, 4), rng.Uniform(0, 4)},
+           static_cast<double>(rng.Uniform(0, 100)));
+  }
+  ConjunctiveQuery q;
+  q.AddAtom("R1", {"a", "a", "b"});
+  q.AddAtom("R2", {"b", "c"});
+  CheckQuery<TropicalDioid>(db, q, GetParam());
+}
+
+// ---- Dioid sweep on a fixed branching tree ----
+
+TEST_P(AnyKTreeTest, MaxPlusDioid) {
+  Database db = MakePathDatabase(20, 6, 30, {.fanout = 4.0});
+  CheckQuery<MaxPlusDioid>(db, BranchingQuery(), GetParam());
+}
+
+TEST_P(AnyKTreeTest, BooleanDioid) {
+  Database db = MakePathDatabase(15, 6, 31, {.fanout = 4.0});
+  CheckQuery<BooleanDioid>(db, BranchingQuery(), GetParam());
+}
+
+TEST_P(AnyKTreeTest, MaxTimesDioid) {
+  GeneratorOptions gen;
+  gen.weight_min = 1;
+  gen.weight_max = 15;  // products stay exactly representable
+  gen.fanout = 4.0;
+  Database db = MakePathDatabase(15, 4, 32, gen);
+  ConjunctiveQuery q;
+  q.AddAtom("R1", {"a", "b"});
+  q.AddAtom("R2", {"b", "c"});
+  q.AddAtom("R3", {"b", "d"});
+  q.AddAtom("R4", {"d", "e"});
+  CheckQuery<MaxTimesDioid>(db, q, GetParam());
+}
+
+TEST_P(AnyKTreeTest, MinMaxBottleneckDioid) {
+  // Bottleneck ranking: smallest maximum tuple weight first.
+  Database db = MakePathDatabase(25, 4, 39, {.fanout = 5.0});
+  CheckQuery<MinMaxDioid>(db, ConjunctiveQuery::Path(4), GetParam());
+}
+
+TEST_P(AnyKTreeTest, LexicographicDioid) {
+  Database db = MakePathDatabase(20, 4, 33, {.fanout = 5.0});
+  CheckQuery<LexDioid<8>>(db, ConjunctiveQuery::Path(4), GetParam());
+}
+
+TEST_P(AnyKTreeTest, TropicalMonoidMatchesGroupPath) {
+  // Same semantics as TropicalDioid, but forces the inverse-free code path
+  // (frontier recomputation, Section 6.2) — results must be identical.
+  Database db = MakePathDatabase(20, 6, 37, {.fanout = 4.0});
+  CheckQuery<TropicalMonoidDioid>(db, BranchingQuery(), GetParam());
+}
+
+TEST_P(AnyKTreeTest, TropicalMonoidOnStar) {
+  Database db = MakeStarDatabase(25, 4, 38, {.fanout = 5.0});
+  CheckQuery<TropicalMonoidDioid>(db, ConjunctiveQuery::Star(4), GetParam());
+}
+
+TEST_P(AnyKTreeTest, TieBreakDioid) {
+  GeneratorOptions gen;
+  gen.weight_min = 0;
+  gen.weight_max = 3;  // force many base-weight ties
+  gen.fanout = 4.0;
+  Database db = MakePathDatabase(18, 4, 34, gen);
+  using TB = TieBreakDioid<TropicalDioid, 8>;
+  CheckQuery<TB>(db, ConjunctiveQuery::Path(4), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Algos, AnyKTreeTest,
+                         ::testing::ValuesIn(AllRankedAlgorithms()), AlgoName);
+
+// The lexicographic dioid must order results like the per-atom weight
+// sequence (Fig. 18 scenario, Section 9.1.2).
+TEST(LexOrderTest, OrdersByAtomThenAtom) {
+  Database db;
+  auto& r1 = db.AddRelation("R1", 2);
+  auto& r2 = db.AddRelation("R2", 2);
+  for (Value i = 1; i <= 3; ++i) {
+    r1.Add({i, 0}, static_cast<double>(i));
+    r2.Add({0, i}, static_cast<double>(i));
+  }
+  ConjunctiveQuery q = ConjunctiveQuery::Path(2);
+  TDPInstance inst = BuildAcyclicInstance(db, q);
+  StageGraph<LexDioid<4>> g = BuildStageGraph<LexDioid<4>>(inst);
+  auto e = MakeEnumerator<LexDioid<4>>(&g, Algorithm::kTake2);
+  std::vector<std::pair<Value, Value>> order;
+  while (auto r = e->Next()) {
+    order.emplace_back(r->assignment[0], r->assignment[2]);
+  }
+  ASSERT_EQ(order.size(), 9u);
+  // (A asc, then C asc): (1,1), (1,2), (1,3), (2,1), ...
+  for (size_t i = 0; i < 9; ++i) {
+    EXPECT_EQ(order[i].first, static_cast<Value>(i / 3 + 1));
+    EXPECT_EQ(order[i].second, static_cast<Value>(i % 3 + 1));
+  }
+}
+
+}  // namespace
+}  // namespace anyk

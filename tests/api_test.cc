@@ -1,0 +1,157 @@
+// Public-API conveniences: CSV import/export, TopK, CountOutput, Explain,
+// and the decomposition size bound of Section 5.3.1 (bags materialize in
+// O(n^{2-2/l})).
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "anyk/explain.h"
+#include "anyk/range.h"
+#include "anyk/topk.h"
+#include "anyk_api.h"
+#include "dioid/tropical.h"
+#include "query/cq.h"
+#include "query/cycle_decomposition.h"
+#include "storage/csv.h"
+#include "test_util.h"
+#include "workload/generators.h"
+
+namespace anyk {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(CsvTest, RoundTrip) {
+  const std::string path = TempPath("anyk_csv_roundtrip.csv");
+  {
+    std::ofstream out(path);
+    out << "1,2,3.5\n4,5,-1\n7,8,0\n";
+  }
+  Database db;
+  CsvOptions opts;
+  opts.weight_column = 2;
+  Relation& rel = LoadRelationCsv(&db, "E", path, opts);
+  ASSERT_EQ(rel.NumRows(), 3u);
+  EXPECT_EQ(rel.arity(), 2u);
+  EXPECT_EQ(rel.At(0, 0), 1);
+  EXPECT_DOUBLE_EQ(rel.Weight(0), 3.5);
+  EXPECT_DOUBLE_EQ(rel.Weight(1), -1.0);
+
+  const std::string path2 = TempPath("anyk_csv_roundtrip2.csv");
+  SaveRelationCsv(rel, path2);
+  Database db2;
+  Relation& rel2 = LoadRelationCsv(&db2, "E", path2, opts);
+  ASSERT_EQ(rel2.NumRows(), 3u);
+  for (size_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(rel2.At(r, 0), rel.At(r, 0));
+    EXPECT_EQ(rel2.At(r, 1), rel.At(r, 1));
+    EXPECT_DOUBLE_EQ(rel2.Weight(r), rel.Weight(r));
+  }
+  std::remove(path.c_str());
+  std::remove(path2.c_str());
+}
+
+TEST(CsvTest, HeaderTabsAndLimit) {
+  const std::string path = TempPath("anyk_csv_header.tsv");
+  {
+    std::ofstream out(path);
+    out << "src\tdst\n10\t20\n30\t40\n50\t60\n";
+  }
+  Database db;
+  CsvOptions opts;
+  opts.delimiter = '\t';
+  opts.has_header = true;
+  opts.limit = 2;
+  Relation& rel = LoadRelationCsv(&db, "E", path, opts);
+  ASSERT_EQ(rel.NumRows(), 2u);
+  EXPECT_EQ(rel.At(1, 1), 40);
+  EXPECT_DOUBLE_EQ(rel.Weight(0), 0.0);  // weightless
+  std::remove(path.c_str());
+}
+
+TEST(TopKTest, ReturnsPrefixOfRanking) {
+  Database db = MakePathDatabase(40, 3, 401, {.fanout = 6.0});
+  ConjunctiveQuery q = ConjunctiveQuery::Path(3);
+  auto oracle = testing::Oracle<TropicalDioid>(db, q);
+  auto top = TopK<TropicalDioid>(db, q, 25);
+  ASSERT_EQ(top.size(), std::min<size_t>(25, oracle.size()));
+  for (size_t i = 0; i < top.size(); ++i) {
+    EXPECT_DOUBLE_EQ(top[i].weight, oracle[i].weight);
+  }
+  EXPECT_EQ(CountOutput<TropicalDioid>(db, q), oracle.size());
+}
+
+TEST(TopKTest, KLargerThanOutput) {
+  Database db;
+  db.AddRelation("R1", 2).Add({1, 2}, 1.0);
+  db.AddRelation("R2", 2).Add({2, 3}, 2.0);
+  auto top = TopK<TropicalDioid>(db, ConjunctiveQuery::Path(2), 100);
+  ASSERT_EQ(top.size(), 1u);
+}
+
+TEST(ExplainTest, DescribesPlans) {
+  Database db = MakePathDatabase(30, 4, 402, {.fanout = 5.0});
+  {
+    RankedQuery<TropicalDioid> rq(db, ConjunctiveQuery::Path(4));
+    std::string text = Explain(rq);
+    EXPECT_NE(text.find("acyclic join tree"), std::string::npos);
+    EXPECT_NE(text.find("4 stages"), std::string::npos);
+  }
+  {
+    RankedQuery<TropicalDioid> rq(db, ConjunctiveQuery::Cycle(4));
+    std::string text = Explain(rq);
+    EXPECT_NE(text.find("UT-DP union of 5 trees"), std::string::npos);
+  }
+}
+
+TEST(RangeTest, RangeForVisitsEveryResultInOrder) {
+  Database db = MakePathDatabase(30, 3, 404, {.fanout = 5.0});
+  ConjunctiveQuery q = ConjunctiveQuery::Path(3);
+  auto oracle = testing::Oracle<TropicalDioid>(db, q);
+  RankedQuery<TropicalDioid> rq(db, q);
+  size_t i = 0;
+  for (const ResultRow<TropicalDioid>& row : Results(&rq)) {
+    ASSERT_LT(i, oracle.size());
+    EXPECT_DOUBLE_EQ(row.weight, oracle[i].weight);
+    ++i;
+  }
+  EXPECT_EQ(i, oracle.size());
+}
+
+TEST(RangeTest, EmptyEnumeration) {
+  Database db;
+  db.AddRelation("R1", 2);
+  db.AddRelation("R2", 2);
+  RankedQuery<TropicalDioid> rq(db, ConjunctiveQuery::Path(2));
+  size_t count = 0;
+  for ([[maybe_unused]] const auto& row : Results(&rq)) ++count;
+  EXPECT_EQ(count, 0u);
+}
+
+TEST(DecompositionBoundTest, BagSizesWithinTheoreticalBound) {
+  // Section 5.3.1: all bags of all l+1 trees materialize in O(n^{2-2/l}).
+  for (size_t l : {4u, 6u}) {
+    for (size_t n : {200u, 400u, 800u}) {
+      Database db = MakeWorstCaseCycleDatabase(n, l, 403 + n);
+      auto instances = DecomposeCycle(db, ConjunctiveQuery::Cycle(l));
+      size_t total_rows = 0;
+      for (const auto& inst : instances) {
+        for (const auto& node : inst.nodes) total_rows += node.NumRows();
+      }
+      const double bound = std::pow(static_cast<double>(n), 2.0 - 2.0 / l);
+      // Generous constant: (l+1) trees x (l-2) bags each, plus slack.
+      EXPECT_LE(static_cast<double>(total_rows),
+                8.0 * static_cast<double>(l * l) * bound)
+          << "l=" << l << " n=" << n;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace anyk

@@ -1,0 +1,200 @@
+// Algebraic-law property tests for every selective dioid (paper Section 2.2,
+// Definition 3): associativity, commutativity and selectivity of ⊕,
+// associativity of ⊗, identities, absorption, distributivity, and the order
+// induced by ⊕. Laws are checked over randomly sampled elements.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dioid/boolean.h"
+#include "dioid/dioid.h"
+#include "dioid/lex.h"
+#include "dioid/max_plus.h"
+#include "dioid/max_times.h"
+#include "dioid/min_max.h"
+#include "dioid/tiebreak.h"
+#include "dioid/tropical.h"
+#include "util/random.h"
+
+namespace anyk {
+namespace {
+
+// Sample generators per dioid.
+template <typename D>
+struct Sampler;
+
+template <>
+struct Sampler<TropicalDioid> {
+  static double Sample(Rng* rng) {
+    return static_cast<double>(rng->Uniform(-50, 50));
+  }
+};
+template <>
+struct Sampler<MaxPlusDioid> {
+  static double Sample(Rng* rng) {
+    return static_cast<double>(rng->Uniform(-50, 50));
+  }
+};
+template <>
+struct Sampler<BooleanDioid> {
+  static uint8_t Sample(Rng* rng) { return rng->Bernoulli(0.5) ? 1 : 0; }
+};
+template <>
+struct Sampler<MaxTimesDioid> {
+  static double Sample(Rng* rng) {
+    return static_cast<double>(rng->Uniform(0, 20));
+  }
+};
+template <>
+struct Sampler<MinMaxDioid> {
+  static double Sample(Rng* rng) {
+    return static_cast<double>(rng->Uniform(-20, 20));
+  }
+};
+template <>
+struct Sampler<LexDioid<4>> {
+  static LexDioid<4>::Value Sample(Rng* rng) {
+    LexDioid<4>::Value v{};
+    for (auto& x : v) x = static_cast<double>(rng->Uniform(0, 5));
+    return v;
+  }
+};
+
+template <typename D>
+class DioidLawTest : public ::testing::Test {
+ protected:
+  std::vector<typename D::Value> Samples(size_t count) {
+    Rng rng(0xD101D + count);
+    std::vector<typename D::Value> out;
+    out.reserve(count + 2);
+    out.push_back(D::One());
+    out.push_back(D::Zero());
+    for (size_t i = 0; i < count; ++i) out.push_back(Sampler<D>::Sample(&rng));
+    return out;
+  }
+};
+
+using Dioids = ::testing::Types<TropicalDioid, MaxPlusDioid, BooleanDioid,
+                                MaxTimesDioid, MinMaxDioid, LexDioid<4>>;
+TYPED_TEST_SUITE(DioidLawTest, Dioids);
+
+TYPED_TEST(DioidLawTest, PlusIsSelectiveCommutativeAssociative) {
+  using D = TypeParam;
+  auto xs = this->Samples(12);
+  for (const auto& a : xs) {
+    for (const auto& b : xs) {
+      auto ab = DioidPlus<D>(a, b);
+      // Selectivity: a ⊕ b is one of the operands.
+      EXPECT_TRUE(DioidEq<D>(ab, a) || DioidEq<D>(ab, b));
+      // Commutativity (as elements of the induced order).
+      EXPECT_TRUE(DioidEq<D>(ab, DioidPlus<D>(b, a)));
+      for (const auto& c : xs) {
+        EXPECT_TRUE(DioidEq<D>(DioidPlus<D>(DioidPlus<D>(a, b), c),
+                               DioidPlus<D>(a, DioidPlus<D>(b, c))));
+      }
+    }
+  }
+}
+
+TYPED_TEST(DioidLawTest, CombineAssociativeWithIdentity) {
+  using D = TypeParam;
+  auto xs = this->Samples(10);
+  for (const auto& a : xs) {
+    EXPECT_TRUE(DioidEq<D>(D::Combine(a, D::One()), a));
+    EXPECT_TRUE(DioidEq<D>(D::Combine(D::One(), a), a));
+    // 0̄ absorbs.
+    EXPECT_TRUE(DioidEq<D>(D::Combine(a, D::Zero()), D::Zero()));
+    for (const auto& b : xs) {
+      for (const auto& c : xs) {
+        EXPECT_TRUE(DioidEq<D>(D::Combine(D::Combine(a, b), c),
+                               D::Combine(a, D::Combine(b, c))));
+      }
+    }
+  }
+}
+
+TYPED_TEST(DioidLawTest, Distributivity) {
+  using D = TypeParam;
+  auto xs = this->Samples(10);
+  for (const auto& a : xs) {
+    for (const auto& b : xs) {
+      for (const auto& c : xs) {
+        EXPECT_TRUE(DioidEq<D>(D::Combine(DioidPlus<D>(a, b), c),
+                               DioidPlus<D>(D::Combine(a, c), D::Combine(b, c))));
+      }
+    }
+  }
+}
+
+TYPED_TEST(DioidLawTest, OrderIsTotal) {
+  using D = TypeParam;
+  auto xs = this->Samples(12);
+  for (const auto& a : xs) {
+    EXPECT_FALSE(D::Less(a, a));  // irreflexive
+    for (const auto& b : xs) {
+      // Totality: exactly one of <, >, ==.
+      const int rel = (D::Less(a, b) ? 1 : 0) + (D::Less(b, a) ? 1 : 0);
+      EXPECT_LE(rel, 1);
+      // Zero is the maximum (worst) element.
+      EXPECT_FALSE(D::Less(D::Zero(), a));
+    }
+  }
+}
+
+TYPED_TEST(DioidLawTest, CombineIsMonotone) {
+  using D = TypeParam;
+  auto xs = this->Samples(10);
+  for (const auto& a : xs) {
+    for (const auto& b : xs) {
+      for (const auto& c : xs) {
+        if (!D::Less(b, a)) {  // a <= b
+          EXPECT_FALSE(D::Less(D::Combine(b, c), D::Combine(a, c)))
+              << "combine must be non-decreasing";
+        }
+      }
+    }
+  }
+}
+
+TYPED_TEST(DioidLawTest, SubtractInvertsCombine) {
+  using D = TypeParam;
+  if constexpr (D::kHasInverse) {
+    auto xs = this->Samples(10);
+    for (const auto& a : xs) {
+      for (const auto& b : xs) {
+        if (DioidEq<D>(a, D::Zero()) || DioidEq<D>(b, D::Zero())) continue;
+        EXPECT_TRUE(DioidEq<D>(D::Subtract(D::Combine(a, b), b), a));
+      }
+    }
+  }
+}
+
+// Tie-breaking adapter (Section 6.3): never equates distinct witnesses, and
+// subtract undoes combine at the id level too.
+TEST(TieBreakTest, DistinctRowsNeverEqual) {
+  using TB = TieBreakDioid<TropicalDioid, 4>;
+  auto a = TB::FromWeightRow(5.0, 0, 3, 7);
+  auto b = TB::FromWeightRow(5.0, 0, 3, 9);
+  EXPECT_TRUE(TB::Less(a, b));
+  EXPECT_FALSE(TB::Less(b, a));
+  auto c = TB::FromWeightRow(5.0, 1, 3, 7);
+  auto ac = TB::Combine(a, c);
+  EXPECT_EQ(ac.id[0], 7);
+  EXPECT_EQ(ac.id[1], 7);
+  EXPECT_EQ(ac.id[2], TB::kUnset);
+  auto back = TB::Subtract(ac, c);
+  EXPECT_EQ(back.id[0], 7);
+  EXPECT_EQ(back.id[1], TB::kUnset);
+  EXPECT_DOUBLE_EQ(back.base, 5.0);
+}
+
+TEST(TieBreakTest, BaseOrderDominates) {
+  using TB = TieBreakDioid<TropicalDioid, 4>;
+  auto light = TB::FromWeightRow(1.0, 0, 2, 999);
+  auto heavy = TB::FromWeightRow(2.0, 0, 2, 0);
+  EXPECT_TRUE(TB::Less(light, heavy));
+}
+
+}  // namespace
+}  // namespace anyk

@@ -1,0 +1,148 @@
+// Randomized property tests: random acyclic join trees (random shapes,
+// arities, domains, weight distributions) evaluated by every algorithm and
+// compared against the brute-force oracle. Seeds are fixed, so failures are
+// reproducible.
+
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "anyk/factory.h"
+#include "anyk/ranked_query.h"
+#include "dioid/tropical.h"
+#include "dp/stage_graph.h"
+#include "query/cq.h"
+#include "query/join_tree.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace anyk {
+namespace {
+
+struct FuzzCase {
+  uint64_t seed;
+  size_t num_atoms;
+  size_t rows;
+  int64_t domain;
+  int64_t weight_max;
+};
+
+// Random tree-shaped CQ: atom i joins its parent on one shared variable and
+// introduces 1-2 fresh variables.
+ConjunctiveQuery RandomTreeQuery(Rng* rng, size_t num_atoms,
+                                 std::vector<size_t>* arity_out) {
+  ConjunctiveQuery q;
+  std::vector<std::vector<std::string>> atom_vars(num_atoms);
+  size_t fresh = 0;
+  auto new_var = [&] { return "v" + std::to_string(fresh++); };
+  for (size_t i = 0; i < num_atoms; ++i) {
+    std::vector<std::string> vars;
+    if (i > 0) {
+      const size_t parent = rng->Below(i);
+      const auto& pv = atom_vars[parent];
+      vars.push_back(pv[rng->Below(pv.size())]);  // join var
+    } else {
+      vars.push_back(new_var());
+    }
+    const size_t extra = 1 + rng->Below(2);
+    for (size_t e = 0; e < extra; ++e) vars.push_back(new_var());
+    rng->Shuffle(&vars);
+    atom_vars[i] = vars;
+    arity_out->push_back(vars.size());
+    q.AddAtom("F" + std::to_string(i), vars);
+  }
+  return q;
+}
+
+Database RandomDatabase(Rng* rng, const std::vector<size_t>& arities,
+                        size_t rows, int64_t domain, int64_t weight_max) {
+  Database db;
+  for (size_t i = 0; i < arities.size(); ++i) {
+    auto& rel = db.AddRelation("F" + std::to_string(i), arities[i]);
+    std::vector<Value> buf(arities[i]);
+    for (size_t r = 0; r < rows; ++r) {
+      for (auto& v : buf) v = rng->Uniform(0, domain);
+      rel.AddRow(buf, static_cast<double>(rng->Uniform(0, weight_max)));
+    }
+  }
+  return db;
+}
+
+class FuzzTest : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(FuzzTest, AllAlgorithmsMatchOracle) {
+  const FuzzCase& fc = GetParam();
+  Rng rng(fc.seed);
+  std::vector<size_t> arities;
+  ConjunctiveQuery q = RandomTreeQuery(&rng, fc.num_atoms, &arities);
+  Database db =
+      RandomDatabase(&rng, arities, fc.rows, fc.domain, fc.weight_max);
+  ASSERT_TRUE(IsAcyclic(q)) << q.ToString();
+  TDPInstance inst = BuildAcyclicInstance(db, q);
+  StageGraph<TropicalDioid> g = BuildStageGraph<TropicalDioid>(inst);
+  for (Algorithm algo : AllRankedAlgorithms()) {
+    SCOPED_TRACE(std::string(AlgorithmName(algo)) + " on " + q.ToString());
+    auto e = MakeEnumerator<TropicalDioid>(&g, algo);
+    testing::ExpectMatchesOracle<TropicalDioid>(e.get(), db, q);
+  }
+}
+
+TEST_P(FuzzTest, RankedQueryFrontDoor) {
+  const FuzzCase& fc = GetParam();
+  Rng rng(fc.seed ^ 0xF00D);
+  std::vector<size_t> arities;
+  ConjunctiveQuery q = RandomTreeQuery(&rng, fc.num_atoms, &arities);
+  Database db =
+      RandomDatabase(&rng, arities, fc.rows, fc.domain, fc.weight_max);
+  RankedQuery<TropicalDioid>::Options opts;
+  opts.algorithm = Algorithm::kTake2;
+  RankedQuery<TropicalDioid> rq(db, q, opts);
+  EXPECT_EQ(rq.plan(), QueryPlan::kAcyclicTree);
+  testing::ExpectMatchesOracle<TropicalDioid>(rq.enumerator(), db, q);
+}
+
+TEST_P(FuzzTest, RandomCycleThroughDecomposition) {
+  const FuzzCase& fc = GetParam();
+  Rng rng(fc.seed ^ 0xC1C1E);
+  const size_t l = 4 + rng.Below(3);  // 4..6
+  Database db;
+  for (size_t i = 0; i < l; ++i) {
+    auto& rel = db.AddRelation("R" + std::to_string(i + 1), 2);
+    for (size_t r = 0; r < fc.rows; ++r) {
+      rel.Add({rng.Uniform(0, fc.domain), rng.Uniform(0, fc.domain)},
+              static_cast<double>(rng.Uniform(0, fc.weight_max)));
+    }
+  }
+  ConjunctiveQuery q = ConjunctiveQuery::Cycle(l);
+  RankedQuery<TropicalDioid>::Options opts;
+  opts.algorithm =
+      AllAnyKAlgorithms()[rng.Below(AllAnyKAlgorithms().size())];
+  RankedQuery<TropicalDioid> rq(db, q, opts);
+  EXPECT_EQ(rq.plan(), QueryPlan::kCycleUnion);
+  testing::ExpectMatchesOracle<TropicalDioid>(rq.enumerator(), db, q);
+}
+
+std::string FuzzName(const ::testing::TestParamInfo<FuzzCase>& info) {
+  return "s" + std::to_string(info.param.seed) + "_a" +
+         std::to_string(info.param.num_atoms) + "_r" +
+         std::to_string(info.param.rows) + "_d" +
+         std::to_string(info.param.domain);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Random, FuzzTest,
+    ::testing::Values(FuzzCase{11, 2, 30, 4, 100}, FuzzCase{12, 3, 25, 3, 50},
+                      FuzzCase{13, 3, 40, 5, 10}, FuzzCase{14, 4, 20, 3, 100},
+                      FuzzCase{15, 4, 30, 4, 2},  // heavy ties
+                      FuzzCase{16, 5, 15, 3, 100}, FuzzCase{17, 5, 20, 4, 50},
+                      FuzzCase{18, 6, 12, 3, 100}, FuzzCase{19, 6, 15, 2, 20},
+                      FuzzCase{20, 7, 10, 3, 100}, FuzzCase{21, 8, 8, 2, 50},
+                      FuzzCase{22, 3, 60, 8, 1},  // all equal weights
+                      FuzzCase{23, 4, 50, 10, 10000},
+                      FuzzCase{24, 2, 5, 2, 100},  // tiny
+                      FuzzCase{25, 5, 25, 5, 100}),
+    FuzzName);
+
+}  // namespace
+}  // namespace anyk

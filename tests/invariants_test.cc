@@ -1,0 +1,137 @@
+// Structural invariant tests backing the complexity table (paper Fig. 5):
+// operation counters of the any-k algorithms must respect the per-result
+// bounds that the asymptotic analysis relies on.
+
+#include <gtest/gtest.h>
+
+#include "anyk/anyk_part.h"
+#include "anyk/anyk_rec.h"
+#include "anyk/strategies.h"
+#include "dioid/tropical.h"
+#include "dp/stage_graph.h"
+#include "query/cq.h"
+#include "query/join_tree.h"
+#include "workload/generators.h"
+
+namespace anyk {
+namespace {
+
+struct Fixture {
+  Database db;
+  ConjunctiveQuery q;
+  TDPInstance inst;
+  StageGraph<TropicalDioid> g;
+
+  Fixture(size_t n, size_t l, uint64_t seed, double fanout)
+      : db(MakePathDatabase(n, l, seed, {.fanout = fanout})),
+        q(ConjunctiveQuery::Path(l)),
+        inst(BuildAcyclicInstance(db, q)),
+        g(BuildStageGraph<TropicalDioid>(inst)) {}
+};
+
+TEST(InvariantTest, Take2AtMostTwoSuccessorsPerCall) {
+  Fixture f(200, 4, 71, 10.0);
+  AnyKPartEnumerator<TropicalDioid, Take2Strategy> e(&f.g);
+  size_t k = 0;
+  while (e.Next() && k < 500) ++k;
+  const auto& ss = e.strategy_stats();
+  EXPECT_LE(ss.succ_returned, 2 * ss.succ_calls);
+  // Per result: <= L successor calls, each adding <= 2 candidates, plus the
+  // initial candidate.
+  const size_t L = f.g.stages.size();
+  EXPECT_LE(e.stats().pushes, 1 + k * 2 * L);
+  // MEM(k): candidate set stays O(k * l).
+  EXPECT_LE(e.stats().max_cand_size, 1 + 2 * L * (k + 1));
+}
+
+TEST(InvariantTest, EagerAndLazySingleSuccessor) {
+  Fixture f(200, 4, 72, 10.0);
+  AnyKPartEnumerator<TropicalDioid, EagerStrategy> eager(&f.g);
+  AnyKPartEnumerator<TropicalDioid, LazyStrategy> lazy(&f.g);
+  size_t k = 0;
+  while (eager.Next() && lazy.Next() && k < 500) ++k;
+  EXPECT_LE(eager.strategy_stats().succ_returned,
+            eager.strategy_stats().succ_calls);
+  EXPECT_LE(lazy.strategy_stats().succ_returned,
+            lazy.strategy_stats().succ_calls);
+  const size_t L = f.g.stages.size();
+  EXPECT_LE(eager.stats().pushes, 1 + k * L);
+  EXPECT_LE(lazy.stats().pushes, 1 + k * L);
+}
+
+TEST(InvariantTest, AllInsertsEverySiblingOnce) {
+  Fixture f(80, 3, 73, 8.0);
+  AnyKPartEnumerator<TropicalDioid, AllStrategy> e(&f.g);
+  // Drain fully: total pushes equal total deviations considered; every
+  // candidate is pushed exactly once, so pushes == pops when exhausted.
+  size_t k = 0;
+  while (e.Next()) ++k;
+  EXPECT_EQ(e.stats().pops, e.stats().pushes);
+  EXPECT_GT(k, 0u);
+}
+
+TEST(InvariantTest, PopsNeverExceedPushes) {
+  Fixture f(100, 4, 74, 6.0);
+  AnyKPartEnumerator<TropicalDioid, Take2Strategy> e(&f.g);
+  while (e.Next()) {
+    EXPECT_LE(e.stats().pops, e.stats().pushes);
+  }
+}
+
+TEST(InvariantTest, RecursivePqOpsLinearInDepthPerResult) {
+  Fixture f(150, 5, 75, 8.0);
+  RecursiveEnumerator<TropicalDioid> e(&f.g);
+  const size_t L = f.g.stages.size();
+  size_t prev_pops = 0;
+  size_t k = 0;
+  while (k < 300) {
+    if (!e.Next()) break;
+    ++k;
+    const size_t pops = e.stats().heap_pops;
+    // Each next() materializes at most one new rank per stage, i.e. <= 2*L
+    // pops even while rankings warm up.
+    EXPECT_LE(pops - prev_pops, 2 * L) << "at k=" << k;
+    prev_pops = pops;
+  }
+}
+
+TEST(InvariantTest, RecursiveTotalPopsBoundedBySuffixCount) {
+  // Theorem 11's accounting: over a full enumeration, each suffix enters and
+  // leaves a connector priority queue at most once.
+  Fixture f(60, 4, 76, 6.0);
+  RecursiveEnumerator<TropicalDioid> e(&f.g);
+  size_t out = 0;
+  while (e.Next()) ++out;
+  size_t suffix_bound = 0;  // total suffixes = sum over connectors of paths
+  // Upper bound: (#results) * stages + total states (loose but shape-true).
+  suffix_bound = out * f.g.stages.size();
+  for (const auto& st : f.g.stages) suffix_bound += st.NumStates();
+  EXPECT_LE(e.stats().heap_pops, suffix_bound);
+}
+
+TEST(InvariantTest, LazyInitializesConnectorsLazily) {
+  Fixture f(300, 4, 77, 10.0);
+  AnyKPartEnumerator<TropicalDioid, LazyStrategy> e(&f.g);
+  ASSERT_TRUE(e.Next().has_value());
+  // After one result only the connectors on one root-to-leaf path (plus the
+  // root) can have been initialized: at most L.
+  EXPECT_LE(e.strategy_stats().conns_initialized, f.g.stages.size());
+}
+
+TEST(InvariantTest, WeightsMatchRecomputationFromWitness) {
+  Fixture f(60, 4, 78, 6.0);
+  AnyKPartEnumerator<TropicalDioid, Take2Strategy> e(&f.g);
+  while (auto r = e.Next()) {
+    double sum = 0;
+    ASSERT_EQ(r->witness.size(), f.q.NumAtoms());
+    for (size_t a = 0; a < f.q.NumAtoms(); ++a) {
+      sum += f.db.Get(f.q.atom(a).relation).Weight(r->witness[a]);
+    }
+    // Integer weights: the O(1) subtract/add candidate arithmetic must be
+    // exact, not approximately equal.
+    EXPECT_EQ(r->weight, sum);
+  }
+}
+
+}  // namespace
+}  // namespace anyk

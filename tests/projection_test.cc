@@ -1,0 +1,179 @@
+// Min-weight-projection semantics for free-connex acyclic queries (paper
+// Section 8.1, Theorem 20): enumeration must produce each distinct free-
+// variable assignment exactly once, ranked by the minimum weight over all
+// full answers projecting to it.
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dioid/tropical.h"
+#include "dp/projection.h"
+#include "dp/projection_tree.h"
+#include "query/cq.h"
+#include "test_util.h"
+#include "workload/generators.h"
+
+namespace anyk {
+namespace {
+
+// Oracle: brute-force full join, group by the free assignment, keep the
+// minimum weight per group, sort by weight.
+std::vector<std::pair<double, std::vector<Value>>> ProjectionOracle(
+    const Database& db, const ConjunctiveQuery& q) {
+  auto full = testing::Oracle<TropicalDioid>(db, q);
+  std::map<std::vector<Value>, double> best;
+  for (const auto& row : full) {
+    std::vector<Value> key;
+    for (uint32_t v : q.FreeVarIds()) key.push_back(row.assignment[v]);
+    auto [it, inserted] = best.try_emplace(key, row.weight);
+    if (!inserted && row.weight < it->second) it->second = row.weight;
+  }
+  std::vector<std::pair<double, std::vector<Value>>> out;
+  for (auto& [key, w] : best) out.emplace_back(w, key);
+  std::stable_sort(out.begin(), out.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+void CheckProjection(const Database& db, const ConjunctiveQuery& q,
+                     Algorithm algo = Algorithm::kTake2) {
+  auto oracle = ProjectionOracle(db, q);
+  MinWeightProjection<TropicalDioid> proj(db, q, algo);
+  std::vector<std::pair<double, std::vector<Value>>> got;
+  while (auto r = proj.Next()) {
+    std::vector<Value> key;
+    for (uint32_t v : q.FreeVarIds()) key.push_back(r->assignment[v]);
+    got.emplace_back(r->weight, std::move(key));
+    ASSERT_LE(got.size(), oracle.size() + 5) << "runaway enumeration";
+  }
+  ASSERT_EQ(got.size(), oracle.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_DOUBLE_EQ(got[i].first, oracle[i].first) << "weight at rank " << i;
+    if (i > 0) {
+      EXPECT_GE(got[i].first, got[i - 1].first);
+    }
+  }
+  // Assignment multiset must match exactly (each distinct projection once).
+  auto sorted_got = got;
+  auto sorted_oracle = oracle;
+  auto by_key = [](const auto& a, const auto& b) { return a.second < b.second; };
+  std::sort(sorted_got.begin(), sorted_got.end(), by_key);
+  std::sort(sorted_oracle.begin(), sorted_oracle.end(), by_key);
+  for (size_t i = 0; i < sorted_got.size(); ++i) {
+    EXPECT_EQ(sorted_got[i].second, sorted_oracle[i].second);
+    EXPECT_DOUBLE_EQ(sorted_got[i].first, sorted_oracle[i].first);
+  }
+}
+
+TEST(ProjectionTest, PathHeadPrefix1) {
+  Database db = MakePathDatabase(40, 3, 201, {.fanout = 6.0});
+  auto q = ConjunctiveQuery::Parse("Q(x1) :- R1(x1,x2), R2(x2,x3), R3(x3,x4)");
+  CheckProjection(db, q);
+}
+
+TEST(ProjectionTest, PathHeadPrefix2) {
+  Database db = MakePathDatabase(40, 3, 202, {.fanout = 6.0});
+  auto q = ConjunctiveQuery::Parse(
+      "Q(x1,x2) :- R1(x1,x2), R2(x2,x3), R3(x3,x4)");
+  CheckProjection(db, q, Algorithm::kLazy);
+}
+
+TEST(ProjectionTest, PathMiddleVariable) {
+  Database db = MakePathDatabase(35, 2, 203, {.fanout = 5.0});
+  auto q = ConjunctiveQuery::Parse("Q(x2) :- R1(x1,x2), R2(x2,x3)");
+  CheckProjection(db, q, Algorithm::kRecursive);
+}
+
+TEST(ProjectionTest, StarCenter) {
+  Database db = MakeStarDatabase(40, 3, 204, {.fanout = 6.0});
+  auto q = ConjunctiveQuery::Parse("Q(x1) :- R1(x1,x2), R2(x1,x3), R3(x1,x4)");
+  CheckProjection(db, q);
+}
+
+TEST(ProjectionTest, StarCenterPlusOneLeaf) {
+  Database db = MakeStarDatabase(30, 3, 205, {.fanout = 5.0});
+  auto q = ConjunctiveQuery::Parse(
+      "Q(x1,x3) :- R1(x1,x2), R2(x1,x3), R3(x1,x4)");
+  CheckProjection(db, q, Algorithm::kEager);
+}
+
+TEST(ProjectionTest, PaperExample19) {
+  // Q(y1,y2,y3,y4) :- R1(y1,y2), R2(y2,y3), R3(x1,y1,y4), R4(x2,y3).
+  Rng rng(206);
+  Database db;
+  auto& r1 = db.AddRelation("R1", 2);
+  auto& r2 = db.AddRelation("R2", 2);
+  auto& r3 = db.AddRelation("R3", 3);
+  auto& r4 = db.AddRelation("R4", 2);
+  for (int i = 0; i < 40; ++i) {
+    r1.Add({rng.Uniform(0, 5), rng.Uniform(0, 5)},
+           static_cast<double>(rng.Uniform(0, 100)));
+    r2.Add({rng.Uniform(0, 5), rng.Uniform(0, 5)},
+           static_cast<double>(rng.Uniform(0, 100)));
+    r3.Add({rng.Uniform(0, 3), rng.Uniform(0, 5), rng.Uniform(0, 5)},
+           static_cast<double>(rng.Uniform(0, 100)));
+    r4.Add({rng.Uniform(0, 3), rng.Uniform(0, 5)},
+           static_cast<double>(rng.Uniform(0, 100)));
+  }
+  auto q = ConjunctiveQuery::Parse(
+      "Q(y1,y2,y3,y4) :- R1(y1,y2), R2(y2,y3), R3(z1,y1,y4), R4(z2,y3)");
+  CheckProjection(db, q);
+}
+
+TEST(ProjectionTest, SharedExistentialBetweenParentAndChild) {
+  // Q(y1,y2) :- R1(y1,x,y2), R2(x,y1): the lower nodes must chain below each
+  // other because of the shared existential x.
+  Rng rng(207);
+  Database db;
+  auto& r1 = db.AddRelation("R1", 3);
+  auto& r2 = db.AddRelation("R2", 2);
+  for (int i = 0; i < 50; ++i) {
+    r1.Add({rng.Uniform(0, 4), rng.Uniform(0, 4), rng.Uniform(0, 4)},
+           static_cast<double>(rng.Uniform(0, 100)));
+    r2.Add({rng.Uniform(0, 4), rng.Uniform(0, 4)},
+           static_cast<double>(rng.Uniform(0, 100)));
+  }
+  auto q = ConjunctiveQuery::Parse("Q(y1,y2) :- R1(y1,x,y2), R2(x,y1)");
+  CheckProjection(db, q);
+}
+
+TEST(ProjectionTest, TiesEnumerateOnce) {
+  GeneratorOptions gen;
+  gen.weight_min = 1;
+  gen.weight_max = 1;
+  gen.fanout = 4.0;
+  Database db = MakePathDatabase(24, 3, 208, gen);
+  auto q = ConjunctiveQuery::Parse("Q(x1,x2) :- R1(x1,x2), R2(x2,x3), R3(x3,x4)");
+  CheckProjection(db, q, Algorithm::kAll);
+}
+
+TEST(ProjectionTest, RejectsNonFreeConnex) {
+  Database db = MakePathDatabase(10, 2, 209, {.fanout = 3.0});
+  auto q = ConjunctiveQuery::Parse("Q(x1,x3) :- R1(x1,x2), R2(x2,x3)");
+  EXPECT_FALSE(IsFreeConnexAcyclic(q));
+  EXPECT_DEATH(
+      { MinWeightProjection<TropicalDioid> proj(db, q); },
+      "free-connex");
+}
+
+TEST(ProjectionTreeTest, LayeredTreeHasRunningIntersection) {
+  Database db = MakePathDatabase(20, 3, 210, {.fanout = 4.0});
+  auto q = ConjunctiveQuery::Parse("Q(x1,x2) :- R1(x1,x2), R2(x2,x3), R3(x3,x4)");
+  LayeredInstance layered = BuildLayeredInstance(db, q);
+  EXPECT_TRUE(HasRunningIntersection(layered.full));
+  EXPECT_FALSE(layered.u_nodes.empty());
+  // The U layer's variables are exactly the free variables.
+  std::set<uint32_t> uvars;
+  for (uint32_t u : layered.u_nodes) {
+    for (uint32_t v : layered.full.nodes[u].vars) uvars.insert(v);
+  }
+  std::set<uint32_t> yvars(q.FreeVarIds().begin(), q.FreeVarIds().end());
+  EXPECT_EQ(uvars, yvars);
+}
+
+}  // namespace
+}  // namespace anyk

@@ -1,0 +1,119 @@
+// SQL front-end tests: parsing to conjunctive queries, ORDER BY/LIMIT,
+// self-join aliases, DESC ranking, projection with all-weight semantics
+// (Section 8.1, option 1), and oracle agreement.
+
+#include <gtest/gtest.h>
+
+#include "dioid/tropical.h"
+#include "query/sql.h"
+#include "test_util.h"
+#include "workload/generators.h"
+
+namespace anyk {
+namespace {
+
+TEST(SqlParseTest, PathQueryShape) {
+  auto stmt = ParseSql(
+      "SELECT * FROM R1, R2, R3 "
+      "WHERE R1.A2 = R2.A1 AND R2.A2 = R3.A1 ORDER BY WEIGHT ASC LIMIT 10");
+  EXPECT_EQ(stmt.query.NumAtoms(), 3u);
+  EXPECT_EQ(stmt.query.NumVars(), 4u);  // path: x1..x4
+  EXPECT_TRUE(stmt.ascending);
+  EXPECT_EQ(stmt.limit, 10u);
+  EXPECT_TRUE(stmt.query.IsFull());
+  // Join structure: R1.A2 and R2.A1 are the same variable.
+  EXPECT_EQ(stmt.query.AtomVarIds(0)[1], stmt.query.AtomVarIds(1)[0]);
+  EXPECT_EQ(stmt.query.AtomVarIds(1)[1], stmt.query.AtomVarIds(2)[0]);
+}
+
+TEST(SqlParseTest, CycleWithDescAndAliases) {
+  auto stmt = ParseSql(
+      "SELECT * FROM E e1, E e2, E e3, E e4 "
+      "WHERE e1.A2 = e2.A1 AND e2.A2 = e3.A1 AND e3.A2 = e4.A1 "
+      "AND e4.A2 = e1.A1 ORDER BY WEIGHT DESC");
+  EXPECT_EQ(stmt.query.NumAtoms(), 4u);
+  EXPECT_EQ(stmt.query.NumVars(), 4u);  // closed cycle
+  EXPECT_FALSE(stmt.ascending);
+  EXPECT_EQ(stmt.limit, 0u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(stmt.query.atom(i).relation, "E");
+  }
+}
+
+TEST(SqlParseTest, SelectListBecomesProjection) {
+  auto stmt = ParseSql(
+      "SELECT R1.A1, R2.A2 FROM R1, R2 WHERE R1.A2 = R2.A1");
+  ASSERT_EQ(stmt.select_vars.size(), 2u);
+  EXPECT_EQ(stmt.select_vars[0], stmt.query.AtomVarIds(0)[0]);
+  EXPECT_EQ(stmt.select_vars[1], stmt.query.AtomVarIds(1)[1]);
+}
+
+TEST(SqlParseTest, RejectsBadSyntax) {
+  EXPECT_DEATH({ ParseSql("SELECT FROM R1"); }, "SQL");
+  EXPECT_DEATH({ ParseSql("SELECT * FROM"); }, "SQL");
+  EXPECT_DEATH({ ParseSql("SELECT * FROM R1 WHERE R1.A1 = R9.A1"); },
+               "unknown table alias");
+  EXPECT_DEATH({ ParseSql("SELECT * FROM R1, R1"); }, "duplicate table");
+}
+
+TEST(SqlExecuteTest, MatchesOracleAscending) {
+  Database db = MakePathDatabase(40, 3, 501, {.fanout = 6.0});
+  auto results = ExecuteSql(
+      db,
+      "SELECT * FROM R1, R2, R3 "
+      "WHERE R1.A2 = R2.A1 AND R2.A2 = R3.A1 ORDER BY WEIGHT ASC");
+  auto oracle =
+      testing::Oracle<TropicalDioid>(db, ConjunctiveQuery::Path(3));
+  ASSERT_EQ(results.size(), oracle.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_DOUBLE_EQ(results[i].weight, oracle[i].weight) << i;
+  }
+}
+
+TEST(SqlExecuteTest, DescendingIsReverseExtreme) {
+  Database db = MakePathDatabase(30, 2, 502, {.fanout = 5.0});
+  auto asc = ExecuteSql(
+      db, "SELECT * FROM R1, R2 WHERE R1.A2 = R2.A1 ORDER BY WEIGHT ASC");
+  auto desc = ExecuteSql(
+      db, "SELECT * FROM R1, R2 WHERE R1.A2 = R2.A1 ORDER BY WEIGHT DESC");
+  ASSERT_EQ(asc.size(), desc.size());
+  ASSERT_FALSE(asc.empty());
+  EXPECT_DOUBLE_EQ(asc.front().weight, desc.back().weight);
+  EXPECT_DOUBLE_EQ(asc.back().weight, desc.front().weight);
+}
+
+TEST(SqlExecuteTest, LimitAndProjection) {
+  Database db = MakePathDatabase(40, 2, 503, {.fanout = 6.0});
+  auto results = ExecuteSql(
+      db,
+      "SELECT R1.A1, R2.A2 FROM R1, R2 WHERE R1.A2 = R2.A1 "
+      "ORDER BY WEIGHT ASC LIMIT 7");
+  ASSERT_LE(results.size(), 7u);
+  for (const auto& r : results) {
+    EXPECT_EQ(r.values.size(), 2u);  // projected columns only
+  }
+  // All-weight-projection semantics: duplicates of the projection may
+  // appear; weights are the full query's, non-decreasing.
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_GE(results[i].weight, results[i - 1].weight);
+  }
+}
+
+TEST(SqlExecuteTest, PaperExample1FourCycle) {
+  // Example 1's SQL, modulo column naming: the 4-cycle with summed weights.
+  Database db = MakeWorstCaseCycleDatabase(14, 4, 504);
+  auto results = ExecuteSql(
+      db,
+      "SELECT R1.A1, R2.A1, R3.A1, R4.A1 FROM R1, R2, R3, R4 "
+      "WHERE R1.A2 = R2.A1 AND R2.A2 = R3.A1 AND R3.A2 = R4.A1 "
+      "AND R4.A2 = R1.A1 ORDER BY WEIGHT ASC LIMIT 5");
+  auto oracle =
+      testing::Oracle<TropicalDioid>(db, ConjunctiveQuery::Cycle(4));
+  ASSERT_EQ(results.size(), std::min<size_t>(5, oracle.size()));
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_DOUBLE_EQ(results[i].weight, oracle[i].weight);
+  }
+}
+
+}  // namespace
+}  // namespace anyk

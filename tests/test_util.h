@@ -1,0 +1,101 @@
+// Shared test helpers: an independent ranked-join oracle (brute-force join +
+// stable sort) and enumeration-vs-oracle comparison at witness granularity.
+
+#ifndef ANYK_TESTS_TEST_UTIL_H_
+#define ANYK_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "anyk/enumerator.h"
+#include "dioid/dioid.h"
+#include "dioid/lift.h"
+#include "join/brute_force.h"
+#include "query/cq.h"
+#include "storage/database.h"
+
+namespace anyk {
+namespace testing {
+
+template <SelectiveDioid D>
+struct OracleRow {
+  typename D::Value weight;
+  std::vector<uint32_t> witness;  // row per atom
+  std::vector<Value> assignment;  // per variable
+};
+
+/// All answers of the full CQ, ranked by the dioid order (ties arbitrary).
+template <SelectiveDioid D>
+std::vector<OracleRow<D>> Oracle(const Database& db,
+                                 const ConjunctiveQuery& q) {
+  const JoinResultSet join = BruteForceJoin(db, q);
+  const size_t na = q.NumAtoms();
+  std::vector<OracleRow<D>> rows;
+  rows.reserve(join.size());
+  for (size_t i = 0; i < join.size(); ++i) {
+    OracleRow<D> row;
+    row.weight = D::One();
+    row.witness.assign(join.witness(i), join.witness(i) + na);
+    row.assignment.assign(q.NumVars(), 0);
+    for (size_t a = 0; a < na; ++a) {
+      const Relation& rel = db.Get(q.atom(a).relation);
+      const uint32_t r = row.witness[a];
+      row.weight =
+          D::Combine(row.weight, LiftWeight<D>(rel.Weight(r), a, na, r));
+      const auto& vars = q.AtomVarIds(a);
+      for (size_t c = 0; c < vars.size(); ++c) {
+        row.assignment[vars[c]] = rel.At(r, c);
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const OracleRow<D>& a, const OracleRow<D>& b) {
+                     return D::Less(a.weight, b.weight);
+                   });
+  return rows;
+}
+
+/// Drain `e` and compare against the oracle:
+///  * result count matches,
+///  * the weight sequence matches exactly (both are sorted by a total order
+///    on weights, so even tie groups must agree as multisets of weights),
+///  * the multiset of witnesses matches (catches duplicates / omissions),
+///  * weights are non-decreasing.
+template <SelectiveDioid D>
+void ExpectMatchesOracle(Enumerator<D>* e, const Database& db,
+                         const ConjunctiveQuery& q,
+                         size_t max_results = SIZE_MAX) {
+  auto oracle = Oracle<D>(db, q);
+  std::vector<ResultRow<D>> got;
+  while (auto r = e->Next()) {
+    got.push_back(std::move(*r));
+    if (got.size() > oracle.size() + 5) break;  // runaway guard
+    if (got.size() >= max_results) break;
+  }
+  const size_t limit = std::min(max_results, oracle.size());
+  ASSERT_EQ(got.size(), limit) << "wrong number of results";
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_TRUE(DioidEq<D>(got[i].weight, oracle[i].weight))
+        << "weight mismatch at rank " << i;
+    if (i > 0) {
+      ASSERT_TRUE(DioidLeq<D>(got[i - 1].weight, got[i].weight))
+          << "order violated at rank " << i;
+    }
+  }
+  if (limit == oracle.size()) {
+    std::vector<std::vector<uint32_t>> got_w, want_w;
+    for (const auto& r : got) got_w.push_back(r.witness);
+    for (const auto& r : oracle) want_w.push_back(r.witness);
+    std::sort(got_w.begin(), got_w.end());
+    std::sort(want_w.begin(), want_w.end());
+    ASSERT_EQ(got_w, want_w) << "witness multiset mismatch";
+  }
+}
+
+}  // namespace testing
+}  // namespace anyk
+
+#endif  // ANYK_TESTS_TEST_UTIL_H_

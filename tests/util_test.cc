@@ -1,0 +1,151 @@
+// Unit tests for the utility layer: heaps (binary + pairing), heapify, RNG.
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/binary_heap.h"
+#include "util/pairing_heap.h"
+#include "util/random.h"
+
+namespace anyk {
+namespace {
+
+TEST(BinaryHeapTest, SortsRandomSequence) {
+  Rng rng(1);
+  BinaryHeap<int> heap;
+  std::vector<int> values;
+  for (int i = 0; i < 1000; ++i) {
+    int v = static_cast<int>(rng.Uniform(-500, 500));
+    values.push_back(v);
+    heap.Push(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (int v : values) EXPECT_EQ(heap.PopMin(), v);
+  EXPECT_TRUE(heap.Empty());
+}
+
+TEST(BinaryHeapTest, AssignHeapifies) {
+  Rng rng(2);
+  std::vector<int> values;
+  for (int i = 0; i < 777; ++i) {
+    values.push_back(static_cast<int>(rng.Uniform(0, 100)));
+  }
+  BinaryHeap<int> heap;
+  heap.Assign(values);
+  std::sort(values.begin(), values.end());
+  for (int v : values) EXPECT_EQ(heap.PopMin(), v);
+}
+
+TEST(BinaryHeapTest, HeapifyEstablishesHeapProperty) {
+  Rng rng(3);
+  std::vector<int> v;
+  for (int i = 0; i < 500; ++i) v.push_back(static_cast<int>(rng.Uniform(0, 50)));
+  Heapify(&v, std::less<int>());
+  for (size_t i = 1; i < v.size(); ++i) {
+    EXPECT_LE(v[(i - 1) / 2], v[i]) << "heap property violated at " << i;
+  }
+}
+
+TEST(BinaryHeapTest, PushBulkMatchesIndividualPushes) {
+  Rng rng(9);
+  BinaryHeap<int> bulk, single;
+  std::vector<int> batch;
+  for (int round = 0; round < 50; ++round) {
+    batch.clear();
+    for (int i = 0; i < 20; ++i) {
+      batch.push_back(static_cast<int>(rng.Uniform(0, 1000)));
+    }
+    bulk.PushBulk(batch);
+    for (int v : batch) single.Push(v);
+    EXPECT_EQ(bulk.PopMin(), single.PopMin());
+  }
+  while (!single.Empty()) EXPECT_EQ(bulk.PopMin(), single.PopMin());
+  EXPECT_TRUE(bulk.Empty());
+}
+
+TEST(BinaryHeapTest, ReplaceMin) {
+  BinaryHeap<int> heap;
+  heap.Assign({5, 3, 8});
+  EXPECT_EQ(heap.ReplaceMin(1), 3);
+  EXPECT_EQ(heap.Min(), 1);
+  EXPECT_EQ(heap.ReplaceMin(9), 1);
+  EXPECT_EQ(heap.PopMin(), 5);
+  EXPECT_EQ(heap.PopMin(), 8);
+  EXPECT_EQ(heap.PopMin(), 9);
+}
+
+TEST(BinaryHeapTest, StressInterleaved) {
+  Rng rng(4);
+  BinaryHeap<int> heap;
+  std::vector<int> mirror;
+  for (int round = 0; round < 5000; ++round) {
+    if (mirror.empty() || rng.Bernoulli(0.6)) {
+      int v = static_cast<int>(rng.Uniform(0, 1 << 20));
+      heap.Push(v);
+      mirror.push_back(v);
+      std::push_heap(mirror.begin(), mirror.end(), std::greater<int>());
+    } else {
+      std::pop_heap(mirror.begin(), mirror.end(), std::greater<int>());
+      int want = mirror.back();
+      mirror.pop_back();
+      EXPECT_EQ(heap.PopMin(), want);
+    }
+  }
+}
+
+TEST(PairingHeapTest, SortsRandomSequence) {
+  Rng rng(5);
+  PairingHeap<int> heap;
+  std::vector<int> values;
+  for (int i = 0; i < 2000; ++i) {
+    int v = static_cast<int>(rng.Uniform(-1000, 1000));
+    values.push_back(v);
+    heap.Push(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (int v : values) EXPECT_EQ(heap.PopMin(), v);
+  EXPECT_TRUE(heap.Empty());
+}
+
+TEST(PairingHeapTest, StressInterleavedAgainstBinary) {
+  Rng rng(6);
+  PairingHeap<int> ph;
+  BinaryHeap<int> bh;
+  for (int round = 0; round < 8000; ++round) {
+    if (bh.Empty() || rng.Bernoulli(0.55)) {
+      int v = static_cast<int>(rng.Uniform(0, 1 << 16));
+      ph.Push(v);
+      bh.Push(v);
+    } else {
+      EXPECT_EQ(ph.PopMin(), bh.PopMin());
+    }
+  }
+  EXPECT_EQ(ph.Size(), bh.Size());
+}
+
+TEST(RngTest, DeterministicAndRangeRespecting) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+  Rng c(7);
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = c.Uniform(-3, 9);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, BelowIsRoughlyUniform) {
+  Rng rng(8);
+  std::vector<int> counts(10, 0);
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) ++counts[rng.Below(10)];
+  for (int c : counts) {
+    EXPECT_GT(c, draws / 10 - draws / 50);
+    EXPECT_LT(c, draws / 10 + draws / 50);
+  }
+}
+
+}  // namespace
+}  // namespace anyk
