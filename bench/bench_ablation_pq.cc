@@ -6,6 +6,8 @@
 //  * Strategy choice at fixed k (Take2 vs Lazy vs Eager vs All).
 
 #include <benchmark/benchmark.h>
+#include <cstddef>
+#include <vector>
 
 #include "anyk/anyk_part.h"
 #include "anyk/strategies.h"

@@ -4,7 +4,10 @@
 #ifndef ANYK_BENCH_BENCH_COMMON_H_
 #define ANYK_BENCH_BENCH_COMMON_H_
 
+#include <cstddef>
+#include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 

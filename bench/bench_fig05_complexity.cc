@@ -9,6 +9,8 @@
 //  * MEM(k): candidate-set growth per result (measured via counters in the
 //    invariant tests; here we report times).
 
+#include <cstddef>
+
 #include "bench_common.h"
 #include "query/cq.h"
 #include "workload/generators.h"

@@ -1,6 +1,8 @@
 // Figure 9 (datasets table): statistics of the power-law stand-ins next to
 // the numbers the paper reports for the real graphs.
 
+#include <cstddef>
+#include <cstdint>
 #include <cstdio>
 
 #include "harness.h"

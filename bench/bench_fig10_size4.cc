@@ -7,6 +7,8 @@
 // in minutes; the comparisons of interest are *relative* (who wins at small
 // k, who wins at TTL).
 
+#include <cstddef>
+
 #include "bench_common.h"
 #include "query/cq.h"
 #include "workload/generators.h"

@@ -2,6 +2,8 @@
 // Recursive more shared suffixes to reuse, so its TTL advantage grows with
 // query length.
 
+#include <cstddef>
+
 #include "bench_common.h"
 #include "query/cq.h"
 #include "workload/generators.h"

@@ -2,6 +2,8 @@
 // for Recursive's reuse (depth-1 tree): it degenerates to an ANYK-PART-like
 // behaviour, and Eager/Lazy win at TTL.
 
+#include <cstddef>
+
 #include "bench_common.h"
 #include "query/cq.h"
 #include "workload/generators.h"

@@ -2,6 +2,8 @@
 // UT-DP. The decomposition materializes bags in O(n^{2-2/6}) = O(n^{5/3}),
 // so the any-k TTF scales far better than the O(n^3)-worst-case batch join.
 
+#include <cstddef>
+
 #include "bench_common.h"
 #include "query/cq.h"
 #include "workload/generators.h"

@@ -6,7 +6,9 @@
 // that Batch is a *competitive* batch baseline, not a strawman.
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.h"
 #include "dioid/lift.h"

@@ -4,7 +4,9 @@
 // O(n) here because every relation has a single heavy value). TTL of the
 // any-k algorithms remains quadratic — the output itself is Θ(n^2).
 
+#include <cstddef>
 #include <cstdio>
+#include <string>
 
 #include "bench_common.h"
 #include "join/generic_join.h"

@@ -6,7 +6,13 @@
 // O(n) preprocessing.
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdio>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
 
 #include "anyk/factory.h"
 #include "dioid/lex.h"

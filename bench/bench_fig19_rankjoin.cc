@@ -3,6 +3,7 @@
 // all Θ(n^2) R1 x R2 combinations before it can emit the top result; the
 // any-k TTF is O(n * l).
 
+#include <cstddef>
 #include <cstdio>
 
 #include "anyk/factory.h"

@@ -3,6 +3,9 @@
 // results uses a different tuple of the last relation, so no suffix ranking
 // is reused — while Take2 needs only O(n log n + n l).
 
+#include <cstddef>
+#include <string>
+
 #include "bench_common.h"
 #include "query/cq.h"
 #include "workload/generators.h"

@@ -3,6 +3,9 @@
 // O(n^l (log n + l)) vs Ω(n^l * l * log n) — because shared suffix rankings
 // replace general-purpose comparison sorting.
 
+#include <cstddef>
+#include <string>
+
 #include "bench_common.h"
 #include "query/cq.h"
 #include "workload/generators.h"

@@ -1,5 +1,9 @@
 #include "harness.h"
 
+#include <cstddef>
+#include <string>
+#include <vector>
+
 namespace anyk {
 namespace bench {
 

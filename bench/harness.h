@@ -12,11 +12,13 @@
 #define ANYK_BENCH_HARNESS_H_
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <cstdio>
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "anyk/enumerator.h"

@@ -4,6 +4,7 @@
 // self-join path queries, any-k enumeration with early termination, and the
 // TTF advantage over batch evaluation.
 
+#include <cstddef>
 #include <cstdio>
 
 #include "anyk/ranked_query.h"

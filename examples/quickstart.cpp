@@ -3,6 +3,7 @@
 //
 // Build & run:  ./build/examples/quickstart
 
+#include <cstddef>
 #include <cstdio>
 
 #include "anyk/ranked_query.h"

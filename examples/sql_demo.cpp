@@ -7,7 +7,10 @@
 // The demo database has one binary relation E (a weighted power-law graph)
 // plus aliases R1..R4 so the paper's queries paste in directly.
 
+#include <cstddef>
 #include <cstdio>
+#include <string>
+#include <utility>
 
 #include "anyk_api.h"
 #include "workload/graph_gen.h"

@@ -20,6 +20,8 @@
 #ifndef ANYK_ANYK_ANYK_PART_H_
 #define ANYK_ANYK_ANYK_PART_H_
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <utility>

@@ -21,9 +21,11 @@
 #ifndef ANYK_ANYK_ANYK_REC_H_
 #define ANYK_ANYK_ANYK_REC_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "anyk/enumerator.h"

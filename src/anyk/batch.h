@@ -10,6 +10,7 @@
 #define ANYK_ANYK_BATCH_H_
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <numeric>
 #include <optional>

@@ -4,6 +4,7 @@
 #ifndef ANYK_ANYK_EXPLAIN_H_
 #define ANYK_ANYK_EXPLAIN_H_
 
+#include <cstddef>
 #include <sstream>
 #include <string>
 

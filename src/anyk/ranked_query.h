@@ -9,6 +9,8 @@
 #define ANYK_ANYK_RANKED_QUERY_H_
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <numeric>
 #include <optional>

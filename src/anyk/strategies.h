@@ -18,7 +18,9 @@
 #define ANYK_ANYK_STRATEGIES_H_
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "dp/stage_graph.h"

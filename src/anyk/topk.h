@@ -3,6 +3,8 @@
 #ifndef ANYK_ANYK_TOPK_H_
 #define ANYK_ANYK_TOPK_H_
 
+#include <cstddef>
+#include <utility>
 #include <vector>
 
 #include "anyk/ranked_query.h"

@@ -12,6 +12,8 @@
 #ifndef ANYK_ANYK_UNION_ANYK_H_
 #define ANYK_ANYK_UNION_ANYK_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <utility>

@@ -19,8 +19,11 @@
 #ifndef ANYK_DP_PROJECTION_H_
 #define ANYK_DP_PROJECTION_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "anyk/factory.h"

@@ -1,7 +1,11 @@
 #include "dp/projection_tree.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "query/gyo.h"
 #include "storage/group_index.h"

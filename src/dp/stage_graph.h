@@ -17,11 +17,13 @@
 #ifndef ANYK_DP_STAGE_GRAPH_H_
 #define ANYK_DP_STAGE_GRAPH_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <limits>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "dioid/dioid.h"

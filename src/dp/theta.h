@@ -13,9 +13,12 @@
 #ifndef ANYK_DP_THETA_H_
 #define ANYK_DP_THETA_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "dp/stage_graph.h"

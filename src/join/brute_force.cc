@@ -1,6 +1,9 @@
 #include "join/brute_force.h"
 
+#include <cstddef>
+#include <cstdint>
 #include <span>
+#include <vector>
 
 #include "storage/group_index.h"
 #include "util/logging.h"

@@ -1,7 +1,11 @@
 #include "join/generic_join.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "storage/value.h"
 #include "util/logging.h"

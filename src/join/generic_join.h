@@ -11,6 +11,7 @@
 #ifndef ANYK_JOIN_GENERIC_JOIN_H_
 #define ANYK_JOIN_GENERIC_JOIN_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

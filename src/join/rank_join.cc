@@ -1,9 +1,15 @@
 #include "join/rank_join.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <limits>
+#include <memory>
 #include <numeric>
+#include <optional>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "storage/relation.h"
 #include "util/binary_heap.h"

@@ -1,8 +1,12 @@
 #include "join/reference_executor.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <numeric>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "storage/group_index.h"
 #include "util/logging.h"

@@ -10,6 +10,7 @@
 #ifndef ANYK_JOIN_REFERENCE_EXECUTOR_H_
 #define ANYK_JOIN_REFERENCE_EXECUTOR_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

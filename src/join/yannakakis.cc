@@ -1,6 +1,10 @@
 #include "join/yannakakis.h"
 
+#include <cstddef>
+#include <cstdint>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "query/gyo.h"
 #include "query/join_tree.h"

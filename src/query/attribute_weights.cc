@@ -1,5 +1,9 @@
 #include "query/attribute_weights.h"
 
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
 #include <unordered_set>
 
 #include "util/logging.h"

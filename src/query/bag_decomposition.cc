@@ -1,8 +1,13 @@
 #include "query/bag_decomposition.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "dp/projection_tree.h"
 #include "join/generic_join.h"

@@ -1,7 +1,12 @@
 #include "query/cq.h"
 
 #include <cctype>
+#include <cstddef>
+#include <cstdint>
 #include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "util/logging.h"
 

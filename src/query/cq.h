@@ -8,6 +8,7 @@
 #ifndef ANYK_QUERY_CQ_H_
 #define ANYK_QUERY_CQ_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <unordered_map>

@@ -1,9 +1,15 @@
 #include "query/cycle_decomposition.h"
 
+#include <algorithm>
+#include <array>
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "storage/group_index.h"
 #include "util/logging.h"

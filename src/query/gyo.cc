@@ -1,7 +1,9 @@
 #include "query/gyo.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "util/logging.h"
 

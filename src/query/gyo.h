@@ -5,6 +5,7 @@
 #ifndef ANYK_QUERY_GYO_H_
 #define ANYK_QUERY_GYO_H_
 
+#include <cstddef>
 #include <vector>
 
 #include "query/hypergraph.h"

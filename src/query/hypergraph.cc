@@ -1,6 +1,10 @@
 #include "query/hypergraph.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "util/logging.h"
 

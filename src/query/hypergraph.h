@@ -3,6 +3,7 @@
 #ifndef ANYK_QUERY_HYPERGRAPH_H_
 #define ANYK_QUERY_HYPERGRAPH_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

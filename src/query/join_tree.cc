@@ -1,7 +1,11 @@
 #include "query/join_tree.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "util/logging.h"
 

@@ -15,6 +15,7 @@
 #ifndef ANYK_QUERY_JOIN_TREE_H_
 #define ANYK_QUERY_JOIN_TREE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <vector>

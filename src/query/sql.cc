@@ -1,8 +1,14 @@
 #include "query/sql.h"
 
+#include <algorithm>
 #include <cctype>
+#include <cstddef>
+#include <cstdint>
 #include <numeric>
+#include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "anyk/ranked_query.h"
 #include "dioid/max_plus.h"

@@ -17,6 +17,8 @@
 #ifndef ANYK_QUERY_SQL_H_
 #define ANYK_QUERY_SQL_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 

@@ -1,8 +1,11 @@
 #include "storage/csv.h"
 
 #include <charconv>
+#include <cstddef>
+#include <cstdint>
 #include <fstream>
 #include <sstream>
+#include <string>
 #include <vector>
 
 #include "util/logging.h"

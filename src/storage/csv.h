@@ -8,6 +8,7 @@
 #ifndef ANYK_STORAGE_CSV_H_
 #define ANYK_STORAGE_CSV_H_
 
+#include <cstddef>
 #include <string>
 
 #include "storage/database.h"

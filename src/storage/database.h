@@ -3,6 +3,8 @@
 #ifndef ANYK_STORAGE_DATABASE_H_
 #define ANYK_STORAGE_DATABASE_H_
 
+#include <algorithm>
+#include <cstddef>
 #include <string>
 #include <unordered_map>
 #include <utility>

@@ -9,9 +9,11 @@
 #ifndef ANYK_STORAGE_GROUP_INDEX_H_
 #define ANYK_STORAGE_GROUP_INDEX_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "storage/relation.h"

@@ -8,9 +8,11 @@
 #ifndef ANYK_STORAGE_RELATION_H_
 #define ANYK_STORAGE_RELATION_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "storage/value.h"

@@ -1,14 +1,22 @@
-// Pairing heap with O(1) insert/meld and O(log n) amortized pop-min.
+// Pairing heap with O(1) insert/meld, O(log n) amortized pop-min, and
+// decrease-key that does O(1) worst-case work per call (amortized o(log n),
+// but not O(1): Fredman 1999 shows an Omega(log log n) lower bound).
 //
 // The complexity analysis of ANYK-PART (paper Section 7, "Implementation
 // details") assumes constant-time inserts for the candidate priority queue.
 // The paper notes that such structures "are well-known to perform poorly in
 // practice" and falls back to bulk-inserting binary heaps; we implement the
 // pairing heap as well so the trade-off can be measured (bench_ablation_pq).
+//
+// Handles: Push returns a stable handle usable with DecreaseKey until that
+// element is popped. Popping frees the slot for recycling, so a handle must
+// not be used after its element left the heap. Melding another heap into this
+// one invalidates the other heap's handles.
 
 #ifndef ANYK_UTIL_PAIRING_HEAP_H_
 #define ANYK_UTIL_PAIRING_HEAP_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -22,6 +30,9 @@ namespace anyk {
 template <typename T, typename Less = std::less<T>>
 class PairingHeap {
  public:
+  using Handle = uint32_t;
+  static constexpr Handle kNull = UINT32_MAX;
+
   explicit PairingHeap(Less less = Less()) : less_(less) {}
 
   bool Empty() const { return root_ == kNull; }
@@ -32,85 +43,171 @@ class PairingHeap {
     return nodes_[root_].value;
   }
 
-  void Push(T value) {
-    uint32_t id = Allocate(std::move(value));
-    root_ = (root_ == kNull) ? id : Meld(root_, id);
+  /// Value currently stored at `h`. `h` must be live (pushed, not yet popped).
+  const T& At(Handle h) const { return nodes_[h].value; }
+
+  /// O(1). The returned handle stays valid until the element is popped.
+  Handle Push(T value) {
+    Handle id = Allocate(std::move(value));
+    root_ = (root_ == kNull) ? id : MeldRoots(root_, id);
     ++size_;
+    return id;
   }
 
   T PopMin() {
     ANYK_DCHECK(root_ != kNull);
-    uint32_t old_root = root_;
+    Handle old_root = root_;
     T result = std::move(nodes_[old_root].value);
     root_ = MergePairs(nodes_[old_root].child);
+    if (root_ != kNull) nodes_[root_].prev = kNull;
     Free(old_root);
     --size_;
     return result;
   }
 
- private:
-  static constexpr uint32_t kNull = UINT32_MAX;
+  /// Lower the key stored at `h` to `value` (must not compare greater than
+  /// the current key). O(1) worst-case work per call (cut the subtree, meld
+  /// with the root); amortized cost is o(log n) but not O(1).
+  void DecreaseKey(Handle h, T value) {
+    ANYK_DCHECK(!less_(nodes_[h].value, value));
+    nodes_[h].value = std::move(value);
+    if (h == root_) return;
+    Cut(h);
+    root_ = MeldRoots(root_, h);
+  }
 
+  /// Move all of `other`'s elements into this heap; `other` becomes empty and
+  /// all its handles are invalidated. O(|other|) for the arena splice.
+  void Meld(PairingHeap&& other) {
+    ANYK_DCHECK(&other != this);
+    if (&other == this) return;
+    if (other.root_ == kNull) {
+      other.Clear();
+      return;
+    }
+    if (root_ == kNull && nodes_.empty()) {
+      // Adopt the arena wholesale but keep this heap's comparator.
+      nodes_ = std::move(other.nodes_);
+      root_ = other.root_;
+      free_ = other.free_;
+      size_ = other.size_;
+      other.Clear();
+      return;
+    }
+    const Handle offset = static_cast<Handle>(nodes_.size());
+    for (Node& n : other.nodes_) {
+      if (n.child != kNull) n.child += offset;
+      if (n.sibling != kNull) n.sibling += offset;
+      if (n.prev != kNull) n.prev += offset;
+      nodes_.push_back(std::move(n));
+    }
+    // Splice other's free list (already offset above via .sibling) onto ours.
+    if (other.free_ != kNull) {
+      Handle tail = other.free_ + offset;
+      while (nodes_[tail].sibling != kNull) tail = nodes_[tail].sibling;
+      nodes_[tail].sibling = free_;
+      free_ = other.free_ + offset;
+    }
+    root_ = (root_ == kNull) ? other.root_ + offset
+                             : MeldRoots(root_, other.root_ + offset);
+    size_ += other.size_;
+    other.Clear();
+  }
+
+  void Clear() {
+    nodes_.clear();
+    scratch_.clear();
+    root_ = kNull;
+    free_ = kNull;
+    size_ = 0;
+  }
+
+ private:
   struct Node {
     T value;
-    uint32_t child = kNull;
-    uint32_t sibling = kNull;
+    Handle child = kNull;
+    Handle sibling = kNull;
+    // Back link for Cut(): parent if this is a first child, else the left
+    // sibling; kNull at the root.
+    Handle prev = kNull;
   };
 
-  uint32_t Allocate(T value) {
+  Handle Allocate(T value) {
     if (free_ != kNull) {
-      uint32_t id = free_;
+      Handle id = free_;
       free_ = nodes_[id].sibling;
       nodes_[id].value = std::move(value);
       nodes_[id].child = kNull;
       nodes_[id].sibling = kNull;
+      nodes_[id].prev = kNull;
       return id;
     }
-    nodes_.push_back(Node{std::move(value)});
-    return static_cast<uint32_t>(nodes_.size() - 1);
+    nodes_.push_back(Node{std::move(value), kNull, kNull, kNull});
+    return static_cast<Handle>(nodes_.size() - 1);
   }
 
-  void Free(uint32_t id) {
+  void Free(Handle id) {
     nodes_[id].sibling = free_;
     free_ = id;
   }
 
-  uint32_t Meld(uint32_t a, uint32_t b) {
+  /// Meld two tree roots; the loser becomes the winner's first child.
+  Handle MeldRoots(Handle a, Handle b) {
     if (less_(nodes_[b].value, nodes_[a].value)) std::swap(a, b);
     nodes_[b].sibling = nodes_[a].child;
+    if (nodes_[a].child != kNull) nodes_[nodes_[a].child].prev = b;
     nodes_[a].child = b;
+    nodes_[b].prev = a;
     return a;
   }
 
+  /// Detach the subtree rooted at `h` from its parent/sibling chain.
+  void Cut(Handle h) {
+    const Handle p = nodes_[h].prev;
+    ANYK_DCHECK(p != kNull);
+    const Handle s = nodes_[h].sibling;
+    if (nodes_[p].child == h) {
+      nodes_[p].child = s;
+    } else {
+      nodes_[p].sibling = s;
+    }
+    if (s != kNull) nodes_[s].prev = p;
+    nodes_[h].sibling = kNull;
+    nodes_[h].prev = kNull;
+  }
+
   // Two-pass pairing: left-to-right pairwise melds, then right-to-left fold.
-  uint32_t MergePairs(uint32_t first) {
+  Handle MergePairs(Handle first) {
     if (first == kNull) return kNull;
     scratch_.clear();
     while (first != kNull) {
-      uint32_t a = first;
-      uint32_t b = nodes_[a].sibling;
+      Handle a = first;
+      Handle b = nodes_[a].sibling;
       if (b == kNull) {
         nodes_[a].sibling = kNull;
+        nodes_[a].prev = kNull;
         scratch_.push_back(a);
         break;
       }
       first = nodes_[b].sibling;
       nodes_[a].sibling = kNull;
+      nodes_[a].prev = kNull;
       nodes_[b].sibling = kNull;
-      scratch_.push_back(Meld(a, b));
+      nodes_[b].prev = kNull;
+      scratch_.push_back(MeldRoots(a, b));
     }
-    uint32_t result = scratch_.back();
+    Handle result = scratch_.back();
     for (size_t i = scratch_.size() - 1; i-- > 0;) {
-      result = Meld(scratch_[i], result);
+      result = MeldRoots(scratch_[i], result);
     }
     return result;
   }
 
   Less less_;
   std::vector<Node> nodes_;
-  std::vector<uint32_t> scratch_;
-  uint32_t root_ = kNull;
-  uint32_t free_ = kNull;
+  std::vector<Handle> scratch_;
+  Handle root_ = kNull;
+  Handle free_ = kNull;
   size_t size_ = 0;
 };
 

@@ -8,7 +8,9 @@
 #ifndef ANYK_UTIL_RANDOM_H_
 #define ANYK_UTIL_RANDOM_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace anyk {

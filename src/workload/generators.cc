@@ -1,6 +1,9 @@
 #include "workload/generators.h"
 
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <string>
 
 #include "util/logging.h"
 

@@ -11,6 +11,7 @@
 #ifndef ANYK_WORKLOAD_GENERATORS_H_
 #define ANYK_WORKLOAD_GENERATORS_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 

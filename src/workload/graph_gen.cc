@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "util/logging.h"
 #include "workload/pagerank.h"

@@ -6,6 +6,7 @@
 #ifndef ANYK_WORKLOAD_GRAPH_GEN_H_
 #define ANYK_WORKLOAD_GRAPH_GEN_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <utility>

@@ -1,5 +1,10 @@
 #include "workload/pagerank.h"
 
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
 namespace anyk {
 
 std::vector<double> PageRank(

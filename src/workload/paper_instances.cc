@@ -1,5 +1,8 @@
 #include "workload/paper_instances.h"
 
+#include <cstddef>
+#include <cstdint>
+
 #include "util/random.h"
 
 namespace anyk {

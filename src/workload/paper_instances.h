@@ -11,6 +11,7 @@
 #define ANYK_WORKLOAD_PAPER_INSTANCES_H_
 
 #include <cstddef>
+#include <cstdint>
 
 #include "storage/database.h"
 

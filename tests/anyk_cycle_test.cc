@@ -2,8 +2,11 @@
 // Sections 5.2-5.3): correctness against the oracle, partition disjointness
 // and coverage, threshold extremes, and the triangle fallback.
 
+#include <cstddef>
+#include <cstdint>
 #include <set>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 

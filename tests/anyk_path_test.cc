@@ -2,9 +2,12 @@
 // exactly the oracle's ranked order, across sizes, seeds and weight
 // distributions (paper Sections 3-4).
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <tuple>
+#include <vector>
 
 #include <gtest/gtest.h>
 

@@ -2,8 +2,11 @@
 // trees, Cartesian products, and the dioid sweep (tropical / max-plus /
 // boolean / max-times / lexicographic / tie-breaking).
 
+#include <cstddef>
 #include <string>
 #include <tuple>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 

@@ -3,9 +3,11 @@
 // O(n^{2-2/l})).
 
 #include <cmath>
+#include <cstddef>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <string>
 
 #include <gtest/gtest.h>
 

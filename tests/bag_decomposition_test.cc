@@ -3,6 +3,7 @@
 // cycles — chorded squares, triangles, K4 — checked against the oracle.
 
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 

@@ -3,6 +3,8 @@
 // associativity of ⊗, identities, absorption, distributivity, and the order
 // induced by ⊕. Laws are checked over randomly sampled elements.
 
+#include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include <gtest/gtest.h>

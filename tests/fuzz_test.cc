@@ -3,8 +3,11 @@
 // compared against the brute-force oracle. Seeds are fixed, so failures are
 // reproducible.
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 #include <tuple>
+#include <vector>
 
 #include <gtest/gtest.h>
 

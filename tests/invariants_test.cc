@@ -2,6 +2,8 @@
 // operation counters of the any-k algorithms must respect the per-result
 // bounds that the asymptotic analysis relies on.
 
+#include <cstddef>
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include "anyk/anyk_part.h"

@@ -3,7 +3,10 @@
 // all against the brute-force oracle.
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <set>
+#include <vector>
 
 #include <gtest/gtest.h>
 

@@ -5,7 +5,10 @@
 //  * Example 1 / Section 6.4: Boolean-semiring evaluation of QC4;
 //  * Section 6.1 attribute weights.
 
+#include <cstddef>
 #include <gtest/gtest.h>
+#include <string>
+#include <vector>
 
 #include "anyk/factory.h"
 #include "anyk/ranked_query.h"

@@ -3,9 +3,13 @@
 // variable assignment exactly once, ranked by the minimum weight over all
 // full answers projecting to it.
 
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <map>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>

@@ -1,7 +1,11 @@
 // Query-layer tests: CQ construction/parsing, hypergraphs, GYO acyclicity,
 // join-tree topologies and keys, storage primitives.
 
+#include <array>
+#include <cstddef>
+#include <cstdint>
 #include <gtest/gtest.h>
+#include <vector>
 
 #include "query/cq.h"
 #include "query/gyo.h"

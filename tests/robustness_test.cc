@@ -4,7 +4,11 @@
 // with a partial-sort oracle.
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 

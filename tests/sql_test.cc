@@ -2,6 +2,7 @@
 // self-join aliases, DESC ranking, projection with all-weight semantics
 // (Section 8.1, option 1), and oracle agreement.
 
+#include <cstddef>
 #include <gtest/gtest.h>
 
 #include "dioid/tropical.h"

@@ -5,6 +5,9 @@
 #define ANYK_TESTS_TEST_UTIL_H_
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>

@@ -2,7 +2,10 @@
 // checked against a nested-loop oracle for <, !=, and band predicates under
 // every algorithm.
 
+#include <algorithm>
+#include <cstddef>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 

@@ -2,7 +2,10 @@
 // trees, and consecutive-duplicate elimination under the tie-breaking dioid
 // when trees overlap.
 
+#include <cstddef>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 

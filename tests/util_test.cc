@@ -1,6 +1,14 @@
-// Unit tests for the utility layer: heaps (binary + pairing), heapify, RNG.
+// Unit tests for the utility layer: heaps (binary + pairing), heapify, RNG,
+// timer. The heap tests are deliberately exhaustive over decrease-key and
+// meld edge cases: every any-k variant's asymptotics rest on these structures
+// behaving exactly as advertised.
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -8,9 +16,14 @@
 #include "util/binary_heap.h"
 #include "util/pairing_heap.h"
 #include "util/random.h"
+#include "util/timer.h"
 
 namespace anyk {
 namespace {
+
+// ---------------------------------------------------------------------------
+// BinaryHeap
+// ---------------------------------------------------------------------------
 
 TEST(BinaryHeapTest, SortsRandomSequence) {
   Rng rng(1);
@@ -38,6 +51,49 @@ TEST(BinaryHeapTest, AssignHeapifies) {
   for (int v : values) EXPECT_EQ(heap.PopMin(), v);
 }
 
+TEST(BinaryHeapTest, EmptySingleAndClear) {
+  BinaryHeap<int> heap;
+  EXPECT_TRUE(heap.Empty());
+  EXPECT_EQ(heap.Size(), 0u);
+  heap.Assign({});
+  EXPECT_TRUE(heap.Empty());
+  heap.Push(42);
+  EXPECT_FALSE(heap.Empty());
+  EXPECT_EQ(heap.Size(), 1u);
+  EXPECT_EQ(heap.Min(), 42);
+  EXPECT_EQ(heap.PopMin(), 42);
+  EXPECT_TRUE(heap.Empty());
+  heap.Push(1);
+  heap.Push(2);
+  heap.Clear();
+  EXPECT_TRUE(heap.Empty());
+  EXPECT_EQ(heap.Size(), 0u);
+}
+
+TEST(BinaryHeapTest, AllEqualElements) {
+  BinaryHeap<int> heap;
+  for (int i = 0; i < 64; ++i) heap.Push(7);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(heap.PopMin(), 7);
+  EXPECT_TRUE(heap.Empty());
+}
+
+TEST(BinaryHeapTest, CustomComparatorMakesMaxHeap) {
+  BinaryHeap<int, std::greater<int>> heap;
+  heap.Assign({3, 1, 4, 1, 5, 9, 2, 6});
+  std::vector<int> got;
+  while (!heap.Empty()) got.push_back(heap.PopMin());
+  EXPECT_EQ(got, (std::vector<int>{9, 6, 5, 4, 3, 2, 1, 1}));
+}
+
+TEST(BinaryHeapTest, MoveOnlyElements) {
+  BinaryHeap<std::unique_ptr<int>,
+             decltype([](const std::unique_ptr<int>& a,
+                         const std::unique_ptr<int>& b) { return *a < *b; })>
+      heap;
+  for (int v : {5, 1, 3, 2, 4}) heap.Push(std::make_unique<int>(v));
+  for (int want : {1, 2, 3, 4, 5}) EXPECT_EQ(*heap.PopMin(), want);
+}
+
 TEST(BinaryHeapTest, HeapifyEstablishesHeapProperty) {
   Rng rng(3);
   std::vector<int> v;
@@ -48,10 +104,33 @@ TEST(BinaryHeapTest, HeapifyEstablishesHeapProperty) {
   }
 }
 
+TEST(BinaryHeapTest, HeapifyEdgeShapes) {
+  for (std::vector<int> v : std::vector<std::vector<int>>{
+           {},
+           {1},
+           {1, 2},
+           {2, 1},
+           {1, 2, 3, 4, 5},
+           {5, 4, 3, 2, 1},
+           {3, 3, 3, 3},
+       }) {
+    std::vector<int> sorted = v;
+    std::sort(sorted.begin(), sorted.end());
+    Heapify(&v, std::less<int>());
+    for (size_t i = 1; i < v.size(); ++i) {
+      EXPECT_LE(v[(i - 1) / 2], v[i]);
+    }
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, sorted) << "heapify must be a permutation";
+  }
+}
+
 TEST(BinaryHeapTest, PushBulkMatchesIndividualPushes) {
   Rng rng(9);
   BinaryHeap<int> bulk, single;
   std::vector<int> batch;
+  bulk.PushBulk(batch);  // empty batch is a no-op
+  EXPECT_TRUE(bulk.Empty());
   for (int round = 0; round < 50; ++round) {
     batch.clear();
     for (int i = 0; i < 20; ++i) {
@@ -76,6 +155,37 @@ TEST(BinaryHeapTest, ReplaceMin) {
   EXPECT_EQ(heap.PopMin(), 9);
 }
 
+TEST(BinaryHeapTest, ReplaceMinOnSingletonHeap) {
+  BinaryHeap<int> heap;
+  heap.Push(10);
+  EXPECT_EQ(heap.ReplaceMin(20), 10);
+  EXPECT_EQ(heap.Size(), 1u);
+  EXPECT_EQ(heap.PopMin(), 20);
+}
+
+// Take2 never pops a static heap: it navigates the array through Slot(),
+// reading children 2i+1 / 2i+2. The invariant it relies on is exactly the
+// heap property over slots.
+TEST(BinaryHeapTest, SlotNavigationSeesHeapOrder) {
+  Rng rng(11);
+  std::vector<int> values;
+  for (int i = 0; i < 300; ++i) {
+    values.push_back(static_cast<int>(rng.Uniform(0, 1 << 15)));
+  }
+  BinaryHeap<int> heap;
+  heap.Assign(values);
+  for (size_t i = 0; i < heap.Size(); ++i) {
+    const size_t left = 2 * i + 1, right = 2 * i + 2;
+    if (left < heap.Size()) {
+      EXPECT_LE(heap.Slot(i), heap.Slot(left));
+    }
+    if (right < heap.Size()) {
+      EXPECT_LE(heap.Slot(i), heap.Slot(right));
+    }
+  }
+  EXPECT_EQ(heap.Slot(0), heap.Min());
+}
+
 TEST(BinaryHeapTest, StressInterleaved) {
   Rng rng(4);
   BinaryHeap<int> heap;
@@ -95,6 +205,10 @@ TEST(BinaryHeapTest, StressInterleaved) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// PairingHeap
+// ---------------------------------------------------------------------------
+
 TEST(PairingHeapTest, SortsRandomSequence) {
   Rng rng(5);
   PairingHeap<int> heap;
@@ -107,6 +221,161 @@ TEST(PairingHeapTest, SortsRandomSequence) {
   std::sort(values.begin(), values.end());
   for (int v : values) EXPECT_EQ(heap.PopMin(), v);
   EXPECT_TRUE(heap.Empty());
+}
+
+TEST(PairingHeapTest, EmptySingleAndClear) {
+  PairingHeap<int> heap;
+  EXPECT_TRUE(heap.Empty());
+  EXPECT_EQ(heap.Size(), 0u);
+  auto h = heap.Push(3);
+  EXPECT_EQ(heap.At(h), 3);
+  EXPECT_EQ(heap.Min(), 3);
+  EXPECT_EQ(heap.PopMin(), 3);
+  EXPECT_TRUE(heap.Empty());
+  heap.Push(1);
+  heap.Push(2);
+  heap.Clear();
+  EXPECT_TRUE(heap.Empty());
+  EXPECT_EQ(heap.Size(), 0u);
+}
+
+TEST(PairingHeapTest, HandleSlotIsRecycledAfterPop) {
+  PairingHeap<int> heap;
+  auto h1 = heap.Push(1);
+  heap.Push(2);
+  EXPECT_EQ(heap.PopMin(), 1);
+  auto h3 = heap.Push(3);
+  EXPECT_EQ(h3, h1) << "arena should recycle the freed slot";
+  EXPECT_EQ(heap.At(h3), 3);
+  EXPECT_EQ(heap.PopMin(), 2);
+  EXPECT_EQ(heap.PopMin(), 3);
+}
+
+TEST(PairingHeapTest, DecreaseKeyOnRoot) {
+  PairingHeap<int> heap;
+  auto h = heap.Push(5);
+  heap.Push(10);
+  heap.DecreaseKey(h, 1);
+  EXPECT_EQ(heap.Min(), 1);
+  EXPECT_EQ(heap.PopMin(), 1);
+  EXPECT_EQ(heap.PopMin(), 10);
+}
+
+TEST(PairingHeapTest, DecreaseKeyToEqualValueIsAllowed) {
+  PairingHeap<int> heap;
+  auto h = heap.Push(5);
+  heap.Push(3);
+  heap.DecreaseKey(h, 5);  // no-op decrease must not corrupt structure
+  EXPECT_EQ(heap.PopMin(), 3);
+  EXPECT_EQ(heap.PopMin(), 5);
+}
+
+TEST(PairingHeapTest, DecreaseKeyPromotesNewMin) {
+  PairingHeap<int> heap;
+  std::vector<PairingHeap<int>::Handle> handles;
+  for (int v = 10; v < 20; ++v) handles.push_back(heap.Push(v));
+  heap.DecreaseKey(handles[7], 0);  // 17 -> 0
+  EXPECT_EQ(heap.Min(), 0);
+  EXPECT_EQ(heap.PopMin(), 0);
+  std::vector<int> rest;
+  while (!heap.Empty()) rest.push_back(heap.PopMin());
+  EXPECT_EQ(rest, (std::vector<int>{10, 11, 12, 13, 14, 15, 16, 18, 19}));
+}
+
+// Exercise every Cut() position. Pushing 0 first and then 10, 11, 12 makes
+// each later push lose its meld against the root, so the root's child chain
+// is 12 -> 11 -> 10: 12 is a first child, 11 a middle sibling, 10 the last
+// sibling. Decreasing each one hits a distinct relink path in Cut().
+TEST(PairingHeapTest, DecreaseKeyCutsAtEveryChildPosition) {
+  for (int target : {10, 11, 12}) {
+    PairingHeap<int> heap;
+    std::map<int, PairingHeap<int>::Handle> handle_of;
+    for (int v : {0, 10, 11, 12}) handle_of[v] = heap.Push(v);
+    heap.DecreaseKey(handle_of[target], target - 100);
+    std::vector<int> want = {0, 10, 11, 12};
+    want[target - 9] = target - 100;
+    std::sort(want.begin(), want.end());
+    std::vector<int> got;
+    while (!heap.Empty()) got.push_back(heap.PopMin());
+    EXPECT_EQ(got, want) << "decreasing key " << target;
+  }
+}
+
+TEST(PairingHeapTest, DecreaseKeyDeepChain) {
+  // Build a deep structure by popping between pushes, then decrease a deep
+  // node below the root.
+  PairingHeap<int> heap;
+  std::vector<PairingHeap<int>::Handle> handles(64);
+  for (int v = 0; v < 64; ++v) handles[v] = heap.Push(100 + v);
+  for (int i = 0; i < 16; ++i) heap.PopMin();  // forces multi-level links
+  heap.DecreaseKey(handles[63], -1);
+  EXPECT_EQ(heap.Min(), -1);
+  int prev = heap.PopMin();
+  while (!heap.Empty()) {
+    int cur = heap.PopMin();
+    EXPECT_LE(prev, cur);
+    prev = cur;
+  }
+}
+
+TEST(PairingHeapTest, MeldTwoNonEmptyHeaps) {
+  PairingHeap<int> a, b;
+  std::vector<int> all;
+  Rng rng(12);
+  for (int i = 0; i < 100; ++i) {
+    int v = static_cast<int>(rng.Uniform(0, 1000));
+    a.Push(v);
+    all.push_back(v);
+  }
+  for (int i = 0; i < 57; ++i) {
+    int v = static_cast<int>(rng.Uniform(-1000, 0));
+    b.Push(v);
+    all.push_back(v);
+  }
+  a.Meld(std::move(b));
+  EXPECT_TRUE(b.Empty());  // NOLINT(bugprone-use-after-move): documented reset
+  EXPECT_EQ(a.Size(), all.size());
+  std::sort(all.begin(), all.end());
+  for (int v : all) EXPECT_EQ(a.PopMin(), v);
+}
+
+TEST(PairingHeapTest, MeldWithEmptyEitherSide) {
+  PairingHeap<int> a, b;
+  a.Push(1);
+  a.Push(2);
+  a.Meld(std::move(b));  // melding an empty heap is a no-op
+  EXPECT_EQ(a.Size(), 2u);
+  PairingHeap<int> c;
+  c.Meld(std::move(a));  // melding into an empty heap adopts everything
+  EXPECT_EQ(c.Size(), 2u);
+  EXPECT_EQ(c.PopMin(), 1);
+  EXPECT_EQ(c.PopMin(), 2);
+}
+
+TEST(PairingHeapTest, DestinationHandlesSurviveMeld) {
+  PairingHeap<int> a, b;
+  auto ha = a.Push(50);
+  a.Push(60);
+  b.Push(55);
+  a.Meld(std::move(b));
+  a.DecreaseKey(ha, 10);
+  EXPECT_EQ(a.PopMin(), 10);
+  EXPECT_EQ(a.PopMin(), 55);
+  EXPECT_EQ(a.PopMin(), 60);
+}
+
+TEST(PairingHeapTest, MeldAfterPopsSplicesFreeList) {
+  PairingHeap<int> a, b;
+  for (int v : {5, 6, 7}) a.Push(v);
+  for (int v : {1, 2, 3}) b.Push(v);
+  EXPECT_EQ(a.PopMin(), 5);  // both arenas have freed slots
+  EXPECT_EQ(b.PopMin(), 1);
+  a.Meld(std::move(b));
+  // Pushes after the meld must reuse spliced free slots without corruption.
+  for (int v : {-3, -2, -1}) a.Push(v);
+  std::vector<int> got;
+  while (!a.Empty()) got.push_back(a.PopMin());
+  EXPECT_EQ(got, (std::vector<int>{-3, -2, -1, 2, 3, 6, 7}));
 }
 
 TEST(PairingHeapTest, StressInterleavedAgainstBinary) {
@@ -124,6 +393,56 @@ TEST(PairingHeapTest, StressInterleavedAgainstBinary) {
   }
   EXPECT_EQ(ph.Size(), bh.Size());
 }
+
+// Differential stress of push / pop-min / decrease-key against an ordered
+// reference. Elements are (key, uid) pairs so ties never make the popped
+// identity ambiguous and handles can be retired exactly.
+TEST(PairingHeapTest, StressDecreaseKeyAgainstReference) {
+  using Entry = std::pair<int64_t, int>;  // (key, uid), lexicographic order
+  Rng rng(7);
+  PairingHeap<Entry> heap;
+  std::map<int, PairingHeap<Entry>::Handle> live;   // uid -> handle
+  std::map<int, int64_t> key_of;                    // uid -> current key
+  int next_uid = 0;
+  for (int round = 0; round < 20000; ++round) {
+    const double dice = rng.UniformDouble();
+    if (live.empty() || dice < 0.45) {
+      const int uid = next_uid++;
+      const int64_t key = rng.Uniform(-1000000, 1000000);
+      live[uid] = heap.Push({key, uid});
+      key_of[uid] = key;
+    } else if (dice < 0.75) {
+      // Decrease a uniformly random live element.
+      auto it = live.begin();
+      std::advance(it, static_cast<long>(rng.Below(live.size())));
+      const int uid = it->first;
+      const int64_t new_key = key_of[uid] - static_cast<int64_t>(rng.Below(5000));
+      heap.DecreaseKey(it->second, {new_key, uid});
+      key_of[uid] = new_key;
+    } else {
+      // Pop and check against the reference minimum.
+      Entry want{INT64_MAX, INT32_MAX};
+      for (const auto& [uid, key] : key_of) {
+        want = std::min(want, Entry{key, uid});
+      }
+      const Entry got = heap.PopMin();
+      EXPECT_EQ(got, want);
+      live.erase(got.second);
+      key_of.erase(got.second);
+    }
+    ASSERT_EQ(heap.Size(), live.size());
+  }
+  // Drain: remaining elements must come out in exact sorted order.
+  std::vector<Entry> rest;
+  for (const auto& [uid, key] : key_of) rest.push_back({key, uid});
+  std::sort(rest.begin(), rest.end());
+  for (const Entry& want : rest) EXPECT_EQ(heap.PopMin(), want);
+  EXPECT_TRUE(heap.Empty());
+}
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
 
 TEST(RngTest, DeterministicAndRangeRespecting) {
   Rng a(42), b(42);
@@ -145,6 +464,66 @@ TEST(RngTest, BelowIsRoughlyUniform) {
     EXPECT_GT(c, draws / 10 - draws / 50);
     EXPECT_LT(c, draws / 10 + draws / 50);
   }
+}
+
+TEST(RngTest, UniformDoubleInHalfOpenUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(14);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, ShuffleIsDeterministicPermutation) {
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  std::vector<int> w = v;
+  Rng a(21), b(21);
+  a.Shuffle(&v);
+  b.Shuffle(&w);
+  EXPECT_EQ(v, w) << "same seed must give the same permutation";
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[i], i);
+  // Empty and singleton inputs must be handled.
+  std::vector<int> tiny;
+  a.Shuffle(&tiny);
+  EXPECT_TRUE(tiny.empty());
+  tiny.push_back(9);
+  a.Shuffle(&tiny);
+  EXPECT_EQ(tiny, (std::vector<int>{9}));
+}
+
+// ---------------------------------------------------------------------------
+// Timer
+// ---------------------------------------------------------------------------
+
+TEST(TimerTest, MonotonicAndResettable) {
+  Timer t;
+  const double a = t.Seconds();
+  EXPECT_GE(a, 0.0);
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+  const double b = t.Seconds();
+  EXPECT_GE(b, a);
+  // Bracket Millis() between two Seconds() reads so the check cannot flake
+  // under scheduler preemption.
+  const double s1 = t.Seconds();
+  const double ms = t.Millis();
+  const double s2 = t.Seconds();
+  EXPECT_GE(ms, s1 * 1e3);
+  EXPECT_LE(ms, s2 * 1e3);
+  t.Reset();
+  EXPECT_LE(t.Seconds(), b + 1.0);  // reset cannot move the clock backwards far
 }
 
 }  // namespace

@@ -1,7 +1,12 @@
 // Workload generator tests: shapes and sizes of the synthetic instances and
 // the analytic adversarial databases (I1, I2, factorized-bad).
 
+#include <algorithm>
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
