@@ -1,4 +1,7 @@
 // Ablation (google-benchmark): design choices called out in DESIGN.md.
+// Deliberately outside the Reporter/BENCH_*.json pipeline (harness.h): this
+// target is statistical micro-benchmarking, and google-benchmark already
+// emits machine-readable output via --benchmark_format=json.
 //  * Candidate priority queue: binary heap vs pairing heap. The ANYK-PART
 //    analysis assumes O(1) inserts (pairing heap); the paper observes that
 //    such structures often lose to binary heaps in practice — we measure it.

@@ -1,5 +1,9 @@
 // Shared glue for the figure benchmarks: run a (database, query) pair
-// through every ranked-enumeration algorithm and print TT(k) series.
+// through every ranked-enumeration algorithm and report TT(k) series via the
+// structured Reporter (stdout CSV + optional BENCH_<bench>.json; see
+// harness.h). Every bench main() starts with InitBench(argc, argv, name) and
+// scales its instance sizes with Pick(full, smoke) so `--smoke` runs the
+// whole suite in seconds for the CI perf gate.
 
 #ifndef ANYK_BENCH_BENCH_COMMON_H_
 #define ANYK_BENCH_BENCH_COMMON_H_

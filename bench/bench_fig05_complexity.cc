@@ -10,6 +10,7 @@
 //    invariant tests; here we report times).
 
 #include <cstddef>
+#include <vector>
 
 #include "bench_common.h"
 #include "query/cq.h"
@@ -18,7 +19,8 @@
 using namespace anyk;
 using namespace anyk::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench(argc, argv, "fig05_complexity");
   PrintHeader();
   PaperNote("fig5",
             "TTF: O(ln) for all any-k (Eager O(ln log n) if pre-sorted); "
@@ -27,7 +29,10 @@ int main() {
 
   // TTF vs n (k = 1).
   SectionNote("TT(1) scaling with n, 4-path");
-  for (size_t n : {25000, 50000, 100000, 200000, 400000}) {
+  const std::vector<size_t> ttf_ns =
+      SmokeMode() ? std::vector<size_t>{2000, 4000, 8000}
+                  : std::vector<size_t>{25000, 50000, 100000, 200000, 400000};
+  for (size_t n : ttf_ns) {
     Database db = MakePathDatabase(n, 4, 500 + n);
     ConjunctiveQuery q = ConjunctiveQuery::Path(4);
     for (Algorithm algo : AllAnyKAlgorithms()) {
@@ -37,7 +42,10 @@ int main() {
     }
   }
   // Batch TT(1) tracks output size — one smaller point for reference.
-  for (size_t n : {5000, 10000, 20000}) {
+  const std::vector<size_t> batch_ns =
+      SmokeMode() ? std::vector<size_t>{500, 1000}
+                  : std::vector<size_t>{5000, 10000, 20000};
+  for (size_t n : batch_ns) {
     Database db = MakePathDatabase(n, 4, 500 + n);
     ConjunctiveQuery q = ConjunctiveQuery::Path(4);
     RunAndPrint<TropicalDioid>("fig5-ttf", "4path", "synthetic", n, "Batch",
@@ -50,10 +58,10 @@ int main() {
   // increments expose the delay trend.
   SectionNote("TT(k) growth with k, 4-path n=100000");
   {
-    const size_t n = 100000;
+    const size_t n = Pick(100000, 4000);
     Database db = MakePathDatabase(n, 4, 555);
     ConjunctiveQuery q = ConjunctiveQuery::Path(4);
-    RunAlgorithms("fig5-delay", "4path", "synthetic", n, db, q, 200000,
+    RunAlgorithms("fig5-delay", "4path", "synthetic", n, db, q, Pick(200000, 8000),
                   AllAnyKAlgorithms());
   }
 
@@ -62,15 +70,15 @@ int main() {
   // O(l*n) candidate insertions.
   SectionNote("max inter-result delay over 100k results, 4-path n=100000");
   {
-    const size_t n = 100000;
+    const size_t n = Pick(100000, 4000);
     Database db = MakePathDatabase(n, 4, 556);
     ConjunctiveQuery q = ConjunctiveQuery::Path(4);
     for (Algorithm algo : AllAnyKAlgorithms()) {
       auto series = MeasureTT<TropicalDioid>(
-          MakeFactory<TropicalDioid>(db, q, algo), 100000, {},
+          MakeFactory<TropicalDioid>(db, q, algo), n, {},
           /*track_delay=*/true);
-      std::printf("RESULT,fig5-maxdelay,4path,synthetic,%zu,%s,%zu,%.6f\n", n,
-                  AlgorithmName(algo), series.produced, series.max_delay);
+      PrintRow("fig5-maxdelay", "4path", "synthetic", n, AlgorithmName(algo),
+               series.produced, series.max_delay);
     }
   }
   return 0;

@@ -17,7 +17,8 @@
 using namespace anyk;
 using namespace anyk::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench(argc, argv, "fig10_size4");
   PrintHeader();
 
   // ---- (a,b) 4-Path synthetic ----
@@ -25,15 +26,17 @@ int main() {
             "4-path, all results: Recursive finishes before Batch; "
             "Batch(no-sort) < Recursive < Batch < part-variants");
   {
-    Database db = MakePathDatabase(2000, 4, 1001);
+    const size_t n = Pick(2000, 200);
+    Database db = MakePathDatabase(n, 4, 1001);
     ConjunctiveQuery q = ConjunctiveQuery::Path(4);
-    RunAlgorithms("fig10a", "4path", "synthetic-small", 2000, db, q, SIZE_MAX,
+    RunAlgorithms("fig10a", "4path", "synthetic-small", n, db, q,
+                  SIZE_MAX,
                   AllRankedAlgorithms());
   }
   PaperNote("fig10b",
             "4-path large, top n/2: Lazy best; Batch infeasible at n=1e6");
   {
-    const size_t n = 200000;
+    const size_t n = Pick(200000, 4000);
     Database db = MakePathDatabase(n, 4, 1002);
     ConjunctiveQuery q = ConjunctiveQuery::Path(4);
     RunAlgorithms("fig10b", "4path", "synthetic-large", n, db, q, n / 2,
@@ -44,7 +47,7 @@ int main() {
   PaperNote("fig10c", "4-path Bitcoin, top n/2: Lazy fastest for small k");
   {
     GraphStats stats;
-    Database db = MakeBitcoinStandIn(5881, 35592, 4, 1003, &stats);
+    Database db = MakeBitcoinStandIn(Pick(5881, 1200), Pick(35592, 7000), 4, 1003, &stats);
     ConjunctiveQuery q = ConjunctiveQuery::Path(4);
     RunAlgorithms("fig10c", "4path", "bitcoin-standin", stats.edges, db, q,
                   stats.edges / 2, AllAnyKAlgorithms());
@@ -52,7 +55,7 @@ int main() {
   PaperNote("fig10d", "4-path Twitter, top n/2: any-k far ahead of Batch");
   {
     GraphStats stats;
-    Database db = MakeTwitterStandIn(20000, 220000, 4, 1004, &stats);
+    Database db = MakeTwitterStandIn(Pick(20000, 2000), Pick(220000, 20000), 4, 1004, &stats);
     ConjunctiveQuery q = ConjunctiveQuery::Path(4);
     RunAlgorithms("fig10d", "4path", "twitter-standin", stats.edges, db, q,
                   stats.edges / 2, AllAnyKAlgorithms());
@@ -63,14 +66,16 @@ int main() {
             "4-star, all results: Recursive degenerates to ANYK-PART "
             "(shallow tree), Eager/Lazy best at TTL");
   {
-    Database db = MakeStarDatabase(2000, 4, 1005);
+    const size_t n = Pick(2000, 200);
+    Database db = MakeStarDatabase(n, 4, 1005);
     ConjunctiveQuery q = ConjunctiveQuery::Star(4);
-    RunAlgorithms("fig10e", "4star", "synthetic-small", 2000, db, q, SIZE_MAX,
+    RunAlgorithms("fig10e", "4star", "synthetic-small", n, db, q,
+                  SIZE_MAX,
                   AllRankedAlgorithms());
   }
   PaperNote("fig10f", "4-star large, top n/2: Take2 near the top");
   {
-    const size_t n = 200000;
+    const size_t n = Pick(200000, 4000);
     Database db = MakeStarDatabase(n, 4, 1006);
     ConjunctiveQuery q = ConjunctiveQuery::Star(4);
     RunAlgorithms("fig10f", "4star", "synthetic-large", n, db, q, n / 2,
@@ -79,7 +84,7 @@ int main() {
   PaperNote("fig10g", "4-star Bitcoin, top n/2: Lazy shines for small k");
   {
     GraphStats stats;
-    Database db = MakeBitcoinStandIn(5881, 35592, 4, 1007, &stats);
+    Database db = MakeBitcoinStandIn(Pick(5881, 1200), Pick(35592, 7000), 4, 1007, &stats);
     ConjunctiveQuery q = ConjunctiveQuery::Star(4);
     RunAlgorithms("fig10g", "4star", "bitcoin-standin", stats.edges, db, q,
                   stats.edges / 2, AllAnyKAlgorithms());
@@ -87,7 +92,7 @@ int main() {
   PaperNote("fig10h", "4-star Twitter, top n/2");
   {
     GraphStats stats;
-    Database db = MakeTwitterStandIn(20000, 220000, 4, 1008, &stats);
+    Database db = MakeTwitterStandIn(Pick(20000, 2000), Pick(220000, 20000), 4, 1008, &stats);
     ConjunctiveQuery q = ConjunctiveQuery::Star(4);
     RunAlgorithms("fig10h", "4star", "twitter-standin", stats.edges, db, q,
                   stats.edges / 2, AllAnyKAlgorithms());
@@ -98,14 +103,15 @@ int main() {
             "4-cycle worst-case, all results: Recursive terminates around "
             "the time Batch starts sorting");
   {
-    Database db = MakeWorstCaseCycleDatabase(1000, 4, 1009);
+    const size_t n = Pick(1000, 150);
+    Database db = MakeWorstCaseCycleDatabase(n, 4, 1009);
     ConjunctiveQuery q = ConjunctiveQuery::Cycle(4);
-    RunAlgorithms("fig10i", "4cycle", "synthetic-worstcase", 1000, db, q,
+    RunAlgorithms("fig10i", "4cycle", "synthetic-worstcase", n, db, q,
                   SIZE_MAX, AllRankedAlgorithms());
   }
   PaperNote("fig10j", "4-cycle large, top n/2: any-k TTF ~ n^1.5 not n^2");
   {
-    const size_t n = 30000;
+    const size_t n = Pick(30000, 2000);
     Database db = MakeWorstCaseCycleDatabase(n, 4, 1010);
     ConjunctiveQuery q = ConjunctiveQuery::Cycle(4);
     RunAlgorithms("fig10j", "4cycle", "synthetic-large", n, db, q, n / 2,
@@ -114,7 +120,7 @@ int main() {
   PaperNote("fig10k", "4-cycle Bitcoin, top 10n");
   {
     GraphStats stats;
-    Database db = MakeBitcoinStandIn(5881, 35592, 4, 1011, &stats);
+    Database db = MakeBitcoinStandIn(Pick(5881, 1200), Pick(35592, 7000), 4, 1011, &stats);
     ConjunctiveQuery q = ConjunctiveQuery::Cycle(4);
     RunAlgorithms("fig10k", "4cycle", "bitcoin-standin", stats.edges, db, q,
                   10 * stats.edges, AllAnyKAlgorithms());
@@ -122,7 +128,7 @@ int main() {
   PaperNote("fig10l", "4-cycle TwitterS, top 10n");
   {
     GraphStats stats;
-    Database db = MakeTwitterStandIn(8000, 88000, 4, 1012, &stats);
+    Database db = MakeTwitterStandIn(Pick(8000, 1500), Pick(88000, 12000), 4, 1012, &stats);
     ConjunctiveQuery q = ConjunctiveQuery::Cycle(4);
     RunAlgorithms("fig10l", "4cycle", "twitter-standin", stats.edges, db, q,
                   10 * stats.edges, AllAnyKAlgorithms());

@@ -12,19 +12,21 @@
 using namespace anyk;
 using namespace anyk::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench(argc, argv, "fig11_paths");
   PrintHeader();
 
   PaperNote("fig11a", "3-path, all results: Recursive TTL ~ Batch");
   {
-    Database db = MakePathDatabase(20000, 3, 1101);
+    const size_t n = Pick(20000, 1500);
+    Database db = MakePathDatabase(n, 3, 1101);
     ConjunctiveQuery q = ConjunctiveQuery::Path(3);
-    RunAlgorithms("fig11a", "3path", "synthetic-small", 20000, db, q,
+    RunAlgorithms("fig11a", "3path", "synthetic-small", n, db, q,
                   SIZE_MAX, AllRankedAlgorithms());
   }
   PaperNote("fig11b", "3-path large, top n/2: Lazy leads");
   {
-    const size_t n = 200000;
+    const size_t n = Pick(200000, 4000);
     Database db = MakePathDatabase(n, 3, 1102);
     ConjunctiveQuery q = ConjunctiveQuery::Path(3);
     RunAlgorithms("fig11b", "3path", "synthetic-large", n, db, q, n / 2,
@@ -33,7 +35,7 @@ int main() {
   PaperNote("fig11c", "3-path Bitcoin, top n/2");
   {
     GraphStats stats;
-    Database db = MakeBitcoinStandIn(5881, 35592, 3, 1103, &stats);
+    Database db = MakeBitcoinStandIn(Pick(5881, 1200), Pick(35592, 7000), 3, 1103, &stats);
     ConjunctiveQuery q = ConjunctiveQuery::Path(3);
     RunAlgorithms("fig11c", "3path", "bitcoin-standin", stats.edges, db, q,
                   stats.edges / 2, AllAnyKAlgorithms());
@@ -43,14 +45,16 @@ int main() {
             "6-path, all results: Recursive TTL clearly beats Batch "
             "(more suffix sharing on longer paths)");
   {
-    Database db = MakePathDatabase(100, 6, 1105);  // ~1e7 results, as in the paper
+    const size_t n = Pick(100, 30);  // full: ~1e7 results, as in the paper
+    Database db = MakePathDatabase(n, 6, 1105);
     ConjunctiveQuery q = ConjunctiveQuery::Path(6);
-    RunAlgorithms("fig11e", "6path", "synthetic-small", 100, db, q, SIZE_MAX,
+    RunAlgorithms("fig11e", "6path", "synthetic-small", n, db, q,
+                  SIZE_MAX,
                   AllRankedAlgorithms());
   }
   PaperNote("fig11f", "6-path large, top n/2");
   {
-    const size_t n = 200000;
+    const size_t n = Pick(200000, 4000);
     Database db = MakePathDatabase(n, 6, 1106);
     ConjunctiveQuery q = ConjunctiveQuery::Path(6);
     RunAlgorithms("fig11f", "6path", "synthetic-large", n, db, q, n / 2,
@@ -59,7 +63,7 @@ int main() {
   PaperNote("fig11g", "6-path Bitcoin, top n/2");
   {
     GraphStats stats;
-    Database db = MakeBitcoinStandIn(5881, 35592, 6, 1107, &stats);
+    Database db = MakeBitcoinStandIn(Pick(5881, 1200), Pick(35592, 7000), 6, 1107, &stats);
     ConjunctiveQuery q = ConjunctiveQuery::Path(6);
     RunAlgorithms("fig11g", "6path", "bitcoin-standin", stats.edges, db, q,
                   stats.edges / 2, AllAnyKAlgorithms());

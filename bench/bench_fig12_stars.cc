@@ -12,19 +12,21 @@
 using namespace anyk;
 using namespace anyk::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench(argc, argv, "fig12_stars");
   PrintHeader();
 
   PaperNote("fig12a", "3-star, all results: strict part-variants at TTL");
   {
-    Database db = MakeStarDatabase(20000, 3, 1201);
+    const size_t n = Pick(20000, 1500);
+    Database db = MakeStarDatabase(n, 3, 1201);
     ConjunctiveQuery q = ConjunctiveQuery::Star(3);
-    RunAlgorithms("fig12a", "3star", "synthetic-small", 20000, db, q,
+    RunAlgorithms("fig12a", "3star", "synthetic-small", n, db, q,
                   SIZE_MAX, AllRankedAlgorithms());
   }
   PaperNote("fig12b", "3-star large, top n/2");
   {
-    const size_t n = 200000;
+    const size_t n = Pick(200000, 4000);
     Database db = MakeStarDatabase(n, 3, 1202);
     ConjunctiveQuery q = ConjunctiveQuery::Star(3);
     RunAlgorithms("fig12b", "3star", "synthetic-large", n, db, q, n / 2,
@@ -33,7 +35,7 @@ int main() {
   PaperNote("fig12c", "3-star Bitcoin, top n/2");
   {
     GraphStats stats;
-    Database db = MakeBitcoinStandIn(5881, 35592, 3, 1203, &stats);
+    Database db = MakeBitcoinStandIn(Pick(5881, 1200), Pick(35592, 7000), 3, 1203, &stats);
     ConjunctiveQuery q = ConjunctiveQuery::Star(3);
     RunAlgorithms("fig12c", "3star", "bitcoin-standin", stats.edges, db, q,
                   stats.edges / 2, AllAnyKAlgorithms());
@@ -43,14 +45,16 @@ int main() {
             "6-star, all results: Recursive behaves like ANYK-PART; Eager "
             "pays off when many results are returned");
   {
-    Database db = MakeStarDatabase(100, 6, 1205);  // ~1e7 results, as in the paper
+    const size_t n = Pick(100, 30);  // full: ~1e7 results, as in the paper
+    Database db = MakeStarDatabase(n, 6, 1205);
     ConjunctiveQuery q = ConjunctiveQuery::Star(6);
-    RunAlgorithms("fig12e", "6star", "synthetic-small", 100, db, q, SIZE_MAX,
+    RunAlgorithms("fig12e", "6star", "synthetic-small", n, db, q,
+                  SIZE_MAX,
                   AllRankedAlgorithms());
   }
   PaperNote("fig12f", "6-star large, top n/2");
   {
-    const size_t n = 200000;
+    const size_t n = Pick(200000, 4000);
     Database db = MakeStarDatabase(n, 6, 1206);
     ConjunctiveQuery q = ConjunctiveQuery::Star(6);
     RunAlgorithms("fig12f", "6star", "synthetic-large", n, db, q, n / 2,
@@ -59,7 +63,7 @@ int main() {
   PaperNote("fig12g", "6-star Bitcoin, top n/2");
   {
     GraphStats stats;
-    Database db = MakeBitcoinStandIn(5881, 35592, 6, 1207, &stats);
+    Database db = MakeBitcoinStandIn(Pick(5881, 1200), Pick(35592, 7000), 6, 1207, &stats);
     ConjunctiveQuery q = ConjunctiveQuery::Star(6);
     RunAlgorithms("fig12g", "6star", "bitcoin-standin", stats.edges, db, q,
                   stats.edges / 2, AllAnyKAlgorithms());

@@ -12,21 +12,23 @@
 using namespace anyk;
 using namespace anyk::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench(argc, argv, "fig13_cycle6");
   PrintHeader();
 
   PaperNote("fig13a",
             "6-cycle worst-case, all results: Recursive finishes well before "
             "Batch (paper: 5.4s vs 14.1s at n=400)");
   {
-    Database db = MakeWorstCaseCycleDatabase(160, 6, 1301);
+    const size_t n = Pick(160, 40);
+    Database db = MakeWorstCaseCycleDatabase(n, 6, 1301);
     ConjunctiveQuery q = ConjunctiveQuery::Cycle(6);
-    RunAlgorithms("fig13a", "6cycle", "synthetic-worstcase", 160, db, q,
+    RunAlgorithms("fig13a", "6cycle", "synthetic-worstcase", n, db, q,
                   SIZE_MAX, AllRankedAlgorithms());
   }
   PaperNote("fig13b", "6-cycle large, top n/2: any-k returns in seconds");
   {
-    const size_t n = 20000;
+    const size_t n = Pick(20000, 1000);
     Database db = MakeWorstCaseCycleDatabase(n, 6, 1302);
     ConjunctiveQuery q = ConjunctiveQuery::Cycle(6);
     RunAlgorithms("fig13b", "6cycle", "synthetic-large", n, db, q, n / 2,
@@ -35,7 +37,7 @@ int main() {
   PaperNote("fig13c", "6-cycle Bitcoin, top 10n (paper uses 50n)");
   {
     GraphStats stats;
-    Database db = MakeBitcoinStandIn(3000, 18000, 6, 1303, &stats);
+    Database db = MakeBitcoinStandIn(Pick(3000, 800), Pick(18000, 4000), 6, 1303, &stats);
     ConjunctiveQuery q = ConjunctiveQuery::Cycle(6);
     RunAlgorithms("fig13c", "6cycle", "bitcoin-standin", stats.edges, db, q,
                   10 * stats.edges, AllAnyKAlgorithms());
@@ -43,7 +45,7 @@ int main() {
   PaperNote("fig13d", "6-cycle TwitterS, top 10n (paper uses 50n)");
   {
     GraphStats stats;
-    Database db = MakeTwitterStandIn(4000, 30000, 6, 1304, &stats);
+    Database db = MakeTwitterStandIn(Pick(4000, 1000), Pick(30000, 6000), 6, 1304, &stats);
     ConjunctiveQuery q = ConjunctiveQuery::Cycle(6);
     RunAlgorithms("fig13d", "6cycle", "twitter-standin", stats.edges, db, q,
                   10 * stats.edges, AllAnyKAlgorithms());

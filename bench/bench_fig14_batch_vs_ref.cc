@@ -60,9 +60,11 @@ void Compare(const char* label, const Database& db,
   BatchOutput ref = ReferenceHashJoin(db, q, /*sort=*/true);
   const double ref_s = t2.Seconds();
 
-  std::printf("RESULT,fig14,%s,n=%zu,results=%zu,Batch=%.3fs,RefExec=%.3fs,"
-              "batch_faster_pct=%.0f%%\n",
-              label, n, out_batch, batch_s, ref_s,
+  bench::PrintRow("fig14", label, "synthetic", n, "Batch(TTL)", out_batch,
+                  batch_s);
+  bench::PrintRow("fig14", label, "synthetic", n, "RefExec(TTL)", ref.size(),
+                  ref_s);
+  std::printf("# fig14 %s: batch_faster_pct=%.0f%%\n", label,
               100.0 * (ref_s - batch_s) / ref_s);
   if (out_batch != ref.size()) {
     std::printf("# WARNING: result count mismatch (%zu vs %zu)\n", out_batch,
@@ -72,46 +74,55 @@ void Compare(const char* label, const Database& db,
 
 }  // namespace
 
-int main() {
-  std::printf("RESULT,figure,query,n,results,batch,refexec,delta\n");
+int main(int argc, char** argv) {
+  bench::InitBench(argc, argv, "fig14_batch_vs_ref");
+  bench::PrintHeader();
   bench::PaperNote("fig14",
                    "Batch 12%-54% faster than PostgreSQL across 3/4/6-path, "
                    "3/4/6-star, 4/6-cycle on full results");
   {
-    Database db = MakePathDatabase(20000, 3, 1401);
-    Compare("3path", db, ConjunctiveQuery::Path(3), 20000);
+    const size_t n = bench::Pick(20000, 1500);
+    Database db = MakePathDatabase(n, 3, 1401);
+    Compare("3path", db, ConjunctiveQuery::Path(3), n);
   }
   {
-    Database db = MakePathDatabase(2000, 4, 1402);
-    Compare("4path", db, ConjunctiveQuery::Path(4), 2000);
+    const size_t n = bench::Pick(2000, 250);
+    Database db = MakePathDatabase(n, 4, 1402);
+    Compare("4path", db, ConjunctiveQuery::Path(4), n);
   }
   {
-    Database db = MakePathDatabase(100, 6, 1403, {.fanout = 5.0});
-    Compare("6path", db, ConjunctiveQuery::Path(6), 100);
+    const size_t n = bench::Pick(100, 40);
+    Database db = MakePathDatabase(n, 6, 1403, {.fanout = 5.0});
+    Compare("6path", db, ConjunctiveQuery::Path(6), n);
   }
   {
-    Database db = MakeStarDatabase(20000, 3, 1404);
-    Compare("3star", db, ConjunctiveQuery::Star(3), 20000);
+    const size_t n = bench::Pick(20000, 1500);
+    Database db = MakeStarDatabase(n, 3, 1404);
+    Compare("3star", db, ConjunctiveQuery::Star(3), n);
   }
   {
-    Database db = MakeStarDatabase(2000, 4, 1405);
-    Compare("4star", db, ConjunctiveQuery::Star(4), 2000);
+    const size_t n = bench::Pick(2000, 250);
+    Database db = MakeStarDatabase(n, 4, 1405);
+    Compare("4star", db, ConjunctiveQuery::Star(4), n);
   }
   {
-    Database db = MakeStarDatabase(100, 6, 1406, {.fanout = 5.0});
-    Compare("6star", db, ConjunctiveQuery::Star(6), 100);
+    const size_t n = bench::Pick(100, 40);
+    Database db = MakeStarDatabase(n, 6, 1406, {.fanout = 5.0});
+    Compare("6star", db, ConjunctiveQuery::Star(6), n);
   }
   // Cyclic rows use uniform data: closing the cycle discards most of the
   // left-deep pipeline's intermediate tuples, which is where a worst-case
   // optimal join wins (on worst-case-output instances the intermediates
   // roughly equal the output and the generic pipeline is competitive).
   {
-    Database db = MakePathDatabase(20000, 4, 1407);
-    Compare("4cycle", db, ConjunctiveQuery::Cycle(4), 20000);
+    const size_t n = bench::Pick(20000, 1500);
+    Database db = MakePathDatabase(n, 4, 1407);
+    Compare("4cycle", db, ConjunctiveQuery::Cycle(4), n);
   }
   {
-    Database db = MakePathDatabase(3000, 6, 1408, {.fanout = 6.0});
-    Compare("6cycle", db, ConjunctiveQuery::Cycle(6), 3000);
+    const size_t n = bench::Pick(3000, 500);
+    Database db = MakePathDatabase(n, 6, 1408, {.fanout = 6.0});
+    Compare("6cycle", db, ConjunctiveQuery::Cycle(6), n);
   }
   return 0;
 }

@@ -7,6 +7,7 @@
 #include <cstddef>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "bench_common.h"
 #include "join/generic_join.h"
@@ -17,13 +18,18 @@
 using namespace anyk;
 using namespace anyk::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench(argc, argv, "fig17_nprr");
   PrintHeader();
   PaperNote("fig17",
             "NPRR TTF grows ~n^2 (100s at n=16k, Java); Recursive/Lazy TTF "
             "grows ~n (300ms at 16k); any-k TTL is ~n^2 like the output");
 
-  for (size_t n : {500, 1000, 2000, 4000}) {
+  const std::vector<size_t> ns = SmokeMode()
+                                     ? std::vector<size_t>{200, 400}
+                                     : std::vector<size_t>{500, 1000, 2000,
+                                                           4000};
+  for (size_t n : ns) {
     Database db = MakeI1Database(n, 1700 + n);
     ConjunctiveQuery q = ConjunctiveQuery::Cycle(4);
 
@@ -44,7 +50,7 @@ int main() {
           MakeFactory<TropicalDioid>(db, q, algo), 1);
       // TTL (full ranked enumeration) — only for the smaller sizes, since
       // the output is Θ(n^2).
-      if (n <= 2000) {
+      if (n <= Pick(2000, 400)) {
         auto series = MeasureTT<TropicalDioid>(
             MakeFactory<TropicalDioid>(db, q, algo), SIZE_MAX, {});
         PrintRow("fig17", "4cycle", "I1", n,

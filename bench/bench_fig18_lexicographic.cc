@@ -26,14 +26,19 @@
 using namespace anyk;
 using namespace anyk::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench(argc, argv, "fig18_lexicographic");
   PrintHeader();
   PaperNote("fig18/sec9.1.2",
             "restructured factorization: Θ(n^2) preprocessing; ours: O(n) "
             "TTF, O(n^2) TTL with logarithmic delay");
 
   using Lex = LexDioid<4>;
-  for (size_t n : {1000, 2000, 4000, 8000}) {
+  const std::vector<size_t> ns = SmokeMode()
+                                     ? std::vector<size_t>{400, 800}
+                                     : std::vector<size_t>{1000, 2000, 4000,
+                                                           8000};
+  for (size_t n : ns) {
     Database db = MakeFactorizedBadDatabase(n, 1800 + n);
     ConjunctiveQuery q = ConjunctiveQuery::Path(2);
 

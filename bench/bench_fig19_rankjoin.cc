@@ -5,6 +5,7 @@
 
 #include <cstddef>
 #include <cstdio>
+#include <vector>
 
 #include "anyk/factory.h"
 #include "dioid/max_plus.h"
@@ -19,13 +20,18 @@
 using namespace anyk;
 using namespace anyk::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench(argc, argv, "fig19_rankjoin");
   PrintHeader();
   PaperNote("fig19/sec9.1.3",
             "J*/Rank-Join examine (n-1)^{l-1} combinations before the top-1 "
             "on I2; our approach achieves O(n*l)");
 
-  for (size_t n : {250, 500, 1000, 2000}) {
+  const std::vector<size_t> ns = SmokeMode()
+                                     ? std::vector<size_t>{100, 200}
+                                     : std::vector<size_t>{250, 500, 1000,
+                                                           2000};
+  for (size_t n : ns) {
     Database db = MakeI2Database(n);
     ConjunctiveQuery q = ConjunctiveQuery::Path(3);
 

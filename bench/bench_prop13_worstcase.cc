@@ -5,6 +5,7 @@
 
 #include <cstddef>
 #include <string>
+#include <vector>
 
 #include "bench_common.h"
 #include "query/cq.h"
@@ -13,14 +14,19 @@
 using namespace anyk;
 using namespace anyk::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench(argc, argv, "prop13_worstcase");
   PrintHeader();
   PaperNote("prop13",
             "TT(n): Recursive strictly slower than the best ANYK-PART on the "
             "adversarial Cartesian product (weights j * (n+1)^{l-1-i})");
 
   const size_t l = 3;
-  for (size_t n : {20000, 40000, 80000, 160000}) {
+  const std::vector<size_t> ns = SmokeMode()
+                                     ? std::vector<size_t>{2000, 4000}
+                                     : std::vector<size_t>{20000, 40000,
+                                                           80000, 160000};
+  for (size_t n : ns) {
     Database db = MakeRecursiveWorstCaseDatabase(n, l);
     ConjunctiveQuery q = ConjunctiveQuery::Product(l);
     for (Algorithm algo :

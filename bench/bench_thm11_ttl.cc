@@ -5,6 +5,7 @@
 
 #include <cstddef>
 #include <string>
+#include <vector>
 
 #include "bench_common.h"
 #include "query/cq.h"
@@ -13,7 +14,8 @@
 using namespace anyk;
 using namespace anyk::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench(argc, argv, "thm11_ttl");
   PrintHeader();
   PaperNote("thm11",
             "Recursive TTL beats Batch on full Cartesian products; the edge "
@@ -23,7 +25,12 @@ int main() {
     size_t n;
     size_t l;
   };
-  for (Config c : {Config{150, 3}, Config{40, 4}, Config{10, 6}}) {
+  const std::vector<Config> configs =
+      SmokeMode() ? std::vector<Config>{Config{40, 3}, Config{15, 4},
+                                        Config{6, 6}}
+                  : std::vector<Config>{Config{150, 3}, Config{40, 4},
+                                        Config{10, 6}};
+  for (Config c : configs) {
     Database db = MakeCartesianDatabase(c.n, c.l, 1100 + c.l);
     ConjunctiveQuery q = ConjunctiveQuery::Product(c.l);
     for (Algorithm algo :

@@ -1,25 +1,105 @@
 #include "harness.h"
 
 #include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "util/json.h"
+#include "util/logging.h"
 
 namespace anyk {
 namespace bench {
 
-std::vector<size_t> GeometricCheckpoints(size_t max_k) {
-  std::vector<size_t> cps;
-  size_t decade = 1;
-  while (decade <= max_k && decade < (size_t{1} << 62)) {
-    for (size_t mult : {1, 2, 5}) {
-      const size_t k = decade * mult;
-      if (k <= max_k) cps.push_back(k);
-    }
-    if (decade > max_k / 10) break;
-    decade *= 10;
-  }
-  return cps;
+namespace {
+constexpr int kSchemaVersion = 1;
+}  // namespace
+
+Reporter& Reporter::Get() {
+  static Reporter reporter;
+  return reporter;
 }
+
+void Reporter::Init(int argc, char** argv, const std::string& bench_name) {
+  name_ = bench_name;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke_ = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path_ = arg.substr(7);
+    } else if (arg.rfind("--json-dir=", 0) == 0) {
+      json_path_ = arg.substr(11) + "/BENCH_" + name_ + ".json";
+    }
+    // Unknown flags are deliberately ignored (wrappers pass extras through).
+  }
+}
+
+void Reporter::Row(const std::string& figure, const std::string& query,
+                   const std::string& dataset, size_t n,
+                   const std::string& algorithm, size_t k, double seconds) {
+  std::printf("RESULT,%s,%s,%s,%zu,%s,%zu,%.6f\n", figure.c_str(),
+              query.c_str(), dataset.c_str(), n, algorithm.c_str(), k,
+              seconds);
+  std::fflush(stdout);
+  records_.push_back({figure, query, dataset, algorithm, n, k, seconds});
+}
+
+void Reporter::Note(const std::string& figure, const std::string& note) {
+  std::printf("# paper %s: %s\n", figure.c_str(), note.c_str());
+  notes_.emplace_back(figure, note);
+}
+
+void Reporter::Section(const std::string& text) {
+  std::printf("#\n# ==== %s ====\n", text.c_str());
+}
+
+void Reporter::Flush() {
+  if (flushed_ || json_path_.empty()) return;
+  flushed_ = true;
+  std::ofstream out(json_path_);
+  ANYK_CHECK(out.good()) << "cannot write " << json_path_;
+  JsonWriter w(out);
+  w.BeginObject();
+  w.KV("schema_version", static_cast<int64_t>(kSchemaVersion));
+  w.KV("bench", name_);
+  w.KV("smoke", smoke_);
+  w.Key("records").BeginArray();
+  for (const BenchRecord& r : records_) {
+    w.BeginObject();
+    w.KV("figure", r.figure);
+    w.KV("query", r.query);
+    w.KV("dataset", r.dataset);
+    w.KV("n", static_cast<uint64_t>(r.n));
+    w.KV("algorithm", r.algorithm);
+    w.KV("k", static_cast<uint64_t>(r.k));
+    w.KV("seconds", r.seconds);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("paper_notes").BeginArray();
+  for (const auto& [figure, note] : notes_) {
+    w.BeginObject();
+    w.KV("figure", figure);
+    w.KV("note", note);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  w.Finish();
+  std::printf("# wrote %s (%zu records)\n", json_path_.c_str(),
+              records_.size());
+}
+
+void InitBench(int argc, char** argv, const std::string& bench_name) {
+  Reporter::Get().Init(argc, argv, bench_name);
+  std::atexit([] { Reporter::Get().Flush(); });
+}
+
+bool SmokeMode() { return Reporter::Get().smoke(); }
 
 void PrintHeader() {
   std::printf("RESULT,figure,query,dataset,n,algorithm,k,seconds\n");
@@ -28,18 +108,15 @@ void PrintHeader() {
 void PrintRow(const std::string& figure, const std::string& query,
               const std::string& dataset, size_t n,
               const std::string& algorithm, size_t k, double seconds) {
-  std::printf("RESULT,%s,%s,%s,%zu,%s,%zu,%.6f\n", figure.c_str(),
-              query.c_str(), dataset.c_str(), n, algorithm.c_str(), k,
-              seconds);
-  std::fflush(stdout);
+  Reporter::Get().Row(figure, query, dataset, n, algorithm, k, seconds);
 }
 
 void PaperNote(const std::string& figure, const std::string& note) {
-  std::printf("# paper %s: %s\n", figure.c_str(), note.c_str());
+  Reporter::Get().Note(figure, note);
 }
 
 void SectionNote(const std::string& text) {
-  std::printf("#\n# ==== %s ====\n", text.c_str());
+  Reporter::Get().Section(text);
 }
 
 }  // namespace bench

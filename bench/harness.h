@@ -1,12 +1,21 @@
 // Benchmark harness: measures TTF / TT(k) / TTL of any enumerator pipeline
-// and prints uniform CSV-style rows, one per checkpoint:
+// and reports through a structured Reporter that every bench target shares.
+//
+// Each checkpoint becomes one BenchRecord; on stdout they print as the
+// legacy uniform CSV rows
 //
 //   RESULT,<figure>,<query>,<dataset>,<n>,<algorithm>,<k>,<seconds>
 //
+// and, when `--json=PATH` or `--json-dir=DIR` is passed, the run additionally
+// writes a schema-versioned `BENCH_<bench>.json` holding every record plus
+// the `# paper:` expectation notes (scripts/bench_compare.py consumes these
+// for the perf-regression gate; see docs/CLI.md for the schema).
+//
+// `--smoke` switches every bench into a small-n configuration via
+// `Pick(full, smoke)` so CI can run the whole suite in seconds.
+//
 // Preprocessing (building decompositions, stage graphs, sorting...) happens
 // inside the factory closure, so it is charged to TT like in the paper.
-// `# paper:` comment lines next to the measurements record what the paper
-// observed for the corresponding figure, so shape comparison is immediate.
 
 #ifndef ANYK_BENCH_HARNESS_H_
 #define ANYK_BENCH_HARNESS_H_
@@ -14,7 +23,6 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
-#include <cstdio>
 #include <functional>
 #include <memory>
 #include <string>
@@ -22,13 +30,66 @@
 #include <vector>
 
 #include "anyk/enumerator.h"
+#include "util/checkpoints.h"
 #include "util/timer.h"
 
 namespace anyk {
 namespace bench {
 
-/// Checkpoints 1, 2, 5, 10, 20, 50, ... up to max_k.
-std::vector<size_t> GeometricCheckpoints(size_t max_k);
+struct BenchRecord {
+  std::string figure;
+  std::string query;
+  std::string dataset;
+  std::string algorithm;
+  size_t n = 0;
+  size_t k = 0;
+  double seconds = 0;
+};
+
+/// Process-wide collector behind the legacy Print* helpers. Records every
+/// RESULT row and paper note; Flush() (atexit-registered by InitBench)
+/// writes BENCH_<bench>.json when a JSON destination was configured.
+class Reporter {
+ public:
+  static Reporter& Get();
+
+  /// Parse --smoke / --json=PATH / --json-dir=DIR (unknown flags are
+  /// ignored, so wrappers can pass extra arguments through).
+  void Init(int argc, char** argv, const std::string& bench_name);
+
+  bool smoke() const { return smoke_; }
+  const std::string& name() const { return name_; }
+
+  void Row(const std::string& figure, const std::string& query,
+           const std::string& dataset, size_t n, const std::string& algorithm,
+           size_t k, double seconds);
+  void Note(const std::string& figure, const std::string& note);
+  void Section(const std::string& text);
+
+  /// Write the JSON report if configured; idempotent.
+  void Flush();
+
+ private:
+  std::string name_ = "bench";
+  std::string json_path_;  // empty = no JSON output
+  bool smoke_ = false;
+  bool flushed_ = false;
+  std::vector<BenchRecord> records_;
+  std::vector<std::pair<std::string, std::string>> notes_;  // (figure, note)
+};
+
+/// Call first in every bench main(): configures the Reporter and registers
+/// the JSON flush at exit.
+void InitBench(int argc, char** argv, const std::string& bench_name);
+
+/// True when the current run was started with --smoke.
+bool SmokeMode();
+
+/// Size selector: the paper-scale value normally, the reduced value under
+/// --smoke (CI perf gate; see the bench-smoke CMake target).
+inline size_t Pick(size_t full, size_t smoke) {
+  return SmokeMode() ? smoke : full;
+}
 
 void PrintHeader();
 void PrintRow(const std::string& figure, const std::string& query,
@@ -36,6 +97,8 @@ void PrintRow(const std::string& figure, const std::string& query,
               const std::string& algorithm, size_t k, double seconds);
 void PaperNote(const std::string& figure, const std::string& note);
 void SectionNote(const std::string& text);
+
+using ::anyk::GeometricCheckpoints;
 
 struct TTSeries {
   std::vector<std::pair<size_t, double>> points;  // (k, seconds)
@@ -86,7 +149,7 @@ TTSeries MeasureTT(
   return series;
 }
 
-/// Measure and print all checkpoint rows.
+/// Measure and report all checkpoint rows.
 template <typename D>
 TTSeries RunAndPrint(
     const std::string& figure, const std::string& query,

@@ -1,0 +1,572 @@
+#include "anyk_cli.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "anyk/factory.h"
+#include "anyk/ranked_query.h"
+#include "dioid/max_plus.h"
+#include "dioid/max_times.h"
+#include "dioid/min_max.h"
+#include "dioid/tropical.h"
+#include "query/sql.h"
+#include "storage/database.h"
+#include "util/checkpoints.h"
+#include "util/json.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+#ifndef ANYK_VERSION
+#define ANYK_VERSION "dev"
+#endif
+
+namespace anyk {
+namespace cli {
+
+namespace {
+
+constexpr int kSchemaVersion = 1;
+
+const char* PlanName(QueryPlan plan) {
+  switch (plan) {
+    case QueryPlan::kAcyclicTree: return "acyclic-tree";
+    case QueryPlan::kCycleUnion: return "cycle-union";
+    case QueryPlan::kGenericJoinBatch: return "generic-join-batch";
+  }
+  return "?";
+}
+
+std::optional<Algorithm> AlgorithmFromName(std::string name) {
+  for (char& c : name) c = static_cast<char>(std::tolower(c));
+  if (name == "recursive" || name == "rec") return Algorithm::kRecursive;
+  if (name == "take2") return Algorithm::kTake2;
+  if (name == "lazy") return Algorithm::kLazy;
+  if (name == "eager") return Algorithm::kEager;
+  if (name == "all") return Algorithm::kAll;
+  if (name == "batch") return Algorithm::kBatch;
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Measurement
+// ---------------------------------------------------------------------------
+
+struct LoadedRelation {
+  std::string name;
+  std::string path;
+  size_t rows = 0;
+  size_t arity = 0;
+};
+
+struct CliResult {
+  double weight;
+  std::vector<Value> values;
+};
+
+struct RunReport {
+  std::string plan;
+  double preprocessing_seconds = 0;
+  double ttf_seconds = 0;
+  double ttl_seconds = 0;
+  double max_delay_seconds = 0;
+  size_t produced = 0;
+  bool exhausted = false;
+  std::vector<std::pair<size_t, double>> checkpoints;  // (k, seconds)
+};
+
+using RowSink =
+    std::function<void(size_t k, double weight, const std::vector<Value>&)>;
+
+/// Build the ranked pipeline (charged to preprocessing, as in the paper) and
+/// pull answers until `limit` (0 = all), timing TTF / TT(k) / TTL.
+template <typename D>
+RunReport RunRanked(const Database& db, const SqlStatement& stmt,
+                    Algorithm algo, size_t limit,
+                    const std::vector<size_t>& cps, const RowSink& sink) {
+  RunReport rep;
+  Timer timer;
+  typename RankedQuery<D>::Options qopts;
+  qopts.algorithm = algo;
+  qopts.enum_opts.with_witness = false;
+  RankedQuery<D> rq(db, stmt.query, qopts);
+  rep.preprocessing_seconds = timer.Seconds();
+  rep.plan = PlanName(rq.plan());
+
+  std::vector<Value> projected;
+  size_t next_cp = 0;
+  double last = rep.preprocessing_seconds;
+  while (limit == 0 || rep.produced < limit) {
+    auto row = rq.Next();
+    if (!row) {
+      rep.exhausted = true;
+      break;
+    }
+    ++rep.produced;
+    const double now = timer.Seconds();
+    rep.max_delay_seconds = std::max(rep.max_delay_seconds, now - last);
+    last = now;
+    if (rep.produced == 1) rep.ttf_seconds = now;
+    while (next_cp < cps.size() && cps[next_cp] < rep.produced) ++next_cp;
+    if (next_cp < cps.size() && cps[next_cp] == rep.produced) {
+      rep.checkpoints.emplace_back(rep.produced, now);
+      ++next_cp;
+    }
+    if (sink) {
+      const std::vector<Value>* values = &row->assignment;
+      if (!stmt.select_vars.empty()) {
+        projected.clear();
+        for (uint32_t v : stmt.select_vars) {
+          projected.push_back(row->assignment[v]);
+        }
+        values = &projected;
+      }
+      sink(rep.produced, static_cast<double>(row->weight), *values);
+    }
+  }
+  rep.ttl_seconds = timer.Seconds();
+  if (rep.produced > 0 && (rep.checkpoints.empty() ||
+                           rep.checkpoints.back().first != rep.produced)) {
+    rep.checkpoints.emplace_back(rep.produced, rep.ttl_seconds);
+  }
+  return rep;
+}
+
+// ---------------------------------------------------------------------------
+// Reports
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> ColumnNames(const SqlStatement& stmt) {
+  std::vector<std::string> names;
+  if (stmt.select_vars.empty()) {
+    for (uint32_t v = 0; v < stmt.query.NumVars(); ++v) {
+      names.push_back(stmt.query.VarName(v));
+    }
+  } else {
+    for (uint32_t v : stmt.select_vars) {
+      names.push_back(stmt.query.VarName(v));
+    }
+  }
+  return names;
+}
+
+void WriteTextReport(std::ostream& out, const RunReport& rep) {
+  out << "TIMING,preprocessing,0," << rep.preprocessing_seconds << "\n";
+  if (rep.produced > 0) out << "TIMING,ttf,1," << rep.ttf_seconds << "\n";
+  for (const auto& [k, secs] : rep.checkpoints) {
+    out << "TIMING,ttk," << k << "," << secs << "\n";
+  }
+  out << "TIMING,ttl," << rep.produced << "," << rep.ttl_seconds << "\n";
+  out << "TIMING,max_delay,0," << rep.max_delay_seconds << "\n";
+  out << "# produced=" << rep.produced
+      << " exhausted=" << (rep.exhausted ? "yes" : "no") << "\n";
+}
+
+void WriteJsonReport(std::ostream& out, const CliOptions& opt,
+                     const std::vector<LoadedRelation>& rels,
+                     const SqlStatement& stmt, const std::string& algorithm,
+                     const std::string& dioid, size_t limit,
+                     const std::vector<CliResult>& results,
+                     const RunReport& rep) {
+  JsonWriter w(out);
+  w.BeginObject();
+  w.KV("schema_version", static_cast<int64_t>(kSchemaVersion));
+  w.KV("tool", "anyk");
+  w.KV("version", ANYK_VERSION);
+  w.KV("sql", opt.query);
+  w.KV("plan", rep.plan);
+  w.KV("algorithm", algorithm);
+  w.KV("dioid", dioid);
+  w.KV("limit", static_cast<uint64_t>(limit));
+  w.Key("relations").BeginArray();
+  for (const LoadedRelation& r : rels) {
+    w.BeginObject();
+    w.KV("name", r.name);
+    w.KV("path", r.path);
+    w.KV("rows", static_cast<uint64_t>(r.rows));
+    w.KV("arity", static_cast<uint64_t>(r.arity));
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("columns").BeginArray();
+  for (const std::string& c : ColumnNames(stmt)) w.String(c);
+  w.EndArray();
+  if (opt.print_results) {
+    w.Key("results").BeginArray();
+    for (size_t i = 0; i < results.size(); ++i) {
+      w.BeginObject();
+      w.KV("k", static_cast<uint64_t>(i + 1));
+      w.KV("weight", results[i].weight);
+      w.Key("values").BeginArray();
+      for (Value v : results[i].values) w.Int(v);
+      w.EndArray();
+      w.EndObject();
+    }
+    w.EndArray();
+  }
+  w.Key("timings").BeginObject();
+  w.KV("preprocessing_seconds", rep.preprocessing_seconds);
+  w.KV("ttf_seconds", rep.ttf_seconds);
+  w.KV("ttl_seconds", rep.ttl_seconds);
+  w.KV("max_delay_seconds", rep.max_delay_seconds);
+  w.KV("produced", static_cast<uint64_t>(rep.produced));
+  w.KV("exhausted", rep.exhausted);
+  w.Key("checkpoints").BeginArray();
+  for (const auto& [k, secs] : rep.checkpoints) {
+    w.BeginObject();
+    w.KV("k", static_cast<uint64_t>(k));
+    w.KV("seconds", secs);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();  // timings
+  w.EndObject();
+  w.Finish();
+}
+
+// ---------------------------------------------------------------------------
+// Flag parsing
+// ---------------------------------------------------------------------------
+
+bool ParseSize(const std::string& s, size_t* out) {
+  // Digits only: strtoull would silently wrap "-3" to a huge value.
+  if (s.empty() ||
+      !std::all_of(s.begin(), s.end(),
+                   [](unsigned char c) { return std::isdigit(c); })) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || errno == ERANGE) return false;
+  *out = static_cast<size_t>(v);
+  return true;
+}
+
+}  // namespace
+
+const char* UsageText() {
+  return
+      "anyk " ANYK_VERSION
+      " - ranked enumeration of conjunctive-query answers (any-k)\n"
+      "\n"
+      "Usage:\n"
+      "  anyk --relation NAME=FILE.csv [--relation ...] --query SQL "
+      "[options]\n"
+      "\n"
+      "Query:\n"
+      "  --query SQL           SQL in the paper dialect (see docs/CLI.md):\n"
+      "                        SELECT */cols FROM R [alias], ... WHERE\n"
+      "                        a.A2 = b.A1 [AND ...] ORDER BY WEIGHT "
+      "[ASC|DESC] [LIMIT k]\n"
+      "  --query-file FILE     read the SQL text from FILE\n"
+      "  --algorithm NAME      recursive | take2 | lazy (default) | eager | "
+      "all | batch\n"
+      "  --dioid NAME          min-sum | max-sum | min-max | max-times\n"
+      "                        (default: min-sum for ASC, max-sum for DESC)\n"
+      "  --k N                 stop after N answers (overrides the SQL "
+      "LIMIT; 0 = all)\n"
+      "\n"
+      "CSV loading (applies to every --relation):\n"
+      "  --delimiter C         field delimiter (default ',')\n"
+      "  --header              skip the first line of each file\n"
+      "  --weight-column SPEC  1-based weight column, 'last' (default) or "
+      "'none'\n"
+      "  --row-limit N         load at most N rows per relation (0 = all)\n"
+      "\n"
+      "Output:\n"
+      "  --format text|json    default text; the JSON schema is documented "
+      "in docs/CLI.md\n"
+      "  --output FILE         write the report to FILE instead of stdout\n"
+      "  --no-results          suppress per-answer rows, report timings "
+      "only\n"
+      "  --checkpoints LIST    comma-separated TT(k) checkpoints (default "
+      "1,2,5,10,20,...)\n"
+      "\n"
+      "  --help                show this help\n"
+      "  --version             print version and exit\n"
+      "\n"
+      "Exit codes: 0 success, 1 runtime error (bad CSV/SQL/data), 2 usage "
+      "error.\n";
+}
+
+bool ParseCliArgs(int argc, char** argv, CliOptions* opt, std::string* error) {
+  opt->csv.weight_last = true;  // CLI default: last column is the weight
+  std::vector<std::string> args(argv + 1, argv + argc);
+  auto value_of = [&](size_t* i, const std::string& flag,
+                      std::string* out) -> bool {
+    const std::string& a = args[*i];
+    const std::string eq = flag + "=";
+    if (a.compare(0, eq.size(), eq) == 0) {
+      *out = a.substr(eq.size());
+      return true;
+    }
+    if (a == flag) {
+      if (*i + 1 >= args.size()) {
+        *error = "missing value for " + flag;
+        return false;
+      }
+      *out = args[++*i];
+      return true;
+    }
+    *error = "internal flag mismatch for " + flag;
+    return false;
+  };
+  auto is_flag = [&](const std::string& a, const std::string& flag) {
+    return a == flag || a.compare(0, flag.size() + 1, flag + "=") == 0;
+  };
+
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    std::string v;
+    if (a == "--help" || a == "-h") {
+      opt->show_help = true;
+    } else if (a == "--version") {
+      opt->show_version = true;
+    } else if (a == "--header") {
+      opt->csv.has_header = true;
+    } else if (a == "--no-results") {
+      opt->print_results = false;
+    } else if (is_flag(a, "--relation")) {
+      if (!value_of(&i, "--relation", &v)) return false;
+      const size_t eq = v.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 >= v.size()) {
+        *error = "--relation expects NAME=FILE.csv, got '" + v + "'";
+        return false;
+      }
+      opt->relations.push_back({v.substr(0, eq), v.substr(eq + 1)});
+    } else if (is_flag(a, "--query")) {
+      if (!value_of(&i, "--query", &v)) return false;
+      opt->query = v;
+    } else if (is_flag(a, "--query-file")) {
+      if (!value_of(&i, "--query-file", &v)) return false;
+      std::ifstream in(v);
+      if (!in.good()) {
+        *error = "cannot open query file " + v;
+        return false;
+      }
+      std::ostringstream text;
+      text << in.rdbuf();
+      opt->query = text.str();
+    } else if (is_flag(a, "--algorithm")) {
+      if (!value_of(&i, "--algorithm", &v)) return false;
+      if (!AlgorithmFromName(v)) {
+        *error = "unknown algorithm '" + v +
+                 "' (expected recursive|take2|lazy|eager|all|batch)";
+        return false;
+      }
+      opt->algorithm = v;
+    } else if (is_flag(a, "--dioid")) {
+      if (!value_of(&i, "--dioid", &v)) return false;
+      if (v != "min-sum" && v != "max-sum" && v != "min-max" &&
+          v != "max-times") {
+        *error = "unknown dioid '" + v +
+                 "' (expected min-sum|max-sum|min-max|max-times)";
+        return false;
+      }
+      opt->dioid = v;
+    } else if (is_flag(a, "--k")) {
+      if (!value_of(&i, "--k", &v)) return false;
+      if (!ParseSize(v, &opt->k)) {
+        *error = "--k expects a non-negative integer, got '" + v + "'";
+        return false;
+      }
+      opt->has_k = true;
+    } else if (is_flag(a, "--format")) {
+      if (!value_of(&i, "--format", &v)) return false;
+      if (v != "text" && v != "json") {
+        *error = "unknown format '" + v + "' (expected text|json)";
+        return false;
+      }
+      opt->format = v;
+    } else if (is_flag(a, "--output")) {
+      if (!value_of(&i, "--output", &v)) return false;
+      opt->output_path = v;
+    } else if (is_flag(a, "--checkpoints")) {
+      if (!value_of(&i, "--checkpoints", &v)) return false;
+      std::istringstream in(v);
+      std::string item;
+      while (std::getline(in, item, ',')) {
+        size_t k = 0;
+        if (!ParseSize(item, &k) || k == 0) {
+          *error = "--checkpoints expects positive integers, got '" + item +
+                   "'";
+          return false;
+        }
+        opt->checkpoints.push_back(k);
+      }
+      std::sort(opt->checkpoints.begin(), opt->checkpoints.end());
+      opt->checkpoints.erase(
+          std::unique(opt->checkpoints.begin(), opt->checkpoints.end()),
+          opt->checkpoints.end());
+    } else if (is_flag(a, "--delimiter")) {
+      if (!value_of(&i, "--delimiter", &v)) return false;
+      if (v.size() != 1) {
+        *error = "--delimiter expects a single character, got '" + v + "'";
+        return false;
+      }
+      opt->csv.delimiter = v[0];
+    } else if (is_flag(a, "--weight-column")) {
+      if (!value_of(&i, "--weight-column", &v)) return false;
+      if (v == "last") {
+        opt->csv.weight_last = true;
+        opt->csv.weight_column = -1;
+      } else if (v == "none") {
+        opt->csv.weight_last = false;
+        opt->csv.weight_column = -1;
+      } else {
+        size_t col = 0;
+        if (!ParseSize(v, &col) || col == 0) {
+          *error = "--weight-column expects a 1-based index, 'last' or "
+                   "'none', got '" + v + "'";
+          return false;
+        }
+        opt->csv.weight_last = false;
+        opt->csv.weight_column = static_cast<int>(col) - 1;
+      }
+    } else if (is_flag(a, "--row-limit")) {
+      if (!value_of(&i, "--row-limit", &v)) return false;
+      if (!ParseSize(v, &opt->csv.limit)) {
+        *error = "--row-limit expects a non-negative integer, got '" + v +
+                 "'";
+        return false;
+      }
+    } else {
+      *error = "unknown flag '" + a + "'";
+      return false;
+    }
+  }
+
+  if (opt->show_help || opt->show_version) return true;
+  if (opt->relations.empty()) {
+    *error = "no relations given; pass at least one --relation NAME=FILE.csv";
+    return false;
+  }
+  if (opt->query.empty()) {
+    *error = "no query given; pass --query SQL or --query-file FILE";
+    return false;
+  }
+  return true;
+}
+
+int RunCli(const CliOptions& opt) {
+  // Output stream: stdout or --output.
+  std::ofstream file_out;
+  if (!opt.output_path.empty()) {
+    file_out.open(opt.output_path);
+    ANYK_CHECK(file_out.good()) << "cannot write " << opt.output_path;
+  }
+  std::ostream& out = opt.output_path.empty() ? std::cout : file_out;
+
+  // Load relations.
+  Database db;
+  std::vector<LoadedRelation> rels;
+  for (const RelationSpec& spec : opt.relations) {
+    const Relation& rel = LoadRelationCsv(&db, spec.name, spec.path, opt.csv);
+    rels.push_back({spec.name, spec.path, rel.NumRows(), rel.arity()});
+  }
+
+  // Parse the SQL against the database (arities become known).
+  SqlStatement stmt = ParseSql(opt.query, &db);
+  const size_t limit = opt.has_k ? opt.k : stmt.limit;
+  const Algorithm algo = *AlgorithmFromName(opt.algorithm);
+  std::string dioid = opt.dioid;
+  if (dioid.empty()) dioid = stmt.ascending ? "min-sum" : "max-sum";
+
+  const std::vector<size_t> cps =
+      opt.checkpoints.empty()
+          ? GeometricCheckpoints(limit == 0 ? SIZE_MAX : limit)
+          : opt.checkpoints;
+
+  const bool text = opt.format == "text";
+  if (text) {
+    out << "# anyk " << ANYK_VERSION << "\n";
+    for (const LoadedRelation& r : rels) {
+      out << "# loaded " << r.name << ": " << r.path << " (rows=" << r.rows
+          << ", arity=" << r.arity << ")\n";
+    }
+    out << "# algorithm=" << AlgorithmName(algo) << " dioid=" << dioid
+        << " limit=" << limit << "\n";
+    out << "# columns: k,weight";
+    for (const std::string& c : ColumnNames(stmt)) out << "," << c;
+    out << "\n";
+  }
+
+  // Text mode streams answers as they are produced; JSON collects them.
+  std::vector<CliResult> results;
+  char weight_buf[32];
+  RowSink sink;
+  if (opt.print_results && text) {
+    sink = [&](size_t k, double weight, const std::vector<Value>& values) {
+      std::snprintf(weight_buf, sizeof(weight_buf), "%.6g", weight);
+      out << "RESULT," << k << "," << weight_buf;
+      for (Value v : values) out << "," << v;
+      out << "\n";
+    };
+  } else if (opt.print_results) {
+    sink = [&](size_t, double weight, const std::vector<Value>& values) {
+      results.push_back({weight, values});
+    };
+  }
+
+  RunReport rep;
+  if (dioid == "min-sum") {
+    rep = RunRanked<TropicalDioid>(db, stmt, algo, limit, cps, sink);
+  } else if (dioid == "max-sum") {
+    rep = RunRanked<MaxPlusDioid>(db, stmt, algo, limit, cps, sink);
+  } else if (dioid == "min-max") {
+    rep = RunRanked<MinMaxDioid>(db, stmt, algo, limit, cps, sink);
+  } else {
+    rep = RunRanked<MaxTimesDioid>(db, stmt, algo, limit, cps, sink);
+  }
+
+  if (text) {
+    out << "# plan=" << rep.plan << "\n";
+    WriteTextReport(out, rep);
+  } else {
+    WriteJsonReport(out, opt, rels, stmt, AlgorithmName(algo), dioid, limit,
+                    results, rep);
+  }
+  return 0;
+}
+
+int CliMain(int argc, char** argv) {
+  CliOptions opt;
+  std::string error;
+  if (!ParseCliArgs(argc, argv, &opt, &error)) {
+    std::fprintf(stderr, "anyk: %s\n(usage: try 'anyk --help')\n",
+                 error.c_str());
+    return 2;
+  }
+  if (opt.show_help) {
+    std::fputs(UsageText(), stdout);
+    return 0;
+  }
+  if (opt.show_version) {
+    std::printf("anyk %s\n", ANYK_VERSION);
+    return 0;
+  }
+  SetCheckFailureHandler(&ThrowingCheckHandler);
+  try {
+    return RunCli(opt);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "anyk: error: %s\n", e.what());
+    return 1;
+  }
+}
+
+}  // namespace cli
+}  // namespace anyk

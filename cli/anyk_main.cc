@@ -1,0 +1,6 @@
+// Entry point of the `anyk` binary; all logic lives in anyk_cli.cc so tests
+// can link the parser and runner directly.
+
+#include "anyk_cli.h"
+
+int main(int argc, char** argv) { return anyk::cli::CliMain(argc, argv); }

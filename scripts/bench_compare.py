@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""Compare BENCH_*.json benchmark reports against a checked-in baseline.
+
+The benchmark harness (bench/harness.{h,cc}) writes one schema-versioned
+BENCH_<bench>.json per bench executable when run with --json-dir=DIR (the
+`bench-smoke` CMake target does this at --smoke scale). This script fails
+(exit 1) when the TTL of any measurement series regresses by more than
+--threshold relative to the baseline.
+
+A series is identified by (figure, query, dataset, algorithm, n); its TTL is
+the `seconds` of the record with the largest k (the harness always emits the
+final cumulative checkpoint). Series whose baseline TTL is below
+--min-seconds are skipped: micro-times are timer noise, not signal. A
+regression must additionally exceed --abs-slack in absolute seconds, so
+sub-tenth-of-a-second jitter on shared CI runners does not flake the gate
+while any order-of-magnitude regression still trips it.
+
+--calibrate rescales every baseline TTL by the median current/baseline
+ratio across all compared series before judging. A uniformly slower (or
+faster) machine than the one that produced the baseline then cancels out,
+and only series that regressed *relative to the rest of the suite* fail —
+this is what CI uses, since the checked-in baseline comes from a different
+machine. Without --calibrate, times are compared absolutely (right for
+same-machine before/after runs).
+
+Usage:
+  scripts/bench_compare.py --baseline bench/baselines --current build/bench-json
+"""
+
+import argparse
+import json
+import os
+import statistics
+import sys
+
+SCHEMA_VERSION = 1
+
+
+def load_report(path):
+    with open(path, "r", encoding="utf-8") as f:
+        report = json.load(f)
+    version = report.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: schema_version {version} != supported {SCHEMA_VERSION}")
+    return report
+
+
+def ttl_by_series(report):
+    """Map (figure, query, dataset, algorithm, n) -> (k, seconds) at max k."""
+    series = {}
+    for rec in report.get("records", []):
+        key = (rec["figure"], rec["query"], rec["dataset"], rec["algorithm"],
+               rec["n"])
+        k, seconds = rec["k"], rec["seconds"]
+        if key not in series or k > series[key][0]:
+            series[key] = (k, seconds)
+    return series
+
+
+def fmt_key(key):
+    figure, query, dataset, algorithm, n = key
+    return f"{figure}/{query}/{dataset}/{algorithm}@n={n}"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True,
+                        help="directory with baseline BENCH_*.json files")
+    parser.add_argument("--current", required=True,
+                        help="directory with freshly produced BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="maximum tolerated relative TTL regression "
+                             "(default 0.25 = +25%%)")
+    parser.add_argument("--min-seconds", type=float, default=0.05,
+                        help="ignore series whose baseline TTL is below this "
+                             "(timer noise; default 0.05s)")
+    parser.add_argument("--abs-slack", type=float, default=0.1,
+                        help="a regression must also be at least this many "
+                             "seconds slower (scheduler noise; default 0.1s)")
+    parser.add_argument("--calibrate", action="store_true",
+                        help="rescale the baseline by the median "
+                             "current/baseline ratio first (cross-machine "
+                             "comparison; see above)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print every compared series")
+    args = parser.parse_args()
+
+    current_files = sorted(
+        f for f in os.listdir(args.current)
+        if f.startswith("BENCH_") and f.endswith(".json"))
+    if not current_files:
+        print(f"error: no BENCH_*.json files in {args.current}",
+              file=sys.stderr)
+        return 2
+
+    # Every baseline file must have a current counterpart, otherwise a bench
+    # that silently stopped emitting JSON would switch the gate off for
+    # itself (delete the stale baseline file if the bench was removed).
+    baseline_files = sorted(
+        f for f in os.listdir(args.baseline)
+        if f.startswith("BENCH_") and f.endswith(".json"))
+    missing_files = [f for f in baseline_files if f not in current_files]
+    if missing_files:
+        for f in missing_files:
+            print(f"error: baseline {f} has no report in {args.current}",
+                  file=sys.stderr)
+        return 1
+
+    # Pass 1: pair every current series with its baseline.
+    rows = []  # (fname, key, base_k, base_ttl, cur_k, cur_ttl)
+    skipped_small = missing_series = 0
+    for fname in current_files:
+        cur_path = os.path.join(args.current, fname)
+        base_path = os.path.join(args.baseline, fname)
+        if not os.path.exists(base_path):
+            print(f"note: no baseline for {fname} (new bench?) — skipping")
+            continue
+        current = ttl_by_series(load_report(cur_path))
+        baseline = ttl_by_series(load_report(base_path))
+
+        for key, (base_k, base_ttl) in sorted(baseline.items()):
+            if key not in current:
+                missing_series += 1
+                print(f"error: {fname}: baseline series {fmt_key(key)} "
+                      f"missing from current run — regenerate the baseline "
+                      f"if the smoke sizes changed")
+                continue
+            cur_k, cur_ttl = current[key]
+            if base_ttl < args.min_seconds:
+                skipped_small += 1
+                continue
+            rows.append((fname, key, base_k, base_ttl, cur_k, cur_ttl))
+
+    # Pass 2 (--calibrate): cancel uniform machine-speed differences.
+    scale = 1.0
+    if args.calibrate and rows:
+        scale = statistics.median(
+            cur_ttl / base_ttl for _, _, _, base_ttl, _, cur_ttl in rows
+            if base_ttl > 0)
+        print(f"calibration: median current/baseline ratio = {scale:.3f}; "
+              f"baseline rescaled accordingly")
+
+    # Pass 3: judge.
+    regressions = []
+    improvements = []
+    compared = 0
+    for fname, key, base_k, base_ttl, cur_k, cur_ttl in rows:
+        compared += 1
+        base_scaled = base_ttl * scale
+        ratio = cur_ttl / base_scaled if base_scaled > 0 else float("inf")
+        line = (f"{fname}: {fmt_key(key)}: TTL {base_scaled:.4f}s -> "
+                f"{cur_ttl:.4f}s ({ratio:.2f}x, k={base_k}->{cur_k})")
+        if (cur_ttl > base_scaled * (1.0 + args.threshold)
+                and cur_ttl > base_scaled + args.abs_slack):
+            regressions.append(line)
+        elif cur_ttl < base_scaled * (1.0 - args.threshold):
+            improvements.append(line)
+        if args.verbose:
+            print("  " + line)
+
+    print(f"\ncompared {compared} series "
+          f"({skipped_small} below --min-seconds, "
+          f"{missing_series} missing from current)")
+    if improvements:
+        print(f"\n{len(improvements)} series improved by >"
+              f"{args.threshold:.0%}:")
+        for line in improvements:
+            print("  " + line)
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} series regressed by >"
+              f"{args.threshold:.0%}:")
+        for line in regressions:
+            print("  " + line)
+        return 1
+    if missing_series:
+        # Same rationale as missing files: a series that silently drops out
+        # of the comparison is the gate turning itself off.
+        print(f"\nFAIL: {missing_series} baseline series not covered by the "
+              f"current run")
+        return 1
+    print("\nPASS: no TTL regression beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

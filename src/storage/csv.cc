@@ -4,7 +4,6 @@
 #include <cstddef>
 #include <cstdint>
 #include <fstream>
-#include <sstream>
 #include <string>
 #include <vector>
 
@@ -14,29 +13,54 @@ namespace anyk {
 
 namespace {
 
+// Manual split: istringstream+getline would drop a trailing empty field
+// ("1,2," must be three fields so the ragged-row check can fire).
 std::vector<std::string> SplitLine(const std::string& line, char delim) {
   std::vector<std::string> fields;
-  std::string field;
-  std::istringstream in(line);
-  while (std::getline(in, field, delim)) fields.push_back(field);
-  return fields;
+  size_t start = 0;
+  while (true) {
+    const size_t end = line.find(delim, start);
+    if (end == std::string::npos) {
+      fields.push_back(line.substr(start));
+      return fields;
+    }
+    fields.push_back(line.substr(start, end - start));
+    start = end + 1;
+  }
 }
 
-int64_t ParseInt(const std::string& s, const std::string& path) {
+// "path:line" prefix for loader diagnostics.
+std::string At(const std::string& path, size_t line) {
+  return path + ":" + std::to_string(line);
+}
+
+int64_t ParseInt(const std::string& s, const std::string& path, size_t line) {
   int64_t v = 0;
   const char* begin = s.data();
   const char* end = s.data() + s.size();
   while (begin < end && (*begin == ' ' || *begin == '\t')) ++begin;
   auto [ptr, ec] = std::from_chars(begin, end, v);
-  ANYK_CHECK(ec == std::errc()) << "bad integer '" << s << "' in " << path;
+  while (ptr < end && (*ptr == ' ' || *ptr == '\t')) ++ptr;
+  ANYK_CHECK(ec == std::errc() && ptr == end)
+      << At(path, line) << ": bad integer '" << s << "'";
   return v;
 }
 
-double ParseDouble(const std::string& s, const std::string& path) {
+double ParseDouble(const std::string& s, const std::string& path, size_t line) {
   try {
-    return std::stod(s);
+    size_t consumed = 0;
+    const double v = std::stod(s, &consumed);
+    while (consumed < s.size() &&
+           (s[consumed] == ' ' || s[consumed] == '\t')) {
+      ++consumed;
+    }
+    ANYK_CHECK(consumed == s.size())
+        << At(path, line) << ": bad weight '" << s << "'";
+    return v;
+  } catch (const CheckError&) {
+    throw;
   } catch (...) {
-    ANYK_CHECK(false) << "bad weight '" << s << "' in " << path;
+    ANYK_CHECK(false) << At(path, line) << ": bad weight '" << s << "'";
     return 0;
   }
 }
@@ -48,34 +72,43 @@ Relation& LoadRelationCsv(Database* db, const std::string& name,
   std::ifstream in(path);
   ANYK_CHECK(in.good()) << "cannot open " << path;
   std::string line;
-  if (opts.has_header) std::getline(in, line);
+  size_t lineno = 0;
+  if (opts.has_header && std::getline(in, line)) ++lineno;
 
   size_t arity = 0;
+  int weight_column = opts.weight_column;
   Relation* rel = nullptr;
   std::vector<Value> row;
   size_t loaded = 0;
   while (std::getline(in, line)) {
-    if (line.empty()) continue;
+    ++lineno;
     if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
     auto fields = SplitLine(line, opts.delimiter);
     if (rel == nullptr) {
       const size_t cols = fields.size();
-      ANYK_CHECK(opts.weight_column < static_cast<int>(cols))
-          << "weight column out of range in " << path;
-      arity = cols - (opts.weight_column >= 0 ? 1 : 0);
-      ANYK_CHECK_GE(arity, 1u) << "no value columns in " << path;
+      if (opts.weight_last) weight_column = static_cast<int>(cols) - 1;
+      ANYK_CHECK(weight_column < static_cast<int>(cols))
+          << At(path, lineno) << ": weight column " << weight_column
+          << " out of range (row has " << cols << " columns)";
+      arity = cols - (weight_column >= 0 ? 1 : 0);
+      ANYK_CHECK(arity >= 1)
+          << At(path, lineno) << ": no value columns";
       rel = &db->AddRelation(name, arity);
     }
+    const size_t expected_cols = arity + (weight_column >= 0 ? 1 : 0);
+    ANYK_CHECK(fields.size() == expected_cols)
+        << At(path, lineno) << ": ragged row (expected " << expected_cols
+        << " columns, got " << fields.size() << ")";
     row.clear();
     double weight = 0;
     for (size_t c = 0; c < fields.size(); ++c) {
-      if (static_cast<int>(c) == opts.weight_column) {
-        weight = ParseDouble(fields[c], path);
+      if (static_cast<int>(c) == weight_column) {
+        weight = ParseDouble(fields[c], path, lineno);
       } else {
-        row.push_back(ParseInt(fields[c], path));
+        row.push_back(ParseInt(fields[c], path, lineno));
       }
     }
-    ANYK_CHECK_EQ(row.size(), arity) << "ragged row in " << path;
     rel->AddRow(row, weight);
     if (opts.limit > 0 && ++loaded >= opts.limit) break;
   }

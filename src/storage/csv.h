@@ -18,14 +18,19 @@ namespace anyk {
 struct CsvOptions {
   char delimiter = ',';
   bool has_header = false;
-  // Index of the weight column, or -1 for weightless tuples (weight 0).
+  // Index of the weight column (zero-based), or -1 for weightless tuples
+  // (weight 0).
   int weight_column = -1;
+  // Use the last column of every row as the weight. Resolved once the first
+  // data row determines the column count; overrides weight_column.
+  bool weight_last = false;
   // Maximum rows to load (0 = all).
   size_t limit = 0;
 };
 
 /// Load `path` into a new relation `name`; arity is the number of non-weight
-/// columns of the first row. CHECK-fails on malformed input.
+/// columns of the first row. CHECK-fails on malformed input; messages carry
+/// `path:line` so CLI users can locate the offending row.
 Relation& LoadRelationCsv(Database* db, const std::string& name,
                           const std::string& path, const CsvOptions& opts = {});
 

@@ -1,0 +1,30 @@
+// Geometric k-checkpoints (1, 2, 5, 10, 20, 50, ...) shared by the CLI's
+// TT(k) reporting and the benchmark harness. The 1-2-5 decade pattern matches
+// the paper's figure axes.
+
+#ifndef ANYK_UTIL_CHECKPOINTS_H_
+#define ANYK_UTIL_CHECKPOINTS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace anyk {
+
+/// Checkpoints 1, 2, 5, 10, 20, 50, ... up to max_k.
+inline std::vector<size_t> GeometricCheckpoints(size_t max_k) {
+  std::vector<size_t> cps;
+  size_t decade = 1;
+  while (decade <= max_k && decade < (size_t{1} << 62)) {
+    for (size_t mult : {1, 2, 5}) {
+      const size_t k = decade * mult;
+      if (k <= max_k) cps.push_back(k);
+    }
+    if (decade > max_k / 10) break;
+    decade *= 10;
+  }
+  return cps;
+}
+
+}  // namespace anyk
+
+#endif  // ANYK_UTIL_CHECKPOINTS_H_

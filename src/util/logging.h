@@ -11,13 +11,36 @@
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
 namespace anyk {
+
+/// Thrown by ThrowingCheckHandler instead of aborting the process. Lets
+/// embedders (the `anyk` CLI) turn invariant violations and malformed-input
+/// checks into clean error messages and exit codes.
+class CheckError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 namespace internal {
+
+/// Invoked on CHECK failure instead of the default print-and-abort. Must not
+/// return (throw or exit); if it does return, the default abort still runs.
+using CheckFailureHandler = void (*)(const char* file, int line,
+                                     const char* expr, const std::string& msg);
+
+inline CheckFailureHandler& CheckHandlerSlot() {
+  static CheckFailureHandler handler = nullptr;
+  return handler;
+}
 
 [[noreturn]] inline void CheckFailed(const char* file, int line,
                                      const char* expr, const std::string& msg) {
+  if (CheckFailureHandler handler = CheckHandlerSlot()) {
+    handler(file, line, expr, msg);
+  }
   std::fprintf(stderr, "CHECK failed at %s:%d: %s %s\n", file, line, expr,
                msg.c_str());
   std::abort();
@@ -28,7 +51,10 @@ class CheckMessage {
  public:
   CheckMessage(const char* file, int line, const char* expr)
       : file_(file), line_(line), expr_(expr) {}
-  [[noreturn]] ~CheckMessage() { CheckFailed(file_, line_, expr_, out_.str()); }
+  // noexcept(false): the installed handler may throw (see CheckError).
+  [[noreturn]] ~CheckMessage() noexcept(false) {
+    CheckFailed(file_, line_, expr_, out_.str());
+  }
   template <typename T>
   CheckMessage& operator<<(const T& v) {
     out_ << v;
@@ -43,6 +69,29 @@ class CheckMessage {
 };
 
 }  // namespace internal
+
+/// Install `handler` to run on CHECK failure instead of print-and-abort;
+/// returns the previous handler (nullptr = default). The handler must not
+/// return. Not thread-safe; install once at startup.
+inline internal::CheckFailureHandler SetCheckFailureHandler(
+    internal::CheckFailureHandler handler) {
+  internal::CheckFailureHandler previous = internal::CheckHandlerSlot();
+  internal::CheckHandlerSlot() = handler;
+  return previous;
+}
+
+/// Ready-made handler that throws CheckError. The message keeps just the
+/// streamed context when there is one (that is the user-facing part, e.g.
+/// "SQL: expected FROM"); bare CHECKs fall back to the expression + location.
+[[noreturn]] inline void ThrowingCheckHandler(const char* file, int line,
+                                              const char* expr,
+                                              const std::string& msg) {
+  if (!msg.empty()) throw CheckError(msg);
+  std::ostringstream out;
+  out << "CHECK(" << expr << ") failed at " << file << ":" << line;
+  throw CheckError(out.str());
+}
+
 }  // namespace anyk
 
 #define ANYK_CHECK(cond)                                             \

@@ -1,0 +1,254 @@
+// Golden-file tests for the `anyk` CLI binary: --help, ranked SQL queries
+// over the checked-in CSVs in tests/data/, the JSON report schema, and the
+// documented exit codes for malformed input (0 success, 1 runtime, 2 usage).
+//
+// The binary path and data directory come from CMake via ANYK_CLI_BIN /
+// ANYK_TEST_DATA_DIR compile definitions.
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+#include <gtest/gtest.h>
+
+namespace {
+
+struct CliRun {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr combined
+};
+
+CliRun RunCli(const std::string& args) {
+  const std::string cmd = std::string(ANYK_CLI_BIN) + " " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << "popen failed for: " << cmd;
+  CliRun run;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = fread(buf, 1, sizeof(buf), pipe)) > 0) {
+    run.output.append(buf, n);
+  }
+  const int status = pclose(pipe);
+  run.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return run;
+}
+
+std::string Data(const std::string& file) {
+  return std::string(ANYK_TEST_DATA_DIR) + "/" + file;
+}
+
+std::vector<std::string> ResultLines(const std::string& output) {
+  std::vector<std::string> lines;
+  std::istringstream in(output);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("RESULT,", 0) == 0) lines.push_back(line);
+  }
+  return lines;
+}
+
+std::string TwoRelationArgs() {
+  return "--relation R=" + Data("r.csv") + " --relation S=" + Data("s.csv");
+}
+
+// ---- Help / version ----
+
+TEST(CliTest, HelpExitsZeroAndListsFlags) {
+  CliRun run = RunCli("--help");
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_NE(run.output.find("Usage:"), std::string::npos);
+  EXPECT_NE(run.output.find("--relation"), std::string::npos);
+  EXPECT_NE(run.output.find("--algorithm"), std::string::npos);
+  EXPECT_NE(run.output.find("--dioid"), std::string::npos);
+  EXPECT_NE(run.output.find("Exit codes"), std::string::npos);
+}
+
+TEST(CliTest, VersionExitsZero) {
+  CliRun run = RunCli("--version");
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_NE(run.output.find("anyk"), std::string::npos);
+}
+
+// ---- Ranked SQL end-to-end (golden) ----
+
+TEST(CliTest, RankedJoinGoldenOutput) {
+  CliRun run = RunCli(
+      TwoRelationArgs() +
+      " --query \"SELECT * FROM R, S WHERE R.A2 = S.A1"
+      " ORDER BY WEIGHT ASC LIMIT 3\"");
+  ASSERT_EQ(run.exit_code, 0) << run.output;
+  const std::vector<std::string> results = ResultLines(run.output);
+  ASSERT_EQ(results.size(), 3u) << run.output;
+  EXPECT_EQ(results[0], "RESULT,1,2,1,10,100");
+  EXPECT_EQ(results[1], "RESULT,2,3,2,10,100");
+  EXPECT_EQ(results[2], "RESULT,3,5,1,10,200");
+  EXPECT_NE(run.output.find("# plan=acyclic-tree"), std::string::npos);
+  EXPECT_NE(run.output.find("TIMING,ttf,1,"), std::string::npos);
+  EXPECT_NE(run.output.find("TIMING,ttl,3,"), std::string::npos);
+}
+
+TEST(CliTest, KZeroOverridesLimitAndExhausts) {
+  CliRun run = RunCli(
+      TwoRelationArgs() +
+      " --k 0 --query \"SELECT * FROM R, S WHERE R.A2 = S.A1"
+      " ORDER BY WEIGHT ASC LIMIT 3\"");
+  ASSERT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_EQ(ResultLines(run.output).size(), 5u) << run.output;
+  EXPECT_NE(run.output.find("exhausted=yes"), std::string::npos);
+}
+
+TEST(CliTest, DescRanksHeaviestFirst) {
+  CliRun run = RunCli(
+      TwoRelationArgs() +
+      " --query \"SELECT * FROM R, S WHERE R.A2 = S.A1"
+      " ORDER BY WEIGHT DESC LIMIT 1\"");
+  ASSERT_EQ(run.exit_code, 0) << run.output;
+  const std::vector<std::string> results = ResultLines(run.output);
+  ASSERT_EQ(results.size(), 1u);
+  // Two answers tie at weight 6; only the weight is deterministic.
+  EXPECT_EQ(results[0].substr(0, 10), "RESULT,1,6");
+  EXPECT_NE(run.output.find("dioid=max-sum"), std::string::npos);
+}
+
+TEST(CliTest, ProjectionUsesSelectList) {
+  CliRun run = RunCli(
+      TwoRelationArgs() +
+      " --query \"SELECT S.A2 FROM R, S WHERE R.A2 = S.A1"
+      " ORDER BY WEIGHT ASC LIMIT 1\"");
+  ASSERT_EQ(run.exit_code, 0) << run.output;
+  const std::vector<std::string> results = ResultLines(run.output);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0], "RESULT,1,2,100");
+}
+
+TEST(CliTest, FourPathSelfJoinOverEdgeList) {
+  CliRun run = RunCli(
+      "--relation E=" + Data("edges.csv") +
+      " --header --query \"SELECT * FROM E e1, E e2, E e3, E e4"
+      " WHERE e1.A2 = e2.A1 AND e2.A2 = e3.A1 AND e3.A2 = e4.A1"
+      " ORDER BY WEIGHT ASC LIMIT 5\" --algorithm take2");
+  ASSERT_EQ(run.exit_code, 0) << run.output;
+  const std::vector<std::string> results = ResultLines(run.output);
+  ASSERT_EQ(results.size(), 5u) << run.output;
+  // Several 4-edge paths tie at the cheapest weight 4 (e.g. 1->2->3->4->5),
+  // so only the weight sequence is deterministic: nondecreasing from 4.
+  double prev = 0;
+  std::vector<double> weights;
+  for (const std::string& r : results) {
+    // RESULT,<k>,<weight>,...
+    const size_t w_begin = r.find(',', 7) + 1;
+    const double w = std::stod(r.substr(w_begin));
+    EXPECT_GE(w, prev) << r;
+    prev = w;
+    weights.push_back(w);
+  }
+  EXPECT_DOUBLE_EQ(weights[0], 4.0);  // cheapest 4-edge path costs 4
+  EXPECT_NE(run.output.find("# plan=acyclic-tree"), std::string::npos);
+}
+
+TEST(CliTest, FourCycleUsesCycleUnionPlan) {
+  CliRun run = RunCli(
+      "--relation E=" + Data("edges.csv") +
+      " --header --query \"SELECT * FROM E e1, E e2, E e3, E e4"
+      " WHERE e1.A2 = e2.A1 AND e2.A2 = e3.A1 AND e3.A2 = e4.A1"
+      " AND e4.A2 = e1.A1 ORDER BY WEIGHT ASC\"");
+  ASSERT_EQ(run.exit_code, 0) << run.output;
+  // The fixture has exactly one 4-cycle (1->2->3->4->1, weight 5), seen
+  // once per rotation of the variable assignment.
+  const std::vector<std::string> results = ResultLines(run.output);
+  ASSERT_EQ(results.size(), 4u) << run.output;
+  for (size_t i = 0; i < results.size(); ++i) {
+    // RESULT,<k>,<weight>,...: every rotation weighs 5.
+    const std::string prefix = "RESULT," + std::to_string(i + 1) + ",5,";
+    EXPECT_EQ(results[i].substr(0, prefix.size()), prefix) << results[i];
+  }
+  EXPECT_NE(run.output.find("# plan=cycle-union"), std::string::npos);
+}
+
+// ---- JSON report ----
+
+TEST(CliTest, JsonReportHasDocumentedSchema) {
+  CliRun run = RunCli(
+      TwoRelationArgs() +
+      " --format json --query \"SELECT * FROM R, S WHERE R.A2 = S.A1"
+      " ORDER BY WEIGHT ASC LIMIT 3\"");
+  ASSERT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_NE(run.output.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(run.output.find("\"tool\": \"anyk\""), std::string::npos);
+  EXPECT_NE(run.output.find("\"plan\": \"acyclic-tree\""), std::string::npos);
+  EXPECT_NE(run.output.find("\"algorithm\": \"Lazy\""), std::string::npos);
+  EXPECT_NE(run.output.find("\"dioid\": \"min-sum\""), std::string::npos);
+  EXPECT_NE(run.output.find("\"results\""), std::string::npos);
+  EXPECT_NE(run.output.find("\"weight\": 2"), std::string::npos);
+  EXPECT_NE(run.output.find("\"ttf_seconds\""), std::string::npos);
+  EXPECT_NE(run.output.find("\"ttl_seconds\""), std::string::npos);
+  EXPECT_NE(run.output.find("\"checkpoints\""), std::string::npos);
+  EXPECT_NE(run.output.find("\"produced\": 3"), std::string::npos);
+}
+
+TEST(CliTest, NoResultsSuppressesRows) {
+  CliRun run = RunCli(
+      TwoRelationArgs() +
+      " --no-results --query \"SELECT * FROM R, S WHERE R.A2 = S.A1"
+      " ORDER BY WEIGHT ASC LIMIT 3\"");
+  ASSERT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_TRUE(ResultLines(run.output).empty());
+  EXPECT_NE(run.output.find("TIMING,ttl"), std::string::npos);
+}
+
+// ---- Malformed input: exit codes and diagnostics ----
+
+TEST(CliTest, MalformedSqlExitsOneWithMessage) {
+  CliRun run = RunCli(TwoRelationArgs() + " --query \"SELECT FROM R\"");
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.output.find("anyk: error:"), std::string::npos);
+  EXPECT_NE(run.output.find("SQL"), std::string::npos);
+}
+
+TEST(CliTest, MissingCsvExitsOneWithPath) {
+  CliRun run = RunCli(
+      "--relation R=/nonexistent/r.csv --query \"SELECT * FROM R\"");
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.output.find("cannot open /nonexistent/r.csv"),
+            std::string::npos);
+}
+
+TEST(CliTest, MalformedCsvExitsOneWithFileAndLine) {
+  CliRun run = RunCli("--relation R=" + Data("malformed.csv") +
+                      " --query \"SELECT * FROM R\"");
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.output.find("malformed.csv:2: bad integer 'x'"),
+            std::string::npos)
+      << run.output;
+}
+
+TEST(CliTest, UnknownRelationInQueryExitsOne) {
+  CliRun run = RunCli(TwoRelationArgs() +
+                      " --query \"SELECT * FROM Missing\"");
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.output.find("unknown relation"), std::string::npos);
+}
+
+TEST(CliTest, UnknownFlagExitsTwo) {
+  CliRun run = RunCli("--definitely-not-a-flag");
+  EXPECT_EQ(run.exit_code, 2);
+  EXPECT_NE(run.output.find("unknown flag"), std::string::npos);
+  EXPECT_NE(run.output.find("--help"), std::string::npos);
+}
+
+TEST(CliTest, MissingQueryExitsTwo) {
+  CliRun run = RunCli("--relation R=" + Data("r.csv"));
+  EXPECT_EQ(run.exit_code, 2);
+  EXPECT_NE(run.output.find("no query"), std::string::npos);
+}
+
+TEST(CliTest, BadAlgorithmExitsTwo) {
+  CliRun run = RunCli(TwoRelationArgs() +
+                      " --algorithm quantum --query \"SELECT * FROM R\"");
+  EXPECT_EQ(run.exit_code, 2);
+  EXPECT_NE(run.output.find("unknown algorithm"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,159 @@
+// CsvLoader tests: options (header, delimiter, weight column, row limit),
+// save/load roundtrip, and — the part the CLI depends on for diagnosable
+// failures — error messages that carry the file name and line number.
+
+#include <cstddef>
+#include <fstream>
+#include <string>
+#include <gtest/gtest.h>
+
+#include "storage/csv.h"
+#include "storage/database.h"
+#include "util/logging.h"
+
+namespace anyk {
+namespace {
+
+std::string WriteTemp(const std::string& name, const std::string& content) {
+  const std::string path = ::testing::TempDir() + name;
+  std::ofstream out(path);
+  out << content;
+  return path;
+}
+
+TEST(CsvTest, LoadsRowsAndExplicitWeightColumn) {
+  const std::string path =
+      WriteTemp("basic.csv", "1,7,2.5\n3,8,0.25\n\n4,9,1\n");
+  Database db;
+  CsvOptions opts;
+  opts.weight_column = 2;
+  const Relation& rel = LoadRelationCsv(&db, "R", path, opts);
+  EXPECT_EQ(rel.arity(), 2u);
+  ASSERT_EQ(rel.NumRows(), 3u);  // blank line skipped
+  EXPECT_EQ(rel.At(0, 0), 1);
+  EXPECT_EQ(rel.At(0, 1), 7);
+  EXPECT_DOUBLE_EQ(rel.Weight(0), 2.5);
+  EXPECT_DOUBLE_EQ(rel.Weight(1), 0.25);
+}
+
+TEST(CsvTest, WeightLastHeaderAndRowLimit) {
+  const std::string path = WriteTemp(
+      "header.csv", "src,dst,w\n1,2,10\n3,4,20\n5,6,30\n");
+  Database db;
+  CsvOptions opts;
+  opts.has_header = true;
+  opts.weight_last = true;
+  opts.limit = 2;
+  const Relation& rel = LoadRelationCsv(&db, "E", path, opts);
+  EXPECT_EQ(rel.arity(), 2u);
+  ASSERT_EQ(rel.NumRows(), 2u);
+  EXPECT_DOUBLE_EQ(rel.Weight(1), 20.0);
+}
+
+TEST(CsvTest, WeightlessRowsDefaultToZero) {
+  const std::string path = WriteTemp("noweight.csv", "1,2\n3,4\n");
+  Database db;
+  const Relation& rel = LoadRelationCsv(&db, "R", path, CsvOptions{});
+  EXPECT_EQ(rel.arity(), 2u);
+  EXPECT_DOUBLE_EQ(rel.Weight(0), 0.0);
+}
+
+TEST(CsvTest, SaveLoadRoundtrip) {
+  Database db;
+  Relation& rel = db.AddRelation("R", 2);
+  rel.Add({1, 2}, 0.5);
+  rel.Add({3, 4}, 1.5);
+  const std::string path = ::testing::TempDir() + "roundtrip.csv";
+  SaveRelationCsv(rel, path);
+
+  Database db2;
+  CsvOptions opts;
+  opts.weight_last = true;
+  const Relation& back = LoadRelationCsv(&db2, "R", path, opts);
+  ASSERT_EQ(back.NumRows(), 2u);
+  EXPECT_EQ(back.At(1, 0), 3);
+  EXPECT_EQ(back.At(1, 1), 4);
+  EXPECT_DOUBLE_EQ(back.Weight(1), 1.5);
+}
+
+// ---- Error reporting: messages must carry file name and line number. ----
+
+TEST(CsvTest, BadIntegerReportsFileAndLine) {
+  const std::string path = WriteTemp("bad_int.csv", "1,2,1\n2,x,3\n");
+  Database db;
+  CsvOptions opts;
+  opts.weight_last = true;
+  EXPECT_DEATH(LoadRelationCsv(&db, "R", path, opts),
+               "bad_int\\.csv:2: bad integer 'x'");
+}
+
+TEST(CsvTest, BadWeightReportsFileAndLine) {
+  const std::string path = WriteTemp("bad_weight.csv", "1,2,1\n3,4,oops\n");
+  Database db;
+  CsvOptions opts;
+  opts.weight_last = true;
+  EXPECT_DEATH(LoadRelationCsv(&db, "R", path, opts),
+               "bad_weight\\.csv:2: bad weight 'oops'");
+}
+
+TEST(CsvTest, RaggedRowReportsFileAndLine) {
+  // Second row is short by one field; with weight-last this must not be
+  // silently read as "two values, default weight".
+  const std::string path = WriteTemp("ragged.csv", "1,2,1\n3,4\n");
+  Database db;
+  CsvOptions opts;
+  opts.weight_last = true;
+  EXPECT_DEATH(LoadRelationCsv(&db, "R", path, opts),
+               "ragged\\.csv:2: ragged row \\(expected 3 columns, got 2\\)");
+}
+
+TEST(CsvTest, EmptyTrailingWeightFieldIsDiagnosed) {
+  // "1,2," must parse as three fields (empty weight), not silently collapse
+  // to a binary row with a value column promoted to the weight.
+  const std::string path = WriteTemp("trailing.csv", "1,2,\n3,4,\n");
+  Database db;
+  CsvOptions opts;
+  opts.weight_last = true;
+  EXPECT_DEATH(LoadRelationCsv(&db, "R", path, opts),
+               "trailing\\.csv:1: bad weight ''");
+}
+
+TEST(CsvTest, HeaderCountsTowardLineNumbers) {
+  const std::string path =
+      WriteTemp("hdr_lines.csv", "a,b,w\n1,2,1\nx,2,1\n");
+  Database db;
+  CsvOptions opts;
+  opts.has_header = true;
+  opts.weight_last = true;
+  EXPECT_DEATH(LoadRelationCsv(&db, "R", path, opts),
+               "hdr_lines\\.csv:3: bad integer 'x'");
+}
+
+TEST(CsvTest, MissingFileReportsPath) {
+  Database db;
+  EXPECT_DEATH(
+      LoadRelationCsv(&db, "R", "/nonexistent/missing.csv", CsvOptions{}),
+      "cannot open /nonexistent/missing\\.csv");
+}
+
+// ---- The throwing check handler (what the CLI installs). ----
+
+TEST(CsvTest, ThrowingHandlerTurnsCheckFailuresIntoExceptions) {
+  auto prev = SetCheckFailureHandler(&ThrowingCheckHandler);
+  Database db;
+  CsvOptions opts;
+  opts.weight_last = true;
+  const std::string path = WriteTemp("throwing.csv", "1,2,1\n2,x,3\n");
+  try {
+    LoadRelationCsv(&db, "R", path, opts);
+    SetCheckFailureHandler(prev);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    SetCheckFailureHandler(prev);
+    EXPECT_NE(std::string(e.what()).find("throwing.csv:2"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace anyk
