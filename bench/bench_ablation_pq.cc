@@ -44,7 +44,7 @@ Shared& Instance() {
   return s;
 }
 
-template <template <class, class> class PQ>
+template <template <class, class, class> class PQ>
 void BM_AnyKPartCandPQ(benchmark::State& state) {
   auto& s = Instance();
   const size_t k = static_cast<size_t>(state.range(0));

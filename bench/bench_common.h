@@ -31,6 +31,9 @@ class OwningEnumerator : public Enumerator<D> {
                    typename RankedQuery<D>::Options opts)
       : rq_(db, q, opts) {}
   std::optional<ResultRow<D>> Next() override { return rq_.Next(); }
+  bool NextInto(ResultRow<D>* row) override {
+    return rq_.enumerator()->NextInto(row);
+  }
 
  private:
   RankedQuery<D> rq_;

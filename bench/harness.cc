@@ -15,7 +15,8 @@ namespace anyk {
 namespace bench {
 
 namespace {
-constexpr int kSchemaVersion = 1;
+// v2 adds the memory columns (allocs, peak_rss_kb) to every record.
+constexpr int kSchemaVersion = 2;
 }  // namespace
 
 Reporter& Reporter::Get() {
@@ -40,12 +41,14 @@ void Reporter::Init(int argc, char** argv, const std::string& bench_name) {
 
 void Reporter::Row(const std::string& figure, const std::string& query,
                    const std::string& dataset, size_t n,
-                   const std::string& algorithm, size_t k, double seconds) {
-  std::printf("RESULT,%s,%s,%s,%zu,%s,%zu,%.6f\n", figure.c_str(),
+                   const std::string& algorithm, size_t k, double seconds,
+                   size_t allocs, size_t peak_rss_kb) {
+  std::printf("RESULT,%s,%s,%s,%zu,%s,%zu,%.6f,%zu,%zu\n", figure.c_str(),
               query.c_str(), dataset.c_str(), n, algorithm.c_str(), k,
-              seconds);
+              seconds, allocs, peak_rss_kb);
   std::fflush(stdout);
-  records_.push_back({figure, query, dataset, algorithm, n, k, seconds});
+  records_.push_back(
+      {figure, query, dataset, algorithm, n, k, seconds, allocs, peak_rss_kb});
 }
 
 void Reporter::Note(const std::string& figure, const std::string& note) {
@@ -77,6 +80,8 @@ void Reporter::Flush() {
     w.KV("algorithm", r.algorithm);
     w.KV("k", static_cast<uint64_t>(r.k));
     w.KV("seconds", r.seconds);
+    w.KV("allocs", static_cast<uint64_t>(r.allocs));
+    w.KV("peak_rss_kb", static_cast<uint64_t>(r.peak_rss_kb));
     w.EndObject();
   }
   w.EndArray();
@@ -102,13 +107,17 @@ void InitBench(int argc, char** argv, const std::string& bench_name) {
 bool SmokeMode() { return Reporter::Get().smoke(); }
 
 void PrintHeader() {
-  std::printf("RESULT,figure,query,dataset,n,algorithm,k,seconds\n");
+  std::printf(
+      "RESULT,figure,query,dataset,n,algorithm,k,seconds,allocs,"
+      "peak_rss_kb\n");
 }
 
 void PrintRow(const std::string& figure, const std::string& query,
               const std::string& dataset, size_t n,
-              const std::string& algorithm, size_t k, double seconds) {
-  Reporter::Get().Row(figure, query, dataset, n, algorithm, k, seconds);
+              const std::string& algorithm, size_t k, double seconds,
+              size_t allocs, size_t peak_rss_kb) {
+  Reporter::Get().Row(figure, query, dataset, n, algorithm, k, seconds,
+                      allocs, peak_rss_kb);
 }
 
 void PaperNote(const std::string& figure, const std::string& note) {

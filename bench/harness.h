@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "anyk/enumerator.h"
+#include "util/alloc_stats.h"
 #include "util/checkpoints.h"
 #include "util/timer.h"
 
@@ -44,6 +45,11 @@ struct BenchRecord {
   size_t n = 0;
   size_t k = 0;
   double seconds = 0;
+  // Memory columns (series-level totals, attached to every row of a series):
+  // global operator-new calls during the enumeration phase (after the
+  // factory returned) and the process peak RSS when the series finished.
+  size_t allocs = 0;
+  size_t peak_rss_kb = 0;
 };
 
 /// Process-wide collector behind the legacy Print* helpers. Records every
@@ -62,7 +68,8 @@ class Reporter {
 
   void Row(const std::string& figure, const std::string& query,
            const std::string& dataset, size_t n, const std::string& algorithm,
-           size_t k, double seconds);
+           size_t k, double seconds, size_t allocs = 0,
+           size_t peak_rss_kb = 0);
   void Note(const std::string& figure, const std::string& note);
   void Section(const std::string& text);
 
@@ -94,7 +101,8 @@ inline size_t Pick(size_t full, size_t smoke) {
 void PrintHeader();
 void PrintRow(const std::string& figure, const std::string& query,
               const std::string& dataset, size_t n,
-              const std::string& algorithm, size_t k, double seconds);
+              const std::string& algorithm, size_t k, double seconds,
+              size_t allocs = 0, size_t peak_rss_kb = 0);
 void PaperNote(const std::string& figure, const std::string& note);
 void SectionNote(const std::string& text);
 
@@ -107,25 +115,33 @@ struct TTSeries {
   double max_delay = 0;       // worst gap between consecutive results
   double preprocessing = 0;   // time spent in make() before the first Next()
   bool exhausted = false;
+  size_t prep_allocs = 0;     // operator-new calls inside make()
+  size_t enum_allocs = 0;     // operator-new calls during enumeration
+  size_t peak_rss_kb = 0;     // process peak RSS at the end of the series
 };
 
-/// Run `make()` (preprocessing) + Next() until `max_k` results or
-/// exhaustion, recording cumulative time at each checkpoint. When
-/// `track_delay` is set, every result is timestamped to report the maximum
-/// inter-result delay (Fig. 5's Delay(k) column, measured).
+/// Run `make()` (preprocessing) + NextInto() until `max_k` results or
+/// exhaustion, recording cumulative time at each checkpoint plus the
+/// allocation counts of both phases (the preprocessing/enumeration split the
+/// flat-memory work targets; see util/alloc_stats.h). When `track_delay` is
+/// set, every result is timestamped to report the maximum inter-result delay
+/// (Fig. 5's Delay(k) column, measured).
 template <typename D>
 TTSeries MeasureTT(
     const std::function<std::unique_ptr<Enumerator<D>>()>& make, size_t max_k,
     const std::vector<size_t>& checkpoints, bool track_delay = false) {
   TTSeries series;
+  const AllocCounts at_start = CurrentAllocCounts();
   Timer timer;
   std::unique_ptr<Enumerator<D>> e = make();
   series.preprocessing = timer.Seconds();
+  const AllocCounts at_enum = CurrentAllocCounts();
+  series.prep_allocs = AllocDelta(at_start, at_enum).news;
   size_t next_cp = 0;
   double last = series.preprocessing;
+  ResultRow<D> row;
   while (series.produced < max_k) {
-    auto row = e->Next();
-    if (!row) {
+    if (!e->NextInto(&row)) {
       series.exhausted = true;
       break;
     }
@@ -142,6 +158,8 @@ TTSeries MeasureTT(
     }
   }
   series.total_seconds = timer.Seconds();
+  series.enum_allocs = AllocDelta(at_enum, CurrentAllocCounts()).news;
+  series.peak_rss_kb = PeakRssKb();
   if (series.points.empty() ||
       series.points.back().first != series.produced) {
     series.points.emplace_back(series.produced, series.total_seconds);
@@ -158,7 +176,8 @@ TTSeries RunAndPrint(
     size_t max_k) {
   TTSeries series = MeasureTT<D>(make, max_k, GeometricCheckpoints(max_k));
   for (const auto& [k, secs] : series.points) {
-    PrintRow(figure, query, dataset, n, algorithm, k, secs);
+    PrintRow(figure, query, dataset, n, algorithm, k, secs,
+             series.enum_allocs, series.peak_rss_kb);
   }
   return series;
 }

@@ -25,6 +25,7 @@
 #include "dioid/tropical.h"
 #include "query/sql.h"
 #include "storage/database.h"
+#include "util/alloc_stats.h"
 #include "util/checkpoints.h"
 #include "util/json.h"
 #include "util/logging.h"
@@ -39,7 +40,8 @@ namespace cli {
 
 namespace {
 
-constexpr int kSchemaVersion = 1;
+// v2 adds the memory section (enumeration allocs, peak RSS) to `timings`.
+constexpr int kSchemaVersion = 2;
 
 const char* PlanName(QueryPlan plan) {
   switch (plan) {
@@ -86,6 +88,13 @@ struct RunReport {
   size_t produced = 0;
   bool exhausted = false;
   std::vector<std::pair<size_t, double>> checkpoints;  // (k, seconds)
+  // Memory profile of the run (util/alloc_stats.h): operator-new calls per
+  // phase plus the process peak RSS. With the arena-backed hot path
+  // enumeration_allocs stays 0 for the tree/cycle plans once the arena is
+  // warm (see docs/ARCHITECTURE.md, "Memory layout").
+  size_t preprocessing_allocs = 0;
+  size_t enumeration_allocs = 0;
+  size_t peak_rss_kb = 0;
 };
 
 using RowSink =
@@ -98,6 +107,7 @@ RunReport RunRanked(const Database& db, const SqlStatement& stmt,
                     Algorithm algo, size_t limit,
                     const std::vector<size_t>& cps, const RowSink& sink) {
   RunReport rep;
+  const AllocCounts at_start = CurrentAllocCounts();
   Timer timer;
   typename RankedQuery<D>::Options qopts;
   qopts.algorithm = algo;
@@ -105,16 +115,19 @@ RunReport RunRanked(const Database& db, const SqlStatement& stmt,
   RankedQuery<D> rq(db, stmt.query, qopts);
   rep.preprocessing_seconds = timer.Seconds();
   rep.plan = PlanName(rq.plan());
+  const AllocCounts at_enum = CurrentAllocCounts();
+  rep.preprocessing_allocs = AllocDelta(at_start, at_enum).news;
 
   std::vector<Value> projected;
+  ResultRow<D> row_buf;
   size_t next_cp = 0;
   double last = rep.preprocessing_seconds;
   while (limit == 0 || rep.produced < limit) {
-    auto row = rq.Next();
-    if (!row) {
+    if (!rq.enumerator()->NextInto(&row_buf)) {
       rep.exhausted = true;
       break;
     }
+    const ResultRow<D>* row = &row_buf;
     ++rep.produced;
     const double now = timer.Seconds();
     rep.max_delay_seconds = std::max(rep.max_delay_seconds, now - last);
@@ -138,6 +151,8 @@ RunReport RunRanked(const Database& db, const SqlStatement& stmt,
     }
   }
   rep.ttl_seconds = timer.Seconds();
+  rep.enumeration_allocs = AllocDelta(at_enum, CurrentAllocCounts()).news;
+  rep.peak_rss_kb = PeakRssKb();
   if (rep.produced > 0 && (rep.checkpoints.empty() ||
                            rep.checkpoints.back().first != rep.produced)) {
     rep.checkpoints.emplace_back(rep.produced, rep.ttl_seconds);
@@ -171,6 +186,9 @@ void WriteTextReport(std::ostream& out, const RunReport& rep) {
   }
   out << "TIMING,ttl," << rep.produced << "," << rep.ttl_seconds << "\n";
   out << "TIMING,max_delay,0," << rep.max_delay_seconds << "\n";
+  out << "MEMORY,preprocessing_allocs," << rep.preprocessing_allocs << "\n";
+  out << "MEMORY,enumeration_allocs," << rep.enumeration_allocs << "\n";
+  out << "MEMORY,peak_rss_kb," << rep.peak_rss_kb << "\n";
   out << "# produced=" << rep.produced
       << " exhausted=" << (rep.exhausted ? "yes" : "no") << "\n";
 }
@@ -224,6 +242,10 @@ void WriteJsonReport(std::ostream& out, const CliOptions& opt,
   w.KV("max_delay_seconds", rep.max_delay_seconds);
   w.KV("produced", static_cast<uint64_t>(rep.produced));
   w.KV("exhausted", rep.exhausted);
+  w.KV("preprocessing_allocs",
+       static_cast<uint64_t>(rep.preprocessing_allocs));
+  w.KV("enumeration_allocs", static_cast<uint64_t>(rep.enumeration_allocs));
+  w.KV("peak_rss_kb", static_cast<uint64_t>(rep.peak_rss_kb));
   w.Key("checkpoints").BeginArray();
   for (const auto& [k, secs] : rep.checkpoints) {
     w.BeginObject();

@@ -33,16 +33,19 @@ import os
 import statistics
 import sys
 
-SCHEMA_VERSION = 1
+# v1: timing columns only; v2 adds per-record allocs / peak_rss_kb (ignored
+# here — the gate judges TTL only, so old baselines keep working).
+SUPPORTED_SCHEMA_VERSIONS = (1, 2)
 
 
 def load_report(path):
     with open(path, "r", encoding="utf-8") as f:
         report = json.load(f)
     version = report.get("schema_version")
-    if version != SCHEMA_VERSION:
+    if version not in SUPPORTED_SCHEMA_VERSIONS:
         raise ValueError(
-            f"{path}: schema_version {version} != supported {SCHEMA_VERSION}")
+            f"{path}: schema_version {version} not in supported "
+            f"{SUPPORTED_SCHEMA_VERSIONS}")
     return report
 
 

@@ -7,7 +7,7 @@
 // global priority queue Cand yields the next result; expanding it creates
 // one new subspace per remaining stage (successors of the taken choices).
 //
-// Prefixes are persistent (parent-pointer arena), so creating a candidate is
+// Prefixes are persistent (parent-pointer pool), so creating a candidate is
 // O(1) and MEM(k) = O(l*n + k*l).
 //
 // Candidate weights: expanding a solution with top choices provably keeps
@@ -16,6 +16,12 @@
 //     total ⊘ member_val[current] ⊗ member_val[deviation]      (O(1));
 // without one we recompute from the assigned prefix and the *frontier* of
 // pending connectors (Section 6.2's O(l) fallback).
+//
+// Memory: the candidate PQ, the prefix pool, the successor scratch buffer
+// and every lazily built strategy structure draw from one per-query Arena,
+// so after construction (preprocessing) the enumeration loop performs no
+// global heap allocation (invariants_test verifies this with the counting
+// allocator of util/alloc_stats.h).
 
 #ifndef ANYK_ANYK_ANYK_PART_H_
 #define ANYK_ANYK_ANYK_PART_H_
@@ -30,6 +36,7 @@
 #include "anyk/enumerator.h"
 #include "anyk/strategies.h"
 #include "dp/stage_graph.h"
+#include "util/arena.h"
 #include "util/binary_heap.h"
 #include "util/logging.h"
 
@@ -42,16 +49,29 @@ struct AnyKPartStats {
   size_t prefix_nodes = 0;
 };
 
-/// Algorithm 1, parameterized by successor strategy and candidate PQ.
+/// Algorithm 1, parameterized by successor strategy and candidate PQ (any
+/// heap template over (entry, comparator, allocator)).
 template <SelectiveDioid D, template <class> class Strategy,
-          template <class, class> class PQT = BinaryHeap>
+          template <class, class, class> class PQT = BinaryHeap>
 class AnyKPartEnumerator : public Enumerator<D> {
   using V = typename D::Value;
   static constexpr uint32_t kNoPrefix = UINT32_MAX;
 
  public:
   explicit AnyKPartEnumerator(const StageGraph<D>* g, EnumOptions opts = {})
-      : g_(g), opts_(opts), strategy_(g) {
+      : g_(g),
+        opts_(opts),
+        arena_(opts.arena_block_bytes == 0 ? Arena::kDefaultFirstBlockBytes
+                                           : opts.arena_block_bytes),
+        strategy_(g, &arena_),
+        cand_(CandLess{}, ArenaAllocator<Candidate>(&arena_)),
+        prefix_pool_(ArenaAllocator<PrefixNode>(&arena_)),
+        succ_buf_(ArenaAllocator<uint32_t>(&arena_)),
+        frontier_(ArenaAllocator<std::pair<uint32_t, uint32_t>>(&arena_)) {
+    arena_.Reserve(opts_.arena_reserve_bytes);
+    const size_t L = g_->stages.size();
+    states_.assign(L, 0);
+    frontier_.reserve(L + 1);
     if (!g_->Empty()) {
       const uint32_t top = strategy_.Top(0, StageGraph<D>::kRootConn);
       const uint32_t pos =
@@ -61,8 +81,8 @@ class AnyKPartEnumerator : public Enumerator<D> {
     }
   }
 
-  std::optional<ResultRow<D>> Next() override {
-    if (cand_.Empty()) return std::nullopt;
+  bool NextInto(ResultRow<D>* row) override {
+    if (cand_.Empty()) return false;
     const size_t L = g_->stages.size();
     Candidate c = cand_.PopMin();
     ++stats_.pops;
@@ -73,8 +93,8 @@ class AnyKPartEnumerator : public Enumerator<D> {
       uint32_t p = c.prefix;
       uint32_t idx = c.dev_stage;
       while (p != kNoPrefix) {
-        states_[--idx] = arena_[p].state;
-        p = arena_[p].parent;
+        states_[--idx] = prefix_pool_[p].state;
+        p = prefix_pool_[p].parent;
       }
       ANYK_DCHECK(idx == 0);
     }
@@ -100,18 +120,26 @@ class AnyKPartEnumerator : public Enumerator<D> {
       AssignStage(j, conn, top, &prefix);
     }
 
-    return Assemble(c.total);
+    Assemble(c.total, row);
+    return true;
+  }
+
+  std::optional<ResultRow<D>> Next() override {
+    ResultRow<D> row;
+    if (!NextInto(&row)) return std::nullopt;
+    return row;
   }
 
   const AnyKPartStats& stats() const { return stats_; }
   const StrategyStats& strategy_stats() const { return strategy_.stats(); }
   size_t CandSize() const { return cand_.Size(); }
+  const Arena& arena() const { return arena_; }
   static const char* Name() { return Strategy<D>::kName; }
 
  private:
   struct Candidate {
     V total;            // weight of the subspace's best full solution
-    uint32_t prefix;    // assigned states σ1..σ_{r-1} (arena id)
+    uint32_t prefix;    // assigned states σ1..σ_{r-1} (prefix-pool id)
     uint32_t dev_stage; // r
     uint32_t conn;      // connector at stage r (local id)
     uint32_t choice;    // strategy-specific choice handle
@@ -139,9 +167,9 @@ class AnyKPartEnumerator : public Enumerator<D> {
     const uint32_t pos = strategy_.MemberPos(stage, conn, choice);
     const uint32_t state = st.members[pos];
     states_[stage] = state;
-    arena_.push_back(PrefixNode{*prefix, state});
-    *prefix = static_cast<uint32_t>(arena_.size() - 1);
-    stats_.prefix_nodes = arena_.size();
+    prefix_pool_.push_back(PrefixNode{*prefix, state});
+    *prefix = static_cast<uint32_t>(prefix_pool_.size() - 1);
+    stats_.prefix_nodes = prefix_pool_.size();
     if constexpr (!D::kHasInverse) {
       // Frontier maintenance: this stage's connector is now resolved; the
       // chosen state's child connectors become pending.
@@ -226,26 +254,30 @@ class AnyKPartEnumerator : public Enumerator<D> {
     return base;
   }
 
-  std::optional<ResultRow<D>> Assemble(const V& total) {
-    ResultRow<D> row;
-    row.weight = total;
-    row.assignment.assign(g_->instance->num_vars, 0);
-    if (opts_.with_witness) row.witness.assign(g_->instance->num_atoms, kNoRow);
-    for (uint32_t j = 0; j < g_->stages.size(); ++j) {
-      BindState(*g_, j, states_[j], &row.assignment,
-                opts_.with_witness ? &row.witness : nullptr);
+  void Assemble(const V& total, ResultRow<D>* row) {
+    row->weight = total;
+    row->assignment.assign(g_->instance->num_vars, 0);
+    if (opts_.with_witness) {
+      row->witness.assign(g_->instance->num_atoms, kNoRow);
+    } else {
+      row->witness.clear();
     }
-    return row;
+    for (uint32_t j = 0; j < g_->stages.size(); ++j) {
+      BindState(*g_, j, states_[j], &row->assignment,
+                opts_.with_witness ? &row->witness : nullptr);
+    }
   }
 
   const StageGraph<D>* g_;
   EnumOptions opts_;
+  // The arena must precede every member that draws from it.
+  Arena arena_;
   Strategy<D> strategy_;
-  PQT<Candidate, CandLess> cand_{CandLess{}};
-  std::vector<PrefixNode> arena_;
-  std::vector<uint32_t> states_;
-  std::vector<uint32_t> succ_buf_;
-  std::vector<std::pair<uint32_t, uint32_t>> frontier_;  // (stage, conn)
+  PQT<Candidate, CandLess, ArenaAllocator<Candidate>> cand_;
+  ArenaVector<PrefixNode> prefix_pool_;  // persistent prefix parent-pointers
+  std::vector<uint32_t> states_;         // sized L at construction
+  ArenaVector<uint32_t> succ_buf_;
+  ArenaVector<std::pair<uint32_t, uint32_t>> frontier_;  // (stage, conn)
   V assigned_weight_ = D::One();
   AnyKPartStats stats_;
 };

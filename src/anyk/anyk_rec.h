@@ -17,6 +17,12 @@
 // branch at a time, only at or after the last-advanced branch — which is
 // duplicate-free and accesses each branch ranking in sorted order (the
 // paper's "run ANYK-PART over the product space" construction).
+//
+// Memory: product-state rankings are addressed by a flat per-stage offset
+// table (only stages with λ ≥ 2 slots get one) instead of a hash map, and
+// every ranking list, heap and combination rank-vector draws from the
+// per-query Arena — after construction the enumeration loop performs no
+// global heap allocation.
 
 #ifndef ANYK_ANYK_ANYK_REC_H_
 #define ANYK_ANYK_ANYK_REC_H_
@@ -24,12 +30,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "anyk/enumerator.h"
 #include "dp/stage_graph.h"
+#include "util/arena.h"
 #include "util/binary_heap.h"
 #include "util/logging.h"
 
@@ -45,26 +51,54 @@ struct AnyKRecStats {
 template <SelectiveDioid D>
 class RecursiveEnumerator : public Enumerator<D> {
   using V = typename D::Value;
+  static constexpr uint32_t kNoBase = UINT32_MAX;
 
  public:
   explicit RecursiveEnumerator(const StageGraph<D>* g, EnumOptions opts = {})
-      : g_(g), opts_(opts), conn_rank_(g->total_connectors) {}
+      : g_(g),
+        opts_(opts),
+        arena_(opts.arena_block_bytes == 0 ? Arena::kDefaultFirstBlockBytes
+                                           : opts.arena_block_bytes),
+        conn_rank_(g->total_connectors) {
+    arena_.Reserve(opts_.arena_reserve_bytes);
+    // Flat offset table for product-state rankings: stages with >= 2 child
+    // slots get a dense block of StateRank slots, one per state.
+    state_rank_base_.assign(g_->stages.size(), kNoBase);
+    uint32_t base = 0;
+    for (size_t s = 0; s < g_->stages.size(); ++s) {
+      if (g_->stages[s].num_slots >= 2) {
+        state_rank_base_[s] = base;
+        base += static_cast<uint32_t>(g_->stages[s].NumStates());
+      }
+    }
+    state_rank_.resize(base);
+  }
 
-  std::optional<ResultRow<D>> Next() override {
-    if (g_->Empty()) return std::nullopt;
+  bool NextInto(ResultRow<D>* row) override {
+    if (g_->Empty()) return false;
     ++k_;
-    if (!EnsureConnRank(0, StageGraph<D>::kRootConn, k_)) return std::nullopt;
+    if (!EnsureConnRank(0, StageGraph<D>::kRootConn, k_)) return false;
     const ConnEntry e = RankedEntry(0, StageGraph<D>::kRootConn, k_);
 
+    row->weight = e.val;
+    row->assignment.assign(g_->instance->num_vars, 0);
+    if (opts_.with_witness) {
+      row->witness.assign(g_->instance->num_atoms, kNoRow);
+    } else {
+      row->witness.clear();
+    }
+    AssembleState(0, g_->stages[0].members[e.member_pos], e.rank, row);
+    return true;
+  }
+
+  std::optional<ResultRow<D>> Next() override {
     ResultRow<D> row;
-    row.weight = e.val;
-    row.assignment.assign(g_->instance->num_vars, 0);
-    if (opts_.with_witness) row.witness.assign(g_->instance->num_atoms, kNoRow);
-    AssembleState(0, g_->stages[0].members[e.member_pos], e.rank, &row);
+    if (!NextInto(&row)) return std::nullopt;
     return row;
   }
 
   const AnyKRecStats& stats() const { return stats_; }
+  const Arena& arena() const { return arena_; }
   static const char* Name() { return "Recursive"; }
 
  private:
@@ -81,16 +115,17 @@ class RecursiveEnumerator : public Enumerator<D> {
       return D::Less(a.val, b.val);
     }
   };
+  using EntryHeap = BinaryHeap<ConnEntry, EntryLess, ArenaAllocator<ConnEntry>>;
   struct ConnRank {
     bool init = false;
-    std::vector<ConnEntry> ranked;  // Π1, Π2, ... of this connector
-    BinaryHeap<ConnEntry, EntryLess> heap;
+    ArenaVector<ConnEntry> ranked;  // Π1, Π2, ... of this connector
+    EntryHeap heap;
   };
 
   // Cartesian-product ranking for states with λ ≥ 2 child slots.
   struct Combo {
     V val;
-    std::vector<uint32_t> ranks;  // per-slot rank into the branch ranking
+    ArenaVector<uint32_t> ranks;  // per-slot rank into the branch ranking
     uint32_t last_advanced = 0;
   };
   struct ComboLess {
@@ -98,9 +133,11 @@ class RecursiveEnumerator : public Enumerator<D> {
       return D::Less(a.val, b.val);
     }
   };
+  using ComboHeap = BinaryHeap<Combo, ComboLess, ArenaAllocator<Combo>>;
   struct StateRank {
-    std::vector<Combo> ranked;
-    BinaryHeap<Combo, ComboLess> heap;
+    bool init = false;
+    ArenaVector<Combo> ranked;
+    ComboHeap heap;
     bool exhausted = false;
   };
 
@@ -121,7 +158,10 @@ class RecursiveEnumerator : public Enumerator<D> {
     if (!cr.init) {
       cr.init = true;
       ++stats_.conns_initialized;
-      std::vector<ConnEntry> initial;
+      cr.ranked = MakeArenaVector<ConnEntry>(&arena_);
+      cr.heap = EntryHeap(EntryLess{}, ArenaAllocator<ConnEntry>(&arena_));
+      typename EntryHeap::Container initial(
+          ArenaAllocator<ConnEntry>{&arena_});
       initial.reserve(st.ConnSize(conn));
       for (uint32_t p = st.conn_begin[conn]; p < st.conn_begin[conn + 1]; ++p) {
         initial.push_back(ConnEntry{st.member_val[p], p, 1});
@@ -172,10 +212,14 @@ class RecursiveEnumerator : public Enumerator<D> {
     // λ ≥ 2: rank the product of branch rankings (peek-then-pop, like the
     // connector case).
     StateRank& sr = StateRankOf(stage, state);
-    if (sr.ranked.empty() && sr.heap.Empty() && !sr.exhausted) {
+    if (!sr.init) {
+      sr.init = true;
+      sr.ranked = MakeArenaVector<Combo>(&arena_);
+      sr.heap = ComboHeap(ComboLess{}, ArenaAllocator<Combo>(&arena_));
       // Initial combination (1, ..., 1) with value π1(state).
       Combo c;
       c.val = st.pi1[state];
+      c.ranks = MakeArenaVector<uint32_t>(&arena_);
       c.ranks.assign(slots, 1);
       c.last_advanced = 0;
       sr.heap.Push(std::move(c));
@@ -194,7 +238,7 @@ class RecursiveEnumerator : public Enumerator<D> {
           const uint32_t conn = st.conn_of_state[state * slots + b];
           if (!EnsureConnRank(cs, conn, c.ranks[b] + 1)) continue;
           Combo nc;
-          nc.ranks = c.ranks;
+          nc.ranks = c.ranks;  // copy adopts the arena allocator
           nc.ranks[b] += 1;
           nc.last_advanced = b;
           if constexpr (D::kHasInverse) {
@@ -248,8 +292,7 @@ class RecursiveEnumerator : public Enumerator<D> {
     V dummy;
     const bool have = EnsureStateRank(stage, state, j, &dummy);
     ANYK_CHECK(have);
-    const StateRank& sr = state_rank_.at(StateKey(stage, state));
-    const Combo c = sr.ranked[j - 1];
+    const Combo& c = StateRankOf(stage, state).ranked[j - 1];
     for (uint32_t b = 0; b < slots; ++b) {
       const uint32_t cs = g_->child_stage[stage][b];
       const uint32_t conn = st.conn_of_state[state * slots + b];
@@ -260,18 +303,18 @@ class RecursiveEnumerator : public Enumerator<D> {
     }
   }
 
-  static uint64_t StateKey(uint32_t stage, uint32_t state) {
-    return (static_cast<uint64_t>(stage) << 32) | state;
-  }
-
   StateRank& StateRankOf(uint32_t stage, uint32_t state) {
-    return state_rank_[StateKey(stage, state)];
+    ANYK_DCHECK(state_rank_base_[stage] != kNoBase);
+    return state_rank_[state_rank_base_[stage] + state];
   }
 
   const StageGraph<D>* g_;
   EnumOptions opts_;
+  // The arena must precede every member that draws from it.
+  Arena arena_;
   std::vector<ConnRank> conn_rank_;
-  std::unordered_map<uint64_t, StateRank> state_rank_;
+  std::vector<uint32_t> state_rank_base_;  // per stage; kNoBase if < 2 slots
+  std::vector<StateRank> state_rank_;      // flat, only λ >= 2 stages
   uint32_t k_ = 0;
   AnyKRecStats stats_;
 };

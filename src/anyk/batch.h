@@ -35,22 +35,29 @@ class BatchEnumerator : public Enumerator<D> {
   explicit BatchEnumerator(const StageGraph<D>* g, BatchOptions opts = {})
       : g_(g), opts_(opts) {}
 
-  std::optional<ResultRow<D>> Next() override {
+  bool NextInto(ResultRow<D>* row) override {
     if (!materialized_) Materialize();
-    if (cursor_ >= order_.size()) return std::nullopt;
+    if (cursor_ >= order_.size()) return false;
     const size_t L = g_->stages.size();
     const uint32_t idx = order_[cursor_++];
-    ResultRow<D> row;
-    row.weight = weights_[idx];
-    row.assignment.assign(g_->instance->num_vars, 0);
+    row->weight = weights_[idx];
+    row->assignment.assign(g_->instance->num_vars, 0);
     if (opts_.enum_opts.with_witness) {
-      row.witness.assign(g_->instance->num_atoms, kNoRow);
+      row->witness.assign(g_->instance->num_atoms, kNoRow);
+    } else {
+      row->witness.clear();
     }
     for (uint32_t j = 0; j < L; ++j) {
       BindState(*g_, j, solutions_[static_cast<size_t>(idx) * L + j],
-                &row.assignment,
-                opts_.enum_opts.with_witness ? &row.witness : nullptr);
+                &row->assignment,
+                opts_.enum_opts.with_witness ? &row->witness : nullptr);
     }
+    return true;
+  }
+
+  std::optional<ResultRow<D>> Next() override {
+    ResultRow<D> row;
+    if (!NextInto(&row)) return std::nullopt;
     return row;
   }
 

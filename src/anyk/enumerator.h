@@ -3,8 +3,10 @@
 #ifndef ANYK_ANYK_ENUMERATOR_H_
 #define ANYK_ANYK_ENUMERATOR_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "dioid/dioid.h"
@@ -27,15 +29,44 @@ struct ResultRow {
 
 struct EnumOptions {
   bool with_witness = true;
+  // Bytes to pre-reserve in the enumerator's per-query arena at construction
+  // (i.e. during preprocessing). With a large enough reservation the whole
+  // enumeration phase performs zero global heap allocations — candidates,
+  // prefixes, lazily initialized connector structures and suffix rankings
+  // all live in the arena (see docs/ARCHITECTURE.md, "Memory layout").
+  // 0 keeps the default first-block size; the arena still grows
+  // geometrically on demand either way.
+  size_t arena_reserve_bytes = 0;
+  // First arena block size in bytes (0 = Arena default). Small values force
+  // frequent block chaining — used by fuzz tests to stress arena
+  // boundaries; production code should leave this alone.
+  size_t arena_block_bytes = 0;
 };
 
-/// Pull-based enumerator: Next() returns answers in non-decreasing rank
-/// order until exhausted.
+/// Pull-based enumerator: answers come out in non-decreasing rank order
+/// until exhausted.
+///
+/// Two pull styles:
+///  * Next() — convenience API returning a fresh ResultRow (allocates the
+///    row's vectors on every call).
+///  * NextInto(&row) — hot-path API writing into a caller-owned row whose
+///    buffers are reused across calls; after a warm-up call the per-result
+///    cost contains no heap allocation. The harness and CLI drain through
+///    this; the default implementation falls back to Next() for wrapper
+///    enumerators (union, projection, ...) that don't override it.
 template <SelectiveDioid D>
 class Enumerator {
  public:
   virtual ~Enumerator() = default;
   virtual std::optional<ResultRow<D>> Next() = 0;
+
+  /// Write the next answer into `*row`; false when exhausted.
+  virtual bool NextInto(ResultRow<D>* row) {
+    std::optional<ResultRow<D>> r = Next();
+    if (!r.has_value()) return false;
+    *row = std::move(*r);
+    return true;
+  }
 };
 
 }  // namespace anyk

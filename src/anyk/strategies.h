@@ -13,6 +13,11 @@
 // heap slot, or absolute member position). All strategies initialize a
 // connector's data structure lazily on first touch (the paper applies this
 // optimization to all algorithms in Section 7).
+//
+// Memory: every per-connector structure lives in the enumerator's per-query
+// arena. Because initialization is lazy it happens *during* enumeration, so
+// routing it through the arena (reserved in preprocessing) is what keeps the
+// enumeration phase free of global heap allocations.
 
 #ifndef ANYK_ANYK_STRATEGIES_H_
 #define ANYK_ANYK_STRATEGIES_H_
@@ -24,6 +29,7 @@
 #include <vector>
 
 #include "dp/stage_graph.h"
+#include "util/arena.h"
 #include "util/binary_heap.h"
 #include "util/logging.h"
 
@@ -43,8 +49,8 @@ class EagerStrategy {
  public:
   static constexpr const char* kName = "Eager";
 
-  explicit EagerStrategy(const StageGraph<D>* g)
-      : g_(g), conns_(g->total_connectors) {}
+  EagerStrategy(const StageGraph<D>* g, Arena* arena)
+      : g_(g), arena_(arena), conns_(g->total_connectors) {}
 
   /// Handle of the best choice of the connector.
   uint32_t Top(uint32_t stage, uint32_t conn) {
@@ -58,8 +64,8 @@ class EagerStrategy {
   }
 
   /// Append the successor handles of `choice` to `out`.
-  void Successors(uint32_t stage, uint32_t conn, uint32_t choice,
-                  std::vector<uint32_t>* out) {
+  template <typename Out>
+  void Successors(uint32_t stage, uint32_t conn, uint32_t choice, Out* out) {
     ++stats_.succ_calls;
     const auto& cd = conns_[g_->GlobalConn(stage, conn)];
     if (choice + 1 < cd.sorted.size()) {
@@ -73,7 +79,7 @@ class EagerStrategy {
  private:
   struct ConnData {
     bool init = false;
-    std::vector<uint32_t> sorted;  // member positions, ascending by value
+    ArenaVector<uint32_t> sorted;  // member positions, ascending by value
   };
 
   void Init(uint32_t stage, uint32_t conn) {
@@ -81,6 +87,7 @@ class EagerStrategy {
     if (cd.init) return;
     cd.init = true;
     const auto& st = g_->stages[stage];
+    cd.sorted = MakeArenaVector<uint32_t>(arena_);
     cd.sorted.resize(st.ConnSize(conn));
     for (uint32_t i = 0; i < cd.sorted.size(); ++i) {
       cd.sorted[i] = st.conn_begin[conn] + i;
@@ -93,6 +100,7 @@ class EagerStrategy {
   }
 
   const StageGraph<D>* g_;
+  Arena* arena_;
   std::vector<ConnData> conns_;
   StrategyStats stats_;
 };
@@ -104,8 +112,8 @@ class LazyStrategy {
  public:
   static constexpr const char* kName = "Lazy";
 
-  explicit LazyStrategy(const StageGraph<D>* g)
-      : g_(g), conns_(g->total_connectors) {}
+  LazyStrategy(const StageGraph<D>* g, Arena* arena)
+      : g_(g), arena_(arena), conns_(g->total_connectors) {}
 
   uint32_t Top(uint32_t stage, uint32_t conn) {
     Init(stage, conn);
@@ -118,8 +126,8 @@ class LazyStrategy {
     return cd.sorted[choice];
   }
 
-  void Successors(uint32_t stage, uint32_t conn, uint32_t choice,
-                  std::vector<uint32_t>* out) {
+  template <typename Out>
+  void Successors(uint32_t stage, uint32_t conn, uint32_t choice, Out* out) {
     ++stats_.succ_calls;
     ConnData& cd = conns_[g_->GlobalConn(stage, conn)];
     // Materialize rank choice+1 if the heap still holds it.
@@ -143,11 +151,12 @@ class LazyStrategy {
                      g->stages[stage].member_val[b]);
     }
   };
+  using ConnHeap = BinaryHeap<uint32_t, Cmp, ArenaAllocator<uint32_t>>;
 
   struct ConnData {
     bool init = false;
-    std::vector<uint32_t> sorted;      // drained prefix, ascending
-    BinaryHeap<uint32_t, Cmp> heap{Cmp{nullptr, 0}};
+    ArenaVector<uint32_t> sorted;  // drained prefix, ascending
+    ConnHeap heap{Cmp{nullptr, 0}};
   };
 
   void Init(uint32_t stage, uint32_t conn) {
@@ -155,12 +164,14 @@ class LazyStrategy {
     if (cd.init) return;
     cd.init = true;
     const auto& st = g_->stages[stage];
-    std::vector<uint32_t> all(st.ConnSize(conn));
+    typename ConnHeap::Container all(ArenaAllocator<uint32_t>{arena_});
+    all.resize(st.ConnSize(conn));
     for (uint32_t i = 0; i < all.size(); ++i) all[i] = st.conn_begin[conn] + i;
-    cd.heap = BinaryHeap<uint32_t, Cmp>(Cmp{g_, stage});
+    cd.heap = ConnHeap(Cmp{g_, stage}, ArenaAllocator<uint32_t>(arena_));
     cd.heap.Assign(std::move(all));
     // The paper pops the top two up front: nearly all successor requests in
     // one repeat-loop iteration ask for the second-best choice.
+    cd.sorted = MakeArenaVector<uint32_t>(arena_);
     cd.sorted.push_back(cd.heap.PopMin());
     if (!cd.heap.Empty()) cd.sorted.push_back(cd.heap.PopMin());
     ++stats_.conns_initialized;
@@ -168,6 +179,7 @@ class LazyStrategy {
   }
 
   const StageGraph<D>* g_;
+  Arena* arena_;
   std::vector<ConnData> conns_;
   StrategyStats stats_;
 };
@@ -179,7 +191,7 @@ class AllStrategy {
  public:
   static constexpr const char* kName = "All";
 
-  explicit AllStrategy(const StageGraph<D>* g) : g_(g) {}
+  AllStrategy(const StageGraph<D>* g, Arena* /*arena*/) : g_(g) {}
 
   // Choice handles are absolute member positions.
   uint32_t Top(uint32_t stage, uint32_t conn) {
@@ -190,8 +202,8 @@ class AllStrategy {
     return choice;
   }
 
-  void Successors(uint32_t stage, uint32_t conn, uint32_t choice,
-                  std::vector<uint32_t>* out) {
+  template <typename Out>
+  void Successors(uint32_t stage, uint32_t conn, uint32_t choice, Out* out) {
     ++stats_.succ_calls;
     const auto& st = g_->stages[stage];
     if (choice != st.conn_best[conn]) return;  // siblings already inserted
@@ -216,8 +228,8 @@ class Take2Strategy {
  public:
   static constexpr const char* kName = "Take2";
 
-  explicit Take2Strategy(const StageGraph<D>* g)
-      : g_(g), conns_(g->total_connectors) {}
+  Take2Strategy(const StageGraph<D>* g, Arena* arena)
+      : g_(g), arena_(arena), conns_(g->total_connectors) {}
 
   uint32_t Top(uint32_t stage, uint32_t conn) {
     Init(stage, conn);
@@ -228,8 +240,8 @@ class Take2Strategy {
     return conns_[g_->GlobalConn(stage, conn)].heap[choice];
   }
 
-  void Successors(uint32_t stage, uint32_t conn, uint32_t choice,
-                  std::vector<uint32_t>* out) {
+  template <typename Out>
+  void Successors(uint32_t stage, uint32_t conn, uint32_t choice, Out* out) {
     ++stats_.succ_calls;
     const auto& cd = conns_[g_->GlobalConn(stage, conn)];
     for (uint32_t child = 2 * choice + 1;
@@ -244,7 +256,7 @@ class Take2Strategy {
  private:
   struct ConnData {
     bool init = false;
-    std::vector<uint32_t> heap;  // member positions in heap order
+    ArenaVector<uint32_t> heap;  // member positions in heap order
   };
 
   void Init(uint32_t stage, uint32_t conn) {
@@ -252,6 +264,7 @@ class Take2Strategy {
     if (cd.init) return;
     cd.init = true;
     const auto& st = g_->stages[stage];
+    cd.heap = MakeArenaVector<uint32_t>(arena_);
     cd.heap.resize(st.ConnSize(conn));
     for (uint32_t i = 0; i < cd.heap.size(); ++i) {
       cd.heap[i] = st.conn_begin[conn] + i;
@@ -264,6 +277,7 @@ class Take2Strategy {
   }
 
   const StageGraph<D>* g_;
+  Arena* arena_;
   std::vector<ConnData> conns_;
   StrategyStats stats_;
 };

@@ -8,6 +8,12 @@
 // *distinct* outputs compare equal, so duplicates arrive consecutively and
 // `dedup = true` filters them with delay linear in the number of trees —
 // constant in data complexity.
+//
+// Memory: each source has at most one pending result at a time, so pending
+// rows live in a per-source slot pool and the heap holds only (weight,
+// source) pairs. Rows move between the pool and the caller's buffer by
+// swap, so steady-state union enumeration performs no heap allocation of
+// its own (the sources' NextInto already reuse the slot's buffers).
 
 #ifndef ANYK_ANYK_UNION_ANYK_H_
 #define ANYK_ANYK_UNION_ANYK_H_
@@ -31,51 +37,57 @@ class UnionEnumerator : public Enumerator<D> {
  public:
   explicit UnionEnumerator(std::vector<std::unique_ptr<Enumerator<D>>> parts,
                            bool dedup = false)
-      : parts_(std::move(parts)), dedup_(dedup) {
+      : parts_(std::move(parts)), slots_(parts_.size()), dedup_(dedup) {
     for (size_t i = 0; i < parts_.size(); ++i) {
       Refill(static_cast<uint32_t>(i));
     }
   }
 
-  std::optional<ResultRow<D>> Next() override {
+  bool NextInto(ResultRow<D>* row) override {
     while (!heap_.Empty()) {
-      Pending p = heap_.PopMin();
-      const uint32_t source = p.source;
-      ResultRow<D> row = std::move(p.row);
+      const uint32_t source = heap_.PopMin().source;
+      std::swap(*row, slots_[source]);  // hand out the pending row's buffers
       Refill(source);
-      if (dedup_ && have_last_ && DioidEq<D>(row.weight, last_weight_) &&
-          row.assignment == last_assignment_) {
+      if (dedup_ && have_last_ && DioidEq<D>(row->weight, last_weight_) &&
+          row->assignment == last_assignment_) {
         ++duplicates_filtered_;
         continue;  // duplicate of the previously emitted result
       }
       have_last_ = true;
-      last_weight_ = row.weight;
-      last_assignment_ = row.assignment;
-      return row;
+      last_weight_ = row->weight;
+      last_assignment_ = row->assignment;
+      return true;
     }
-    return std::nullopt;
+    return false;
+  }
+
+  std::optional<ResultRow<D>> Next() override {
+    ResultRow<D> row;
+    if (!NextInto(&row)) return std::nullopt;
+    return row;
   }
 
   size_t duplicates_filtered() const { return duplicates_filtered_; }
 
  private:
   struct Pending {
-    ResultRow<D> row;
+    V weight;
     uint32_t source;
   };
   struct PendingLess {
     bool operator()(const Pending& a, const Pending& b) const {
-      return D::Less(a.row.weight, b.row.weight);
+      return D::Less(a.weight, b.weight);
     }
   };
 
   void Refill(uint32_t source) {
-    if (auto next = parts_[source]->Next()) {
-      heap_.Push(Pending{std::move(*next), source});
+    if (parts_[source]->NextInto(&slots_[source])) {
+      heap_.Push(Pending{slots_[source].weight, source});
     }
   }
 
   std::vector<std::unique_ptr<Enumerator<D>>> parts_;
+  std::vector<ResultRow<D>> slots_;  // one pending row per source
   bool dedup_;
   BinaryHeap<Pending, PendingLess> heap_;
   bool have_last_ = false;

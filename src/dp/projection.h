@@ -89,11 +89,10 @@ class MinWeightProjection : public Enumerator<D> {
           key.push_back(unode.table->At(row, pc));
         }
         const uint32_t cstage = stage_of_node[c];
-        const auto& map = full_graph_->conn_of_key[cstage];
-        auto it = map.find(key);
-        if (it == map.end()) return std::nullopt;  // no completion: prune
-        extra = D::Combine(
-            extra, full_graph_->stages[cstage].ConnBestVal(it->second));
+        const int64_t conn = full_graph_->conn_of_key[cstage].Find(key);
+        if (conn < 0) return std::nullopt;  // no completion: prune
+        extra = D::Combine(extra, full_graph_->stages[cstage].ConnBestVal(
+                                      static_cast<uint32_t>(conn)));
       }
       return extra;
     };
@@ -106,6 +105,9 @@ class MinWeightProjection : public Enumerator<D> {
   /// all full answers projecting to it. Witnesses are only meaningful for
   /// atoms fully contained in the free part.
   std::optional<ResultRow<D>> Next() override { return enumerator_->Next(); }
+  bool NextInto(ResultRow<D>* row) override {
+    return enumerator_->NextInto(row);
+  }
 
   const std::vector<uint32_t>& free_vars() const { return layered_.free_vars; }
 

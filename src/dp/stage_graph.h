@@ -22,13 +22,13 @@
 #include <functional>
 #include <limits>
 #include <optional>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "dioid/dioid.h"
 #include "dioid/lift.h"
 #include "query/join_tree.h"
+#include "storage/flat_index.h"
 #include "storage/group_index.h"
 #include "storage/value.h"
 #include "util/logging.h"
@@ -76,9 +76,11 @@ struct StageGraph {
   uint32_t total_connectors = 0;  // across all stages
   // Child stages of stage i, by slot: child_stage[i][j].
   std::vector<std::vector<uint32_t>> child_stage;
-  // Per stage: parent join key -> local connector id (kept after the build;
-  // the projection machinery of Section 8.1 uses it to read branch minima).
-  std::vector<std::unordered_map<Key, uint32_t, KeyHash>> conn_of_key;
+  // Per stage: parent join key -> local connector id, as a flat
+  // open-addressing index whose dense key ids ARE the connector ids (kept
+  // after the build; the projection machinery of Section 8.1 uses it to read
+  // branch minima).
+  std::vector<FlatKeyIndex> conn_of_key;
 
   bool Empty() const { return stages[0].NumConns() == 0; }
 
@@ -145,8 +147,11 @@ StageGraph<D> BuildStageGraph(const TDPInstance& inst,
     }
   }
 
-  // Per-stage key -> connector id map, alive while parents are processed.
-  std::vector<std::unordered_map<Key, uint32_t, KeyHash>> conn_of_key(L);
+  // Per-stage key -> connector id index, alive while parents are processed.
+  std::vector<FlatKeyIndex> conn_of_key(L);
+
+  // Scratch key buffer, reused across all stages (no per-row Key vectors).
+  std::vector<Value> key_buf;
 
   // Bottom-up: reverse preorder processes children before parents.
   for (size_t kk = L; kk-- > 0;) {
@@ -170,15 +175,17 @@ StageGraph<D> BuildStageGraph(const TDPInstance& inst,
       for (size_t j = 0; j < slots && alive; ++j) {
         const uint32_t cs = g.child_stage[kk][j];
         const TDPNode& cnd = inst.nodes[g.stages[cs].node_idx];
-        Key key;
-        key.reserve(cnd.parent_key_cols.size());
-        for (uint32_t pc : cnd.parent_key_cols) key.push_back(nd.table->At(r, pc));
-        auto it = conn_of_key[cs].find(key);
-        if (it == conn_of_key[cs].end()) {
+        key_buf.clear();
+        for (uint32_t pc : cnd.parent_key_cols) {
+          key_buf.push_back(nd.table->At(r, pc));
+        }
+        const int64_t conn = conn_of_key[cs].Find(key_buf);
+        if (conn < 0) {
           alive = false;
         } else {
-          row_conns[j] = it->second;
-          pi1 = D::Combine(pi1, g.stages[cs].ConnBestVal(it->second));
+          row_conns[j] = static_cast<uint32_t>(conn);
+          pi1 = D::Combine(pi1, g.stages[cs].ConnBestVal(
+                                    static_cast<uint32_t>(conn)));
         }
       }
       if (!alive) continue;
@@ -201,47 +208,47 @@ StageGraph<D> BuildStageGraph(const TDPInstance& inst,
     }
 
     // Group surviving states into connectors by the parent join key (root
-    // stage: single connector under the empty key).
+    // stage: single connector under the empty key). Connector ids are the
+    // dense interned-key ids, i.e. first-appearance order; the members are
+    // laid out CSR-style in one counting scatter, with no per-group vectors.
     const size_t ns = st.NumStates();
-    std::vector<std::vector<uint32_t>> groups;
+    std::vector<uint32_t> conn_of_state_local(ns);
     if (st.parent_stage < 0) {
+      conn_of_key[kk].Init(0, ns > 0 ? 1 : 0);
       if (ns > 0) {
-        conn_of_key[kk].emplace(Key{}, 0);
-        groups.emplace_back();
-        groups[0].reserve(ns);
-        for (size_t s = 0; s < ns; ++s) groups[0].push_back(static_cast<uint32_t>(s));
+        conn_of_key[kk].Intern({});
+        for (size_t s = 0; s < ns; ++s) conn_of_state_local[s] = 0;
       }
     } else {
+      conn_of_key[kk].Init(nd.key_cols.size(), ns);
       for (size_t s = 0; s < ns; ++s) {
-        Key key;
-        key.reserve(nd.key_cols.size());
+        key_buf.clear();
         for (uint32_t c : nd.key_cols) {
-          key.push_back(nd.table->At(st.row_of_state[s], c));
+          key_buf.push_back(nd.table->At(st.row_of_state[s], c));
         }
-        auto [it, inserted] =
-            conn_of_key[kk].try_emplace(std::move(key), groups.size());
-        if (inserted) groups.emplace_back();
-        groups[it->second].push_back(static_cast<uint32_t>(s));
+        conn_of_state_local[s] = conn_of_key[kk].Intern(key_buf);
       }
     }
 
-    st.conn_begin.assign(1, 0);
-    st.conn_begin.reserve(groups.size() + 1);
-    st.members.reserve(ns);
-    st.member_val.reserve(ns);
-    st.conn_best.reserve(groups.size());
-    for (auto& grp : groups) {
-      const uint32_t begin = st.conn_begin.back();
-      for (uint32_t s : grp) {
-        st.members.push_back(s);
-        st.member_val.push_back(D::Combine(st.weight[s], st.pi1[s]));
-      }
-      uint32_t best_pos = begin;
-      for (uint32_t p = begin + 1; p < st.members.size(); ++p) {
+    const size_t conns = conn_of_key[kk].NumKeys();
+    st.conn_begin.assign(conns + 1, 0);
+    for (size_t s = 0; s < ns; ++s) ++st.conn_begin[conn_of_state_local[s] + 1];
+    for (size_t c = 0; c < conns; ++c) st.conn_begin[c + 1] += st.conn_begin[c];
+    st.members.resize(ns);
+    st.member_val.resize(ns, D::Zero());
+    std::vector<uint32_t> cursor(st.conn_begin.begin(), st.conn_begin.end() - 1);
+    for (size_t s = 0; s < ns; ++s) {
+      const uint32_t pos = cursor[conn_of_state_local[s]]++;
+      st.members[pos] = static_cast<uint32_t>(s);
+      st.member_val[pos] = D::Combine(st.weight[s], st.pi1[s]);
+    }
+    st.conn_best.resize(conns);
+    for (size_t c = 0; c < conns; ++c) {
+      uint32_t best_pos = st.conn_begin[c];
+      for (uint32_t p = best_pos + 1; p < st.conn_begin[c + 1]; ++p) {
         if (D::Less(st.member_val[p], st.member_val[best_pos])) best_pos = p;
       }
-      st.conn_best.push_back(best_pos);
-      st.conn_begin.push_back(static_cast<uint32_t>(st.members.size()));
+      st.conn_best[c] = best_pos;
     }
   }
 

@@ -14,7 +14,8 @@ namespace anyk {
 
 size_t ConjunctiveQuery::AddAtom(const std::string& relation,
                                  const std::vector<std::string>& vars) {
-  ANYK_CHECK(!vars.empty()) << "atom " << relation << " needs variables";
+  // Zero-arity atoms are allowed: a nullary relation acts as a propositional
+  // fact with multiplicity (cross product with its rows; false when empty).
   atoms_.push_back(Atom{relation, vars});
   std::vector<uint32_t> ids;
   ids.reserve(vars.size());

@@ -5,6 +5,12 @@
 // each distinct key (projection of a row onto the key columns) to the dense
 // list of matching row ids. Groups are the physical realization of the
 // connector nodes of the equi-join graph transformation (Fig. 3).
+//
+// Layout: one FlatKeyIndex interning keys to dense group ids plus a CSR pair
+// (group_begin_, rows_) holding all row ids grouped and back to back. Built
+// in two linear passes (intern + counting scatter); no per-group heap
+// allocations, lookups probe one open-addressing table and then read a
+// contiguous span.
 
 #ifndef ANYK_STORAGE_GROUP_INDEX_H_
 #define ANYK_STORAGE_GROUP_INDEX_H_
@@ -12,10 +18,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "storage/flat_index.h"
 #include "storage/relation.h"
 #include "storage/value.h"
 
@@ -33,46 +39,71 @@ class GroupIndex {
 
   void Build(const Relation& rel, std::span<const uint32_t> key_cols) {
     key_cols_.assign(key_cols.begin(), key_cols.end());
-    group_of_key_.clear();
-    groups_.clear();
     const size_t rows = rel.NumRows();
-    group_of_key_.reserve(rows);
+    const size_t width = key_cols_.size();
+    keys_.Init(width, rows);
+
+    // Pass 1: intern every row's key; remember the group per row.
+    std::vector<uint32_t> group_of_row(rows);
+    std::vector<Value> key_buf(width);
     for (size_t r = 0; r < rows; ++r) {
-      Key key = rel.ProjectRow(r, key_cols_);
-      auto [it, inserted] =
-          group_of_key_.try_emplace(std::move(key), groups_.size());
-      if (inserted) groups_.emplace_back();
-      groups_[it->second].push_back(static_cast<uint32_t>(r));
+      for (size_t c = 0; c < width; ++c) key_buf[c] = rel.At(r, key_cols_[c]);
+      group_of_row[r] = keys_.Intern(key_buf);
+    }
+
+    // Pass 2: counting scatter into CSR form (stable: rows of a group keep
+    // their relation order).
+    const size_t groups = keys_.NumKeys();
+    group_begin_.assign(groups + 1, 0);
+    for (size_t r = 0; r < rows; ++r) ++group_begin_[group_of_row[r] + 1];
+    for (size_t g = 0; g < groups; ++g) group_begin_[g + 1] += group_begin_[g];
+    rows_.resize(rows);
+    std::vector<uint32_t> cursor(group_begin_.begin(), group_begin_.end() - 1);
+    for (size_t r = 0; r < rows; ++r) {
+      rows_[cursor[group_of_row[r]]++] = static_cast<uint32_t>(r);
     }
   }
 
-  size_t NumGroups() const { return groups_.size(); }
+  size_t NumGroups() const { return keys_.NumKeys(); }
 
   /// Group id for `key`, or -1 if the key does not occur.
+  int64_t Find(std::span<const Value> key) const { return keys_.Find(key); }
   int64_t Find(const Key& key) const {
-    auto it = group_of_key_.find(key);
-    return it == group_of_key_.end() ? -1 : static_cast<int64_t>(it->second);
+    return keys_.Find(std::span<const Value>(key));
   }
 
   /// Rows in group `g`.
-  const std::vector<uint32_t>& Rows(size_t g) const { return groups_[g]; }
-
-  /// Rows matching `key` (empty if absent).
-  std::span<const uint32_t> Lookup(const Key& key) const {
-    int64_t g = Find(key);
-    if (g < 0) return {};
-    return groups_[static_cast<size_t>(g)];
+  std::span<const uint32_t> Rows(size_t g) const {
+    return {rows_.data() + group_begin_[g],
+            group_begin_[g + 1] - group_begin_[g]};
   }
 
-  /// Iterate all (key, rows) pairs.
-  const std::unordered_map<Key, size_t, KeyHash>& KeyMap() const {
-    return group_of_key_;
+  /// Rows matching `key` (empty if absent).
+  std::span<const uint32_t> Lookup(std::span<const Value> key) const {
+    const int64_t g = keys_.Find(key);
+    if (g < 0) return {};
+    return Rows(static_cast<size_t>(g));
+  }
+  std::span<const uint32_t> Lookup(const Key& key) const {
+    return Lookup(std::span<const Value>(key));
+  }
+
+  /// The interned key of group `g` (keys are in first-appearance order).
+  std::span<const Value> KeyOf(size_t g) const {
+    return keys_.KeyAt(static_cast<uint32_t>(g));
+  }
+
+  /// Heap footprint in bytes (for explain/bench accounting).
+  size_t MemoryBytes() const {
+    return keys_.MemoryBytes() + group_begin_.capacity() * sizeof(uint32_t) +
+           rows_.capacity() * sizeof(uint32_t);
   }
 
  private:
   std::vector<uint32_t> key_cols_;
-  std::unordered_map<Key, size_t, KeyHash> group_of_key_;
-  std::vector<std::vector<uint32_t>> groups_;
+  FlatKeyIndex keys_;
+  std::vector<uint32_t> group_begin_;  // group g spans rows_[begin[g], begin[g+1])
+  std::vector<uint32_t> rows_;         // row ids grouped by key
 };
 
 }  // namespace anyk

@@ -29,7 +29,9 @@ class Relation {
 
   const std::string& name() const { return name_; }
   size_t arity() const { return arity_; }
-  size_t NumRows() const { return arity_ == 0 ? 0 : values_.size() / arity_; }
+  // One weight per row, so this also counts rows of zero-arity relations
+  // (values_.size() / arity_ would divide by zero and lose nullary facts).
+  size_t NumRows() const { return weights_.size(); }
 
   /// Append a tuple; `row.size()` must equal the arity.
   void AddRow(std::span<const Value> row, double weight) {

@@ -1,0 +1,112 @@
+#include "util/alloc_stats.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+// Counting replacements for the global allocation functions. All forms
+// funnel through CountedAlloc/CountedFree so paired counters stay exact.
+// Alignment-extended forms matter: std::vector<__m256-like types> and the
+// arena's block storage may use them.
+
+namespace {
+
+std::atomic<uint64_t> g_news{0};
+std::atomic<uint64_t> g_deletes{0};
+std::atomic<uint64_t> g_bytes{0};
+
+void* CountedAlloc(std::size_t size) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(size, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+
+void* CountedAllocAligned(std::size_t size, std::size_t align) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(size, std::memory_order_relaxed);
+  // aligned_alloc requires size to be a multiple of the alignment.
+  const std::size_t rounded = (size + align - 1) / align * align;
+  if (void* p = std::aligned_alloc(align, rounded == 0 ? align : rounded)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void CountedFree(void* p) noexcept {
+  if (p == nullptr) return;
+  g_deletes.fetch_add(1, std::memory_order_relaxed);
+  std::free(p);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return CountedAlloc(size); }
+void* operator new[](std::size_t size) { return CountedAlloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return CountedAllocAligned(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return CountedAllocAligned(size, static_cast<std::size_t>(align));
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return CountedAlloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return CountedAlloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void operator delete(void* p) noexcept { CountedFree(p); }
+void operator delete[](void* p) noexcept { CountedFree(p); }
+void operator delete(void* p, std::size_t) noexcept { CountedFree(p); }
+void operator delete[](void* p, std::size_t) noexcept { CountedFree(p); }
+void operator delete(void* p, std::align_val_t) noexcept { CountedFree(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { CountedFree(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  CountedFree(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  CountedFree(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  CountedFree(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  CountedFree(p);
+}
+
+namespace anyk {
+
+AllocCounts CurrentAllocCounts() {
+  return {g_news.load(std::memory_order_relaxed),
+          g_deletes.load(std::memory_order_relaxed),
+          g_bytes.load(std::memory_order_relaxed)};
+}
+
+size_t PeakRssKb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<size_t>(ru.ru_maxrss) / 1024;  // bytes on macOS
+#else
+  return static_cast<size_t>(ru.ru_maxrss);  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+}  // namespace anyk

@@ -1,0 +1,44 @@
+// Process-wide heap-allocation counters.
+//
+// util/alloc_stats.cc replaces the global operator new/delete with counting
+// wrappers (one relaxed atomic increment per call — negligible next to the
+// allocation itself). Any binary that references a symbol from this header
+// pulls the replacement in; binaries that never ask for counts link the
+// default allocator unchanged.
+//
+// Used by:
+//  * invariants_test — proves the enumeration phase performs zero heap
+//    allocations after preprocessing (everything runs off per-query arenas),
+//  * the bench Reporter — the `allocs` column of BENCH_*.json,
+//  * the CLI — allocation/peak-RSS lines of the timing report.
+
+#ifndef ANYK_UTIL_ALLOC_STATS_H_
+#define ANYK_UTIL_ALLOC_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace anyk {
+
+struct AllocCounts {
+  uint64_t news = 0;     // operator new / new[] calls
+  uint64_t deletes = 0;  // operator delete / delete[] calls
+  uint64_t bytes = 0;    // total bytes requested through operator new
+};
+
+/// Snapshot of the process-wide counters (monotonic since process start).
+AllocCounts CurrentAllocCounts();
+
+/// Allocation activity between two snapshots.
+inline AllocCounts AllocDelta(const AllocCounts& before,
+                              const AllocCounts& after) {
+  return {after.news - before.news, after.deletes - before.deletes,
+          after.bytes - before.bytes};
+}
+
+/// Peak resident set size of this process in KiB (0 if unavailable).
+size_t PeakRssKb();
+
+}  // namespace anyk
+
+#endif  // ANYK_UTIL_ALLOC_STATS_H_

@@ -18,8 +18,10 @@
 namespace anyk {
 
 /// Establish the min-heap property on `v` in O(|v|) using Floyd's method.
-template <typename T, typename Less>
-void Heapify(std::vector<T>* v, Less less) {
+/// Works on any random-access container (plain or arena-backed vectors).
+template <typename Container, typename Less>
+void Heapify(Container* v, Less less) {
+  using T = typename Container::value_type;
   auto& a = *v;
   const size_t n = a.size();
   if (n < 2) return;
@@ -41,17 +43,27 @@ void Heapify(std::vector<T>* v, Less less) {
 /// Binary min-heap over entries of type T ordered by Less.
 ///
 /// Exposes the underlying array (`Slot`) so callers can use the heap as a
-/// static partial order (Take2-style child navigation).
-template <typename T, typename Less = std::less<T>>
+/// static partial order (Take2-style child navigation). The storage
+/// allocator is a template parameter so the any-k hot path can point heaps
+/// at a per-query arena (util/arena.h) and enumerate without global
+/// allocations.
+template <typename T, typename Less = std::less<T>,
+          typename Alloc = std::allocator<T>>
 class BinaryHeap {
  public:
-  explicit BinaryHeap(Less less = Less()) : less_(less) {}
+  using Container = std::vector<T, Alloc>;
+
+  explicit BinaryHeap(Less less = Less(), Alloc alloc = Alloc())
+      : less_(less), data_(alloc) {}
 
   /// Take ownership of `entries` and heapify them in O(n).
-  void Assign(std::vector<T> entries) {
+  void Assign(Container entries) {
     data_ = std::move(entries);
     Heapify(&data_, less_);
   }
+
+  /// Pre-size the backing array (no-op if already large enough).
+  void Reserve(size_t n) { data_.reserve(n); }
 
   bool Empty() const { return data_.empty(); }
   size_t Size() const { return data_.size(); }
@@ -125,7 +137,7 @@ class BinaryHeap {
   }
 
   Less less_;
-  std::vector<T> data_;
+  Container data_;
 };
 
 }  // namespace anyk

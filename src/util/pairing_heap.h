@@ -18,6 +18,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -25,18 +26,28 @@
 
 namespace anyk {
 
-/// Min-ordered pairing heap; nodes live in an arena so memory is contiguous
-/// and freed slots are recycled through a free list.
-template <typename T, typename Less = std::less<T>>
+/// Min-ordered pairing heap; nodes live in a node arena so memory is
+/// contiguous and freed slots are recycled through a free list. `Alloc` (any
+/// std allocator over T; rebound internally) selects where that node arena
+/// lives — pass an ArenaAllocator to keep the candidate PQ on a per-query
+/// arena.
+template <typename T, typename Less = std::less<T>,
+          typename Alloc = std::allocator<T>>
 class PairingHeap {
  public:
   using Handle = uint32_t;
   static constexpr Handle kNull = UINT32_MAX;
 
-  explicit PairingHeap(Less less = Less()) : less_(less) {}
+  explicit PairingHeap(Less less = Less(), Alloc alloc = Alloc())
+      : less_(less),
+        nodes_(NodeAlloc(alloc)),
+        scratch_(HandleAlloc(alloc)) {}
 
   bool Empty() const { return root_ == kNull; }
   size_t Size() const { return size_; }
+
+  /// Pre-size the node arena (no-op if already large enough).
+  void Reserve(size_t n) { nodes_.reserve(n); }
 
   const T& Min() const {
     ANYK_DCHECK(root_ != kNull);
@@ -131,6 +142,10 @@ class PairingHeap {
     // sibling; kNull at the root.
     Handle prev = kNull;
   };
+  using NodeAlloc =
+      typename std::allocator_traits<Alloc>::template rebind_alloc<Node>;
+  using HandleAlloc =
+      typename std::allocator_traits<Alloc>::template rebind_alloc<Handle>;
 
   Handle Allocate(T value) {
     if (free_ != kNull) {
@@ -204,8 +219,8 @@ class PairingHeap {
   }
 
   Less less_;
-  std::vector<Node> nodes_;
-  std::vector<Handle> scratch_;
+  std::vector<Node, NodeAlloc> nodes_;
+  std::vector<Handle, HandleAlloc> scratch_;
   Handle root_ = kNull;
   Handle free_ = kNull;
   size_t size_ = 0;

@@ -175,7 +175,7 @@ TEST(CliTest, JsonReportHasDocumentedSchema) {
       " --format json --query \"SELECT * FROM R, S WHERE R.A2 = S.A1"
       " ORDER BY WEIGHT ASC LIMIT 3\"");
   ASSERT_EQ(run.exit_code, 0) << run.output;
-  EXPECT_NE(run.output.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(run.output.find("\"schema_version\": 2"), std::string::npos);
   EXPECT_NE(run.output.find("\"tool\": \"anyk\""), std::string::npos);
   EXPECT_NE(run.output.find("\"plan\": \"acyclic-tree\""), std::string::npos);
   EXPECT_NE(run.output.find("\"algorithm\": \"Lazy\""), std::string::npos);

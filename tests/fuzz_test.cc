@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <string>
 #include <tuple>
+#include <unordered_map>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -17,7 +18,10 @@
 #include "dp/stage_graph.h"
 #include "query/cq.h"
 #include "query/join_tree.h"
+#include "storage/flat_index.h"
+#include "storage/group_index.h"
 #include "test_util.h"
+#include "util/arena.h"
 #include "util/random.h"
 
 namespace anyk {
@@ -124,6 +128,140 @@ TEST_P(FuzzTest, RandomCycleThroughDecomposition) {
   RankedQuery<TropicalDioid> rq(db, q, opts);
   EXPECT_EQ(rq.plan(), QueryPlan::kCycleUnion);
   testing::ExpectMatchesOracle<TropicalDioid>(rq.enumerator(), db, q);
+}
+
+// ---------------------------------------------------------------------------
+// Flat GroupIndex fuzz: adversarial key distributions checked against a
+// naive unordered_map oracle. Covers the open-addressing probe chains
+// (all-equal keys, all-distinct keys, values crafted to collide after the
+// splitmix64 mix) that the linear-pass build must survive.
+// ---------------------------------------------------------------------------
+
+enum class KeyDist {
+  kAllEqual,     // one giant group
+  kAllDistinct,  // every row its own group
+  kFewHot,       // zipf-ish: a few hot keys + singletons
+  kCollision,    // values differing only in high bits (hash stress)
+  kUniform,
+};
+
+Value AdversarialValue(Rng* rng, KeyDist dist, size_t r) {
+  switch (dist) {
+    case KeyDist::kAllEqual: return 42;
+    case KeyDist::kAllDistinct: return static_cast<Value>(r);
+    case KeyDist::kFewHot:
+      return rng->Bernoulli(0.7) ? static_cast<Value>(rng->Below(3))
+                                 : static_cast<Value>(1000 + r);
+    case KeyDist::kCollision:
+      // Same low 32 bits, differing high bits: stresses the mixer and the
+      // power-of-two mask (identical slots before mixing).
+      return static_cast<Value>((static_cast<int64_t>(r) << 32) | 0x1234);
+    case KeyDist::kUniform: return static_cast<Value>(rng->Uniform(-50, 50));
+  }
+  return 0;
+}
+
+class GroupIndexFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GroupIndexFuzzTest, MatchesMapOracle) {
+  const int variant = GetParam();
+  Rng rng(9000 + variant);
+  const KeyDist dist = static_cast<KeyDist>(variant % 5);
+  const size_t rows = 1 + rng.Below(400);
+  const size_t arity = 1 + rng.Below(3);
+  const size_t key_width = rng.Below(arity + 1);  // 0..arity key columns
+
+  Relation rel("F", arity);
+  std::vector<Value> buf(arity);
+  for (size_t r = 0; r < rows; ++r) {
+    for (auto& v : buf) v = AdversarialValue(&rng, dist, r);
+    rel.AddRow(buf, 0.0);
+  }
+  std::vector<uint32_t> key_cols;
+  for (size_t c = 0; c < key_width; ++c) {
+    key_cols.push_back(static_cast<uint32_t>(c));
+  }
+
+  GroupIndex idx(rel, key_cols);
+
+  // Naive oracle.
+  std::unordered_map<Key, std::vector<uint32_t>, KeyHash> oracle;
+  for (size_t r = 0; r < rows; ++r) {
+    oracle[rel.ProjectRow(r, key_cols)].push_back(static_cast<uint32_t>(r));
+  }
+
+  ASSERT_EQ(idx.NumGroups(), oracle.size());
+  for (const auto& [key, want_rows] : oracle) {
+    const auto got = idx.Lookup(key);
+    ASSERT_EQ(std::vector<uint32_t>(got.begin(), got.end()), want_rows)
+        << "rows of a group diverge (dist=" << variant << ")";
+  }
+  // Group ids are dense, in first-appearance order, and KeyOf round-trips.
+  for (size_t g = 0; g < idx.NumGroups(); ++g) {
+    const auto key_span = idx.KeyOf(g);
+    const Key key(key_span.begin(), key_span.end());
+    EXPECT_EQ(idx.Find(key), static_cast<int64_t>(g));
+    ASSERT_TRUE(oracle.count(key) > 0);
+  }
+  // Absent keys must miss (probe chains must terminate).
+  for (int probe = 0; probe < 50; ++probe) {
+    Key absent(key_width);
+    for (auto& v : absent) v = rng.Uniform(-5000, -4000);
+    if (key_width == 0) break;  // the empty key always exists if rows > 0
+    if (oracle.count(absent) == 0) {
+      EXPECT_EQ(idx.Find(absent), -1);
+      EXPECT_TRUE(idx.Lookup(absent).empty());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(KeyDistributions, GroupIndexFuzzTest,
+                         ::testing::Range(0, 25));
+
+// FlatKeyIndex under forced growth: start with a deliberately wrong
+// expectation so the table rehashes repeatedly, and check ids survive.
+TEST(FlatIndexFuzzTest, GrowthPreservesIds) {
+  Rng rng(777);
+  FlatKeyIndex idx;
+  idx.Init(2, 1);  // undersized on purpose: forces doubling + rehash
+  std::unordered_map<Key, uint32_t, KeyHash> oracle;
+  for (size_t i = 0; i < 5000; ++i) {
+    Key key{rng.Uniform(0, 500), rng.Uniform(0, 500)};
+    const auto [it, inserted] =
+        oracle.try_emplace(key, static_cast<uint32_t>(oracle.size()));
+    const uint32_t id = idx.Intern(key);
+    EXPECT_EQ(id, it->second) << "dense id diverged at insert " << i;
+  }
+  ASSERT_EQ(idx.NumKeys(), oracle.size());
+  for (const auto& [key, id] : oracle) {
+    ASSERT_EQ(idx.Find(key), static_cast<int64_t>(id));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Arena-path fuzz: force tiny arena blocks so every enumeration structure
+// refills mid-run (block chaining, vector regrowth inside the arena) and
+// verify the ranked output still matches the brute-force oracle.
+// ---------------------------------------------------------------------------
+
+TEST_P(FuzzTest, ArenaBlockChainingMatchesOracle) {
+  const FuzzCase& fc = GetParam();
+  Rng rng(fc.seed ^ 0xA12EA);
+  std::vector<size_t> arities;
+  ConjunctiveQuery q = RandomTreeQuery(&rng, fc.num_atoms, &arities);
+  Database db =
+      RandomDatabase(&rng, arities, fc.rows, fc.domain, fc.weight_max);
+  TDPInstance inst = BuildAcyclicInstance(db, q);
+  StageGraph<TropicalDioid> g = BuildStageGraph<TropicalDioid>(inst);
+  // Minimal first block: the arena must chain (and vectors must regrow
+  // across block boundaries) many times during enumeration.
+  EnumOptions opts;
+  opts.arena_block_bytes = 1;  // clamped to the arena's minimum block size
+  for (Algorithm algo : AllAnyKAlgorithms()) {
+    SCOPED_TRACE(std::string(AlgorithmName(algo)) + " on " + q.ToString());
+    auto e = MakeEnumerator<TropicalDioid>(&g, algo, opts);
+    testing::ExpectMatchesOracle<TropicalDioid>(e.get(), db, q);
+  }
 }
 
 std::string FuzzName(const ::testing::TestParamInfo<FuzzCase>& info) {

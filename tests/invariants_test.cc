@@ -9,10 +9,13 @@
 #include "anyk/anyk_part.h"
 #include "anyk/anyk_rec.h"
 #include "anyk/strategies.h"
+#include "dioid/min_max.h"
 #include "dioid/tropical.h"
 #include "dp/stage_graph.h"
 #include "query/cq.h"
 #include "query/join_tree.h"
+#include "util/alloc_stats.h"
+#include "util/random.h"
 #include "workload/generators.h"
 
 namespace anyk {
@@ -118,6 +121,109 @@ TEST(InvariantTest, LazyInitializesConnectorsLazily) {
   // After one result only the connectors on one root-to-leaf path (plus the
   // root) can have been initialized: at most L.
   EXPECT_LE(e.strategy_stats().conns_initialized, f.g.stages.size());
+}
+
+// ---------------------------------------------------------------------------
+// Flat-memory invariants: the enumeration phase performs ZERO global heap
+// allocations. Everything it needs — candidates, prefixes, lazily built
+// strategy structures, suffix rankings — lives in the per-query arena, which
+// preprocessing reserves. Verified through the counting allocator hook of
+// util/alloc_stats.h (the library replaces global operator new/delete).
+//
+// Protocol: construct the enumerator with a generous arena reservation
+// (preprocessing), pull one result through the caller-owned row to warm its
+// output buffers, snapshot the counters, drain k more results, and require
+// the operator-new delta to be exactly zero.
+// ---------------------------------------------------------------------------
+
+template <typename D, typename E>
+void ExpectZeroAllocEnumeration(const StageGraph<D>& g, size_t k) {
+  EnumOptions opts;
+  opts.arena_reserve_bytes = size_t{16} << 20;  // 16 MiB, ample for the test
+  E e(&g, opts);
+  ResultRow<D> row;
+  ASSERT_TRUE(e.NextInto(&row));  // warm-up: sizes the row's buffers
+  const AllocCounts before = CurrentAllocCounts();
+  size_t produced = 0;
+  while (produced < k && e.NextInto(&row)) ++produced;
+  const AllocCounts delta = AllocDelta(before, CurrentAllocCounts());
+  EXPECT_EQ(delta.news, 0u)
+      << "enumeration of " << produced << " results hit the global heap "
+      << delta.news << " times (" << delta.bytes << " bytes)";
+  EXPECT_GT(e.arena().BytesUsed(), 0u) << "arena was never used";
+  EXPECT_GT(produced, 100u) << "instance too small to be meaningful";
+}
+
+TEST(InvariantTest, ZeroHeapAllocationsDuringEnumeration) {
+  Fixture f(300, 4, 79, 8.0);
+  ExpectZeroAllocEnumeration<
+      TropicalDioid, AnyKPartEnumerator<TropicalDioid, Take2Strategy>>(f.g,
+                                                                       2000);
+  ExpectZeroAllocEnumeration<
+      TropicalDioid, AnyKPartEnumerator<TropicalDioid, LazyStrategy>>(f.g,
+                                                                      2000);
+  ExpectZeroAllocEnumeration<
+      TropicalDioid, AnyKPartEnumerator<TropicalDioid, EagerStrategy>>(f.g,
+                                                                       2000);
+  ExpectZeroAllocEnumeration<
+      TropicalDioid, AnyKPartEnumerator<TropicalDioid, AllStrategy>>(f.g,
+                                                                     2000);
+  ExpectZeroAllocEnumeration<TropicalDioid,
+                             RecursiveEnumerator<TropicalDioid>>(f.g, 2000);
+}
+
+TEST(InvariantTest, ZeroHeapAllocationsWithoutDioidInverse) {
+  // MinMax has no ⊗-inverse: ANYK-PART takes the explicit-frontier fallback
+  // (Section 6.2), which must also stay allocation-free.
+  Database db = MakePathDatabase(300, 4, 80, {.fanout = 8.0});
+  ConjunctiveQuery q = ConjunctiveQuery::Path(4);
+  TDPInstance inst = BuildAcyclicInstance(db, q);
+  StageGraph<MinMaxDioid> g = BuildStageGraph<MinMaxDioid>(inst);
+  ExpectZeroAllocEnumeration<
+      MinMaxDioid, AnyKPartEnumerator<MinMaxDioid, Take2Strategy>>(g, 2000);
+  ExpectZeroAllocEnumeration<MinMaxDioid, RecursiveEnumerator<MinMaxDioid>>(
+      g, 2000);
+}
+
+TEST(InvariantTest, ZeroHeapAllocationsOnStarQuery) {
+  // Star shape: the root state has λ = 3 child slots, exercising Recursive's
+  // Cartesian-product rankings (per-combo rank vectors live in the arena).
+  Rng rng(81);
+  Database db;
+  for (int i = 1; i <= 3; ++i) {
+    auto& rel = db.AddRelation("S" + std::to_string(i), 2);
+    for (int r = 0; r < 200; ++r) {
+      rel.Add({rng.Uniform(0, 8), rng.Uniform(0, 30)},
+              static_cast<double>(rng.Uniform(0, 50)));
+    }
+  }
+  ConjunctiveQuery q;
+  q.AddAtom("S1", {"x", "a"});
+  q.AddAtom("S2", {"x", "b"});
+  q.AddAtom("S3", {"x", "c"});
+  TDPInstance inst = BuildAcyclicInstance(db, q);
+  StageGraph<TropicalDioid> g = BuildStageGraph<TropicalDioid>(inst);
+  ExpectZeroAllocEnumeration<TropicalDioid,
+                             RecursiveEnumerator<TropicalDioid>>(g, 2000);
+  ExpectZeroAllocEnumeration<
+      TropicalDioid, AnyKPartEnumerator<TropicalDioid, LazyStrategy>>(g,
+                                                                      2000);
+}
+
+TEST(InvariantTest, ArenaGrowsGeometricallyWithoutReservation) {
+  // Without a reservation the arena refills from the global heap, but only
+  // O(log(bytes)) times — enumeration must not allocate per result.
+  Fixture f(300, 4, 82, 8.0);
+  AnyKPartEnumerator<TropicalDioid, Take2Strategy> e(&f.g);
+  ResultRow<TropicalDioid> row;
+  ASSERT_TRUE(e.NextInto(&row));
+  const AllocCounts before = CurrentAllocCounts();
+  size_t produced = 0;
+  while (produced < 5000 && e.NextInto(&row)) ++produced;
+  const AllocCounts delta = AllocDelta(before, CurrentAllocCounts());
+  EXPECT_GT(produced, 1000u);
+  // Geometric block growth: far fewer heap trips than results.
+  EXPECT_LE(delta.news, 20u);
 }
 
 TEST(InvariantTest, WeightsMatchRecomputationFromWitness) {

@@ -163,7 +163,7 @@ TEST(StorageTest, GroupIndexCompositeAndEmptyKey) {
   EXPECT_EQ(both.NumGroups(), 3u);
   GroupIndex none(rel, std::span<const uint32_t>{});
   EXPECT_EQ(none.NumGroups(), 1u);
-  EXPECT_EQ(none.Lookup({}).size(), 3u);
+  EXPECT_EQ(none.Lookup(Key{}).size(), 3u);
 }
 
 TEST(DatabaseTest, SelfJoinAliasing) {

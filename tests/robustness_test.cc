@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -15,8 +16,10 @@
 #include "anyk/factory.h"
 #include "dioid/tropical.h"
 #include "dp/stage_graph.h"
+#include "join/brute_force.h"
 #include "query/cq.h"
 #include "query/join_tree.h"
+#include "storage/group_index.h"
 #include "test_util.h"
 #include "workload/generators.h"
 
@@ -122,6 +125,93 @@ TEST_P(RobustnessTest, MediumScaleTopKPrefix) {
     ASSERT_TRUE(r.has_value());
     ASSERT_DOUBLE_EQ(r->weight, oracle[i].weight) << "rank " << i;
   }
+}
+
+TEST_P(RobustnessTest, EmptyResultJoin) {
+  // Disjoint join-key domains: every branch dead-ends during the semi-join
+  // reduction, so the stage graph is empty and enumeration ends immediately.
+  Database db;
+  auto& r1 = db.AddRelation("R1", 2);
+  auto& r2 = db.AddRelation("R2", 2);
+  for (int i = 0; i < 20; ++i) {
+    r1.Add({i, 100 + i}, 1.0);    // x2 values 100..119
+    r2.Add({500 + i, i}, 1.0);    // x2 values 500..519: never match
+  }
+  ConjunctiveQuery q = ConjunctiveQuery::Path(2);
+  TDPInstance inst = BuildAcyclicInstance(db, q);
+  StageGraph<TropicalDioid> g = BuildStageGraph<TropicalDioid>(inst);
+  auto e = MakeEnumerator<TropicalDioid>(&g, GetParam());
+  EXPECT_FALSE(e->Next().has_value());
+  ResultRow<TropicalDioid> row;
+  EXPECT_FALSE(e->NextInto(&row));
+  testing::ExpectMatchesOracle<TropicalDioid>(e.get(), db, q);
+}
+
+TEST_P(RobustnessTest, EmptyRelationInput) {
+  // One relation has no rows at all.
+  Database db;
+  auto& r1 = db.AddRelation("R1", 2);
+  db.AddRelation("R2", 2);  // empty
+  r1.Add({1, 2}, 1.0);
+  ConjunctiveQuery q = ConjunctiveQuery::Path(2);
+  TDPInstance inst = BuildAcyclicInstance(db, q);
+  StageGraph<TropicalDioid> g = BuildStageGraph<TropicalDioid>(inst);
+  auto e = MakeEnumerator<TropicalDioid>(&g, GetParam());
+  EXPECT_FALSE(e->Next().has_value());
+}
+
+TEST(ZeroArityTest, RelationTracksRowCount) {
+  // Zero-arity relations are nullary facts with multiplicity: NumRows must
+  // count the added rows even though there are no value columns.
+  Relation nullary("Z", 0);
+  EXPECT_EQ(nullary.NumRows(), 0u);
+  nullary.AddRow({}, 2.5);
+  nullary.AddRow({}, 1.5);
+  EXPECT_EQ(nullary.NumRows(), 2u);
+  EXPECT_DOUBLE_EQ(nullary.Weight(0), 2.5);
+  EXPECT_DOUBLE_EQ(nullary.Weight(1), 1.5);
+  EXPECT_TRUE(nullary.Row(0).empty());
+  nullary.Clear();
+  EXPECT_EQ(nullary.NumRows(), 0u);
+}
+
+TEST(ZeroArityTest, GroupIndexOverZeroArityRelation) {
+  Relation nullary("Z", 0);
+  nullary.AddRow({}, 1.0);
+  nullary.AddRow({}, 2.0);
+  GroupIndex idx(nullary, std::span<const uint32_t>{});
+  ASSERT_EQ(idx.NumGroups(), 1u);  // all rows under the empty key
+  EXPECT_EQ(idx.Lookup(Key{}).size(), 2u);
+}
+
+TEST(ZeroArityTest, ZeroArityJoinActsAsMultiplicity) {
+  // Q() :- R(x, y), Z(): the nullary atom joins on the empty key, so the
+  // output is the cross product — every R row paired with every Z fact.
+  Database db;
+  auto& r = db.AddRelation("R", 2);
+  r.Add({1, 10}, 1.0);
+  r.Add({2, 20}, 2.0);
+  auto& z = db.AddRelation("Z", 0);
+  z.AddRow({}, 5.0);
+  z.AddRow({}, 7.0);
+  ConjunctiveQuery q;
+  q.AddAtom("R", {"x", "y"});
+  q.AddAtom("Z", {});
+  const JoinResultSet join = BruteForceJoin(db, q);
+  EXPECT_EQ(join.size(), 4u);  // 2 rows x 2 nullary facts
+}
+
+TEST(ZeroArityTest, ZeroArityJoinWithNoFactsIsEmpty) {
+  // A zero-arity relation with no rows makes the conjunction false.
+  Database db;
+  auto& r = db.AddRelation("R", 2);
+  r.Add({1, 10}, 1.0);
+  db.AddRelation("Z", 0);  // no facts
+  ConjunctiveQuery q;
+  q.AddAtom("R", {"x", "y"});
+  q.AddAtom("Z", {});
+  const JoinResultSet join = BruteForceJoin(db, q);
+  EXPECT_EQ(join.size(), 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Algos, RobustnessTest,
