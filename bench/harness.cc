@@ -15,8 +15,10 @@ namespace anyk {
 namespace bench {
 
 namespace {
-// v2 adds the memory columns (allocs, peak_rss_kb) to every record.
-constexpr int kSchemaVersion = 2;
+// v2 added the memory columns (allocs, peak_rss_kb); v3 adds the
+// concurrency columns (threads, answers_per_sec) — serial records carry
+// threads=1 and the perf gate ignores everything else.
+constexpr int kSchemaVersion = 3;
 }  // namespace
 
 Reporter& Reporter::Get() {
@@ -42,13 +44,15 @@ void Reporter::Init(int argc, char** argv, const std::string& bench_name) {
 void Reporter::Row(const std::string& figure, const std::string& query,
                    const std::string& dataset, size_t n,
                    const std::string& algorithm, size_t k, double seconds,
-                   size_t allocs, size_t peak_rss_kb) {
-  std::printf("RESULT,%s,%s,%s,%zu,%s,%zu,%.6f,%zu,%zu\n", figure.c_str(),
-              query.c_str(), dataset.c_str(), n, algorithm.c_str(), k,
-              seconds, allocs, peak_rss_kb);
+                   size_t allocs, size_t peak_rss_kb, size_t threads,
+                   double answers_per_sec) {
+  std::printf("RESULT,%s,%s,%s,%zu,%s,%zu,%.6f,%zu,%zu,%zu,%.1f\n",
+              figure.c_str(), query.c_str(), dataset.c_str(), n,
+              algorithm.c_str(), k, seconds, allocs, peak_rss_kb, threads,
+              answers_per_sec);
   std::fflush(stdout);
-  records_.push_back(
-      {figure, query, dataset, algorithm, n, k, seconds, allocs, peak_rss_kb});
+  records_.push_back({figure, query, dataset, algorithm, n, k, seconds,
+                      allocs, peak_rss_kb, threads, answers_per_sec});
 }
 
 void Reporter::Note(const std::string& figure, const std::string& note) {
@@ -82,6 +86,8 @@ void Reporter::Flush() {
     w.KV("seconds", r.seconds);
     w.KV("allocs", static_cast<uint64_t>(r.allocs));
     w.KV("peak_rss_kb", static_cast<uint64_t>(r.peak_rss_kb));
+    w.KV("threads", static_cast<uint64_t>(r.threads));
+    w.KV("answers_per_sec", r.answers_per_sec);
     w.EndObject();
   }
   w.EndArray();
@@ -109,15 +115,16 @@ bool SmokeMode() { return Reporter::Get().smoke(); }
 void PrintHeader() {
   std::printf(
       "RESULT,figure,query,dataset,n,algorithm,k,seconds,allocs,"
-      "peak_rss_kb\n");
+      "peak_rss_kb,threads,answers_per_sec\n");
 }
 
 void PrintRow(const std::string& figure, const std::string& query,
               const std::string& dataset, size_t n,
               const std::string& algorithm, size_t k, double seconds,
-              size_t allocs, size_t peak_rss_kb) {
+              size_t allocs, size_t peak_rss_kb, size_t threads,
+              double answers_per_sec) {
   Reporter::Get().Row(figure, query, dataset, n, algorithm, k, seconds,
-                      allocs, peak_rss_kb);
+                      allocs, peak_rss_kb, threads, answers_per_sec);
 }
 
 void PaperNote(const std::string& figure, const std::string& note) {

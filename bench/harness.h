@@ -50,6 +50,12 @@ struct BenchRecord {
   // factory returned) and the process peak RSS when the series finished.
   size_t allocs = 0;
   size_t peak_rss_kb = 0;
+  // Concurrency columns (schema v3, bench_concurrency): number of sessions
+  // draining one PreparedQuery concurrently, and the aggregate enumeration
+  // throughput across them. The perf-regression gate judges TTL of serial
+  // series only; scripts/bench_compare.py skips records with threads != 1.
+  size_t threads = 1;
+  double answers_per_sec = 0;
 };
 
 /// Process-wide collector behind the legacy Print* helpers. Records every
@@ -69,7 +75,8 @@ class Reporter {
   void Row(const std::string& figure, const std::string& query,
            const std::string& dataset, size_t n, const std::string& algorithm,
            size_t k, double seconds, size_t allocs = 0,
-           size_t peak_rss_kb = 0);
+           size_t peak_rss_kb = 0, size_t threads = 1,
+           double answers_per_sec = 0);
   void Note(const std::string& figure, const std::string& note);
   void Section(const std::string& text);
 
@@ -102,7 +109,8 @@ void PrintHeader();
 void PrintRow(const std::string& figure, const std::string& query,
               const std::string& dataset, size_t n,
               const std::string& algorithm, size_t k, double seconds,
-              size_t allocs = 0, size_t peak_rss_kb = 0);
+              size_t allocs = 0, size_t peak_rss_kb = 0, size_t threads = 1,
+              double answers_per_sec = 0);
 void PaperNote(const std::string& figure, const std::string& note);
 void SectionNote(const std::string& text);
 

@@ -17,7 +17,10 @@
 #include <utility>
 #include <vector>
 
+#include <thread>
+
 #include "anyk/factory.h"
+#include "anyk/prepared_query.h"
 #include "anyk/ranked_query.h"
 #include "dioid/max_plus.h"
 #include "dioid/max_times.h"
@@ -29,6 +32,7 @@
 #include "util/checkpoints.h"
 #include "util/json.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 #ifndef ANYK_VERSION
@@ -40,8 +44,10 @@ namespace cli {
 
 namespace {
 
-// v2 adds the memory section (enumeration allocs, peak RSS) to `timings`.
-constexpr int kSchemaVersion = 2;
+// v2 added the memory section (enumeration allocs, peak RSS) to `timings`;
+// v3 adds the concurrent-drain fields (threads, and — with --sessions N —
+// timings.sessions[] plus timings.aggregate_answers_per_sec).
+constexpr int kSchemaVersion = 3;
 
 const char* PlanName(QueryPlan plan) {
   switch (plan) {
@@ -79,6 +85,15 @@ struct CliResult {
   std::vector<Value> values;
 };
 
+// One concurrent drain thread's view (--sessions N): its own TTF/TTL
+// measured from the moment the shared PreparedQuery was ready.
+struct SessionReport {
+  size_t produced = 0;
+  double ttf_seconds = 0;
+  double ttl_seconds = 0;
+  bool exhausted = false;
+};
+
 struct RunReport {
   std::string plan;
   double preprocessing_seconds = 0;
@@ -95,35 +110,90 @@ struct RunReport {
   size_t preprocessing_allocs = 0;
   size_t enumeration_allocs = 0;
   size_t peak_rss_kb = 0;
+  // Concurrent-drain mode: one entry per session; aggregate throughput is
+  // total answers / wall-clock of the slowest session. Empty when the run
+  // was a single serial session.
+  std::vector<SessionReport> sessions;
+  double aggregate_answers_per_sec = 0;
 };
 
 using RowSink =
     std::function<void(size_t k, double weight, const std::vector<Value>&)>;
 
-/// Build the ranked pipeline (charged to preprocessing, as in the paper) and
-/// pull answers until `limit` (0 = all), timing TTF / TT(k) / TTL.
+/// Build the shared pipeline (charged to preprocessing, as in the paper) and
+/// pull answers until `limit` (0 = all), timing TTF / TT(k) / TTL. With
+/// `num_sessions` > 1, N threads each drain their own EnumerationSession of
+/// the one PreparedQuery concurrently (no per-answer sink; per-session TTLs
+/// and the aggregate answers/sec land in the report instead).
 template <typename D>
 RunReport RunRanked(const Database& db, const SqlStatement& stmt,
                     Algorithm algo, size_t limit,
-                    const std::vector<size_t>& cps, const RowSink& sink) {
+                    const std::vector<size_t>& cps, const RowSink& sink,
+                    ThreadPool* pool, size_t num_sessions) {
   RunReport rep;
   const AllocCounts at_start = CurrentAllocCounts();
   Timer timer;
-  typename RankedQuery<D>::Options qopts;
-  qopts.algorithm = algo;
+  typename PreparedQuery<D>::Options qopts;
   qopts.enum_opts.with_witness = false;
-  RankedQuery<D> rq(db, stmt.query, qopts);
+  qopts.pool = pool;
+  PreparedQuery<D> pq(db, stmt.query, qopts);
+  rep.plan = PlanName(pq.plan());
+
+  if (num_sessions > 1) {
+    rep.preprocessing_seconds = timer.Seconds();
+    const AllocCounts at_enum = CurrentAllocCounts();
+    rep.preprocessing_allocs = AllocDelta(at_start, at_enum).news;
+    // Concurrent-drain mode: every session pulls the full (limited) stream.
+    rep.sessions.assign(num_sessions, {});
+    std::vector<std::thread> workers;
+    workers.reserve(num_sessions);
+    for (size_t s = 0; s < num_sessions; ++s) {
+      workers.emplace_back([&pq, &timer, &rep, algo, limit, s] {
+        SessionReport& sr = rep.sessions[s];
+        EnumerationSession<D> sess = pq.NewSession(algo);
+        ResultRow<D> row;
+        while (limit == 0 || sr.produced < limit) {
+          if (!sess.NextInto(&row)) {
+            sr.exhausted = true;
+            break;
+          }
+          ++sr.produced;
+          if (sr.produced == 1) sr.ttf_seconds = timer.Seconds();
+        }
+        sr.ttl_seconds = timer.Seconds();
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    rep.exhausted = true;
+    rep.ttf_seconds = rep.sessions[0].ttf_seconds;
+    for (const SessionReport& sr : rep.sessions) {
+      rep.produced += sr.produced;
+      rep.exhausted = rep.exhausted && sr.exhausted;
+      rep.ttf_seconds = std::min(rep.ttf_seconds, sr.ttf_seconds);
+      rep.ttl_seconds = std::max(rep.ttl_seconds, sr.ttl_seconds);
+    }
+    const double enum_wall = rep.ttl_seconds - rep.preprocessing_seconds;
+    rep.aggregate_answers_per_sec =
+        enum_wall > 0 ? static_cast<double>(rep.produced) / enum_wall : 0;
+    rep.enumeration_allocs = AllocDelta(at_enum, CurrentAllocCounts()).news;
+    rep.peak_rss_kb = PeakRssKb();
+    return rep;
+  }
+
+  // Serial path: session construction (enumerator, arena reserve) counts as
+  // preprocessing, like the paper charges it — and like the pre-split CLI
+  // measured it — so enumeration_allocs keeps meaning "allocations while
+  // answers stream" and stays 0 for the arena-backed plans.
+  EnumerationSession<D> session = pq.NewSession(algo);
   rep.preprocessing_seconds = timer.Seconds();
-  rep.plan = PlanName(rq.plan());
   const AllocCounts at_enum = CurrentAllocCounts();
   rep.preprocessing_allocs = AllocDelta(at_start, at_enum).news;
-
   std::vector<Value> projected;
   ResultRow<D> row_buf;
   size_t next_cp = 0;
   double last = rep.preprocessing_seconds;
   while (limit == 0 || rep.produced < limit) {
-    if (!rq.enumerator()->NextInto(&row_buf)) {
+    if (!session.NextInto(&row_buf)) {
       rep.exhausted = true;
       break;
     }
@@ -186,6 +256,16 @@ void WriteTextReport(std::ostream& out, const RunReport& rep) {
   }
   out << "TIMING,ttl," << rep.produced << "," << rep.ttl_seconds << "\n";
   out << "TIMING,max_delay,0," << rep.max_delay_seconds << "\n";
+  for (size_t s = 0; s < rep.sessions.size(); ++s) {
+    const SessionReport& sr = rep.sessions[s];
+    out << "SESSION," << s << "," << sr.produced << "," << sr.ttf_seconds
+        << "," << sr.ttl_seconds << ","
+        << (sr.exhausted ? "exhausted" : "capped") << "\n";
+  }
+  if (!rep.sessions.empty()) {
+    out << "CONCURRENCY,sessions," << rep.sessions.size() << ","
+        << rep.aggregate_answers_per_sec << "\n";
+  }
   out << "MEMORY,preprocessing_allocs," << rep.preprocessing_allocs << "\n";
   out << "MEMORY,enumeration_allocs," << rep.enumeration_allocs << "\n";
   out << "MEMORY,peak_rss_kb," << rep.peak_rss_kb << "\n";
@@ -194,6 +274,7 @@ void WriteTextReport(std::ostream& out, const RunReport& rep) {
 }
 
 void WriteJsonReport(std::ostream& out, const CliOptions& opt,
+                     bool print_results,
                      const std::vector<LoadedRelation>& rels,
                      const SqlStatement& stmt, const std::string& algorithm,
                      const std::string& dioid, size_t limit,
@@ -209,6 +290,8 @@ void WriteJsonReport(std::ostream& out, const CliOptions& opt,
   w.KV("algorithm", algorithm);
   w.KV("dioid", dioid);
   w.KV("limit", static_cast<uint64_t>(limit));
+  w.KV("threads", static_cast<uint64_t>(opt.threads));
+  w.KV("sessions", static_cast<uint64_t>(opt.sessions));
   w.Key("relations").BeginArray();
   for (const LoadedRelation& r : rels) {
     w.BeginObject();
@@ -222,7 +305,7 @@ void WriteJsonReport(std::ostream& out, const CliOptions& opt,
   w.Key("columns").BeginArray();
   for (const std::string& c : ColumnNames(stmt)) w.String(c);
   w.EndArray();
-  if (opt.print_results) {
+  if (print_results) {
     w.Key("results").BeginArray();
     for (size_t i = 0; i < results.size(); ++i) {
       w.BeginObject();
@@ -242,6 +325,19 @@ void WriteJsonReport(std::ostream& out, const CliOptions& opt,
   w.KV("max_delay_seconds", rep.max_delay_seconds);
   w.KV("produced", static_cast<uint64_t>(rep.produced));
   w.KV("exhausted", rep.exhausted);
+  if (!rep.sessions.empty()) {
+    w.KV("aggregate_answers_per_sec", rep.aggregate_answers_per_sec);
+    w.Key("sessions").BeginArray();
+    for (const SessionReport& sr : rep.sessions) {
+      w.BeginObject();
+      w.KV("produced", static_cast<uint64_t>(sr.produced));
+      w.KV("ttf_seconds", sr.ttf_seconds);
+      w.KV("ttl_seconds", sr.ttl_seconds);
+      w.KV("exhausted", sr.exhausted);
+      w.EndObject();
+    }
+    w.EndArray();
+  }
   w.KV("preprocessing_allocs",
        static_cast<uint64_t>(rep.preprocessing_allocs));
   w.KV("enumeration_allocs", static_cast<uint64_t>(rep.enumeration_allocs));
@@ -301,6 +397,17 @@ const char* UsageText() {
       "                        (default: min-sum for ASC, max-sum for DESC)\n"
       "  --k N                 stop after N answers (overrides the SQL "
       "LIMIT; 0 = all)\n"
+      "\n"
+      "Concurrency (see docs/CLI.md, docs/ARCHITECTURE.md 'Threading "
+      "model'):\n"
+      "  --threads N           preprocessing workers: parallel CSV loading "
+      "and\n"
+      "                        parallel stage-graph builds (default 1)\n"
+      "  --sessions N          drain the prepared query with N concurrent\n"
+      "                        sessions; implies --no-results and reports "
+      "per-\n"
+      "                        session TTL + aggregate answers/sec "
+      "(default 1)\n"
       "\n"
       "CSV loading (applies to every --relation):\n"
       "  --delimiter C         field delimiter (default ',')\n"
@@ -459,6 +566,18 @@ bool ParseCliArgs(int argc, char** argv, CliOptions* opt, std::string* error) {
         opt->csv.weight_last = false;
         opt->csv.weight_column = static_cast<int>(col) - 1;
       }
+    } else if (is_flag(a, "--threads")) {
+      if (!value_of(&i, "--threads", &v)) return false;
+      if (!ParseSize(v, &opt->threads) || opt->threads == 0) {
+        *error = "--threads expects a positive integer, got '" + v + "'";
+        return false;
+      }
+    } else if (is_flag(a, "--sessions")) {
+      if (!value_of(&i, "--sessions", &v)) return false;
+      if (!ParseSize(v, &opt->sessions) || opt->sessions == 0) {
+        *error = "--sessions expects a positive integer, got '" + v + "'";
+        return false;
+      }
     } else if (is_flag(a, "--row-limit")) {
       if (!value_of(&i, "--row-limit", &v)) return false;
       if (!ParseSize(v, &opt->csv.limit)) {
@@ -493,12 +612,27 @@ int RunCli(const CliOptions& opt) {
   }
   std::ostream& out = opt.output_path.empty() ? std::cout : file_out;
 
-  // Load relations.
+  // Preprocessing worker pool (--threads); null-equivalent when 1.
+  ThreadPool pool(opt.threads);
+
+  // Load relations — in parallel with --threads > 1: each worker parses its
+  // file into a private shard database (CsvLoader CHECK failures throw and
+  // ParallelFor rethrows the first one here), then the shards merge
+  // serially in declaration order so diagnostics stay deterministic.
   Database db;
   std::vector<LoadedRelation> rels;
-  for (const RelationSpec& spec : opt.relations) {
-    const Relation& rel = LoadRelationCsv(&db, spec.name, spec.path, opt.csv);
-    rels.push_back({spec.name, spec.path, rel.NumRows(), rel.arity()});
+  {
+    std::vector<Database> shards(opt.relations.size());
+    ParallelFor(&pool, opt.relations.size(), [&](size_t i) {
+      LoadRelationCsv(&shards[i], opt.relations[i].name,
+                      opt.relations[i].path, opt.csv);
+    });
+    for (size_t i = 0; i < opt.relations.size(); ++i) {
+      const Relation& rel = db.AddRelation(
+          std::move(shards[i].GetMutable(opt.relations[i].name)));
+      rels.push_back({opt.relations[i].name, opt.relations[i].path,
+                      rel.NumRows(), rel.arity()});
+    }
   }
 
   // Parse the SQL against the database (arities become known).
@@ -521,24 +655,28 @@ int RunCli(const CliOptions& opt) {
           << ", arity=" << r.arity << ")\n";
     }
     out << "# algorithm=" << AlgorithmName(algo) << " dioid=" << dioid
-        << " limit=" << limit << "\n";
+        << " limit=" << limit << " threads=" << opt.threads << " sessions="
+        << opt.sessions << "\n";
     out << "# columns: k,weight";
     for (const std::string& c : ColumnNames(stmt)) out << "," << c;
     out << "\n";
   }
 
   // Text mode streams answers as they are produced; JSON collects them.
+  // Concurrent-drain mode never streams per-answer rows (N interleaved
+  // ranked streams are noise; the mode measures serving throughput).
+  const bool print_results = opt.print_results && opt.sessions <= 1;
   std::vector<CliResult> results;
   char weight_buf[32];
   RowSink sink;
-  if (opt.print_results && text) {
+  if (print_results && text) {
     sink = [&](size_t k, double weight, const std::vector<Value>& values) {
       std::snprintf(weight_buf, sizeof(weight_buf), "%.6g", weight);
       out << "RESULT," << k << "," << weight_buf;
       for (Value v : values) out << "," << v;
       out << "\n";
     };
-  } else if (opt.print_results) {
+  } else if (print_results) {
     sink = [&](size_t, double weight, const std::vector<Value>& values) {
       results.push_back({weight, values});
     };
@@ -546,21 +684,25 @@ int RunCli(const CliOptions& opt) {
 
   RunReport rep;
   if (dioid == "min-sum") {
-    rep = RunRanked<TropicalDioid>(db, stmt, algo, limit, cps, sink);
+    rep = RunRanked<TropicalDioid>(db, stmt, algo, limit, cps, sink, &pool,
+                                   opt.sessions);
   } else if (dioid == "max-sum") {
-    rep = RunRanked<MaxPlusDioid>(db, stmt, algo, limit, cps, sink);
+    rep = RunRanked<MaxPlusDioid>(db, stmt, algo, limit, cps, sink, &pool,
+                                  opt.sessions);
   } else if (dioid == "min-max") {
-    rep = RunRanked<MinMaxDioid>(db, stmt, algo, limit, cps, sink);
+    rep = RunRanked<MinMaxDioid>(db, stmt, algo, limit, cps, sink, &pool,
+                                 opt.sessions);
   } else {
-    rep = RunRanked<MaxTimesDioid>(db, stmt, algo, limit, cps, sink);
+    rep = RunRanked<MaxTimesDioid>(db, stmt, algo, limit, cps, sink, &pool,
+                                   opt.sessions);
   }
 
   if (text) {
     out << "# plan=" << rep.plan << "\n";
     WriteTextReport(out, rep);
   } else {
-    WriteJsonReport(out, opt, rels, stmt, AlgorithmName(algo), dioid, limit,
-                    results, rep);
+    WriteJsonReport(out, opt, print_results, rels, stmt, AlgorithmName(algo),
+                    dioid, limit, results, rep);
   }
   return 0;
 }

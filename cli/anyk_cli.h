@@ -35,6 +35,13 @@ struct CliOptions {
   bool print_results = true;
   std::vector<size_t> checkpoints;  // empty = geometric 1,2,5,10,...
   CsvOptions csv;               // --delimiter / --header / --weight-column
+  // Preprocessing worker threads (--threads): parallel per-relation CSV
+  // loading plus parallel stage-graph builds. 1 = fully serial.
+  size_t threads = 1;
+  // Concurrent enumeration sessions (--sessions): N threads each drain an
+  // independent EnumerationSession of the same PreparedQuery; implies
+  // --no-results and reports per-session TTL + aggregate answers/sec.
+  size_t sessions = 1;
   bool show_help = false;
   bool show_version = false;
 };

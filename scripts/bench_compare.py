@@ -34,8 +34,25 @@ import statistics
 import sys
 
 # v1: timing columns only; v2 adds per-record allocs / peak_rss_kb (ignored
-# here — the gate judges TTL only, so old baselines keep working).
-SUPPORTED_SCHEMA_VERSIONS = (1, 2)
+# here — the gate judges TTL only, so old baselines keep working); v3 adds
+# threads / answers_per_sec (concurrency series; the gate skips every record
+# with threads != 1 — concurrent throughput is scheduler-dependent and is
+# judged by eye from the uploaded artifacts, not by this gate).
+SUPPORTED_SCHEMA_VERSIONS = (1, 2, 3)
+
+# Below this many seconds a baseline TTL is considered sub-timer-resolution:
+# the measurement carries no relative signal (the true time may be anywhere
+# below the timer tick), so such series are judged by the absolute-slack
+# path alone instead of a current/baseline ratio (a zero baseline would map
+# any measurable current time to ratio = inf and fail the gate spuriously).
+TIMER_RESOLUTION_SECONDS = 1e-6
+
+# What a sub-resolution baseline could truly have been: anything up to the
+# timer-noise floor. Sub-resolution series are judged as "regressed" only
+# when the current TTL exceeds this floor plus --abs-slack. Deliberately not
+# lowered by --min-seconds: passing --min-seconds 0 widens which series get
+# *compared*, it cannot sharpen what a zero baseline is able to prove.
+SUB_RESOLUTION_FLOOR_SECONDS = 0.05
 
 
 def load_report(path):
@@ -50,9 +67,15 @@ def load_report(path):
 
 
 def ttl_by_series(report):
-    """Map (figure, query, dataset, algorithm, n) -> (k, seconds) at max k."""
+    """Map (figure, query, dataset, algorithm, n) -> (k, seconds) at max k.
+
+    Concurrency records (schema v3, threads != 1) are excluded: the gate
+    only judges serial TTL.
+    """
     series = {}
     for rec in report.get("records", []):
+        if rec.get("threads", 1) != 1:
+            continue
         key = (rec["figure"], rec["query"], rec["dataset"], rec["algorithm"],
                rec["n"])
         k, seconds = rec["k"], rec["seconds"]
@@ -136,13 +159,21 @@ def main():
             rows.append((fname, key, base_k, base_ttl, cur_k, cur_ttl))
 
     # Pass 2 (--calibrate): cancel uniform machine-speed differences.
+    # Sub-resolution baselines contribute no meaningful ratio; without any
+    # measurable series the scale stays 1.0 (median of an empty list would
+    # raise StatisticsError).
     scale = 1.0
     if args.calibrate and rows:
-        scale = statistics.median(
-            cur_ttl / base_ttl for _, _, _, base_ttl, _, cur_ttl in rows
-            if base_ttl > 0)
-        print(f"calibration: median current/baseline ratio = {scale:.3f}; "
-              f"baseline rescaled accordingly")
+        ratios = [cur_ttl / base_ttl
+                  for _, _, _, base_ttl, _, cur_ttl in rows
+                  if base_ttl > TIMER_RESOLUTION_SECONDS]
+        if ratios:
+            scale = statistics.median(ratios)
+            print(f"calibration: median current/baseline ratio = "
+                  f"{scale:.3f}; baseline rescaled accordingly")
+        else:
+            print("calibration: no series with a measurable baseline TTL; "
+                  "scale left at 1.0")
 
     # Pass 3: judge.
     regressions = []
@@ -151,7 +182,23 @@ def main():
     for fname, key, base_k, base_ttl, cur_k, cur_ttl in rows:
         compared += 1
         base_scaled = base_ttl * scale
-        ratio = cur_ttl / base_scaled if base_scaled > 0 else float("inf")
+        if base_scaled <= TIMER_RESOLUTION_SECONDS:
+            # Sub-resolution baseline: no ratio exists (the true baseline is
+            # anywhere below one timer tick, so current/baseline would be
+            # inf and any measurable current time would trip the relative
+            # gate). Judge by the absolute-slack path only: a regression
+            # must exceed everything the baseline could have been (the
+            # timer-noise floor) by at least --abs-slack.
+            floor = max(args.min_seconds, SUB_RESOLUTION_FLOOR_SECONDS)
+            line = (f"{fname}: {fmt_key(key)}: TTL {base_scaled:.4f}s -> "
+                    f"{cur_ttl:.4f}s (n/a — sub-resolution baseline, "
+                    f"k={base_k}->{cur_k})")
+            if cur_ttl > floor + args.abs_slack:
+                regressions.append(line)
+            if args.verbose:
+                print("  " + line)
+            continue
+        ratio = cur_ttl / base_scaled
         line = (f"{fname}: {fmt_key(key)}: TTL {base_scaled:.4f}s -> "
                 f"{cur_ttl:.4f}s ({ratio:.2f}x, k={base_k}->{cur_k})")
         if (cur_ttl > base_scaled * (1.0 + args.threshold)

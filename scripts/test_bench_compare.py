@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Regression tests for scripts/bench_compare.py.
+
+Crafts pairs of BENCH_*.json reports and checks the gate's verdicts —
+in particular the sub-timer-resolution baseline path: a zero baseline TTL
+must never map to ratio = inf (which would fail the gate for any measurable
+current time), must be judged by the absolute-slack path alone, and must not
+crash --calibrate's median when every baseline is zero. Registered in ctest
+(tier1) so the gate's own behavior is under the same regression protection
+as the code it gates.
+
+Usage: test_bench_compare.py [path/to/bench_compare.py]
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+SCRIPT = os.path.abspath(
+    sys.argv[1] if len(sys.argv) > 1 else
+    os.path.join(os.path.dirname(__file__), "bench_compare.py"))
+
+FAILURES = []
+
+
+def record(name, seconds, k=100, algorithm="Lazy", threads=1,
+           answers_per_sec=0.0):
+    return {
+        "figure": "figX", "query": "path4", "dataset": "synthetic",
+        "algorithm": algorithm, "n": 1000, "k": k, "seconds": seconds,
+        "allocs": 0, "peak_rss_kb": 0, "threads": threads,
+        "answers_per_sec": answers_per_sec,
+    }
+
+
+def write_report(directory, records, schema_version=3):
+    path = os.path.join(directory, "BENCH_bench_test.json")
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump({"schema_version": schema_version, "bench": "bench_test",
+                   "smoke": True, "records": records, "paper_notes": []}, f)
+
+
+def run_compare(baseline_records, current_records, extra_args=()):
+    with tempfile.TemporaryDirectory() as tmp:
+        base_dir = os.path.join(tmp, "baseline")
+        cur_dir = os.path.join(tmp, "current")
+        os.mkdir(base_dir)
+        os.mkdir(cur_dir)
+        write_report(base_dir, baseline_records)
+        write_report(cur_dir, current_records)
+        proc = subprocess.run(
+            [sys.executable, SCRIPT, "--baseline", base_dir,
+             "--current", cur_dir, *extra_args],
+            capture_output=True, text=True)
+        return proc.returncode, proc.stdout + proc.stderr
+
+
+def check(name, condition, detail=""):
+    if condition:
+        print(f"ok: {name}")
+    else:
+        print(f"FAIL: {name} {detail}")
+        FAILURES.append(name)
+
+
+def main():
+    # 1. Zero (sub-resolution) baseline + small measurable current time:
+    #    must PASS with --min-seconds 0. The old code judged the zero
+    #    baseline by the vacuous relative test plus bare abs-slack, so any
+    #    current time beyond 0.1s failed; 0.12s is measurable timer noise,
+    #    not a provable regression against a baseline that only says
+    #    "faster than one timer tick".
+    rc, out = run_compare([record("figX", 0.0)], [record("figX", 0.12)],
+                          ["--min-seconds", "0"])
+    check("zero baseline, modest current time passes", rc == 0, out)
+    check("no inf ratio in output", "inf" not in out, out)
+
+    # 2. Zero baseline + current time far beyond the absolute noise floor:
+    #    still a regression (the absolute-slack path must keep teeth).
+    rc, out = run_compare([record("figX", 0.0)], [record("figX", 5.0)],
+                          ["--min-seconds", "0"])
+    check("zero baseline, huge current time fails", rc == 1, out)
+    check("sub-resolution verdict labeled n/a", "n/a" in out, out)
+
+    # 3. --calibrate with every baseline sub-resolution: median over zero
+    #    measurable ratios must not crash (StatisticsError in the old code).
+    rc, out = run_compare([record("figX", 0.0)], [record("figX", 0.01)],
+                          ["--min-seconds", "0", "--calibrate"])
+    check("all-zero baseline under --calibrate does not crash",
+          rc in (0, 1) and "Traceback" not in out, out)
+    check("all-zero baseline under --calibrate passes", rc == 0, out)
+
+    # 4. Default --min-seconds still skips sub-resolution baselines
+    #    entirely (no behavior change for the stock CI invocation).
+    rc, out = run_compare([record("figX", 0.0)], [record("figX", 5.0)])
+    check("default min-seconds skips sub-resolution series", rc == 0, out)
+
+    # 5. The ordinary relative gate still works on measurable baselines.
+    rc, out = run_compare([record("figX", 1.0)], [record("figX", 2.0)])
+    check("measurable 2x regression fails", rc == 1, out)
+    rc, out = run_compare([record("figX", 1.0)], [record("figX", 1.05)])
+    check("measurable 5% slack passes", rc == 0, out)
+
+    # 6. Concurrency records (threads != 1) are invisible to the gate: a
+    #    "regressed" concurrent series must not fail, and a concurrent
+    #    baseline series must not count as missing from the current run.
+    rc, out = run_compare(
+        [record("figX", 1.0), record("figX", 1.0, threads=4)],
+        [record("figX", 1.0), record("figX", 99.0, threads=4)])
+    check("threads!=1 series ignored by the gate", rc == 0, out)
+
+    if FAILURES:
+        print(f"\n{len(FAILURES)} bench_compare regression checks failed")
+        return 1
+    print("\nall bench_compare regression checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,6 +22,12 @@
 // so after construction (preprocessing) the enumeration loop performs no
 // global heap allocation (invariants_test verifies this with the counting
 // allocator of util/alloc_stats.h).
+//
+// Threading: the enumerator never writes through g_ — all mutable state
+// (arena, strategy, heaps, prefix pool, frontier) is member-owned, so
+// multiple AnyKPartEnumerators over one shared StageGraph are safe; each
+// individual enumerator is single-threaded (see PreparedQuery /
+// EnumerationSession in anyk/prepared_query.h).
 
 #ifndef ANYK_ANYK_ANYK_PART_H_
 #define ANYK_ANYK_ANYK_PART_H_

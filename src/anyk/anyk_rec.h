@@ -23,6 +23,12 @@
 // every ranking list, heap and combination rank-vector draws from the
 // per-query Arena — after construction the enumeration loop performs no
 // global heap allocation.
+//
+// Threading: suffix rankings are memoization *per enumerator*, not per
+// graph — conn_rank_/state_rank_ are members, the shared StageGraph is
+// read-only. Concurrent RecursiveEnumerators over one graph each build
+// their own rankings (paying the memoization once per session, the price
+// of lock-free sharing; see docs/ARCHITECTURE.md, "Threading model").
 
 #ifndef ANYK_ANYK_ANYK_REC_H_
 #define ANYK_ANYK_ANYK_REC_H_

@@ -46,6 +46,12 @@ struct EnumOptions {
 /// Pull-based enumerator: answers come out in non-decreasing rank order
 /// until exhausted.
 ///
+/// Threading contract (docs/ARCHITECTURE.md, "Threading model"): an
+/// enumerator owns all of its mutable state and only *reads* the stage
+/// graph it was built over, so any number of enumerators may drain the
+/// same shared graph concurrently — but a single enumerator must stay
+/// confined to one thread at a time.
+///
 /// Two pull styles:
 ///  * Next() — convenience API returning a fresh ResultRow (allocates the
 ///    row's vectors on every call).

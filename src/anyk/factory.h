@@ -53,6 +53,9 @@ inline std::vector<Algorithm> AllRankedAlgorithms() {
   return v;
 }
 
+/// Construct an enumerator over `g`. Only reads the graph, so concurrent
+/// calls against one shared (immutable) StageGraph are safe — this is what
+/// PreparedQuery::NewSession relies on.
 template <SelectiveDioid D>
 std::unique_ptr<Enumerator<D>> MakeEnumerator(const StageGraph<D>* g,
                                               Algorithm algo,

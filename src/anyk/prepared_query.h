@@ -1,0 +1,239 @@
+// PreparedQuery / EnumerationSession: the concurrent-serving split.
+//
+// Preprocessing (plan choice, decomposition, bag materialization, bottom-up
+// DP — everything Theorem 15 charges to TTF) produces a PreparedQuery that
+// is *immutable after construction*: relations, join-tree instances, stage
+// graphs with their FlatKeyIndex connector maps, and — for the generic-join
+// fallback — the fully sorted output. N threads may then each open an
+// EnumerationSession against the same const PreparedQuery and enumerate
+// concurrently with zero shared mutable state: every piece of
+// enumeration-phase state (candidate PQ, prefix pool, lazily built strategy
+// structures, suffix rankings, union slots, batch materialization) lives in
+// the session's own enumerator and arena (see anyk_part.h / anyk_rec.h /
+// strategies.h — all of it was moved into per-enumerator arenas in the flat
+// memory layout work, which is exactly what makes this split sound; the
+// concurrency_test suite and the TSan CI job enforce it).
+//
+// Construction itself can be parallelized by passing a ThreadPool: the
+// per-partition DP over the cycle-decomposition union instances builds one
+// stage graph per worker, and within each instance BuildStageGraph runs its
+// per-stage index/CSR builds in bottom-up waves.
+//
+// RankedQuery (ranked_query.h) remains the single-session convenience
+// wrapper: PreparedQuery + one default session.
+
+#ifndef ANYK_ANYK_PREPARED_QUERY_H_
+#define ANYK_ANYK_PREPARED_QUERY_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "anyk/enumerator.h"
+#include "anyk/factory.h"
+#include "anyk/union_anyk.h"
+#include "dioid/lift.h"
+#include "dioid/tropical.h"
+#include "dp/stage_graph.h"
+#include "join/generic_join.h"
+#include "query/cycle_decomposition.h"
+#include "query/gyo.h"
+#include "query/join_tree.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace anyk {
+
+enum class QueryPlan { kAcyclicTree, kCycleUnion, kGenericJoinBatch };
+
+/// Cursor over a shared, pre-sorted result vector (the generic-join batch
+/// fallback). The rows are owned by the PreparedQuery and never change;
+/// each session only advances its own cursor.
+template <SelectiveDioid D>
+class SharedVectorEnumerator : public Enumerator<D> {
+ public:
+  explicit SharedVectorEnumerator(
+      std::shared_ptr<const std::vector<ResultRow<D>>> rows)
+      : rows_(std::move(rows)) {}
+  std::optional<ResultRow<D>> Next() override {
+    if (cursor_ >= rows_->size()) return std::nullopt;
+    return (*rows_)[cursor_++];
+  }
+  bool NextInto(ResultRow<D>* row) override {
+    if (cursor_ >= rows_->size()) return false;
+    *row = (*rows_)[cursor_++];
+    return true;
+  }
+
+ private:
+  std::shared_ptr<const std::vector<ResultRow<D>>> rows_;
+  size_t cursor_ = 0;
+};
+
+/// One enumeration stream over a PreparedQuery. Owns all mutable state of
+/// the drain (enumerators, arenas, heaps, cursors); confined to one thread
+/// at a time, but any number of sessions run concurrently against the same
+/// prepared query. Movable; create via PreparedQuery::NewSession.
+template <SelectiveDioid D>
+class EnumerationSession {
+ public:
+  /// Next answer in rank order, or nullopt when exhausted.
+  std::optional<ResultRow<D>> Next() { return enumerator_->Next(); }
+
+  /// Hot-path pull into a caller-owned, reused row buffer.
+  bool NextInto(ResultRow<D>* row) { return enumerator_->NextInto(row); }
+
+  Enumerator<D>* enumerator() { return enumerator_.get(); }
+
+ private:
+  template <SelectiveDioid>
+  friend class PreparedQuery;
+
+  explicit EnumerationSession(std::unique_ptr<Enumerator<D>> e)
+      : enumerator_(std::move(e)) {}
+
+  std::unique_ptr<Enumerator<D>> enumerator_;
+};
+
+template <SelectiveDioid D = TropicalDioid>
+class PreparedQuery {
+ public:
+  struct Options {
+    // Session defaults (NewSession overloads can override per session). The
+    // generic-join fallback materializes witnesses according to this value
+    // at prepare time, so it applies to every session of that plan.
+    EnumOptions enum_opts;
+    // Filter consecutive duplicates at the union level (only meaningful for
+    // overlapping decompositions; the simple-cycle one is disjoint).
+    bool dedup_union = false;
+    CycleDecompositionOptions cycle_opts;
+    // Preprocessing parallelism (not owned; may be null = serial). Only
+    // used during construction — the PreparedQuery keeps no reference.
+    ThreadPool* pool = nullptr;
+  };
+
+  PreparedQuery(const Database& db, const ConjunctiveQuery& q,
+                Options opts = {})
+      : query_(q), opts_(opts) {
+    ThreadPool* pool = opts.pool;
+    opts_.pool = nullptr;  // construction-only; never dereferenced again
+    ANYK_CHECK(q.IsFull())
+        << "PreparedQuery handles full CQs; see dp/projection.h for "
+           "free-connex projections";
+    GyoResult gyo = GyoReduce(Hypergraph::FromQuery(q));
+    if (gyo.acyclic) {
+      plan_ = QueryPlan::kAcyclicTree;
+      instances_.push_back(
+          BuildInstanceFromTopology(
+              db, q, RerootChains(NormalizeTopology(gyo.tree, q))));
+      graphs_.push_back(std::make_unique<StageGraph<D>>(BuildStageGraph<D>(
+          instances_.back(), /*num_atoms_override=*/0, /*hook=*/nullptr,
+          pool)));
+      return;
+    }
+    CycleShape shape = DetectSimpleCycle(q);
+    if (shape.is_cycle && q.NumAtoms() >= 4) {
+      plan_ = QueryPlan::kCycleUnion;
+      instances_ = DecomposeCycle(db, q, opts_.cycle_opts);
+      // Per-partition DP: the l+1 union instances are independent, so each
+      // worker runs one full bottom-up build (the instances are left
+      // untouched afterwards, which is what NewSession relies on).
+      graphs_.resize(instances_.size());
+      ParallelFor(pool, instances_.size(), [&](size_t i) {
+        graphs_[i] = std::make_unique<StageGraph<D>>(
+            BuildStageGraph<D>(instances_[i]));
+      });
+      return;
+    }
+    // General cyclic query: batch fallback via worst-case optimal join,
+    // sorted once here and shared read-only by every session.
+    plan_ = QueryPlan::kGenericJoinBatch;
+    batch_rows_ = GenericJoinFallback(db, q);
+  }
+
+  /// Open an independent enumeration stream. Thread-safe on a const
+  /// PreparedQuery: sessions only read the stage graphs and allocate their
+  /// own arenas, so any number may be created and drained concurrently.
+  EnumerationSession<D> NewSession(Algorithm algo,
+                                   const EnumOptions& enum_opts) const {
+    switch (plan_) {
+      case QueryPlan::kAcyclicTree:
+        return EnumerationSession<D>(
+            MakeEnumerator<D>(graphs_[0].get(), algo, enum_opts));
+      case QueryPlan::kCycleUnion: {
+        std::vector<std::unique_ptr<Enumerator<D>>> parts;
+        parts.reserve(graphs_.size());
+        for (const auto& g : graphs_) {
+          parts.push_back(MakeEnumerator<D>(g.get(), algo, enum_opts));
+        }
+        return EnumerationSession<D>(std::make_unique<UnionEnumerator<D>>(
+            std::move(parts), opts_.dedup_union));
+      }
+      case QueryPlan::kGenericJoinBatch:
+        return EnumerationSession<D>(
+            std::make_unique<SharedVectorEnumerator<D>>(batch_rows_));
+    }
+    ANYK_CHECK(false) << "unknown plan";
+    return EnumerationSession<D>(nullptr);
+  }
+  EnumerationSession<D> NewSession(Algorithm algo) const {
+    return NewSession(algo, opts_.enum_opts);
+  }
+
+  QueryPlan plan() const { return plan_; }
+  size_t NumTrees() const { return instances_.size(); }
+  const ConjunctiveQuery& query() const { return query_; }
+  const std::vector<std::unique_ptr<StageGraph<D>>>& graphs() const {
+    return graphs_;
+  }
+
+ private:
+  std::shared_ptr<const std::vector<ResultRow<D>>> GenericJoinFallback(
+      const Database& db, const ConjunctiveQuery& q) const {
+    JoinResultSet join = GenericJoin(db, q);
+    const size_t na = q.NumAtoms();
+    std::vector<ResultRow<D>> rows;
+    rows.reserve(join.size());
+    for (size_t i = 0; i < join.size(); ++i) {
+      ResultRow<D> row;
+      row.weight = D::One();
+      row.assignment.assign(q.NumVars(), 0);
+      if (opts_.enum_opts.with_witness) row.witness.assign(na, kNoRow);
+      for (size_t a = 0; a < na; ++a) {
+        const uint32_t r = join.witness(i)[a];
+        const Relation& rel = db.Get(q.atom(a).relation);
+        row.weight = D::Combine(row.weight,
+                                LiftWeight<D>(rel.Weight(r), a, na, r));
+        const auto& vars = q.AtomVarIds(a);
+        for (size_t c = 0; c < vars.size(); ++c) {
+          row.assignment[vars[c]] = rel.At(r, c);
+        }
+        if (opts_.enum_opts.with_witness) row.witness[a] = r;
+      }
+      rows.push_back(std::move(row));
+    }
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const ResultRow<D>& a, const ResultRow<D>& b) {
+                       return D::Less(a.weight, b.weight);
+                     });
+    return std::make_shared<const std::vector<ResultRow<D>>>(std::move(rows));
+  }
+
+  ConjunctiveQuery query_;
+  Options opts_;
+  QueryPlan plan_;
+  // const after construction: sessions hold pointers into these, which stay
+  // stable because the vectors are never touched again (and their elements
+  // live on the heap, so moving the PreparedQuery itself is also safe).
+  std::vector<TDPInstance> instances_;
+  std::vector<std::unique_ptr<StageGraph<D>>> graphs_;
+  std::shared_ptr<const std::vector<ResultRow<D>>> batch_rows_;
+};
+
+}  // namespace anyk
+
+#endif  // ANYK_ANYK_PREPARED_QUERY_H_

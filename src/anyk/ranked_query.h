@@ -4,50 +4,30 @@
 //   * simple cycle (l>=4)  -> heavy/light decomposition -> UT-DP union,
 //   * other cyclic CQs     -> worst-case-optimal generic join, then sort
 //                             (batch fallback; no any-k guarantees).
+//
+// RankedQuery is the single-session convenience wrapper around the
+// PreparedQuery / EnumerationSession split (prepared_query.h): it prepares
+// once and opens one session. Code that serves the same query to several
+// concurrent consumers should hold a PreparedQuery directly and call
+// NewSession per thread.
 
 #ifndef ANYK_ANYK_RANKED_QUERY_H_
 #define ANYK_ANYK_RANKED_QUERY_H_
 
-#include <algorithm>
 #include <cstddef>
-#include <cstdint>
 #include <memory>
-#include <numeric>
 #include <optional>
 #include <utility>
 #include <vector>
 
 #include "anyk/enumerator.h"
 #include "anyk/factory.h"
-#include "anyk/union_anyk.h"
-#include "dioid/lift.h"
+#include "anyk/prepared_query.h"
 #include "dioid/tropical.h"
 #include "dp/stage_graph.h"
-#include "join/generic_join.h"
-#include "query/cycle_decomposition.h"
-#include "query/gyo.h"
-#include "query/join_tree.h"
-#include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace anyk {
-
-/// Pre-sorted in-memory enumerator (used by the generic-join fallback).
-template <SelectiveDioid D>
-class VectorEnumerator : public Enumerator<D> {
- public:
-  explicit VectorEnumerator(std::vector<ResultRow<D>> rows)
-      : rows_(std::move(rows)) {}
-  std::optional<ResultRow<D>> Next() override {
-    if (cursor_ >= rows_.size()) return std::nullopt;
-    return rows_[cursor_++];
-  }
-
- private:
-  std::vector<ResultRow<D>> rows_;
-  size_t cursor_ = 0;
-};
-
-enum class QueryPlan { kAcyclicTree, kCycleUnion, kGenericJoinBatch };
 
 template <SelectiveDioid D = TropicalDioid>
 class RankedQuery {
@@ -59,94 +39,34 @@ class RankedQuery {
     // overlapping decompositions; the simple-cycle one is disjoint).
     bool dedup_union = false;
     CycleDecompositionOptions cycle_opts;
+    // Preprocessing parallelism (not owned; null = serial).
+    ThreadPool* pool = nullptr;
   };
 
   RankedQuery(const Database& db, const ConjunctiveQuery& q,
               Options opts = {})
-      : query_(q), opts_(opts) {
-    ANYK_CHECK(q.IsFull())
-        << "RankedQuery handles full CQs; see dp/projection.h for "
-           "free-connex projections";
-    GyoResult gyo = GyoReduce(Hypergraph::FromQuery(q));
-    if (gyo.acyclic) {
-      plan_ = QueryPlan::kAcyclicTree;
-      instances_.push_back(
-          BuildInstanceFromTopology(
-              db, q, RerootChains(NormalizeTopology(gyo.tree, q))));
-      graphs_.push_back(std::make_unique<StageGraph<D>>(
-          BuildStageGraph<D>(instances_.back())));
-      enumerator_ = MakeEnumerator<D>(graphs_.back().get(), opts_.algorithm,
-                                      opts_.enum_opts);
-      return;
-    }
-    CycleShape shape = DetectSimpleCycle(q);
-    if (shape.is_cycle && q.NumAtoms() >= 4) {
-      plan_ = QueryPlan::kCycleUnion;
-      instances_ = DecomposeCycle(db, q, opts_.cycle_opts);
-      std::vector<std::unique_ptr<Enumerator<D>>> parts;
-      for (auto& inst : instances_) {
-        graphs_.push_back(
-            std::make_unique<StageGraph<D>>(BuildStageGraph<D>(inst)));
-        parts.push_back(MakeEnumerator<D>(graphs_.back().get(),
-                                          opts_.algorithm, opts_.enum_opts));
-      }
-      enumerator_ = std::make_unique<UnionEnumerator<D>>(std::move(parts),
-                                                         opts_.dedup_union);
-      return;
-    }
-    // General cyclic query: batch fallback via worst-case optimal join.
-    plan_ = QueryPlan::kGenericJoinBatch;
-    enumerator_ = GenericJoinFallback(db, q);
-  }
+      : prepared_(db, q,
+                  typename PreparedQuery<D>::Options{
+                      opts.enum_opts, opts.dedup_union, opts.cycle_opts,
+                      opts.pool}),
+        session_(prepared_.NewSession(opts.algorithm, opts.enum_opts)) {}
 
   /// Next answer in rank order, or nullopt when exhausted.
-  std::optional<ResultRow<D>> Next() { return enumerator_->Next(); }
+  std::optional<ResultRow<D>> Next() { return session_.Next(); }
 
-  QueryPlan plan() const { return plan_; }
-  size_t NumTrees() const { return instances_.size(); }
-  Enumerator<D>* enumerator() { return enumerator_.get(); }
+  QueryPlan plan() const { return prepared_.plan(); }
+  size_t NumTrees() const { return prepared_.NumTrees(); }
+  Enumerator<D>* enumerator() { return session_.enumerator(); }
   const std::vector<std::unique_ptr<StageGraph<D>>>& graphs() const {
-    return graphs_;
+    return prepared_.graphs();
   }
+
+  /// The shared immutable half (e.g. to open further concurrent sessions).
+  const PreparedQuery<D>& prepared() const { return prepared_; }
 
  private:
-  std::unique_ptr<Enumerator<D>> GenericJoinFallback(
-      const Database& db, const ConjunctiveQuery& q) {
-    JoinResultSet join = GenericJoin(db, q);
-    const size_t na = q.NumAtoms();
-    std::vector<ResultRow<D>> rows;
-    rows.reserve(join.size());
-    for (size_t i = 0; i < join.size(); ++i) {
-      ResultRow<D> row;
-      row.weight = D::One();
-      row.assignment.assign(q.NumVars(), 0);
-      if (opts_.enum_opts.with_witness) row.witness.assign(na, kNoRow);
-      for (size_t a = 0; a < na; ++a) {
-        const uint32_t r = join.witness(i)[a];
-        const Relation& rel = db.Get(q.atom(a).relation);
-        row.weight = D::Combine(row.weight,
-                                LiftWeight<D>(rel.Weight(r), a, na, r));
-        const auto& vars = q.AtomVarIds(a);
-        for (size_t c = 0; c < vars.size(); ++c) {
-          row.assignment[vars[c]] = rel.At(r, c);
-        }
-        if (opts_.enum_opts.with_witness) row.witness[a] = r;
-      }
-      rows.push_back(std::move(row));
-    }
-    std::stable_sort(rows.begin(), rows.end(),
-                     [](const ResultRow<D>& a, const ResultRow<D>& b) {
-                       return D::Less(a.weight, b.weight);
-                     });
-    return std::make_unique<VectorEnumerator<D>>(std::move(rows));
-  }
-
-  ConjunctiveQuery query_;
-  Options opts_;
-  QueryPlan plan_;
-  std::vector<TDPInstance> instances_;
-  std::vector<std::unique_ptr<StageGraph<D>>> graphs_;
-  std::unique_ptr<Enumerator<D>> enumerator_;
+  PreparedQuery<D> prepared_;
+  EnumerationSession<D> session_;
 };
 
 }  // namespace anyk

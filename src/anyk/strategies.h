@@ -18,6 +18,13 @@
 // arena. Because initialization is lazy it happens *during* enumeration, so
 // routing it through the arena (reserved in preprocessing) is what keeps the
 // enumeration phase free of global heap allocations.
+//
+// Threading: lazily initialized connector structures belong to the strategy
+// instance, and a strategy instance belongs to exactly one enumerator
+// (session) — the StageGraph is only ever read. That containment is what
+// lets N sessions share one prepared graph without locks; do not cache
+// anything strategy-mutable in the graph (concurrency_test + the TSan CI
+// job enforce this).
 
 #ifndef ANYK_ANYK_STRATEGIES_H_
 #define ANYK_ANYK_STRATEGIES_H_

@@ -27,6 +27,23 @@ std::vector<ResultRow<D>> TopK(const Database& db, const ConjunctiveQuery& q,
   return out;
 }
 
+/// The k lightest answers through a fresh session of an already prepared
+/// query — the serving-path variant: prepare once, call this from as many
+/// threads as you like (each call owns its session; the prepared query is
+/// only read).
+template <SelectiveDioid D>
+std::vector<ResultRow<D>> TopK(const PreparedQuery<D>& pq, Algorithm algo,
+                               size_t k) {
+  EnumerationSession<D> session = pq.NewSession(algo);
+  std::vector<ResultRow<D>> out;
+  out.reserve(k);
+  ResultRow<D> row;
+  while (out.size() < k && session.NextInto(&row)) {
+    out.push_back(row);
+  }
+  return out;
+}
+
 /// Count the full output by draining an unranked batch enumeration.
 template <SelectiveDioid D = TropicalDioid>
 size_t CountOutput(const Database& db, const ConjunctiveQuery& q) {

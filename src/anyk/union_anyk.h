@@ -14,6 +14,10 @@
 // source) pairs. Rows move between the pool and the caller's buffer by
 // swap, so steady-state union enumeration performs no heap allocation of
 // its own (the sources' NextInto already reuse the slot's buffers).
+//
+// Threading: the union owns its sub-enumerators, slots and heap outright;
+// one UnionEnumerator per session (PreparedQuery::NewSession builds the
+// whole part list fresh), sessions share only the underlying stage graphs.
 
 #ifndef ANYK_ANYK_UNION_ANYK_H_
 #define ANYK_ANYK_UNION_ANYK_H_

@@ -17,6 +17,7 @@
 #ifndef ANYK_DP_STAGE_GRAPH_H_
 #define ANYK_DP_STAGE_GRAPH_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -32,6 +33,7 @@
 #include "storage/group_index.h"
 #include "storage/value.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace anyk {
 
@@ -112,10 +114,20 @@ using StateWeightHook =
 ///
 /// `num_atoms_override` sets the paper's l used for weight lifting (defaults
 /// to the instance's atom count; unions of trees pass the original query's).
+///
+/// `pool` parallelizes the per-stage work (state DP + FlatKeyIndex interning
+/// + CSR connector scatter) across sibling subtrees: stages are processed in
+/// bottom-up *waves* by height, and all stages of one wave build
+/// concurrently — each touches only its own Stage / FlatKeyIndex slot and
+/// reads its (already finished) children. A chain degenerates to serial
+/// waves; stars and bushy trees fan out. With a pool, `hook` (if any) must
+/// be thread-safe; the built graph itself is immutable afterwards either
+/// way.
 template <SelectiveDioid D>
 StageGraph<D> BuildStageGraph(const TDPInstance& inst,
                               size_t num_atoms_override = 0,
-                              const StateWeightHook<D>* hook = nullptr) {
+                              const StateWeightHook<D>* hook = nullptr,
+                              ThreadPool* pool = nullptr) {
   using V = typename D::Value;
   const size_t num_atoms =
       num_atoms_override == 0 ? inst.num_atoms : num_atoms_override;
@@ -150,11 +162,11 @@ StageGraph<D> BuildStageGraph(const TDPInstance& inst,
   // Per-stage key -> connector id index, alive while parents are processed.
   std::vector<FlatKeyIndex> conn_of_key(L);
 
-  // Scratch key buffer, reused across all stages (no per-row Key vectors).
-  std::vector<Value> key_buf;
-
-  // Bottom-up: reverse preorder processes children before parents.
-  for (size_t kk = L; kk-- > 0;) {
+  // One stage's full build: state DP + pruning, key interning, CSR connector
+  // scatter, per-connector minima. Writes only stages[kk] / conn_of_key[kk]
+  // and reads its children's finished stages, so all stages of one
+  // bottom-up wave can run concurrently.
+  auto build_stage = [&](size_t kk) {
     auto& st = g.stages[kk];
     const TDPNode& nd = inst.nodes[st.node_idx];
     const size_t rows = nd.NumRows();
@@ -166,6 +178,8 @@ StageGraph<D> BuildStageGraph(const TDPInstance& inst,
     st.pi1.reserve(rows);
     st.conn_of_state.reserve(rows * slots);
 
+    // Scratch buffers are per stage invocation (no cross-thread sharing).
+    std::vector<Value> key_buf;
     std::vector<uint32_t> row_conns(slots);
     for (size_t r = 0; r < rows; ++r) {
       // Resolve one connector per child slot; prune if any child has no
@@ -250,6 +264,25 @@ StageGraph<D> BuildStageGraph(const TDPInstance& inst,
       }
       st.conn_best[c] = best_pos;
     }
+  };
+
+  // Bottom-up waves: height h = longest downward path below the stage. All
+  // stages of a wave only depend on strictly smaller heights, so each wave
+  // is an independent ParallelFor (a no-op fan-out without a pool —
+  // reverse-preorder already guarantees children come first serially).
+  std::vector<uint32_t> height(L, 0);
+  uint32_t max_height = 0;
+  for (size_t kk = L; kk-- > 0;) {
+    for (uint32_t cs : g.child_stage[kk]) {
+      height[kk] = std::max(height[kk], height[cs] + 1);
+    }
+    max_height = std::max(max_height, height[kk]);
+  }
+  std::vector<std::vector<size_t>> waves(max_height + 1);
+  for (size_t kk = 0; kk < L; ++kk) waves[height[kk]].push_back(kk);
+  for (const std::vector<size_t>& wave : waves) {
+    ParallelFor(pool, wave.size(),
+                [&](size_t i) { build_stage(wave[i]); });
   }
 
   // Assign global connector ids and keep the key maps.

@@ -69,6 +69,14 @@ double ParseDouble(const std::string& s, const std::string& path, size_t line) {
 
 Relation& LoadRelationCsv(Database* db, const std::string& name,
                           const std::string& path, const CsvOptions& opts) {
+  // An explicit weight_column and weight_last are mutually exclusive: with
+  // weight_last the column is recomputed from the first data row's width,
+  // silently overriding a weight_column that may well be valid for the
+  // data. Reject the ambiguity instead of guessing which one was meant.
+  ANYK_CHECK(!(opts.weight_last && opts.weight_column >= 0))
+      << path << ": CsvOptions sets both weight_column ("
+      << opts.weight_column
+      << ") and weight_last; pick one";
   std::ifstream in(path);
   ANYK_CHECK(in.good()) << "cannot open " << path;
   std::string line;
@@ -112,7 +120,10 @@ Relation& LoadRelationCsv(Database* db, const std::string& name,
     rel->AddRow(row, weight);
     if (opts.limit > 0 && ++loaded >= opts.limit) break;
   }
-  ANYK_CHECK(rel != nullptr) << "empty CSV " << path;
+  // Header-only files land here too: the header was consumed above, so
+  // "empty" would mislead — the file exists and may even be non-empty, it
+  // just has no data rows to infer the arity (and load anything) from.
+  ANYK_CHECK(rel != nullptr) << "no data rows in " << path;
   return *rel;
 }
 

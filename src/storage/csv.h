@@ -22,7 +22,9 @@ struct CsvOptions {
   // (weight 0).
   int weight_column = -1;
   // Use the last column of every row as the weight. Resolved once the first
-  // data row determines the column count; overrides weight_column.
+  // data row determines the column count. Mutually exclusive with an
+  // explicit weight_column (>= 0): the loader rejects the combination
+  // rather than silently preferring one.
   bool weight_last = false;
   // Maximum rows to load (0 = all).
   size_t limit = 0;

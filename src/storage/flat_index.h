@@ -38,6 +38,8 @@ class FlatKeyIndex {
 
   /// Prepare for keys of `width` values, expecting about `expected_keys`
   /// distinct keys (the table grows by doubling if exceeded).
+  /// `expected_keys = 0` is valid and yields the minimum 4-slot table —
+  /// relations and connector stages can legitimately be empty.
   void Init(size_t width, size_t expected_keys) {
     width_ = width;
     key_pool_.clear();
@@ -56,18 +58,26 @@ class FlatKeyIndex {
   uint32_t Intern(std::span<const Value> key) {
     ANYK_DCHECK(key.size() == width_);
     ANYK_CHECK(!slots_.empty()) << "FlatKeyIndex::Intern before Init";
-    if (num_keys_ + 1 > (mask_ + 1) - (mask_ + 1) / 4) Grow();
+    // Probe first, grow only on an actual insert: the table always holds at
+    // most 75% load (Grow runs before the insert that would exceed it), so
+    // this scan is guaranteed an empty slot and re-interning an existing
+    // key exactly at the load-factor boundary cannot trigger a spurious
+    // doubling.
     size_t slot = Hash(key.data()) & mask_;
     while (true) {
       const uint32_t id = slots_[slot];
-      if (id == kEmptySlot) {
-        slots_[slot] = static_cast<uint32_t>(num_keys_);
-        key_pool_.insert(key_pool_.end(), key.begin(), key.end());
-        return static_cast<uint32_t>(num_keys_++);
-      }
+      if (id == kEmptySlot) break;
       if (Equal(id, key.data())) return id;
       slot = (slot + 1) & mask_;
     }
+    if (num_keys_ + 1 > (mask_ + 1) - (mask_ + 1) / 4) {
+      Grow();
+      slot = Hash(key.data()) & mask_;
+      while (slots_[slot] != kEmptySlot) slot = (slot + 1) & mask_;
+    }
+    slots_[slot] = static_cast<uint32_t>(num_keys_);
+    key_pool_.insert(key_pool_.end(), key.begin(), key.end());
+    return static_cast<uint32_t>(num_keys_++);
   }
 
   /// Dense id of `key`, or -1 if it was never interned. O(width) expected.

@@ -1,0 +1,156 @@
+// Fixed-size worker pool for the *preprocessing* phase.
+//
+// The enumeration phase owns no threads of its own: a PreparedQuery is
+// immutable after construction and every EnumerationSession is confined to
+// the thread that drains it (see docs/ARCHITECTURE.md, "Threading model").
+// What does profit from parallelism is preprocessing — per-stage index and
+// CSR builds inside BuildStageGraph, the per-partition DP over the l+1
+// cycle-decomposition instances, and per-relation CSV loading in the CLI —
+// all of which are independent chunks of CPU-bound work with a join point.
+// ParallelFor is that shape; the pool exists so repeated preprocessing calls
+// reuse the same workers instead of spawning threads per query.
+//
+// A null/1-thread pool degrades to inline execution, so call sites can
+// unconditionally route through ParallelFor and let the configuration decide
+// whether anything actually runs concurrently (tests and single-threaded
+// embedders pay nothing).
+
+#ifndef ANYK_UTIL_THREAD_POOL_H_
+#define ANYK_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace anyk {
+
+/// Fixed-size FIFO thread pool. Submitted tasks must not submit further
+/// tasks and wait for them (no work stealing; nested waits would deadlock) —
+/// preprocessing fan-out is one level deep, so this never comes up.
+class ThreadPool {
+ public:
+  /// `threads` = number of workers; 0 and 1 both mean "no workers" (every
+  /// ParallelFor runs inline on the calling thread).
+  explicit ThreadPool(size_t threads) {
+    if (threads <= 1) return;
+    workers_.reserve(threads);
+    for (size_t i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& w : workers_) w.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Worker count (0 = inline execution).
+  size_t NumThreads() const { return workers_.size(); }
+
+  /// Enqueue one task. The caller is responsible for joining (ParallelFor
+  /// does this; prefer it).
+  void Submit(std::function<void()> task) {
+    ANYK_DCHECK(!workers_.empty());
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
+ private:
+  void WorkerLoop() {
+    while (true) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stop_ and drained
+        task = std::move(queue_.front());
+        queue_.erase(queue_.begin());
+      }
+      task();
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::function<void()>> queue_;
+  bool stop_ = false;
+};
+
+/// Run body(i) for i in [0, n), blocking until all iterations finished.
+/// With a null pool (or one without workers) everything runs inline — the
+/// common single-threaded path costs one branch and no synchronization.
+/// Iterations are claimed one at a time from an atomic cursor (coarse
+/// chunks would serialize the skewed per-stage/per-partition work sizes
+/// preprocessing produces). The first exception thrown by any iteration is
+/// rethrown on the calling thread once every worker is done.
+inline void ParallelFor(ThreadPool* pool, size_t n,
+                        const std::function<void(size_t)>& body) {
+  if (n == 0) return;
+  if (pool == nullptr || pool->NumThreads() == 0 || n == 1) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  struct Shared {
+    std::atomic<size_t> next{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t exited = 0;  // helper tasks that finished their run loop
+    std::exception_ptr error;
+  };
+  Shared shared;
+  auto loop = [&shared, n, &body] {
+    while (true) {
+      const size_t i = shared.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        body(i);
+      } catch (...) {
+        std::unique_lock<std::mutex> lock(shared.mu);
+        if (!shared.error) shared.error = std::current_exception();
+      }
+    }
+  };
+  // The calling thread participates, so a ParallelFor is never slower than
+  // the inline loop even when all workers are busy elsewhere. Completion is
+  // judged by helper-task *exits*, not iteration counts: once every helper
+  // has returned (and the caller's own loop drained the cursor), no thread
+  // can touch `shared` again, so unwinding it is safe. The notify happens
+  // under the mutex for the same reason — the waiter cannot wake and destroy
+  // `shared` before the notifying helper has released the lock.
+  const size_t helpers = std::min(pool->NumThreads(), n - 1);
+  for (size_t t = 0; t < helpers; ++t) {
+    pool->Submit([&shared, loop] {
+      loop();
+      std::unique_lock<std::mutex> lock(shared.mu);
+      ++shared.exited;
+      shared.cv.notify_all();
+    });
+  }
+  loop();
+  std::unique_lock<std::mutex> lock(shared.mu);
+  shared.cv.wait(lock, [&shared, helpers] { return shared.exited == helpers; });
+  if (shared.error) std::rethrow_exception(shared.error);
+}
+
+}  // namespace anyk
+
+#endif  // ANYK_UTIL_THREAD_POOL_H_

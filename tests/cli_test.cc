@@ -175,8 +175,10 @@ TEST(CliTest, JsonReportHasDocumentedSchema) {
       " --format json --query \"SELECT * FROM R, S WHERE R.A2 = S.A1"
       " ORDER BY WEIGHT ASC LIMIT 3\"");
   ASSERT_EQ(run.exit_code, 0) << run.output;
-  EXPECT_NE(run.output.find("\"schema_version\": 2"), std::string::npos);
+  EXPECT_NE(run.output.find("\"schema_version\": 3"), std::string::npos);
   EXPECT_NE(run.output.find("\"tool\": \"anyk\""), std::string::npos);
+  EXPECT_NE(run.output.find("\"threads\": 1"), std::string::npos);
+  EXPECT_NE(run.output.find("\"sessions\": 1"), std::string::npos);
   EXPECT_NE(run.output.find("\"plan\": \"acyclic-tree\""), std::string::npos);
   EXPECT_NE(run.output.find("\"algorithm\": \"Lazy\""), std::string::npos);
   EXPECT_NE(run.output.find("\"dioid\": \"min-sum\""), std::string::npos);
@@ -196,6 +198,60 @@ TEST(CliTest, NoResultsSuppressesRows) {
   ASSERT_EQ(run.exit_code, 0) << run.output;
   EXPECT_TRUE(ResultLines(run.output).empty());
   EXPECT_NE(run.output.find("TIMING,ttl"), std::string::npos);
+}
+
+// ---- Concurrency flags (--threads / --sessions) ----
+
+TEST(CliTest, ThreadsFlagLoadsInParallelWithSameResults) {
+  const std::string query =
+      " --query \"SELECT * FROM R, S WHERE R.A2 = S.A1"
+      " ORDER BY WEIGHT ASC LIMIT 3\"";
+  CliRun serial = RunCli(TwoRelationArgs() + query);
+  CliRun parallel = RunCli(TwoRelationArgs() + " --threads 4" + query);
+  ASSERT_EQ(parallel.exit_code, 0) << parallel.output;
+  // Same ranked answers regardless of how the CSVs were loaded.
+  EXPECT_EQ(ResultLines(parallel.output), ResultLines(serial.output));
+  EXPECT_NE(parallel.output.find("threads=4"), std::string::npos);
+}
+
+TEST(CliTest, SessionsFlagReportsPerSessionAndAggregate) {
+  CliRun run = RunCli(
+      TwoRelationArgs() +
+      " --sessions 3 --query \"SELECT * FROM R, S WHERE R.A2 = S.A1"
+      " ORDER BY WEIGHT ASC\"");
+  ASSERT_EQ(run.exit_code, 0) << run.output;
+  // Concurrent drains never stream per-answer rows...
+  EXPECT_TRUE(ResultLines(run.output).empty()) << run.output;
+  // ...but report one SESSION line each (5 answers per session: every
+  // session drains the full stream independently) plus the aggregate.
+  for (int s = 0; s < 3; ++s) {
+    const std::string prefix = "SESSION," + std::to_string(s) + ",5,";
+    EXPECT_NE(run.output.find(prefix), std::string::npos) << run.output;
+  }
+  EXPECT_NE(run.output.find("CONCURRENCY,sessions,3,"), std::string::npos);
+  EXPECT_NE(run.output.find("# produced=15"), std::string::npos);
+}
+
+TEST(CliTest, SessionsJsonHasSessionArrayAndAggregateRate) {
+  CliRun run = RunCli(
+      TwoRelationArgs() +
+      " --sessions 2 --format json --query \"SELECT * FROM R, S WHERE"
+      " R.A2 = S.A1 ORDER BY WEIGHT ASC\"");
+  ASSERT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_NE(run.output.find("\"sessions\": 2"), std::string::npos);
+  EXPECT_NE(run.output.find("\"aggregate_answers_per_sec\""),
+            std::string::npos);
+  EXPECT_NE(run.output.find("\"produced\": 10"), std::string::npos);
+  // No results array in concurrent-drain mode.
+  EXPECT_EQ(run.output.find("\"results\""), std::string::npos);
+}
+
+TEST(CliTest, BadThreadsValueExitsTwo) {
+  CliRun run = RunCli(TwoRelationArgs() +
+                      " --threads 0 --query \"SELECT * FROM R\"");
+  EXPECT_EQ(run.exit_code, 2);
+  EXPECT_NE(run.output.find("--threads expects a positive integer"),
+            std::string::npos);
 }
 
 // ---- Malformed input: exit codes and diagnostics ----

@@ -1,0 +1,333 @@
+// Concurrent-serving tests for the PreparedQuery / EnumerationSession split:
+//  * N threads draining one shared (const) PreparedQuery produce streams
+//    identical to a serial drain — rank for rank under a tie-breaking
+//    cancellative dioid, modulo canonicalized tie groups for the
+//    non-cancellative ones (same two strengths as differential_test),
+//  * different algorithms may drain the same prepared query concurrently,
+//  * preprocessing parallelized over a ThreadPool builds bit-identical
+//    ranked streams,
+//  * the zero-global-alloc enumeration property (invariants_test) still
+//    holds with 4 sessions enumerating concurrently.
+// Runs under TSan in CI: any shared mutable state that slipped into the
+// enumeration phase shows up as a data race here.
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "anyk/factory.h"
+#include "anyk/prepared_query.h"
+#include "anyk/topk.h"
+#include "dioid/dioid.h"
+#include "dioid/min_max.h"
+#include "dioid/tiebreak.h"
+#include "dioid/tropical.h"
+#include "query/cq.h"
+#include "storage/database.h"
+#include "util/alloc_stats.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+#include "workload/generators.h"
+
+namespace anyk {
+namespace {
+
+constexpr size_t kMaxAtoms = 8;
+constexpr size_t kSessions = 4;
+
+// One ranked answer, flattened for comparison (same shape as the
+// differential-test oracle rows; tie_ids carries the TieBreakDioid witness
+// in exact-order mode and stays empty in canonical mode).
+struct Answer {
+  double base_weight = 0;
+  std::vector<int64_t> tie_ids;
+  std::vector<Value> assignment;
+  std::vector<uint32_t> witness;
+
+  bool operator==(const Answer& o) const = default;
+  bool operator<(const Answer& o) const {
+    if (base_weight != o.base_weight) return base_weight < o.base_weight;
+    if (tie_ids != o.tie_ids) return tie_ids < o.tie_ids;
+    if (witness != o.witness) return witness < o.witness;
+    return assignment < o.assignment;
+  }
+};
+
+template <typename D>
+double BaseWeightOf(const typename D::Value& w) {
+  if constexpr (requires { w.base; }) {
+    return static_cast<double>(w.base);
+  } else {
+    return static_cast<double>(w);
+  }
+}
+
+template <typename D>
+std::vector<Answer> Drain(EnumerationSession<D> sess, size_t cap) {
+  std::vector<Answer> out;
+  ResultRow<D> row;
+  while (out.size() < cap && sess.NextInto(&row)) {
+    Answer a;
+    a.base_weight = BaseWeightOf<D>(row.weight);
+    if constexpr (requires { row.weight.id; }) {
+      a.tie_ids.assign(row.weight.id.begin(), row.weight.id.end());
+    }
+    a.assignment = row.assignment;
+    a.witness = row.witness;
+    out.push_back(std::move(a));
+  }
+  return out;
+}
+
+/// Sort each maximal equal-weight run in place (non-cancellative dioids:
+/// correct algorithms may resolve weight ties differently). Tie groups are
+/// cut on exact double equality, which is precise for the min-max dioid
+/// used here (⊗ = max only ever selects an input value, never rounds).
+void CanonicalizeTieGroups(std::vector<Answer>* answers) {
+  size_t i = 0;
+  while (i < answers->size()) {
+    size_t j = i + 1;
+    while (j < answers->size() &&
+           (*answers)[j].base_weight == (*answers)[i].base_weight) {
+      ++j;
+    }
+    std::sort(answers->begin() + i, answers->begin() + j);
+    i = j;
+  }
+}
+
+struct Case {
+  Database db;
+  ConjunctiveQuery q;
+};
+
+Case MakeStarCase(uint64_t seed, size_t leaves, size_t rows) {
+  Rng rng(seed);
+  Case c;
+  for (size_t i = 1; i <= leaves; ++i) {
+    auto& rel = c.db.AddRelation("S" + std::to_string(i), 2);
+    for (size_t r = 0; r < rows; ++r) {
+      rel.Add({rng.Uniform(0, 5), rng.Uniform(0, 20)},
+              static_cast<double>(rng.Uniform(0, 30)));
+    }
+    c.q.AddAtom("S" + std::to_string(i), {"x0", "y" + std::to_string(i)});
+  }
+  return c;
+}
+
+Case MakeCycleCase(uint64_t seed, size_t l, size_t rows) {
+  Rng rng(seed);
+  Case c;
+  for (size_t i = 1; i <= l; ++i) {
+    auto& rel = c.db.AddRelation("C" + std::to_string(i), 2);
+    for (size_t r = 0; r < rows; ++r) {
+      rel.Add({rng.Uniform(0, 4), rng.Uniform(0, 4)},
+              static_cast<double>(rng.Uniform(0, 25)));
+    }
+  }
+  c.q = ConjunctiveQuery::Cycle(l, "C");
+  return c;
+}
+
+/// N concurrent drains of one PreparedQuery, one algorithm per thread
+/// (cycled through `algos`), compared against `want`. `canonical` relaxes
+/// the comparison to canonicalized tie groups.
+template <typename D>
+void ExpectConcurrentDrainsMatch(const PreparedQuery<D>& pq,
+                                 const std::vector<Algorithm>& algos,
+                                 std::vector<Answer> want, bool canonical,
+                                 size_t cap) {
+  if (canonical) CanonicalizeTieGroups(&want);
+  std::vector<std::vector<Answer>> got(kSessions);
+  std::vector<std::thread> threads;
+  threads.reserve(kSessions);
+  for (size_t t = 0; t < kSessions; ++t) {
+    threads.emplace_back([&pq, &algos, &got, t, cap] {
+      got[t] = Drain<D>(pq.NewSession(algos[t % algos.size()]), cap);
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (size_t t = 0; t < kSessions; ++t) {
+    if (canonical) CanonicalizeTieGroups(&got[t]);
+    ASSERT_EQ(got[t].size(), want.size())
+        << "session " << t << " ("
+        << AlgorithmName(algos[t % algos.size()])
+        << ") diverges from the serial drain in length";
+    for (size_t i = 0; i < want.size(); ++i) {
+      ASSERT_EQ(got[t][i], want[i])
+          << "session " << t << " ("
+          << AlgorithmName(algos[t % algos.size()]) << ") diverges at rank "
+          << i;
+    }
+  }
+}
+
+TEST(ConcurrencyTest, FourSessionsMatchSerialDrainExactOrder) {
+  using TB = TieBreakDioid<TropicalDioid, kMaxAtoms>;
+  Case c = MakeStarCase(101, 3, 40);
+  PreparedQuery<TB> pq(c.db, c.q);
+  ASSERT_EQ(pq.plan(), QueryPlan::kAcyclicTree);
+  std::vector<Answer> want = Drain<TB>(pq.NewSession(Algorithm::kLazy), 50000);
+  ASSERT_GT(want.size(), 100u) << "instance too small to be meaningful";
+  ExpectConcurrentDrainsMatch<TB>(pq, {Algorithm::kLazy}, want,
+                                  /*canonical=*/false, 50000);
+}
+
+TEST(ConcurrencyTest, MixedAlgorithmsShareOnePreparedQuery) {
+  using TB = TieBreakDioid<TropicalDioid, kMaxAtoms>;
+  Case c = MakeStarCase(102, 3, 35);
+  PreparedQuery<TB> pq(c.db, c.q);
+  std::vector<Answer> want =
+      Drain<TB>(pq.NewSession(Algorithm::kBatch), 50000);
+  ASSERT_GT(want.size(), 100u);
+  // Four different algorithms — four different lazily-built per-session
+  // structures — over the same const graph, concurrently.
+  ExpectConcurrentDrainsMatch<TB>(
+      pq,
+      {Algorithm::kLazy, Algorithm::kTake2, Algorithm::kEager,
+       Algorithm::kRecursive},
+      want, /*canonical=*/false, 50000);
+}
+
+TEST(ConcurrencyTest, NonCancellativeDioidMatchesModuloTieGroups) {
+  Case c = MakeStarCase(103, 3, 35);
+  PreparedQuery<MinMaxDioid> pq(c.db, c.q);
+  std::vector<Answer> want =
+      Drain<MinMaxDioid>(pq.NewSession(Algorithm::kBatch), 50000);
+  ASSERT_GT(want.size(), 50u);
+  ExpectConcurrentDrainsMatch<MinMaxDioid>(
+      pq,
+      {Algorithm::kLazy, Algorithm::kTake2, Algorithm::kAll,
+       Algorithm::kRecursive},
+      want, /*canonical=*/true, 50000);
+}
+
+TEST(ConcurrencyTest, CycleUnionPlanDrainsConcurrently) {
+  using TB = TieBreakDioid<TropicalDioid, kMaxAtoms>;
+  Case c = MakeCycleCase(104, 4, 24);
+  ThreadPool pool(kSessions);
+  typename PreparedQuery<TB>::Options popts;
+  popts.pool = &pool;  // per-partition DP over the union instances
+  PreparedQuery<TB> pq(c.db, c.q, popts);
+  ASSERT_EQ(pq.plan(), QueryPlan::kCycleUnion);
+  ASSERT_GT(pq.NumTrees(), 1u);
+  std::vector<Answer> want = Drain<TB>(pq.NewSession(Algorithm::kLazy), 50000);
+  ExpectConcurrentDrainsMatch<TB>(pq,
+                                  {Algorithm::kLazy, Algorithm::kRecursive},
+                                  want, /*canonical=*/false, 50000);
+}
+
+TEST(ConcurrencyTest, ParallelPreprocessingMatchesSerial) {
+  using TB = TieBreakDioid<TropicalDioid, kMaxAtoms>;
+  Case c = MakeStarCase(105, 4, 30);
+  PreparedQuery<TB> serial(c.db, c.q);
+  ThreadPool pool(4);
+  typename PreparedQuery<TB>::Options popts;
+  popts.pool = &pool;  // wave-parallel per-stage index/CSR builds
+  PreparedQuery<TB> parallel(c.db, c.q, popts);
+  const std::vector<Answer> want =
+      Drain<TB>(serial.NewSession(Algorithm::kLazy), 50000);
+  const std::vector<Answer> got =
+      Drain<TB>(parallel.NewSession(Algorithm::kLazy), 50000);
+  ASSERT_GT(want.size(), 100u);
+  ASSERT_EQ(got, want);
+}
+
+TEST(ConcurrencyTest, TopKOverPreparedQueryMatchesSessionPrefix) {
+  Case c = MakeStarCase(107, 3, 30);
+  PreparedQuery<TropicalDioid> pq(c.db, c.q);
+  const std::vector<ResultRow<TropicalDioid>> top =
+      TopK(pq, Algorithm::kLazy, 10);
+  ASSERT_EQ(top.size(), 10u);
+  EnumerationSession<TropicalDioid> sess = pq.NewSession(Algorithm::kLazy);
+  ResultRow<TropicalDioid> row;
+  for (size_t i = 0; i < top.size(); ++i) {
+    ASSERT_TRUE(sess.NextInto(&row));
+    EXPECT_EQ(row.weight, top[i].weight) << "rank " << i;
+    EXPECT_EQ(row.assignment, top[i].assignment) << "rank " << i;
+  }
+}
+
+// The per-session zero-global-alloc enumeration property (invariants_test)
+// must survive 4 sessions enumerating the same PreparedQuery concurrently:
+// every session draws from its own arena, so the process-wide operator-new
+// counter stays flat across the whole concurrent drain window. Threads are
+// spawned (and their sessions warmed) before the first snapshot and kept
+// alive past the second, so only enumeration work sits between them; the
+// handshakes spin on atomics because a condition variable could allocate.
+TEST(ConcurrencyTest, ZeroHeapAllocationsWithFourConcurrentSessions) {
+  Database db = MakePathDatabase(300, 4, 106, {.fanout = 8.0});
+  ConjunctiveQuery q = ConjunctiveQuery::Path(4);
+  PreparedQuery<TropicalDioid> pq(db, q);
+
+  const std::vector<Algorithm> algos = {Algorithm::kLazy, Algorithm::kTake2,
+                                        Algorithm::kEager,
+                                        Algorithm::kRecursive};
+  std::atomic<size_t> warmed{0};
+  std::atomic<size_t> warm_ok{0};
+  std::atomic<bool> start{false};
+  std::atomic<size_t> drained{0};
+  std::atomic<bool> finish{false};
+  std::atomic<size_t> total_produced{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kSessions);
+  for (size_t t = 0; t < kSessions; ++t) {
+    threads.emplace_back([&, t] {
+      EnumOptions eo;
+      eo.arena_reserve_bytes = size_t{16} << 20;  // preprocessing reserves
+      EnumerationSession<TropicalDioid> sess =
+          pq.NewSession(algos[t % algos.size()], eo);
+      ResultRow<TropicalDioid> row;
+      // Warm-up sizes the row buffers. A failure is recorded, not asserted:
+      // a gtest fatal assertion would only return from this lambda, and a
+      // thread that never reaches the handshake counters would deadlock
+      // the spin-waits below (the main thread checks warm_ok after join).
+      const bool ok = sess.NextInto(&row);
+      if (ok) warm_ok.fetch_add(1, std::memory_order_relaxed);
+      warmed.fetch_add(1, std::memory_order_release);
+      while (!start.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      size_t got = 0;
+      while (ok && got < 2000 && sess.NextInto(&row)) ++got;
+      total_produced.fetch_add(got, std::memory_order_relaxed);
+      drained.fetch_add(1, std::memory_order_release);
+      // Hold the session (and this thread) alive until the final snapshot
+      // has been taken, so no teardown lands inside the measured window.
+      while (!finish.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+    });
+  }
+
+  while (warmed.load(std::memory_order_acquire) < kSessions) {
+    std::this_thread::yield();
+  }
+  const AllocCounts before = CurrentAllocCounts();
+  start.store(true, std::memory_order_release);
+  while (drained.load(std::memory_order_acquire) < kSessions) {
+    std::this_thread::yield();
+  }
+  const AllocCounts delta = AllocDelta(before, CurrentAllocCounts());
+  finish.store(true, std::memory_order_release);
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_EQ(warm_ok.load(), kSessions)
+      << "a session produced no first answer during warm-up";
+  EXPECT_EQ(delta.news, 0u)
+      << "concurrent enumeration of " << total_produced.load()
+      << " results hit the global heap " << delta.news << " times ("
+      << delta.bytes << " bytes)";
+  EXPECT_GT(total_produced.load(), 4 * 1000u)
+      << "instance too small to be meaningful";
+}
+
+}  // namespace
+}  // namespace anyk

@@ -136,6 +136,39 @@ TEST(CsvTest, MissingFileReportsPath) {
       "cannot open /nonexistent/missing\\.csv");
 }
 
+TEST(CsvTest, HeaderOnlyFileSaysNoDataRows) {
+  // A file holding only its header is not "empty"; the diagnosis must say
+  // that no data rows were found (and where), not imply a zero-byte file.
+  const std::string path = WriteTemp("header_only.csv", "src,dst,w\n");
+  Database db;
+  CsvOptions opts;
+  opts.has_header = true;
+  opts.weight_last = true;
+  EXPECT_DEATH(LoadRelationCsv(&db, "R", path, opts),
+               "no data rows in .*header_only\\.csv");
+}
+
+TEST(CsvTest, TrulyEmptyFileAlsoSaysNoDataRows) {
+  const std::string path = WriteTemp("zero_rows.csv", "");
+  Database db;
+  EXPECT_DEATH(LoadRelationCsv(&db, "R", path, CsvOptions{}),
+               "no data rows in .*zero_rows\\.csv");
+}
+
+TEST(CsvTest, WeightColumnPlusWeightLastIsRejected) {
+  // weight_column = 2 is perfectly valid for these rows, but weight_last
+  // would recompute (and here happen to agree with) it; the loader must
+  // reject the ambiguous combination instead of silently picking one.
+  const std::string path = WriteTemp("conflict.csv", "1,2,0.5\n3,4,1.5\n");
+  Database db;
+  CsvOptions opts;
+  opts.weight_column = 2;
+  opts.weight_last = true;
+  EXPECT_DEATH(LoadRelationCsv(&db, "R", path, opts),
+               "conflict\\.csv: CsvOptions sets both weight_column \\(2\\) "
+               "and weight_last");
+}
+
 // ---- The throwing check handler (what the CLI installs). ----
 
 TEST(CsvTest, ThrowingHandlerTurnsCheckFailuresIntoExceptions) {

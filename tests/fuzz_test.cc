@@ -218,6 +218,74 @@ TEST_P(GroupIndexFuzzTest, MatchesMapOracle) {
 INSTANTIATE_TEST_SUITE_P(KeyDistributions, GroupIndexFuzzTest,
                          ::testing::Range(0, 25));
 
+// Tiny-capacity boundaries: Init(width, 0) must yield a valid power-of-two
+// table (empty relations and connector stages are legal), and interning
+// straight through the 75% load-factor boundary must neither probe a full
+// table nor lose ids. Runs the same oracle loop across widths and a sweep
+// of expected_keys values including 0.
+TEST(FlatIndexFuzzTest, TinyCapacityAndLoadFactorBoundaryMatchOracle) {
+  Rng rng(4242);
+  for (const size_t width : {size_t{0}, size_t{1}, size_t{2}, size_t{3}}) {
+    for (const size_t expected : {size_t{0}, size_t{1}, size_t{2}, size_t{3},
+                                  size_t{4}, size_t{7}, size_t{8}}) {
+      FlatKeyIndex idx;
+      idx.Init(width, expected);
+      EXPECT_EQ(idx.NumKeys(), 0u);
+      if (width == 0) {
+        // Zero-width keys: exactly one distinct key, idempotent intern.
+        EXPECT_EQ(idx.Find({}), -1);
+        EXPECT_EQ(idx.Intern({}), 0u);
+        EXPECT_EQ(idx.Intern({}), 0u);
+        EXPECT_EQ(idx.Find({}), 0);
+        EXPECT_EQ(idx.NumKeys(), 1u);
+        continue;
+      }
+      std::unordered_map<Key, uint32_t, KeyHash> oracle;
+      // Interleave fresh keys with re-interns of everything seen so far, so
+      // some re-intern lands exactly at the pre-growth boundary of every
+      // table size the index passes through (4, 8, 16, ...).
+      for (size_t i = 0; i < 64; ++i) {
+        Key key(width);
+        for (auto& v : key) v = rng.Uniform(0, 40);
+        const auto [it, inserted] =
+            oracle.try_emplace(key, static_cast<uint32_t>(oracle.size()));
+        EXPECT_EQ(idx.Intern(key), it->second);
+        for (const auto& [seen, id] : oracle) {
+          ASSERT_EQ(idx.Intern(seen), id)
+              << "re-intern changed an id at step " << i;
+          ASSERT_EQ(idx.Find(seen), static_cast<int64_t>(id));
+        }
+        // Absent-key probes must terminate at every load factor.
+        Key absent(width, -99 - static_cast<Value>(i));
+        ASSERT_EQ(idx.Find(absent), -1);
+      }
+      ASSERT_EQ(idx.NumKeys(), oracle.size());
+    }
+  }
+}
+
+// Re-interning an existing key must never grow the table, even when the
+// load factor sits exactly at the growth threshold (a pre-fix version
+// doubled the table on any intern at the boundary, duplicate or not).
+TEST(FlatIndexFuzzTest, DuplicateInternAtBoundaryDoesNotGrow) {
+  for (const size_t distinct : {size_t{3}, size_t{6}, size_t{12}}) {
+    FlatKeyIndex idx;
+    idx.Init(1, 0);  // smallest table; grows on the way to `distinct`
+    for (size_t i = 0; i < distinct; ++i) {
+      idx.Intern(Key{static_cast<Value>(i)});
+    }
+    const size_t bytes_at_boundary = idx.MemoryBytes();
+    for (size_t round = 0; round < 3; ++round) {
+      for (size_t i = 0; i < distinct; ++i) {
+        ASSERT_EQ(idx.Intern(Key{static_cast<Value>(i)}), i);
+      }
+    }
+    EXPECT_EQ(idx.MemoryBytes(), bytes_at_boundary)
+        << "duplicate interns grew a " << distinct << "-key table";
+    EXPECT_EQ(idx.NumKeys(), distinct);
+  }
+}
+
 // FlatKeyIndex under forced growth: start with a deliberately wrong
 // expectation so the table rehashes repeatedly, and check ids survive.
 TEST(FlatIndexFuzzTest, GrowthPreservesIds) {

@@ -4,10 +4,12 @@
 // behaving exactly as advertised.
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -16,6 +18,7 @@
 #include "util/binary_heap.h"
 #include "util/pairing_heap.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace anyk {
@@ -524,6 +527,65 @@ TEST(TimerTest, MonotonicAndResettable) {
   EXPECT_LE(ms, s2 * 1e3);
   t.Reset();
   EXPECT_LE(t.Seconds(), b + 1.0);  // reset cannot move the clock backwards far
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool / ParallelFor
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  for (const size_t workers : {size_t{0}, size_t{1}, size_t{3}}) {
+    ThreadPool pool(workers);
+    EXPECT_EQ(pool.NumThreads(), workers <= 1 ? 0u : workers);
+    constexpr size_t kN = 1000;
+    std::vector<std::atomic<int>> hits(kN);
+    ParallelFor(&pool, kN, [&](size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << ", " << workers
+                                   << " workers";
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForWithNullPoolRunsInline) {
+  size_t sum = 0;  // inline execution: plain writes are safe
+  ParallelFor(nullptr, 100, [&](size_t i) { sum += i; });
+  EXPECT_EQ(sum, 4950u);
+  ParallelFor(nullptr, 0, [&](size_t) { FAIL() << "n=0 must not call body"; });
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsFirstException) {
+  ThreadPool pool(4);
+  std::atomic<size_t> ran{0};
+  try {
+    ParallelFor(&pool, 64, [&](size_t i) {
+      ran.fetch_add(1, std::memory_order_relaxed);
+      if (i == 7) throw std::runtime_error("boom");
+    });
+    FAIL() << "expected the iteration's exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+  EXPECT_GT(ran.load(), 0u);
+  // The pool stays usable after an exceptional ParallelFor.
+  std::atomic<size_t> again{0};
+  ParallelFor(&pool, 32, [&](size_t) {
+    again.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(again.load(), 32u);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyParallelFors) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<size_t> count{0};
+    ParallelFor(&pool, 10, [&](size_t) {
+      count.fetch_add(1, std::memory_order_relaxed);
+    });
+    ASSERT_EQ(count.load(), 10u) << "round " << round;
+  }
 }
 
 }  // namespace
