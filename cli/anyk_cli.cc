@@ -90,9 +90,17 @@ struct CliResult {
 struct SessionReport {
   size_t produced = 0;
   double ttf_seconds = 0;
+  // TT(k) of this session: when the drain is budgeted (--k / SQL LIMIT),
+  // the moment the k-th answer arrived; equal to ttl_seconds when the
+  // stream exhausted first or no budget was set.
+  double ttk_seconds = 0;
   double ttl_seconds = 0;
   bool exhausted = false;
 };
+
+// Rows pulled per NextBatch call on the serving drains (amortizes virtual
+// dispatch and binds variables stage-wise; see Enumerator::NextBatch).
+constexpr size_t kDrainBatchRows = 64;
 
 struct RunReport {
   std::string plan;
@@ -135,6 +143,10 @@ RunReport RunRanked(const Database& db, const SqlStatement& stmt,
   Timer timer;
   typename PreparedQuery<D>::Options qopts;
   qopts.enum_opts.with_witness = false;
+  // Budget-aware top-k fast path: --k / SQL LIMIT reaches every enumerator
+  // as EnumOptions::k_budget (bounded O(k) candidate heaps, batch partial
+  // sort) instead of merely truncating the drain loop below.
+  qopts.enum_opts.k_budget = limit;
   qopts.pool = pool;
   PreparedQuery<D> pq(db, stmt.query, qopts);
   rep.plan = PlanName(pq.plan());
@@ -143,7 +155,8 @@ RunReport RunRanked(const Database& db, const SqlStatement& stmt,
     rep.preprocessing_seconds = timer.Seconds();
     const AllocCounts at_enum = CurrentAllocCounts();
     rep.preprocessing_allocs = AllocDelta(at_start, at_enum).news;
-    // Concurrent-drain mode: every session pulls the full (limited) stream.
+    // Concurrent-drain mode: every session pulls the full (limited) stream
+    // through its own budgeted session, in batches.
     rep.sessions.assign(num_sessions, {});
     std::vector<std::thread> workers;
     workers.reserve(num_sessions);
@@ -151,16 +164,26 @@ RunReport RunRanked(const Database& db, const SqlStatement& stmt,
       workers.emplace_back([&pq, &timer, &rep, algo, limit, s] {
         SessionReport& sr = rep.sessions[s];
         EnumerationSession<D> sess = pq.NewSession(algo);
-        ResultRow<D> row;
-        while (limit == 0 || sr.produced < limit) {
-          if (!sess.NextInto(&row)) {
+        std::vector<ResultRow<D>> batch(kDrainBatchRows);
+        bool done = false;
+        while (!done && (limit == 0 || sr.produced < limit)) {
+          size_t want = kDrainBatchRows;
+          if (sr.produced == 0) want = 1;  // exact per-session TTF
+          if (limit != 0) want = std::min(want, limit - sr.produced);
+          const size_t got = sess.NextBatch(batch.data(), want);
+          if (got < want) {
             sr.exhausted = true;
-            break;
+            done = true;
           }
-          ++sr.produced;
-          if (sr.produced == 1) sr.ttf_seconds = timer.Seconds();
+          if (got == 0) break;
+          sr.produced += got;
+          if (sr.produced == got) sr.ttf_seconds = timer.Seconds();
+          if (limit != 0 && sr.produced >= limit) {
+            sr.ttk_seconds = timer.Seconds();
+          }
         }
         sr.ttl_seconds = timer.Seconds();
+        if (sr.ttk_seconds == 0) sr.ttk_seconds = sr.ttl_seconds;
       });
     }
     for (std::thread& w : workers) w.join();
@@ -189,35 +212,51 @@ RunReport RunRanked(const Database& db, const SqlStatement& stmt,
   const AllocCounts at_enum = CurrentAllocCounts();
   rep.preprocessing_allocs = AllocDelta(at_start, at_enum).news;
   std::vector<Value> projected;
-  ResultRow<D> row_buf;
+  std::vector<ResultRow<D>> batch(kDrainBatchRows);
   size_t next_cp = 0;
   double last = rep.preprocessing_seconds;
-  while (limit == 0 || rep.produced < limit) {
-    if (!session.NextInto(&row_buf)) {
-      rep.exhausted = true;
-      break;
+  bool done = false;
+  while (!done && (limit == 0 || rep.produced < limit)) {
+    // Batch size: never cross the next TT(k) checkpoint or the --k limit,
+    // so checkpoint timestamps stay exact at their k; the first pull is a
+    // single row so TTF stays exact too. max_delay is measured at batch
+    // granularity (the gap between consecutive NextBatch returns).
+    size_t want = kDrainBatchRows;
+    if (rep.produced == 0) want = 1;
+    if (limit != 0) want = std::min(want, limit - rep.produced);
+    while (next_cp < cps.size() && cps[next_cp] <= rep.produced) ++next_cp;
+    if (next_cp < cps.size()) {
+      want = std::min(want, cps[next_cp] - rep.produced);
     }
-    const ResultRow<D>* row = &row_buf;
-    ++rep.produced;
+    const size_t got = session.NextBatch(batch.data(), want);
+    if (got < want) {
+      rep.exhausted = true;
+      done = true;
+    }
+    if (got == 0) break;
     const double now = timer.Seconds();
     rep.max_delay_seconds = std::max(rep.max_delay_seconds, now - last);
     last = now;
-    if (rep.produced == 1) rep.ttf_seconds = now;
-    while (next_cp < cps.size() && cps[next_cp] < rep.produced) ++next_cp;
+    if (rep.produced == 0) rep.ttf_seconds = now;
+    rep.produced += got;
     if (next_cp < cps.size() && cps[next_cp] == rep.produced) {
       rep.checkpoints.emplace_back(rep.produced, now);
       ++next_cp;
     }
     if (sink) {
-      const std::vector<Value>* values = &row->assignment;
-      if (!stmt.select_vars.empty()) {
-        projected.clear();
-        for (uint32_t v : stmt.select_vars) {
-          projected.push_back(row->assignment[v]);
+      for (size_t b = 0; b < got; ++b) {
+        const ResultRow<D>& row = batch[b];
+        const std::vector<Value>* values = &row.assignment;
+        if (!stmt.select_vars.empty()) {
+          projected.clear();
+          for (uint32_t v : stmt.select_vars) {
+            projected.push_back(row.assignment[v]);
+          }
+          values = &projected;
         }
-        values = &projected;
+        sink(rep.produced - got + b + 1, static_cast<double>(row.weight),
+             *values);
       }
-      sink(rep.produced, static_cast<double>(row->weight), *values);
     }
   }
   rep.ttl_seconds = timer.Seconds();
@@ -259,7 +298,7 @@ void WriteTextReport(std::ostream& out, const RunReport& rep) {
   for (size_t s = 0; s < rep.sessions.size(); ++s) {
     const SessionReport& sr = rep.sessions[s];
     out << "SESSION," << s << "," << sr.produced << "," << sr.ttf_seconds
-        << "," << sr.ttl_seconds << ","
+        << "," << sr.ttk_seconds << "," << sr.ttl_seconds << ","
         << (sr.exhausted ? "exhausted" : "capped") << "\n";
   }
   if (!rep.sessions.empty()) {
@@ -332,6 +371,7 @@ void WriteJsonReport(std::ostream& out, const CliOptions& opt,
       w.BeginObject();
       w.KV("produced", static_cast<uint64_t>(sr.produced));
       w.KV("ttf_seconds", sr.ttf_seconds);
+      w.KV("ttk_seconds", sr.ttk_seconds);
       w.KV("ttl_seconds", sr.ttl_seconds);
       w.KV("exhausted", sr.exhausted);
       w.EndObject();
@@ -395,7 +435,11 @@ const char* UsageText() {
       "all | batch\n"
       "  --dioid NAME          min-sum | max-sum | min-max | max-times\n"
       "                        (default: min-sum for ASC, max-sum for DESC)\n"
-      "  --k N                 stop after N answers (overrides the SQL "
+      "  --k N                 top-k budget: propagated to the enumerators "
+      "(O(k)\n"
+      "                        candidate heaps, batch partial sort) and "
+      "stops the\n"
+      "                        drain after N answers (overrides the SQL "
       "LIMIT; 0 = all)\n"
       "\n"
       "Concurrency (see docs/CLI.md, docs/ARCHITECTURE.md 'Threading "

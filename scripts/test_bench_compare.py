@@ -26,9 +26,9 @@ FAILURES = []
 
 
 def record(name, seconds, k=100, algorithm="Lazy", threads=1,
-           answers_per_sec=0.0):
+           answers_per_sec=0.0, dataset="synthetic"):
     return {
-        "figure": "figX", "query": "path4", "dataset": "synthetic",
+        "figure": "figX", "query": "path4", "dataset": dataset,
         "algorithm": algorithm, "n": 1000, "k": k, "seconds": seconds,
         "allocs": 0, "peak_rss_kb": 0, "threads": threads,
         "answers_per_sec": answers_per_sec,
@@ -103,7 +103,28 @@ def main():
     rc, out = run_compare([record("figX", 1.0)], [record("figX", 1.05)])
     check("measurable 5% slack passes", rc == 0, out)
 
-    # 6. Concurrency records (threads != 1) are invisible to the gate: a
+    # 6. TT(k) series in the bench_topk style: one series per k, the budget
+    #    encoded in the dataset column ("k=10"). Each must be gated
+    #    independently — a regression in one k must fail even when every
+    #    other k improved — and a dropped k-series must trip the gate.
+    topk_base = [record("figX", 1.0, k=10, dataset="k=10"),
+                 record("figX", 1.0, k=100, dataset="k=100")]
+    rc, out = run_compare(topk_base,
+                          [record("figX", 0.5, k=10, dataset="k=10"),
+                           record("figX", 0.9, k=100, dataset="k=100")])
+    check("independent TT(k) series pass when all within threshold",
+          rc == 0, out)
+    rc, out = run_compare(topk_base,
+                          [record("figX", 0.5, k=10, dataset="k=10"),
+                           record("figX", 2.0, k=100, dataset="k=100")])
+    check("regression in one TT(k) series fails despite others improving",
+          rc == 1, out)
+    check("the regressed series is the k=100 one", "k=100" in out, out)
+    rc, out = run_compare(topk_base,
+                          [record("figX", 0.5, k=10, dataset="k=10")])
+    check("missing TT(k) series fails the gate", rc == 1, out)
+
+    # 7. Concurrency records (threads != 1) are invisible to the gate: a
     #    "regressed" concurrent series must not fail, and a concurrent
     #    baseline series must not count as missing from the current run.
     rc, out = run_compare(

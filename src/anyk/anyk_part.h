@@ -44,24 +44,40 @@
 #include "dp/stage_graph.h"
 #include "util/arena.h"
 #include "util/binary_heap.h"
+#include "util/dary_heap.h"
 #include "util/logging.h"
 
 namespace anyk {
 
 struct AnyKPartStats {
   size_t pops = 0;
-  size_t pushes = 0;
+  size_t pushes = 0;  // attempted pushes (includes budget-pruned ones)
   size_t max_cand_size = 0;
   size_t prefix_nodes = 0;
 };
 
 /// Algorithm 1, parameterized by successor strategy and candidate PQ (any
-/// heap template over (entry, comparator, allocator)).
+/// heap template over (entry, comparator, allocator)). The default PQ is the
+/// budget-aware BoundedQuadHeap: without EnumOptions::k_budget it is a plain
+/// flat 4-ary heap; with a budget it keeps the candidate set O(k) (see
+/// util/dary_heap.h). Budget hooks are `if constexpr`-guarded, so plain
+/// BinaryHeap / PairingHeap instantiations (bench_ablation_pq) still work.
 template <SelectiveDioid D, template <class> class Strategy,
-          template <class, class, class> class PQT = BinaryHeap>
+          template <class, class, class> class PQT = BoundedQuadHeap>
 class AnyKPartEnumerator : public Enumerator<D> {
   using V = typename D::Value;
   static constexpr uint32_t kNoPrefix = UINT32_MAX;
+  // True when the strategy's choice handles are ranks (0 = best member,
+  // 1 = second best, ...) — the contract behind the budget fast path that
+  // creates deviation candidates from the graph's precomputed
+  // conn_best/conn_second without touching the strategy.
+  static constexpr bool kRankHandles = [] {
+    if constexpr (requires { Strategy<D>::kRankHandles; }) {
+      return Strategy<D>::kRankHandles;
+    } else {
+      return false;
+    }
+  }();
 
  public:
   explicit AnyKPartEnumerator(const StageGraph<D>* g, EnumOptions opts = {})
@@ -73,61 +89,69 @@ class AnyKPartEnumerator : public Enumerator<D> {
         cand_(CandLess{}, ArenaAllocator<Candidate>(&arena_)),
         prefix_pool_(ArenaAllocator<PrefixNode>(&arena_)),
         succ_buf_(ArenaAllocator<uint32_t>(&arena_)),
-        frontier_(ArenaAllocator<std::pair<uint32_t, uint32_t>>(&arena_)) {
+        frontier_(ArenaAllocator<std::pair<uint32_t, uint32_t>>(&arena_)),
+        batch_states_(ArenaAllocator<uint32_t>(&arena_)),
+        batch_weights_(ArenaAllocator<V>(&arena_)) {
     arena_.Reserve(opts_.arena_reserve_bytes);
+    if constexpr (requires { cand_.SetBudget(size_t{0}); }) {
+      cand_.SetBudget(opts_.k_budget);
+    }
+    // Budget-capable strategies (Lazy's top-two scan init) learn k here,
+    // before the root connector is touched below.
+    if constexpr (requires { strategy_.SetBudget(size_t{0}); }) {
+      strategy_.SetBudget(opts_.k_budget);
+    }
     const size_t L = g_->stages.size();
     states_.assign(L, 0);
     frontier_.reserve(L + 1);
     if (!g_->Empty()) {
-      const uint32_t top = strategy_.Top(0, StageGraph<D>::kRootConn);
-      const uint32_t pos =
-          strategy_.MemberPos(0, StageGraph<D>::kRootConn, top);
-      Push(Candidate{g_->stages[0].member_val[pos], kNoPrefix, 0,
-                     StageGraph<D>::kRootConn, top});
+      if (kRankHandles && opts_.k_budget != 0) {
+        // Fast path: the DP already knows the root optimum; the root
+        // connector's successor structure is built on first pop instead.
+        Push(Candidate{g_->stages[0].ConnBestVal(StageGraph<D>::kRootConn),
+                       kNoPrefix, 0, StageGraph<D>::kRootConn, 0});
+      } else {
+        const uint32_t top = strategy_.Top(0, StageGraph<D>::kRootConn);
+        const uint32_t pos =
+            strategy_.MemberPos(0, StageGraph<D>::kRootConn, top);
+        Push(Candidate{g_->stages[0].member_val[pos], kNoPrefix, 0,
+                       StageGraph<D>::kRootConn, top});
+      }
     }
   }
 
   bool NextInto(ResultRow<D>* row) override {
-    if (cand_.Empty()) return false;
-    const size_t L = g_->stages.size();
-    Candidate c = cand_.PopMin();
-    ++stats_.pops;
-
-    // Reconstruct the assigned prefix σ1..σ_{r-1}.
-    states_.assign(L, 0);
-    {
-      uint32_t p = c.prefix;
-      uint32_t idx = c.dev_stage;
-      while (p != kNoPrefix) {
-        states_[--idx] = prefix_pool_[p].state;
-        p = prefix_pool_[p].parent;
-      }
-      ANYK_DCHECK(idx == 0);
-    }
-
-    if constexpr (!D::kHasInverse) RebuildFrontier(c.dev_stage);
-
-    // Deviations of the popped candidate within its own subspace (the first
-    // iteration of Algorithm 1's for-loop, r = dev_stage).
-    GenerateCandidates(c.dev_stage, c.conn, c.choice, c.total, c.prefix);
-
-    // Assign the deviating choice and expand stage by stage with top
-    // choices, spawning one subspace per stage.
-    uint32_t prefix = c.prefix;
-    AssignStage(c.dev_stage, c.conn, c.choice, &prefix);
-    for (uint32_t j = c.dev_stage + 1; j < L; ++j) {
-      const auto& stj = g_->stages[j];
-      const auto& par = g_->stages[stj.parent_stage];
-      const uint32_t conn =
-          par.conn_of_state[states_[stj.parent_stage] * par.num_slots +
-                            stj.parent_slot];
-      const uint32_t top = strategy_.Top(j, conn);
-      GenerateCandidates(j, conn, top, c.total, prefix);
-      AssignStage(j, conn, top, &prefix);
-    }
-
-    Assemble(c.total, row);
+    if (!Advance()) return false;
+    Assemble(cur_total_, row);
     return true;
+  }
+
+  /// Batched pull: pop up to `n` answers first (stashing each answer's stage
+  /// states and weight in arena scratch), then bind variables stage-wise
+  /// across the whole batch — one pass per stage keeps that stage's member /
+  /// weight / binding arrays hot instead of re-touching all L stages per
+  /// answer.
+  size_t NextBatch(ResultRow<D>* rows, size_t n) override {
+    const size_t L = g_->stages.size();
+    batch_states_.clear();
+    batch_weights_.clear();
+    size_t produced = 0;
+    while (produced < n && Advance()) {
+      batch_states_.insert(batch_states_.end(), states_.begin(),
+                           states_.end());
+      batch_weights_.push_back(cur_total_);
+      ++produced;
+    }
+    for (size_t b = 0; b < produced; ++b) {
+      PrepareRow(batch_weights_[b], &rows[b]);
+    }
+    for (uint32_t j = 0; j < L; ++j) {
+      for (size_t b = 0; b < produced; ++b) {
+        BindState(*g_, j, batch_states_[b * L + j], &rows[b].assignment,
+                  opts_.with_witness ? &rows[b].witness : nullptr);
+      }
+    }
+    return produced;
   }
 
   std::optional<ResultRow<D>> Next() override {
@@ -138,6 +162,15 @@ class AnyKPartEnumerator : public Enumerator<D> {
 
   const AnyKPartStats& stats() const { return stats_; }
   const StrategyStats& strategy_stats() const { return strategy_.stats(); }
+  /// Candidate-heap budget counters (zeros when the PQ is not a
+  /// BoundedHeap, e.g. the bench_ablation_pq instantiations).
+  BoundedHeapStats bounded_heap_stats() const {
+    if constexpr (requires { cand_.stats(); }) {
+      return cand_.stats();
+    } else {
+      return BoundedHeapStats{};
+    }
+  }
   size_t CandSize() const { return cand_.Size(); }
   const Arena& arena() const { return arena_; }
   static const char* Name() { return Strategy<D>::kName; }
@@ -160,19 +193,127 @@ class AnyKPartEnumerator : public Enumerator<D> {
     uint32_t state;
   };
 
+  /// Pop the next-lightest candidate and expand it: reconstruct its prefix
+  /// into states_, assign the remaining stages with top choices, and spawn
+  /// the successor subspaces. On return states_ holds the full solution and
+  /// cur_total_ its weight; false when the output — or the k-budget — is
+  /// exhausted. When the budget says this is the final answer, successor
+  /// generation (and the no-inverse frontier bookkeeping that only feeds
+  /// it) is skipped entirely: nothing after this answer will be emitted.
+  bool Advance() {
+    if (opts_.k_budget != 0 && emitted_ >= opts_.k_budget) return false;
+    if (cand_.Empty()) return false;
+    const size_t L = g_->stages.size();
+    Candidate c = cand_.PopMin();
+    ++stats_.pops;
+    ++emitted_;
+    skip_generation_ = opts_.k_budget != 0 && emitted_ >= opts_.k_budget;
+
+    // Reconstruct the assigned prefix σ1..σ_{r-1}.
+    states_.assign(L, 0);
+    {
+      uint32_t p = c.prefix;
+      uint32_t idx = c.dev_stage;
+      while (p != kNoPrefix) {
+        states_[--idx] = prefix_pool_[p].state;
+        p = prefix_pool_[p].parent;
+      }
+      ANYK_DCHECK(idx == 0);
+    }
+
+    if constexpr (!D::kHasInverse) {
+      if (!skip_generation_) RebuildFrontier(c.dev_stage);
+    }
+
+    // The budget fast path (rank-handle strategies only) creates deviation
+    // candidates straight from the graph's conn_best/conn_second, so the
+    // popped candidate's connector may not have a successor structure yet —
+    // build it now, once, since Successors/MemberPos below need it.
+    const bool fast = kRankHandles && opts_.k_budget != 0;
+    if (fast && !skip_generation_) strategy_.Top(c.dev_stage, c.conn);
+
+    // Deviations of the popped candidate within its own subspace (the first
+    // iteration of Algorithm 1's for-loop, r = dev_stage).
+    if (!skip_generation_) {
+      GenerateCandidates(c.dev_stage, c.conn, c.choice, c.total, c.prefix);
+    }
+
+    // Assign the deviating choice and expand stage by stage with top
+    // choices, spawning one subspace per stage. For the final budgeted
+    // answer the strategy is bypassed below the deviation: the DP already
+    // knows each connector's best member (conn_best), so no successor
+    // structure is initialized for connectors only this answer touches.
+    uint32_t prefix = c.prefix;
+    CommitStage(c.dev_stage, DevMemberPos(c.dev_stage, c.conn, c.choice),
+                &prefix);
+    for (uint32_t j = c.dev_stage + 1; j < L; ++j) {
+      const auto& stj = g_->stages[j];
+      const auto& par = g_->stages[stj.parent_stage];
+      const uint32_t conn =
+          par.conn_of_state[states_[stj.parent_stage] * par.num_slots +
+                            stj.parent_slot];
+      if (skip_generation_) {
+        CommitStage(j, stj.conn_best[conn], &prefix);
+        continue;
+      }
+      if (fast) {
+        // O(1) deviation-from-top via the precomputed second-best member:
+        // no per-session successor structure is touched here — the
+        // connector is only initialized if this candidate is later popped.
+        const uint32_t second = stj.conn_second[conn];
+        if (second != StageGraph<D>::kNoMember) {
+          V base;
+          if constexpr (D::kHasInverse) {
+            base = D::Subtract(c.total, stj.member_val[stj.conn_best[conn]]);
+          } else {
+            base = FrontierBase(j);
+          }
+          Push(Candidate{D::Combine(base, stj.member_val[second]), prefix, j,
+                         conn, /*choice=rank*/ 1});
+        }
+        CommitStage(j, stj.conn_best[conn], &prefix);
+        continue;
+      }
+      const uint32_t top = strategy_.Top(j, conn);
+      GenerateCandidates(j, conn, top, c.total, prefix);
+      AssignStage(j, conn, top, &prefix);
+    }
+
+    cur_total_ = c.total;
+    return true;
+  }
+
   void Push(Candidate cand) {
     cand_.Push(std::move(cand));
     ++stats_.pushes;
     stats_.max_cand_size = std::max(stats_.max_cand_size, cand_.Size());
   }
 
-  /// Record the chosen state for `stage` and append it to the prefix.
-  void AssignStage(uint32_t stage, uint32_t conn, uint32_t choice,
-                   uint32_t* prefix) {
+  /// Member position behind a popped candidate's choice handle. With a
+  /// rank-handle strategy under a budget, ranks 0/1 of an untouched
+  /// connector resolve through the graph's precomputed best/second-best —
+  /// the only ranks a fast-path candidate can carry — without forcing the
+  /// successor structure into existence.
+  uint32_t DevMemberPos(uint32_t stage, uint32_t conn, uint32_t choice) {
+    if constexpr (kRankHandles) {
+      if (opts_.k_budget != 0 && choice <= 1 &&
+          !strategy_.Initialized(stage, conn)) {
+        const auto& st = g_->stages[stage];
+        return choice == 0 ? st.conn_best[conn] : st.conn_second[conn];
+      }
+    }
+    return strategy_.MemberPos(stage, conn, choice);
+  }
+
+  /// Record the chosen state for `stage` (by absolute member position) and
+  /// append it to the prefix.
+  void CommitStage(uint32_t stage, uint32_t pos, uint32_t* prefix) {
     const auto& st = g_->stages[stage];
-    const uint32_t pos = strategy_.MemberPos(stage, conn, choice);
     const uint32_t state = st.members[pos];
     states_[stage] = state;
+    // The prefix pool and frontier only feed candidate generation, which the
+    // final budgeted answer skips — states_ alone drives assembly.
+    if (skip_generation_) return;
     prefix_pool_.push_back(PrefixNode{*prefix, state});
     *prefix = static_cast<uint32_t>(prefix_pool_.size() - 1);
     stats_.prefix_nodes = prefix_pool_.size();
@@ -187,6 +328,12 @@ class AnyKPartEnumerator : public Enumerator<D> {
              st.conn_of_state[state * st.num_slots + slot]});
       }
     }
+  }
+
+  /// Record the chosen state for `stage` via the strategy's choice handle.
+  void AssignStage(uint32_t stage, uint32_t conn, uint32_t choice,
+                   uint32_t* prefix) {
+    CommitStage(stage, strategy_.MemberPos(stage, conn, choice), prefix);
   }
 
   /// Push one candidate per successor of `cur_choice` at (stage, conn).
@@ -260,7 +407,8 @@ class AnyKPartEnumerator : public Enumerator<D> {
     return base;
   }
 
-  void Assemble(const V& total, ResultRow<D>* row) {
+  /// Size the row's reusable buffers and set the weight (no binding yet).
+  void PrepareRow(const V& total, ResultRow<D>* row) {
     row->weight = total;
     row->assignment.assign(g_->instance->num_vars, 0);
     if (opts_.with_witness) {
@@ -268,6 +416,10 @@ class AnyKPartEnumerator : public Enumerator<D> {
     } else {
       row->witness.clear();
     }
+  }
+
+  void Assemble(const V& total, ResultRow<D>* row) {
+    PrepareRow(total, row);
     for (uint32_t j = 0; j < g_->stages.size(); ++j) {
       BindState(*g_, j, states_[j], &row->assignment,
                 opts_.with_witness ? &row->witness : nullptr);
@@ -284,7 +436,12 @@ class AnyKPartEnumerator : public Enumerator<D> {
   std::vector<uint32_t> states_;         // sized L at construction
   ArenaVector<uint32_t> succ_buf_;
   ArenaVector<std::pair<uint32_t, uint32_t>> frontier_;  // (stage, conn)
+  ArenaVector<uint32_t> batch_states_;  // NextBatch scratch: L states per row
+  ArenaVector<V> batch_weights_;
   V assigned_weight_ = D::One();
+  V cur_total_{};            // weight of the answer Advance() just produced
+  size_t emitted_ = 0;       // answers popped so far (budget accounting)
+  bool skip_generation_ = false;  // true while expanding the final answer
   AnyKPartStats stats_;
 };
 

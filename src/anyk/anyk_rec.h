@@ -42,7 +42,7 @@
 #include "anyk/enumerator.h"
 #include "dp/stage_graph.h"
 #include "util/arena.h"
-#include "util/binary_heap.h"
+#include "util/dary_heap.h"
 #include "util/logging.h"
 
 namespace anyk {
@@ -82,6 +82,9 @@ class RecursiveEnumerator : public Enumerator<D> {
 
   bool NextInto(ResultRow<D>* row) override {
     if (g_->Empty()) return false;
+    // Budget: rank k_budget is the last one ever materialized; past it the
+    // session is exhausted by definition.
+    if (opts_.k_budget != 0 && k_ >= opts_.k_budget) return false;
     ++k_;
     if (!EnsureConnRank(0, StageGraph<D>::kRootConn, k_)) return false;
     const ConnEntry e = RankedEntry(0, StageGraph<D>::kRootConn, k_);
@@ -121,7 +124,8 @@ class RecursiveEnumerator : public Enumerator<D> {
       return D::Less(a.val, b.val);
     }
   };
-  using EntryHeap = BinaryHeap<ConnEntry, EntryLess, ArenaAllocator<ConnEntry>>;
+  using EntryHeap =
+      DAryHeap<ConnEntry, EntryLess, ArenaAllocator<ConnEntry>, 4>;
   struct ConnRank {
     bool init = false;
     ArenaVector<ConnEntry> ranked;  // Π1, Π2, ... of this connector
@@ -139,7 +143,7 @@ class RecursiveEnumerator : public Enumerator<D> {
       return D::Less(a.val, b.val);
     }
   };
-  using ComboHeap = BinaryHeap<Combo, ComboLess, ArenaAllocator<Combo>>;
+  using ComboHeap = DAryHeap<Combo, ComboLess, ArenaAllocator<Combo>, 4>;
   struct StateRank {
     bool init = false;
     ArenaVector<Combo> ranked;
@@ -173,7 +177,7 @@ class RecursiveEnumerator : public Enumerator<D> {
         initial.push_back(ConnEntry{st.member_val[p], p, 1});
       }
       stats_.heap_pushes += initial.size();
-      cr.heap.Assign(std::move(initial));
+      cr.heap.BuildFrom(std::move(initial));  // O(n) bulk heapify
     }
     while (cr.ranked.size() < k) {
       if (!cr.ranked.empty()) {

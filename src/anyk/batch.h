@@ -40,19 +40,35 @@ class BatchEnumerator : public Enumerator<D> {
     if (cursor_ >= order_.size()) return false;
     const size_t L = g_->stages.size();
     const uint32_t idx = order_[cursor_++];
-    row->weight = weights_[idx];
-    row->assignment.assign(g_->instance->num_vars, 0);
-    if (opts_.enum_opts.with_witness) {
-      row->witness.assign(g_->instance->num_atoms, kNoRow);
-    } else {
-      row->witness.clear();
-    }
+    PrepareRow(weights_[idx], row);
     for (uint32_t j = 0; j < L; ++j) {
       BindState(*g_, j, solutions_[static_cast<size_t>(idx) * L + j],
                 &row->assignment,
                 opts_.enum_opts.with_witness ? &row->witness : nullptr);
     }
     return true;
+  }
+
+  /// Batched pull, bound stage-wise: for each stage one pass over the whole
+  /// batch, so the stage's binding metadata stays hot instead of being
+  /// re-fetched L times per answer.
+  size_t NextBatch(ResultRow<D>* rows, size_t n) override {
+    if (!materialized_) Materialize();
+    const size_t L = g_->stages.size();
+    const size_t produced = std::min(n, order_.size() - cursor_);
+    for (size_t b = 0; b < produced; ++b) {
+      PrepareRow(weights_[order_[cursor_ + b]], &rows[b]);
+    }
+    for (uint32_t j = 0; j < L; ++j) {
+      for (size_t b = 0; b < produced; ++b) {
+        const uint32_t idx = order_[cursor_ + b];
+        BindState(*g_, j, solutions_[static_cast<size_t>(idx) * L + j],
+                  &rows[b].assignment,
+                  opts_.enum_opts.with_witness ? &rows[b].witness : nullptr);
+      }
+    }
+    cursor_ += produced;
+    return produced;
   }
 
   std::optional<ResultRow<D>> Next() override {
@@ -105,10 +121,41 @@ class BatchEnumerator : public Enumerator<D> {
 
     order_.resize(weights_.size());
     std::iota(order_.begin(), order_.end(), 0u);
+    const size_t k = opts_.enum_opts.k_budget;
     if (opts_.sort) {
-      std::sort(order_.begin(), order_.end(), [&](uint32_t a, uint32_t b) {
+      auto less = [&](uint32_t a, uint32_t b) {
         return D::Less(weights_[a], weights_[b]);
-      });
+      };
+      if (k != 0 && k < order_.size()) {
+        // Budget-aware: only the top k ranks will ever be pulled, so select
+        // and sort just those — O(|out| + k log k) instead of
+        // O(|out| log |out|).
+        std::partial_sort(order_.begin(),
+                          order_.begin() + static_cast<ptrdiff_t>(k),
+                          order_.end(), less);
+        order_.resize(k);
+      } else {
+        std::sort(order_.begin(), order_.end(), less);
+      }
+    } else if (k != 0 && k < order_.size()) {
+      order_.resize(k);  // unranked budget: any k tuples
+    }
+  }
+
+  /// Size the row's reusable buffers and set the weight. `resize` + fill
+  /// (never a fresh `assign` onto a moved-from vector) so the buffers keep
+  /// their capacity across calls and the batch algorithm shares the
+  /// zero-global-alloc enumeration property of the any-k hot path
+  /// (invariants_test::BatchEnumerationIsAllocationFreeAfterMaterialize).
+  void PrepareRow(const V& weight, ResultRow<D>* row) {
+    row->weight = weight;
+    row->assignment.resize(g_->instance->num_vars);
+    std::fill(row->assignment.begin(), row->assignment.end(), 0);
+    if (opts_.enum_opts.with_witness) {
+      row->witness.resize(g_->instance->num_atoms);
+      std::fill(row->witness.begin(), row->witness.end(), kNoRow);
+    } else {
+      row->witness.clear();
     }
   }
 

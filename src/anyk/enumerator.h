@@ -29,6 +29,17 @@ struct ResultRow {
 
 struct EnumOptions {
   bool with_witness = true;
+  // Top-k budget: the maximum number of answers this enumerator will be
+  // asked for (0 = unbounded / anytime enumeration). When set, enumerators
+  // take the budget-aware fast path: ANYK-PART bounds its candidate heap to
+  // O(k) via BoundedHeap and skips successor generation for the final
+  // answer, Batch partial-sorts only the top k, and every enumerator
+  // reports exhaustion once the budget is spent — NextInto returns false
+  // after k answers even if more exist. The first k answers are exactly the
+  // first k of an unbounded run (byte-identical under tie-break dioids,
+  // identical modulo canonicalized tie groups under the non-cancellative
+  // ones); differential_test's BoundedKSweep enforces this.
+  size_t k_budget = 0;
   // Bytes to pre-reserve in the enumerator's per-query arena at construction
   // (i.e. during preprocessing). With a large enough reservation the whole
   // enumeration phase performs zero global heap allocations — candidates,
@@ -72,6 +83,19 @@ class Enumerator {
     if (!r.has_value()) return false;
     *row = std::move(*r);
     return true;
+  }
+
+  /// Batched pull: write up to `n` answers into `rows[0..n)` (caller-owned,
+  /// buffers reused across calls like NextInto) and return how many were
+  /// written. A short count (< n) means the enumerator is exhausted — either
+  /// the output or its `k_budget` ran out — so callers may stop on the first
+  /// short batch. ANYK-PART and the batch enumerator override this to bind
+  /// variables stage-wise across the whole batch; enumerators with no such
+  /// cross-answer structure keep this NextInto loop.
+  virtual size_t NextBatch(ResultRow<D>* rows, size_t n) {
+    size_t produced = 0;
+    while (produced < n && NextInto(&rows[produced])) ++produced;
+    return produced;
   }
 };
 

@@ -57,20 +57,30 @@ template <SelectiveDioid D>
 class SharedVectorEnumerator : public Enumerator<D> {
  public:
   explicit SharedVectorEnumerator(
-      std::shared_ptr<const std::vector<ResultRow<D>>> rows)
-      : rows_(std::move(rows)) {}
+      std::shared_ptr<const std::vector<ResultRow<D>>> rows,
+      size_t k_budget = 0)
+      : rows_(std::move(rows)),
+        end_(k_budget == 0 ? rows_->size()
+                           : std::min(k_budget, rows_->size())) {}
   std::optional<ResultRow<D>> Next() override {
-    if (cursor_ >= rows_->size()) return std::nullopt;
+    if (cursor_ >= end_) return std::nullopt;
     return (*rows_)[cursor_++];
   }
   bool NextInto(ResultRow<D>* row) override {
-    if (cursor_ >= rows_->size()) return false;
+    if (cursor_ >= end_) return false;
     *row = (*rows_)[cursor_++];
     return true;
+  }
+  size_t NextBatch(ResultRow<D>* rows, size_t n) override {
+    const size_t produced = std::min(n, end_ - cursor_);
+    for (size_t b = 0; b < produced; ++b) rows[b] = (*rows_)[cursor_ + b];
+    cursor_ += produced;
+    return produced;
   }
 
  private:
   std::shared_ptr<const std::vector<ResultRow<D>>> rows_;
+  size_t end_;  // k-budget cap (rows_->size() when unbounded)
   size_t cursor_ = 0;
 };
 
@@ -86,6 +96,12 @@ class EnumerationSession {
 
   /// Hot-path pull into a caller-owned, reused row buffer.
   bool NextInto(ResultRow<D>* row) { return enumerator_->NextInto(row); }
+
+  /// Batched hot-path pull (see Enumerator::NextBatch): up to `n` answers
+  /// into caller-owned rows; a short count means exhausted.
+  size_t NextBatch(ResultRow<D>* rows, size_t n) {
+    return enumerator_->NextBatch(rows, n);
+  }
 
   Enumerator<D>* enumerator() { return enumerator_.get(); }
 
@@ -165,17 +181,25 @@ class PreparedQuery {
         return EnumerationSession<D>(
             MakeEnumerator<D>(graphs_[0].get(), algo, enum_opts));
       case QueryPlan::kCycleUnion: {
+        // Each part keeps the full k budget: a single partition may supply
+        // the entire top-k. With dedup (overlapping decompositions) a part
+        // can additionally be popped for answers that other parts already
+        // emitted, so there the parts run unbounded — only the union-level
+        // budget applies.
+        EnumOptions part_opts = enum_opts;
+        if (opts_.dedup_union) part_opts.k_budget = 0;
         std::vector<std::unique_ptr<Enumerator<D>>> parts;
         parts.reserve(graphs_.size());
         for (const auto& g : graphs_) {
-          parts.push_back(MakeEnumerator<D>(g.get(), algo, enum_opts));
+          parts.push_back(MakeEnumerator<D>(g.get(), algo, part_opts));
         }
         return EnumerationSession<D>(std::make_unique<UnionEnumerator<D>>(
-            std::move(parts), opts_.dedup_union));
+            std::move(parts), opts_.dedup_union, enum_opts.k_budget));
       }
       case QueryPlan::kGenericJoinBatch:
         return EnumerationSession<D>(
-            std::make_unique<SharedVectorEnumerator<D>>(batch_rows_));
+            std::make_unique<SharedVectorEnumerator<D>>(
+                batch_rows_, enum_opts.k_budget));
     }
     ANYK_CHECK(false) << "unknown plan";
     return EnumerationSession<D>(nullptr);
@@ -187,6 +211,9 @@ class PreparedQuery {
   QueryPlan plan() const { return plan_; }
   size_t NumTrees() const { return instances_.size(); }
   const ConjunctiveQuery& query() const { return query_; }
+  /// Session defaults from the prepare-time options (e.g. for callers that
+  /// want to tweak one knob — TopK sets k_budget on a copy of these).
+  const EnumOptions& default_enum_options() const { return opts_.enum_opts; }
   const std::vector<std::unique_ptr<StageGraph<D>>>& graphs() const {
     return graphs_;
   }

@@ -32,12 +32,14 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <new>
 #include <utility>
 #include <vector>
 
 #include "dp/stage_graph.h"
 #include "util/arena.h"
 #include "util/binary_heap.h"
+#include "util/dary_heap.h"
 #include "util/logging.h"
 
 namespace anyk {
@@ -114,21 +116,54 @@ class EagerStrategy {
 
 /// Lazy Sort (Chang et al.): heapify on first access, then migrate choices
 /// from the heap into a sorted list as successors are requested.
+///
+/// Budget-aware fast path (SetBudget): when the enumerator knows it will
+/// emit at most k answers, most connectors only ever serve their best and
+/// second-best members — the deviation candidates die in the bounded
+/// candidate queue without being popped. Initialization then does a linear
+/// top-two scan (no heap, no arena container) and defers the O(n) heapify
+/// until some deviation-of-a-deviation actually asks for rank 3+. Without a
+/// budget the classic heapify-up-front behavior is kept: an unbounded drain
+/// eventually requests deep ranks from every connector, so the upfront
+/// build amortizes.
 template <SelectiveDioid D>
 class LazyStrategy {
  public:
   static constexpr const char* kName = "Lazy";
+  // Choice handles are ranks into the connector's sorted order: 0 = best
+  // member, 1 = second best, ... — the contract behind the enumerator's
+  // O(1) deviation-from-top fast path (it pushes rank-1 candidates straight
+  // from the stage graph's precomputed conn_second without touching this
+  // strategy, and only initializes a connector when one of its deviation
+  // candidates is actually popped).
+  static constexpr bool kRankHandles = true;
 
+  /// The per-connector table holds one *pointer* per connector (zeroed in
+  /// one memset-sized sweep at session construction); the ConnData itself
+  /// is placement-new'd into the session arena on first touch. Serving
+  /// sessions that only skim a few connectors — the budgeted top-k shape —
+  /// therefore pay O(touched) construction, not O(total_connectors).
   LazyStrategy(const StageGraph<D>* g, Arena* arena)
-      : g_(g), arena_(arena), conns_(g->total_connectors) {}
+      : g_(g), arena_(arena), conns_(g->total_connectors, nullptr) {}
+
+  /// Declare the enumeration budget (0 = unbounded); see the class comment.
+  void SetBudget(size_t k_budget) { budget_ = k_budget; }
+
+  /// Whether the connector's successor structure has been built.
+  bool Initialized(uint32_t stage, uint32_t conn) const {
+    return conns_[g_->GlobalConn(stage, conn)] != nullptr;
+  }
 
   uint32_t Top(uint32_t stage, uint32_t conn) {
-    Init(stage, conn);
+    // Inlineable guard; the construction itself stays out of line (Top runs
+    // once per expansion stage per answer, almost always on a warm conn).
+    ConnData*& cd = conns_[g_->GlobalConn(stage, conn)];
+    if (cd == nullptr) [[unlikely]] cd = Init(stage, conn);
     return 0;
   }
 
   uint32_t MemberPos(uint32_t stage, uint32_t conn, uint32_t choice) {
-    const auto& cd = conns_[g_->GlobalConn(stage, conn)];
+    const auto& cd = *conns_[g_->GlobalConn(stage, conn)];
     ANYK_DCHECK(choice < cd.sorted.size());
     return cd.sorted[choice];
   }
@@ -136,10 +171,12 @@ class LazyStrategy {
   template <typename Out>
   void Successors(uint32_t stage, uint32_t conn, uint32_t choice, Out* out) {
     ++stats_.succ_calls;
-    ConnData& cd = conns_[g_->GlobalConn(stage, conn)];
-    // Materialize rank choice+1 if the heap still holds it.
-    if (choice + 1 >= cd.sorted.size() && !cd.heap.Empty()) {
-      cd.sorted.push_back(cd.heap.PopMin());
+    ConnData& cd = *conns_[g_->GlobalConn(stage, conn)];
+    // Materialize rank choice+1 if it is not sorted yet (building the
+    // deferred heap first if the top-two scan skipped it).
+    if (choice + 1 >= cd.sorted.size()) [[unlikely]] {
+      if (!cd.heaped) BuildDeferredHeap(stage, conn, &cd);
+      if (!cd.heap.Empty()) cd.sorted.push_back(cd.heap.PopMin());
     }
     if (choice + 1 < cd.sorted.size()) {
       out->push_back(choice + 1);
@@ -158,36 +195,116 @@ class LazyStrategy {
                      g->stages[stage].member_val[b]);
     }
   };
-  using ConnHeap = BinaryHeap<uint32_t, Cmp, ArenaAllocator<uint32_t>>;
+  using ConnHeap = DAryHeap<uint32_t, Cmp, ArenaAllocator<uint32_t>, 4>;
 
   struct ConnData {
-    bool init = false;
+    bool heaped = false;           // heap built (holds the unsorted rest)
     ArenaVector<uint32_t> sorted;  // drained prefix, ascending
     ConnHeap heap{Cmp{nullptr, 0}};
   };
 
-  void Init(uint32_t stage, uint32_t conn) {
-    ConnData& cd = conns_[g_->GlobalConn(stage, conn)];
-    if (cd.init) return;
-    cd.init = true;
+  ConnData* Init(uint32_t stage, uint32_t conn) {
+    // Arena-allocated; never destroyed (ArenaAllocator deallocation is a
+    // no-op anyway) — the memory dies with the session arena.
+    ConnData& cd = *new (arena_->Allocate(sizeof(ConnData), alignof(ConnData)))
+        ConnData();
     const auto& st = g_->stages[stage];
-    typename ConnHeap::Container all(ArenaAllocator<uint32_t>{arena_});
-    all.resize(st.ConnSize(conn));
-    for (uint32_t i = 0; i < all.size(); ++i) all[i] = st.conn_begin[conn] + i;
-    cd.heap = ConnHeap(Cmp{g_, stage}, ArenaAllocator<uint32_t>(arena_));
-    cd.heap.Assign(std::move(all));
-    // The paper pops the top two up front: nearly all successor requests in
-    // one repeat-loop iteration ask for the second-best choice.
+    const uint32_t begin = st.conn_begin[conn];
+    const uint32_t end = st.conn_begin[conn + 1];
     cd.sorted = MakeArenaVector<uint32_t>(arena_);
+    const uint32_t size = end - begin;
+    if (budget_ != 0 && size <= kScanThreshold) {
+      // Small connector under a budget: top-two scan, no heap, no arena
+      // container. Deviation candidates from it usually die unpopped in the
+      // bounded candidate queue, so the heap over the rest is built only if
+      // rank 3+ is ever requested (BuildDeferredHeap).
+      uint32_t best = begin;
+      uint32_t second = kNoPos;
+      for (uint32_t p = begin + 1; p < end; ++p) {
+        if (D::Less(st.member_val[p], st.member_val[best])) {
+          second = best;
+          best = p;
+        } else if (second == kNoPos ||
+                   D::Less(st.member_val[p], st.member_val[second])) {
+          second = p;
+        }
+      }
+      cd.sorted.push_back(best);
+      if (second != kNoPos) cd.sorted.push_back(second);
+      ++stats_.conns_initialized;
+      stats_.init_work += size;
+      return &cd;
+    }
+    typename ConnHeap::Container all(ArenaAllocator<uint32_t>{arena_});
+    // Selection only pays when the kept set is a small fraction of the
+    // connector — otherwise most members enter the scan's max-heap and a
+    // plain heapify is cheaper. (Division, not multiplication: a huge --k
+    // must degrade to the plain unbounded-style build, not overflow.)
+    if (budget_ != 0 && budget_ < size / 4) {
+      // A budgeted run pops at most k candidates in total, so no connector
+      // can ever be asked for more than k+2 of its ranks. Selection scan:
+      // one pass holding the k+2 best in a small max-heap — O(n)
+      // comparisons with a rarely-taken branch (most members never beat
+      // the running k-th best), and every later pop pays an O(log k) heap
+      // instead of O(log n).
+      const size_t keep = budget_ + 2;
+      Cmp less{g_, stage};
+      auto greater = [&less](uint32_t a, uint32_t b) { return less(b, a); };
+      all.reserve(keep);
+      for (uint32_t p = begin; p < end; ++p) {
+        if (all.size() < keep) {
+          all.push_back(p);
+          if (all.size() == keep) DAryHeapify<4>(&all, greater);
+        } else if (less(p, all[0])) {
+          all[0] = p;
+          DArySiftDown<4>(all, 0, greater);
+        }
+      }
+    } else {
+      all.resize(size);
+      for (uint32_t i = 0; i < all.size(); ++i) all[i] = begin + i;
+    }
+    cd.heap = ConnHeap(Cmp{g_, stage}, ArenaAllocator<uint32_t>(arena_));
+    cd.heap.BuildFrom(std::move(all));  // O(n) bulk heapify
+    cd.heaped = true;
+    // The paper pops the top two up front: nearly all successor requests
+    // in one repeat-loop iteration ask for the second-best choice.
     cd.sorted.push_back(cd.heap.PopMin());
     if (!cd.heap.Empty()) cd.sorted.push_back(cd.heap.PopMin());
     ++stats_.conns_initialized;
     stats_.init_work += st.ConnSize(conn);
+    return &cd;
   }
+
+  /// Heapify everything the top-two scan left unsorted (first rank-3+
+  /// request on a budget-initialized connector).
+  void BuildDeferredHeap(uint32_t stage, uint32_t conn, ConnData* cd) {
+    cd->heaped = true;
+    const auto& st = g_->stages[stage];
+    const uint32_t begin = st.conn_begin[conn];
+    const uint32_t end = st.conn_begin[conn + 1];
+    if (end - begin <= cd->sorted.size()) return;  // nothing left
+    typename ConnHeap::Container rest(ArenaAllocator<uint32_t>{arena_});
+    rest.reserve(end - begin - cd->sorted.size());
+    for (uint32_t p = begin; p < end; ++p) {
+      if (p != cd->sorted[0] && (cd->sorted.size() < 2 || p != cd->sorted[1])) {
+        rest.push_back(p);
+      }
+    }
+    cd->heap = ConnHeap(Cmp{g_, stage}, ArenaAllocator<uint32_t>(arena_));
+    cd->heap.BuildFrom(std::move(rest));
+  }
+
+  static constexpr uint32_t kNoPos = UINT32_MAX;
+  // Connectors up to this size take the top-two scan under a budget; larger
+  // ones keep a (budget-capped) heap, whose build loop beats a branchy
+  // linear scan at scale.
+  static constexpr uint32_t kScanThreshold = 64;
 
   const StageGraph<D>* g_;
   Arena* arena_;
-  std::vector<ConnData> conns_;
+  std::vector<ConnData*> conns_;  // null until first touch; arena-backed
+  size_t budget_ = 0;             // 0 = unbounded
   StrategyStats stats_;
 };
 

@@ -1,8 +1,15 @@
 // Convenience wrappers for the common "give me the top k" use case.
+//
+// Both overloads take the budget-aware fast path: the k is passed down as
+// EnumOptions::k_budget (bounded candidate heaps, final-answer shortcuts,
+// batch partial sort — see docs/ARCHITECTURE.md, "Top-k fast path") and the
+// drain goes through NextBatch into pre-sized rows, so no ResultRow is ever
+// copied on its way into the returned vector.
 
 #ifndef ANYK_ANYK_TOPK_H_
 #define ANYK_ANYK_TOPK_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <utility>
 #include <vector>
@@ -11,20 +18,35 @@
 
 namespace anyk {
 
+namespace internal {
+/// Chunked NextBatch drain of up to k answers into a fresh vector. Rows are
+/// written in place (no per-answer copy); chunking keeps the buffer
+/// proportional to the actual output when k overshoots it.
+template <SelectiveDioid D>
+std::vector<ResultRow<D>> DrainTopK(Enumerator<D>* e, size_t k) {
+  constexpr size_t kChunk = 1024;
+  std::vector<ResultRow<D>> out;
+  size_t produced = 0;
+  while (produced < k) {
+    const size_t chunk = std::min(k - produced, kChunk);
+    out.resize(produced + chunk);
+    const size_t got = e->NextBatch(out.data() + produced, chunk);
+    produced += got;
+    if (got < chunk) break;
+  }
+  out.resize(produced);
+  return out;
+}
+}  // namespace internal
+
 /// The k lightest answers of a full CQ (fewer if the output is smaller).
 template <SelectiveDioid D = TropicalDioid>
 std::vector<ResultRow<D>> TopK(const Database& db, const ConjunctiveQuery& q,
                                size_t k,
                                typename RankedQuery<D>::Options opts = {}) {
+  opts.enum_opts.k_budget = k;
   RankedQuery<D> rq(db, q, opts);
-  std::vector<ResultRow<D>> out;
-  out.reserve(k);
-  while (out.size() < k) {
-    auto row = rq.Next();
-    if (!row) break;
-    out.push_back(std::move(*row));
-  }
-  return out;
+  return internal::DrainTopK<D>(rq.enumerator(), k);
 }
 
 /// The k lightest answers through a fresh session of an already prepared
@@ -34,14 +56,10 @@ std::vector<ResultRow<D>> TopK(const Database& db, const ConjunctiveQuery& q,
 template <SelectiveDioid D>
 std::vector<ResultRow<D>> TopK(const PreparedQuery<D>& pq, Algorithm algo,
                                size_t k) {
-  EnumerationSession<D> session = pq.NewSession(algo);
-  std::vector<ResultRow<D>> out;
-  out.reserve(k);
-  ResultRow<D> row;
-  while (out.size() < k && session.NextInto(&row)) {
-    out.push_back(row);
-  }
-  return out;
+  EnumOptions opts = pq.default_enum_options();
+  opts.k_budget = k;
+  EnumerationSession<D> session = pq.NewSession(algo, opts);
+  return internal::DrainTopK<D>(session.enumerator(), k);
 }
 
 /// Count the full output by draining an unranked batch enumeration.

@@ -30,7 +30,7 @@
 #include <vector>
 
 #include "anyk/enumerator.h"
-#include "util/binary_heap.h"
+#include "util/dary_heap.h"
 
 namespace anyk {
 
@@ -39,15 +39,32 @@ class UnionEnumerator : public Enumerator<D> {
   using V = typename D::Value;
 
  public:
+  /// `k_budget` caps the number of answers *emitted by the union* (0 = all);
+  /// after the k-th answer NextInto reports exhaustion without pulling the
+  /// sources again. Each source's own budget travels in its EnumOptions
+  /// (PreparedQuery::NewSession gives every part the full k: any single
+  /// partition may supply the entire top-k).
   explicit UnionEnumerator(std::vector<std::unique_ptr<Enumerator<D>>> parts,
-                           bool dedup = false)
-      : parts_(std::move(parts)), slots_(parts_.size()), dedup_(dedup) {
+                           bool dedup = false, size_t k_budget = 0)
+      : parts_(std::move(parts)),
+        slots_(parts_.size()),
+        dedup_(dedup),
+        k_budget_(k_budget) {
+    // Bulk-heapify the initial pending set (one entry per non-empty source)
+    // instead of |parts| individual pushes.
+    std::vector<Pending> initial;
+    initial.reserve(parts_.size());
     for (size_t i = 0; i < parts_.size(); ++i) {
-      Refill(static_cast<uint32_t>(i));
+      const uint32_t source = static_cast<uint32_t>(i);
+      if (parts_[source]->NextInto(&slots_[source])) {
+        initial.push_back(Pending{slots_[source].weight, source});
+      }
     }
+    heap_.BuildFrom(std::move(initial));
   }
 
   bool NextInto(ResultRow<D>* row) override {
+    if (k_budget_ != 0 && emitted_ >= k_budget_) return false;
     while (!heap_.Empty()) {
       const uint32_t source = heap_.PopMin().source;
       std::swap(*row, slots_[source]);  // hand out the pending row's buffers
@@ -60,6 +77,7 @@ class UnionEnumerator : public Enumerator<D> {
       have_last_ = true;
       last_weight_ = row->weight;
       last_assignment_ = row->assignment;
+      ++emitted_;
       return true;
     }
     return false;
@@ -93,7 +111,9 @@ class UnionEnumerator : public Enumerator<D> {
   std::vector<std::unique_ptr<Enumerator<D>>> parts_;
   std::vector<ResultRow<D>> slots_;  // one pending row per source
   bool dedup_;
-  BinaryHeap<Pending, PendingLess> heap_;
+  size_t k_budget_;
+  size_t emitted_ = 0;
+  DAryHeap<Pending, PendingLess> heap_;
   bool have_last_ = false;
   V last_weight_{};
   std::vector<Value> last_assignment_;

@@ -42,6 +42,7 @@ template <SelectiveDioid D>
 struct StageGraph {
   using V = typename D::Value;
   static constexpr uint32_t kNoState = UINT32_MAX;
+  static constexpr uint32_t kNoMember = UINT32_MAX;
 
   struct Stage {
     uint32_t node_idx = 0;    // join-tree node backing this stage
@@ -63,6 +64,11 @@ struct StageGraph {
     std::vector<uint32_t> members;     // state ids, grouped by connector
     std::vector<V> member_val;         // weight[s] (+) pi1[s], aligned
     std::vector<uint32_t> conn_best;   // member *position* of the minimum
+    // Member position of the *second*-best member (kNoMember for singleton
+    // connectors). Precomputed here — shared by every session — so the
+    // budget-aware ANYK-PART fast path can push a deviation-from-top in
+    // O(1) without initializing any per-session successor structure.
+    std::vector<uint32_t> conn_second;
     uint32_t conn_global_base = 0;     // first global connector id
 
     size_t NumStates() const { return row_of_state.size(); }
@@ -257,12 +263,21 @@ StageGraph<D> BuildStageGraph(const TDPInstance& inst,
       st.member_val[pos] = D::Combine(st.weight[s], st.pi1[s]);
     }
     st.conn_best.resize(conns);
+    st.conn_second.resize(conns);
     for (size_t c = 0; c < conns; ++c) {
       uint32_t best_pos = st.conn_begin[c];
+      uint32_t second_pos = StageGraph<D>::kNoMember;
       for (uint32_t p = best_pos + 1; p < st.conn_begin[c + 1]; ++p) {
-        if (D::Less(st.member_val[p], st.member_val[best_pos])) best_pos = p;
+        if (D::Less(st.member_val[p], st.member_val[best_pos])) {
+          second_pos = best_pos;
+          best_pos = p;
+        } else if (second_pos == StageGraph<D>::kNoMember ||
+                   D::Less(st.member_val[p], st.member_val[second_pos])) {
+          second_pos = p;
+        }
       }
       st.conn_best[c] = best_pos;
+      st.conn_second[c] = second_pos;
     }
   };
 

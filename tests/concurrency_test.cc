@@ -239,6 +239,83 @@ TEST(ConcurrencyTest, ParallelPreprocessingMatchesSerial) {
   ASSERT_EQ(got, want);
 }
 
+// Budgeted concurrent sessions (the --sessions N --k K serving shape): each
+// session gets its own k_budget and must produce exactly the serial prefix,
+// then report exhaustion — across mixed algorithms, including the bounded
+// candidate heaps pruning independently per session.
+TEST(ConcurrencyTest, BudgetedSessionsMatchSerialPrefixes) {
+  using TB = TieBreakDioid<TropicalDioid, kMaxAtoms>;
+  Case c = MakeStarCase(108, 3, 40);
+  PreparedQuery<TB> pq(c.db, c.q);
+  const std::vector<Answer> want =
+      Drain<TB>(pq.NewSession(Algorithm::kLazy), 50000);
+  ASSERT_GT(want.size(), 200u);
+  const std::vector<Algorithm> algos = {Algorithm::kLazy, Algorithm::kTake2,
+                                        Algorithm::kEager,
+                                        Algorithm::kRecursive};
+  const std::vector<size_t> budgets = {1, 7, 64, want.size() + 5};
+  std::vector<std::vector<Answer>> got(kSessions);
+  std::vector<std::thread> threads;
+  threads.reserve(kSessions);
+  for (size_t t = 0; t < kSessions; ++t) {
+    threads.emplace_back([&pq, &algos, &budgets, &got, t] {
+      EnumOptions eo;
+      eo.k_budget = budgets[t % budgets.size()];
+      // Drain with a cap above the budget: the budget alone must stop the
+      // session.
+      got[t] = Drain<TB>(pq.NewSession(algos[t % algos.size()], eo),
+                         eo.k_budget + 100);
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (size_t t = 0; t < kSessions; ++t) {
+    const size_t budget = budgets[t % budgets.size()];
+    const size_t expect = std::min(budget, want.size());
+    ASSERT_EQ(got[t].size(), expect)
+        << "session " << t << " (" << AlgorithmName(algos[t % algos.size()])
+        << ", k=" << budget << ") emitted the wrong count";
+    for (size_t i = 0; i < expect; ++i) {
+      ASSERT_EQ(got[t][i], want[i])
+          << "session " << t << " ("
+          << AlgorithmName(algos[t % algos.size()]) << ", k=" << budget
+          << ") diverges at rank " << i;
+    }
+  }
+}
+
+// Same shape over the cycle-union plan: the budget reaches the union
+// enumerator and each of its partition sub-enumerators.
+TEST(ConcurrencyTest, BudgetedCycleUnionSessionsMatchSerialPrefix) {
+  using TB = TieBreakDioid<TropicalDioid, kMaxAtoms>;
+  Case c = MakeCycleCase(109, 4, 24);
+  PreparedQuery<TB> pq(c.db, c.q);
+  ASSERT_EQ(pq.plan(), QueryPlan::kCycleUnion);
+  const std::vector<Answer> want =
+      Drain<TB>(pq.NewSession(Algorithm::kLazy), 50000);
+  ASSERT_GT(want.size(), 20u);
+  const size_t budget = want.size() / 2;
+  std::vector<std::vector<Answer>> got(kSessions);
+  std::vector<std::thread> threads;
+  threads.reserve(kSessions);
+  for (size_t t = 0; t < kSessions; ++t) {
+    threads.emplace_back([&pq, &got, budget, t] {
+      EnumOptions eo;
+      eo.k_budget = budget;
+      got[t] = Drain<TB>(
+          pq.NewSession(t % 2 == 0 ? Algorithm::kLazy : Algorithm::kRecursive,
+                        eo),
+          budget + 100);
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (size_t t = 0; t < kSessions; ++t) {
+    ASSERT_EQ(got[t].size(), budget) << "session " << t;
+    for (size_t i = 0; i < budget; ++i) {
+      ASSERT_EQ(got[t][i], want[i]) << "session " << t << " rank " << i;
+    }
+  }
+}
+
 TEST(ConcurrencyTest, TopKOverPreparedQueryMatchesSessionPrefix) {
   Case c = MakeStarCase(107, 3, 30);
   PreparedQuery<TropicalDioid> pq(c.db, c.q);

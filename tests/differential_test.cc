@@ -196,10 +196,12 @@ GeneratedCase MakeCase(uint64_t seed) {
 
 template <typename B>
 std::vector<Answer> DrainExact(const Database& db, const ConjunctiveQuery& q,
-                               Algorithm algo, size_t cap) {
+                               Algorithm algo, size_t cap,
+                               size_t k_budget = 0) {
   using TB = TieBreakDioid<B, kMaxAtoms>;
   typename RankedQuery<TB>::Options opts;
   opts.algorithm = algo;
+  opts.enum_opts.k_budget = k_budget;
   RankedQuery<TB> rq(db, q, opts);
   std::vector<Answer> out;
   ResultRow<TB> row;
@@ -216,9 +218,11 @@ std::vector<Answer> DrainExact(const Database& db, const ConjunctiveQuery& q,
 
 template <typename B>
 std::vector<Answer> DrainRaw(const Database& db, const ConjunctiveQuery& q,
-                             Algorithm algo, size_t cap) {
+                             Algorithm algo, size_t cap,
+                             size_t k_budget = 0) {
   typename RankedQuery<B>::Options opts;
   opts.algorithm = algo;
+  opts.enum_opts.k_budget = k_budget;
   RankedQuery<B> rq(db, q, opts);
   std::vector<Answer> out;
   ResultRow<B> row;
@@ -331,6 +335,99 @@ INSTANTIATE_TEST_SUITE_P(Blocks, DifferentialTest,
                          ::testing::Values(0, 1, 2, 3, 4, 5, 6, 7),
                          [](const ::testing::TestParamInfo<uint64_t>& info) {
                            return "block" + std::to_string(info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// Bounded-k sweep: a budget-aware run (EnumOptions::k_budget = k) must be
+// the exact k-prefix of the unbounded run — byte-for-byte under the
+// tie-break (cancellative) dioids, modulo canonicalized tie groups under the
+// non-cancellative ones — and the enumerator itself must report exhaustion
+// at the budget (the drain below has no external cap).
+// ---------------------------------------------------------------------------
+
+std::vector<size_t> SweepBudgets(size_t out_size) {
+  // k ∈ {1, 2, |out|-1, |out|, |out|+7}, deduplicated for tiny outputs.
+  std::vector<size_t> ks = {1, 2};
+  if (out_size > 1) ks.push_back(out_size - 1);
+  ks.push_back(out_size);
+  ks.push_back(out_size + 7);
+  std::sort(ks.begin(), ks.end());
+  ks.erase(std::unique(ks.begin(), ks.end()), ks.end());
+  return ks;
+}
+
+template <typename B>
+void ExpectBudgetedPrefixExact(const GeneratedCase& c,
+                               const char* dioid_name) {
+  const std::vector<Answer> full =
+      DrainExact<B>(c.db, c.q, Algorithm::kBatch, SIZE_MAX);
+  for (const size_t k : SweepBudgets(full.size())) {
+    for (Algorithm algo : AllRankedAlgorithms()) {
+      // No external cap: the k_budget alone must stop the enumerator.
+      const std::vector<Answer> got =
+          DrainExact<B>(c.db, c.q, algo, /*cap=*/k + 16, /*k_budget=*/k);
+      const size_t want = std::min(k, full.size());
+      ASSERT_EQ(got.size(), want)
+          << c.label << "/" << dioid_name << "/" << AlgorithmName(algo)
+          << ": budget k=" << k << " emitted wrong count";
+      for (size_t i = 0; i < want; ++i) {
+        ASSERT_EQ(got[i], full[i])
+            << c.label << "/" << dioid_name << "/" << AlgorithmName(algo)
+            << ": budget k=" << k << " diverges at rank " << i;
+      }
+    }
+  }
+}
+
+template <typename B>
+void ExpectBudgetedPrefixCanonical(const GeneratedCase& c,
+                                   const char* dioid_name) {
+  const std::vector<Answer> full =
+      DrainRaw<B>(c.db, c.q, Algorithm::kBatch, SIZE_MAX);
+  for (const size_t k : SweepBudgets(full.size())) {
+    for (Algorithm algo : AllRankedAlgorithms()) {
+      std::vector<Answer> got =
+          DrainRaw<B>(c.db, c.q, algo, /*cap=*/k + 16, /*k_budget=*/k);
+      const size_t want_count = std::min(k, full.size());
+      ASSERT_EQ(got.size(), want_count)
+          << c.label << "/" << dioid_name << "/" << AlgorithmName(algo)
+          << ": budget k=" << k << " emitted wrong count";
+      std::vector<Answer> want(full.begin(),
+                               full.begin() + static_cast<ptrdiff_t>(
+                                                  want_count));
+      // Both prefixes may cut a tie group at an arbitrary member; compare
+      // complete groups only, canonically ordered within each group.
+      TrimIncompleteTailGroup<B>(&want, want_count);
+      TrimIncompleteTailGroup<B>(&got, want_count);
+      CanonicalizeTieGroups<B>(&want);
+      CanonicalizeTieGroups<B>(&got);
+      ASSERT_EQ(got, want)
+          << c.label << "/" << dioid_name << "/" << AlgorithmName(algo)
+          << ": budget k=" << k << " diverges modulo tie groups";
+    }
+  }
+}
+
+class BoundedKSweepTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BoundedKSweepTest, BudgetedRunsMatchUnboundedPrefixes) {
+  // One seed per shape family (MakeCase switches on seed % 5), plus a
+  // second pass to vary sizes; the full 200-case sweep lives in the
+  // unbounded suite above.
+  const uint64_t seed = GetParam();
+  const GeneratedCase c = MakeCase(seed);
+  SCOPED_TRACE("seed=" + std::to_string(seed) + " " + c.label + " " +
+               c.q.ToString());
+  ExpectBudgetedPrefixExact<TropicalDioid>(c, "min-sum");
+  ExpectBudgetedPrefixExact<MaxPlusDioid>(c, "max-sum");
+  ExpectBudgetedPrefixCanonical<MinMaxDioid>(c, "min-max");
+  ExpectBudgetedPrefixCanonical<MaxTimesDioid>(c, "max-times");
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, BoundedKSweepTest,
+                         ::testing::Values(5, 6, 7, 8, 9, 10, 11, 12, 13, 14),
+                         [](const ::testing::TestParamInfo<uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
                          });
 
 }  // namespace

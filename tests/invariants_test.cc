@@ -2,13 +2,18 @@
 // operation counters of the any-k algorithms must respect the per-result
 // bounds that the asymptotic analysis relies on.
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "anyk/anyk_part.h"
 #include "anyk/anyk_rec.h"
+#include "anyk/batch.h"
 #include "anyk/strategies.h"
+#include "util/dary_heap.h"
 #include "dioid/min_max.h"
 #include "dioid/tropical.h"
 #include "dp/stage_graph.h"
@@ -224,6 +229,86 @@ TEST(InvariantTest, ArenaGrowsGeometricallyWithoutReservation) {
   EXPECT_GT(produced, 1000u);
   // Geometric block growth: far fewer heap trips than results.
   EXPECT_LE(delta.news, 20u);
+}
+
+// ---------------------------------------------------------------------------
+// Budget-aware top-k fast path: with EnumOptions::k_budget = k the candidate
+// heap must stay O(k) (BoundedHeap pruning + compaction) instead of growing
+// with the number of generated candidates, the budgeted prefix must match
+// the unbounded run, and the enumerator must report exhaustion at k.
+// ---------------------------------------------------------------------------
+
+TEST(InvariantTest, CandidateHeapStaysOrderKUnderBudget) {
+  // Large instance with continuous random weights (tie groups are tiny, so
+  // the O(k) bound is meaningful).
+  Fixture f(400, 4, 83, 10.0);
+  const size_t L = f.g.stages.size();
+  for (const size_t k : {1u, 10u, 100u}) {
+    EnumOptions opts;
+    opts.k_budget = k;
+    AnyKPartEnumerator<TropicalDioid, LazyStrategy> bounded(&f.g, opts);
+    AnyKPartEnumerator<TropicalDioid, LazyStrategy> unbounded(&f.g);
+    ResultRow<TropicalDioid> row, urow;
+    size_t produced = 0;
+    while (bounded.NextInto(&row)) {
+      ASSERT_TRUE(unbounded.NextInto(&urow));
+      // Weight-for-weight prefix equality; witness order inside tie groups
+      // is only pinned down under a tie-break dioid (differential_test's
+      // BoundedKSweep covers that side).
+      ASSERT_EQ(row.weight, urow.weight) << "k=" << k << " rank=" << produced;
+      ++produced;
+    }
+    EXPECT_EQ(produced, k) << "budget must stop the enumerator at k";
+    // O(k): compaction cap (doubled once for the tie-group watermark) plus
+    // the per-result burst of <= L+1 successor pushes.
+    const size_t cap = std::max<size_t>(2 * k, 64);
+    EXPECT_LE(bounded.stats().max_cand_size, 2 * cap + L + 1) << "k=" << k;
+    EXPECT_LE(bounded.stats().pushes, unbounded.stats().pushes);
+    // Whenever the unbounded heap outgrows the bounded cap, the budgeted
+    // run must actually have pruned or compacted to stay inside it.
+    if (unbounded.stats().max_cand_size > 2 * cap + L + 1) {
+      const BoundedHeapStats bh = bounded.bounded_heap_stats();
+      EXPECT_GT(bh.pruned_pushes + bh.compactions, 0u)
+          << "budget k=" << k << " never pruned on a large instance";
+    }
+  }
+}
+
+TEST(InvariantTest, BudgetSkipsSuccessorGenerationForFinalAnswer) {
+  Fixture f(200, 4, 84, 8.0);
+  EnumOptions opts;
+  opts.k_budget = 1;
+  AnyKPartEnumerator<TropicalDioid, LazyStrategy> e(&f.g, opts);
+  ResultRow<TropicalDioid> row;
+  ASSERT_TRUE(e.NextInto(&row));
+  // k=1: the only answer is the DP optimum; no deviation may be generated.
+  EXPECT_EQ(e.stats().pushes, 1u);  // just the initial candidate
+  EXPECT_FALSE(e.NextInto(&row));
+}
+
+TEST(InvariantTest, BatchEnumerationIsAllocationFreeAfterMaterialize) {
+  // The batch algorithm materializes on first pull; after that, NextInto /
+  // NextBatch must reuse the row buffers (resize + fill, never a fresh
+  // allocation) just like the any-k hot path.
+  Fixture f(300, 4, 85, 8.0);
+  BatchEnumerator<TropicalDioid> e(&f.g);
+  ResultRow<TropicalDioid> row;
+  ASSERT_TRUE(e.NextInto(&row));  // materializes + warms the row buffers
+  std::vector<ResultRow<TropicalDioid>> batch(64);
+  ASSERT_EQ(e.NextBatch(batch.data(), batch.size()), batch.size());  // warm
+  const AllocCounts before = CurrentAllocCounts();
+  size_t produced = 0;
+  while (produced < 1000 && e.NextInto(&row)) ++produced;
+  while (produced < 3000) {
+    const size_t got = e.NextBatch(batch.data(), batch.size());
+    if (got == 0) break;
+    produced += got;
+  }
+  const AllocCounts delta = AllocDelta(before, CurrentAllocCounts());
+  EXPECT_EQ(delta.news, 0u)
+      << "batch enumeration of " << produced << " results hit the global "
+      << "heap " << delta.news << " times (" << delta.bytes << " bytes)";
+  EXPECT_GT(produced, 1000u) << "instance too small to be meaningful";
 }
 
 TEST(InvariantTest, WeightsMatchRecomputationFromWitness) {

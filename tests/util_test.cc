@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <queue>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -16,6 +17,7 @@
 #include <gtest/gtest.h>
 
 #include "util/binary_heap.h"
+#include "util/dary_heap.h"
 #include "util/pairing_heap.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
@@ -206,6 +208,172 @@ TEST(BinaryHeapTest, StressInterleaved) {
       EXPECT_EQ(heap.PopMin(), want);
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// DAryHeap: differential oracle against std::priority_queue across arities,
+// duplicate-heavy keys, bulk builds and tiny sizes (the hot-path candidate
+// queues of the budget-aware top-k work ride on this structure).
+// ---------------------------------------------------------------------------
+
+template <size_t Arity>
+void DAryHeapMatchesPriorityQueue(uint64_t seed) {
+  Rng rng(seed);
+  DAryHeap<int, std::less<int>, std::allocator<int>, Arity> heap;
+  std::priority_queue<int, std::vector<int>, std::greater<int>> oracle;
+  for (int round = 0; round < 4000; ++round) {
+    if (oracle.empty() || rng.Bernoulli(0.55)) {
+      // Narrow key domain: plenty of duplicates.
+      const int v = static_cast<int>(rng.Uniform(0, 40));
+      heap.Push(v);
+      oracle.push(v);
+    } else {
+      ASSERT_EQ(heap.Min(), oracle.top());
+      EXPECT_EQ(heap.PopMin(), oracle.top());
+      oracle.pop();
+    }
+  }
+  while (!oracle.empty()) {
+    EXPECT_EQ(heap.PopMin(), oracle.top());
+    oracle.pop();
+  }
+  EXPECT_TRUE(heap.Empty());
+}
+
+TEST(DAryHeapTest, MatchesPriorityQueueAcrossArities) {
+  DAryHeapMatchesPriorityQueue<2>(11);
+  DAryHeapMatchesPriorityQueue<4>(12);
+  DAryHeapMatchesPriorityQueue<8>(13);
+}
+
+TEST(DAryHeapTest, BuildFromBulkHeapifiesEverySmallSize) {
+  // Tiny capacities are where child-index arithmetic goes wrong.
+  Rng rng(21);
+  for (size_t n = 0; n <= 33; ++n) {
+    std::vector<int> v(n);
+    for (auto& x : v) x = static_cast<int>(rng.Uniform(0, 10));
+    std::vector<int> sorted = v;
+    std::sort(sorted.begin(), sorted.end());
+    DAryHeap<int> heap;
+    heap.BuildFrom(std::move(v));
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(heap.PopMin(), sorted[i]) << "n=" << n << " i=" << i;
+    }
+    EXPECT_TRUE(heap.Empty());
+  }
+}
+
+TEST(DAryHeapTest, PushBulkMatchesIndividualPushes) {
+  Rng rng(22);
+  DAryHeap<int> bulk, single;
+  std::vector<int> seeded(40);
+  for (auto& x : seeded) x = static_cast<int>(rng.Uniform(0, 1000));
+  std::vector<int> extra(200);  // > size/2: triggers the re-heapify path
+  for (auto& x : extra) x = static_cast<int>(rng.Uniform(0, 1000));
+  bulk.BuildFrom(std::vector<int>(seeded));
+  for (int x : seeded) single.Push(x);
+  bulk.PushBulk(extra);
+  for (int x : extra) single.Push(x);
+  ASSERT_EQ(bulk.Size(), single.Size());
+  while (!single.Empty()) EXPECT_EQ(bulk.PopMin(), single.PopMin());
+}
+
+TEST(DAryHeapTest, ReplaceMinAndMoveOnly) {
+  DAryHeap<int> heap;
+  heap.BuildFrom({5, 9, 7});
+  EXPECT_EQ(heap.ReplaceMin(1), 5);
+  EXPECT_EQ(heap.Min(), 1);
+  EXPECT_EQ(heap.ReplaceMin(20), 1);
+  EXPECT_EQ(heap.PopMin(), 7);
+
+  DAryHeap<std::unique_ptr<int>,
+           decltype([](const auto& a, const auto& b) { return *a < *b; })>
+      mo;
+  mo.Push(std::make_unique<int>(3));
+  mo.Push(std::make_unique<int>(1));
+  mo.Push(std::make_unique<int>(2));
+  EXPECT_EQ(*mo.PopMin(), 1);
+  EXPECT_EQ(*mo.PopMin(), 2);
+  EXPECT_EQ(*mo.PopMin(), 3);
+}
+
+// ---------------------------------------------------------------------------
+// BoundedHeap: with a budget of r pops, the first r pops must byte-match an
+// unbounded run, the array must stay O(r), and ties at the bound must
+// survive pruning.
+// ---------------------------------------------------------------------------
+
+TEST(BoundedHeapTest, BudgetedPopsMatchUnboundedPrefix) {
+  for (const size_t budget : {1u, 2u, 7u, 50u, 400u}) {
+    Rng rng(100 + budget);
+    BoundedHeap<int> bounded;
+    DAryHeap<int> plain;
+    bounded.SetBudget(budget);
+    // Interleave pushes and pops the way a Lawler candidate queue does:
+    // pop one, push a few successors no lighter than the popped element.
+    std::vector<int> popped_b, popped_p;
+    bounded.Push(0);
+    plain.Push(0);
+    while (popped_b.size() < budget && !bounded.Empty()) {
+      const int top_b = bounded.PopMin();
+      const int top_p = plain.PopMin();
+      popped_b.push_back(top_b);
+      popped_p.push_back(top_p);
+      const size_t succ = rng.Below(4);
+      for (size_t s = 0; s < succ; ++s) {
+        const int child = top_b + static_cast<int>(rng.Uniform(0, 20));
+        bounded.Push(child);
+        plain.Push(child);
+      }
+    }
+    EXPECT_EQ(popped_b, popped_p) << "budget=" << budget;
+    // O(k) bound: the compaction cap (doubled once for the tie-group
+    // watermark) plus in-flight pushes — never the O(pushes) of a plain heap.
+    EXPECT_LE(bounded.stats().max_size,
+              4 * std::max<size_t>(2 * budget,
+                                   BoundedHeap<int>::kMinCompactSize))
+        << "budget=" << budget;
+  }
+}
+
+TEST(BoundedHeapTest, TiesAtTheBoundSurvive) {
+  BoundedHeap<int> heap;
+  heap.SetBudget(2);
+  // Push far past the compaction cap with *one* distinct key: nothing is
+  // strictly worse than the bound, so nothing may be discarded.
+  for (int i = 0; i < 500; ++i) heap.Push(7);
+  EXPECT_EQ(heap.Size(), 500u);
+  EXPECT_EQ(heap.stats().pruned_pushes, 0u);
+  // Now a strictly worse key: once a bound exists it must be pruned.
+  heap.Push(3);  // strictly better, must be kept
+  EXPECT_EQ(heap.PopMin(), 3);
+}
+
+TEST(BoundedHeapTest, StrictlyWorseCandidatesArePruned) {
+  BoundedHeap<int> heap;
+  heap.SetBudget(4);
+  for (int i = 0; i < 1000; ++i) heap.Push(i);
+  EXPECT_GT(heap.stats().pruned_pushes, 0u);
+  EXPECT_GT(heap.stats().compactions, 0u);
+  for (int want = 0; want < 4; ++want) EXPECT_EQ(heap.PopMin(), want);
+}
+
+TEST(BoundedHeapTest, UnboundedBehavesLikePlainHeap) {
+  Rng rng(31);
+  BoundedHeap<int> heap;  // SetBudget never called
+  std::priority_queue<int, std::vector<int>, std::greater<int>> oracle;
+  for (int round = 0; round < 2000; ++round) {
+    if (oracle.empty() || rng.Bernoulli(0.5)) {
+      const int v = static_cast<int>(rng.Uniform(0, 50));
+      heap.Push(v);
+      oracle.push(v);
+    } else {
+      EXPECT_EQ(heap.PopMin(), oracle.top());
+      oracle.pop();
+    }
+  }
+  EXPECT_EQ(heap.stats().pruned_pushes, 0u);
+  EXPECT_EQ(heap.stats().compactions, 0u);
 }
 
 // ---------------------------------------------------------------------------
