@@ -92,8 +92,11 @@ struct SessionReport {
   double ttf_seconds = 0;
   // TT(k) of this session: when the drain is budgeted (--k / SQL LIMIT),
   // the moment the k-th answer arrived; equal to ttl_seconds when the
-  // stream exhausted first or no budget was set.
+  // stream exhausted first or no budget was set. Tracked with an explicit
+  // flag, not a 0.0 sentinel: a legitimately stamped 0.0 (coarse clock,
+  // instant answer) must not get overwritten with the TTL.
   double ttk_seconds = 0;
+  bool has_ttk = false;
   double ttl_seconds = 0;
   bool exhausted = false;
 };
@@ -180,19 +183,27 @@ RunReport RunRanked(const Database& db, const SqlStatement& stmt,
           if (sr.produced == got) sr.ttf_seconds = timer.Seconds();
           if (limit != 0 && sr.produced >= limit) {
             sr.ttk_seconds = timer.Seconds();
+            sr.has_ttk = true;
           }
         }
         sr.ttl_seconds = timer.Seconds();
-        if (sr.ttk_seconds == 0) sr.ttk_seconds = sr.ttl_seconds;
+        if (!sr.has_ttk) sr.ttk_seconds = sr.ttl_seconds;
       });
     }
     for (std::thread& w : workers) w.join();
     rep.exhausted = true;
-    rep.ttf_seconds = rep.sessions[0].ttf_seconds;
+    bool have_ttf = false;
     for (const SessionReport& sr : rep.sessions) {
       rep.produced += sr.produced;
       rep.exhausted = rep.exhausted && sr.exhausted;
-      rep.ttf_seconds = std::min(rep.ttf_seconds, sr.ttf_seconds);
+      // A session that produced nothing never stamped a TTF; folding its 0.0
+      // into the min would report a first answer that never arrived.
+      if (sr.produced > 0) {
+        rep.ttf_seconds =
+            have_ttf ? std::min(rep.ttf_seconds, sr.ttf_seconds)
+                     : sr.ttf_seconds;
+        have_ttf = true;
+      }
       rep.ttl_seconds = std::max(rep.ttl_seconds, sr.ttl_seconds);
     }
     const double enum_wall = rep.ttl_seconds - rep.preprocessing_seconds;
@@ -435,12 +446,13 @@ const char* UsageText() {
       "all | batch\n"
       "  --dioid NAME          min-sum | max-sum | min-max | max-times\n"
       "                        (default: min-sum for ASC, max-sum for DESC)\n"
-      "  --k N                 top-k budget: propagated to the enumerators "
-      "(O(k)\n"
-      "                        candidate heaps, batch partial sort) and "
-      "stops the\n"
-      "                        drain after N answers (overrides the SQL "
-      "LIMIT; 0 = all)\n"
+      "  --k N                 top-k budget (N >= 1): propagated to the "
+      "enumerators\n"
+      "                        (O(k) candidate heaps, batch partial sort) "
+      "and stops\n"
+      "                        the drain after N answers (overrides the SQL "
+      "LIMIT;\n"
+      "                        omit --k to enumerate everything)\n"
       "\n"
       "Concurrency (see docs/CLI.md, docs/ARCHITECTURE.md 'Threading "
       "model'):\n"
@@ -553,8 +565,12 @@ bool ParseCliArgs(int argc, char** argv, CliOptions* opt, std::string* error) {
       opt->dioid = v;
     } else if (is_flag(a, "--k")) {
       if (!value_of(&i, "--k", &v)) return false;
-      if (!ParseSize(v, &opt->k)) {
-        *error = "--k expects a non-negative integer, got '" + v + "'";
+      // 0 is rejected, not passed through: internally k_budget == 0 means
+      // "unbounded" (see EnumOptions), so `--k 0` would silently drain
+      // everything instead of producing nothing.
+      if (!ParseSize(v, &opt->k) || opt->k == 0) {
+        *error = "--k expects a positive integer, got '" + v +
+                 "' (omit --k to enumerate everything)";
         return false;
       }
       opt->has_k = true;

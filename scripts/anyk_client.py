@@ -1,0 +1,211 @@
+#!/usr/bin/env python3
+"""Command-line client for anykd, the any-k serving daemon.
+
+Speaks the daemon's plain-text HTTP protocol (docs/SERVER.md). Two modes:
+
+  query  -- run one SQL query and page through the whole ranked answer
+            stream via resumable cursors, printing RESULT lines to stdout:
+
+              scripts/anyk_client.py query --port 8080 \
+                  --sql "SELECT * FROM R1, R2 WHERE R1.A2 = R2.A1 \
+                         ORDER BY WEIGHT ASC LIMIT 500" --page-k 100
+
+  bench  -- closed-loop latency probe: N client threads each issue
+            query/next/close round trips against one cached query and the
+            aggregate p50/p99 per-request latency is reported. With
+            --max-p99 the exit code turns this into a CI smoke gate:
+
+              scripts/anyk_client.py bench --port 8080 \
+                  --sql "..." --threads 4 --requests 50 --max-p99 0.5
+
+Standard library only (urllib); no external dependencies.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+import threading
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+
+
+def _get(port, path, params, timeout):
+    """One GET against the daemon. Returns (status, body-text)."""
+    url = "http://127.0.0.1:%d%s?%s" % (
+        port, path, urllib.parse.urlencode(params))
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as resp:
+            return resp.status, resp.read().decode("utf-8", "replace")
+    except urllib.error.HTTPError as e:
+        return e.code, e.read().decode("utf-8", "replace")
+
+
+def _post(port, path, timeout):
+    url = "http://127.0.0.1:%d%s" % (port, path)
+    req = urllib.request.Request(url, data=b"", method="POST")
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, resp.read().decode("utf-8", "replace")
+    except urllib.error.HTTPError as e:
+        return e.code, e.read().decode("utf-8", "replace")
+
+
+def _parse_page(body):
+    """Split a text-format page into (result_lines, cursor_or_None, done)."""
+    results, cursor, done = [], None, False
+    for line in body.splitlines():
+        if line.startswith("RESULT,"):
+            results.append(line)
+        elif line.startswith("CURSOR,"):
+            cursor = line[len("CURSOR,"):]
+        elif line.startswith("DONE,"):
+            done = True
+    return results, cursor, done
+
+
+def drain_query(port, sql, page_k, algorithm, timeout, out=sys.stdout):
+    """Page through one query to completion; returns all RESULT lines."""
+    status, body = _get(port, "/v1/query",
+                        {"sql": sql, "k": page_k, "algorithm": algorithm},
+                        timeout)
+    if status != 200:
+        sys.stderr.write("anyk_client: query failed (%d): %s\n"
+                         % (status, body.strip()))
+        sys.exit(1)
+    all_results, cursor, done = _parse_page(body)
+    for line in all_results:
+        out.write(line + "\n")
+    while cursor and not done:
+        status, body = _get(port, "/v1/next",
+                            {"cursor": cursor, "k": page_k}, timeout)
+        if status != 200:
+            sys.stderr.write("anyk_client: next failed (%d): %s\n"
+                             % (status, body.strip()))
+            sys.exit(1)
+        page, next_cursor, done = _parse_page(body)
+        for line in page:
+            out.write(line + "\n")
+        all_results.extend(page)
+        cursor = next_cursor or cursor
+    return all_results
+
+
+def bench_worker(port, sql, page_k, algorithm, requests, timeout,
+                 latencies, errors):
+    for _ in range(requests):
+        t0 = time.monotonic()
+        status, body = _get(port, "/v1/query",
+                            {"sql": sql, "k": page_k,
+                             "algorithm": algorithm}, timeout)
+        latencies.append(time.monotonic() - t0)
+        if status != 200:
+            errors.append("query: %d %s" % (status, body.strip()))
+            continue
+        _, cursor, done = _parse_page(body)
+        if cursor and not done:
+            t0 = time.monotonic()
+            status, body = _get(port, "/v1/next",
+                                {"cursor": cursor, "k": page_k}, timeout)
+            latencies.append(time.monotonic() - t0)
+            if status != 200:
+                errors.append("next: %d %s" % (status, body.strip()))
+            _get(port, "/v1/close", {"cursor": cursor}, timeout)
+
+
+def percentile(samples, p):
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    idx = min(len(ordered) - 1, int(p * (len(ordered) - 1) + 0.5))
+    return ordered[idx]
+
+
+def run_bench(args):
+    # Warm the prepared-query cache so the measured loop exercises the
+    # cache-hit serving path, not one giant preparation outlier.
+    status, body = _get(args.port, "/v1/query",
+                        {"sql": args.sql, "k": 1,
+                         "algorithm": args.algorithm}, args.timeout)
+    if status != 200:
+        sys.stderr.write("anyk_client: warmup failed (%d): %s\n"
+                         % (status, body.strip()))
+        return 1
+    _, cursor, done = _parse_page(body)
+    if cursor and not done:
+        _get(args.port, "/v1/close", {"cursor": cursor}, args.timeout)
+
+    per_thread = [[] for _ in range(args.threads)]
+    errors = []
+    t0 = time.monotonic()
+    workers = [
+        threading.Thread(
+            target=bench_worker,
+            args=(args.port, args.sql, args.page_k, args.algorithm,
+                  args.requests, args.timeout, per_thread[i], errors))
+        for i in range(args.threads)
+    ]
+    for w in workers:
+        w.start()
+    for w in workers:
+        w.join()
+    wall = time.monotonic() - t0
+
+    samples = [s for lat in per_thread for s in lat]
+    report = {
+        "threads": args.threads,
+        "requests": len(samples),
+        "errors": len(errors),
+        "wall_seconds": round(wall, 6),
+        "requests_per_sec": round(len(samples) / wall, 1) if wall else 0,
+        "p50_seconds": round(percentile(samples, 0.50), 6),
+        "p99_seconds": round(percentile(samples, 0.99), 6),
+        "mean_seconds": round(statistics.fmean(samples), 6)
+        if samples else 0.0,
+    }
+    print(json.dumps(report, indent=2))
+    for e in errors[:5]:
+        sys.stderr.write("anyk_client: error: %s\n" % e)
+    if errors:
+        return 1
+    if args.max_p99 is not None and report["p99_seconds"] > args.max_p99:
+        sys.stderr.write(
+            "anyk_client: p99 %.6fs exceeds --max-p99 %.6fs\n"
+            % (report["p99_seconds"], args.max_p99))
+        return 1
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("mode", choices=["query", "bench"])
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--sql", required=True,
+                        help="paper-dialect SQL (docs/SQL.md)")
+    parser.add_argument("--page-k", type=int, default=100,
+                        help="answers per page (server caps via "
+                             "--max-page-k; 0 is rejected)")
+    parser.add_argument("--algorithm", default="lazy",
+                        help="recursive|take2|lazy|eager|all|batch")
+    parser.add_argument("--timeout", type=float, default=30.0,
+                        help="per-request socket timeout in seconds")
+    parser.add_argument("--threads", type=int, default=4,
+                        help="bench: concurrent client threads")
+    parser.add_argument("--requests", type=int, default=50,
+                        help="bench: query round trips per thread")
+    parser.add_argument("--max-p99", type=float, default=None,
+                        help="bench: exit 1 when p99 latency exceeds this "
+                             "many seconds")
+    args = parser.parse_args()
+
+    if args.mode == "query":
+        drain_query(args.port, args.sql, args.page_k, args.algorithm,
+                    args.timeout)
+        return 0
+    return run_bench(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

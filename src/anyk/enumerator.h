@@ -30,7 +30,12 @@ struct ResultRow {
 struct EnumOptions {
   bool with_witness = true;
   // Top-k budget: the maximum number of answers this enumerator will be
-  // asked for (0 = unbounded / anytime enumeration). When set, enumerators
+  // asked for. 0 is a SENTINEL meaning "unbounded / anytime enumeration",
+  // NOT "zero answers" — there is no way to request an empty enumeration
+  // through this knob. User-facing boundaries must therefore reject a
+  // literal 0 before it reaches this field (the CLI rejects `--k 0`, the
+  // server rejects `k=0`, and the SQL parser rejects `LIMIT 0`); api_test
+  // pins the sentinel semantics. When set, enumerators
   // take the budget-aware fast path: ANYK-PART bounds its candidate heap to
   // O(k) via BoundedHeap and skips successor generation for the final
   // answer, Batch partial-sorts only the top k, and every enumerator

@@ -40,6 +40,10 @@ std::vector<ResultRow<D>> DrainTopK(Enumerator<D>* e, size_t k) {
 }  // namespace internal
 
 /// The k lightest answers of a full CQ (fewer if the output is smaller).
+/// k == 0 returns an empty vector: the drain pulls nothing, so the
+/// EnumOptions::k_budget "0 = unbounded" sentinel (which this k is forwarded
+/// into) never turns a zero request into a full enumeration — api_test pins
+/// this.
 template <SelectiveDioid D = TropicalDioid>
 std::vector<ResultRow<D>> TopK(const Database& db, const ConjunctiveQuery& q,
                                size_t k,

@@ -7,6 +7,7 @@
 #include <numeric>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -20,18 +21,20 @@ namespace anyk {
 namespace {
 
 struct Token {
-  std::string text;   // uppercased for keywords, original for identifiers
+  std::string text;   // original spelling (keywords match case-insensitively)
   std::string upper;
+  size_t offset = 0;  // byte offset into the statement, for diagnostics
 };
 
 std::vector<Token> Tokenize(const std::string& sql) {
   std::vector<Token> tokens;
   size_t i = 0;
-  auto push = [&](std::string t) {
+  auto push = [&](std::string t, size_t offset) {
     Token tok;
-    tok.text = t;
-    tok.upper = t;
+    tok.text = std::move(t);
+    tok.upper = tok.text;
     for (char& c : tok.upper) c = static_cast<char>(std::toupper(c));
+    tok.offset = offset;
     tokens.push_back(std::move(tok));
   };
   while (i < sql.size()) {
@@ -45,12 +48,13 @@ std::vector<Token> Tokenize(const std::string& sql) {
               sql[i] == '_')) {
         ++i;
       }
-      push(sql.substr(start, i - start));
+      push(sql.substr(start, i - start), start);
     } else if (c == '.' || c == ',' || c == '=' || c == '*' || c == ';') {
-      push(std::string(1, c));
+      push(std::string(1, c), i);
       ++i;
     } else {
-      ANYK_CHECK(false) << "SQL: unexpected character '" << c << "'";
+      ANYK_CHECK(false) << "SQL:" << i << ": unexpected character '" << c
+                        << "'";
     }
   }
   return tokens;
@@ -58,11 +62,14 @@ std::vector<Token> Tokenize(const std::string& sql) {
 
 struct Cursor {
   const std::vector<Token>& toks;
+  size_t end_offset = 0;  // statement length, for end-of-input diagnostics
   size_t pos = 0;
 
   bool AtEnd() const { return pos >= toks.size(); }
+  size_t Offset() const { return AtEnd() ? end_offset : toks[pos].offset; }
   const Token& Peek() const {
-    ANYK_CHECK(!AtEnd()) << "SQL: unexpected end of statement";
+    ANYK_CHECK(!AtEnd()) << "SQL:" << end_offset
+                         << ": unexpected end of statement";
     return toks[pos];
   }
   Token Take() {
@@ -78,8 +85,9 @@ struct Cursor {
     return false;
   }
   void Expect(const std::string& kw) {
-    ANYK_CHECK(TryKeyword(kw)) << "SQL: expected " << kw << " near '"
-                               << (AtEnd() ? "<end>" : Peek().text) << "'";
+    ANYK_CHECK(TryKeyword(kw))
+        << "SQL:" << Offset() << ": expected " << kw << " near '"
+        << (AtEnd() ? "<end>" : Peek().text) << "'";
   }
 };
 
@@ -88,18 +96,129 @@ struct ColumnRef {
   size_t column;      // zero-based
 };
 
+// Canonical rendering: alias spelled as written, column always `A<n>`.
+std::string RenderColumnRef(const ColumnRef& ref) {
+  return ref.table + ".A" + std::to_string(ref.column + 1);
+}
+
+size_t ParseColumnNumber(const std::string& col, size_t offset) {
+  ANYK_CHECK(col.size() >= 2 && (col[0] == 'A' || col[0] == 'a'))
+      << "SQL:" << offset << ": columns are addressed as A1..An, got '" << col
+      << "'";
+  const long idx = std::strtol(col.c_str() + 1, nullptr, 10);
+  ANYK_CHECK_GE(idx, 1) << "SQL:" << offset << ": bad column '" << col << "'";
+  return static_cast<size_t>(idx - 1);
+}
+
 // alias.A<k>
 ColumnRef ParseColumnRef(Cursor* cur) {
   ColumnRef ref;
   ref.table = cur->Take().text;
   cur->Expect(".");
-  const std::string col = cur->Take().text;
-  ANYK_CHECK(col.size() >= 2 && (col[0] == 'A' || col[0] == 'a'))
-      << "SQL: columns are addressed as A1..An, got '" << col << "'";
-  const long idx = std::strtol(col.c_str() + 1, nullptr, 10);
-  ANYK_CHECK_GE(idx, 1) << "SQL: bad column '" << col << "'";
-  ref.column = static_cast<size_t>(idx - 1);
+  const Token col = cur->Take();
+  ref.column = ParseColumnNumber(col.text, col.offset);
   return ref;
+}
+
+/// The statement at the syntax level: what was written, before any
+/// variable/arity resolution. ParseSql lowers this to a ConjunctiveQuery;
+/// NormalizeSql renders it back out canonically.
+struct ParsedSyntax {
+  bool select_all = false;
+  std::vector<ColumnRef> select_refs;
+  std::vector<std::pair<std::string, std::string>> tables;  // (relation, alias)
+  std::unordered_map<std::string, size_t> alias_idx;
+  std::vector<std::pair<ColumnRef, ColumnRef>> equalities;
+  bool ascending = true;
+  size_t limit = 0;  // 0 = no LIMIT clause
+};
+
+ParsedSyntax ParseSyntax(const std::string& sql) {
+  const std::vector<Token> toks = Tokenize(sql);
+  Cursor cur{toks, sql.size()};
+  ParsedSyntax syn;
+  cur.Expect("SELECT");
+
+  // SELECT list (alias existence checked after FROM).
+  std::vector<std::pair<Token, Token>> select_raw;  // (table, column) tokens
+  if (cur.TryKeyword("*")) {
+    syn.select_all = true;
+  } else {
+    do {
+      Token tbl = cur.Take();
+      cur.Expect(".");
+      select_raw.emplace_back(std::move(tbl), cur.Take());
+    } while (cur.TryKeyword(","));
+  }
+
+  cur.Expect("FROM");
+  do {
+    const Token rel = cur.Take();
+    std::string alias = rel.text;
+    if (!cur.AtEnd() && cur.Peek().upper != "WHERE" &&
+        cur.Peek().upper != "ORDER" && cur.Peek().upper != "LIMIT" &&
+        cur.Peek().upper != "," && cur.Peek().upper != ";") {
+      alias = cur.Take().text;
+    }
+    ANYK_CHECK(syn.alias_idx.emplace(alias, syn.tables.size()).second)
+        << "SQL:" << rel.offset << ": duplicate table alias '" << alias << "'";
+    syn.tables.emplace_back(rel.text, alias);
+  } while (cur.TryKeyword(","));
+  ANYK_CHECK(!syn.tables.empty())
+      << "SQL:" << cur.Offset() << ": empty FROM clause";
+
+  auto check_alias = [&](const std::string& alias, size_t offset) {
+    ANYK_CHECK(syn.alias_idx.count(alias) > 0)
+        << "SQL:" << offset << ": unknown table alias '" << alias << "'";
+  };
+  for (const auto& [tbl, col] : select_raw) {
+    check_alias(tbl.text, tbl.offset);
+    syn.select_refs.push_back(
+        {tbl.text, ParseColumnNumber(col.text, col.offset)});
+  }
+
+  if (cur.TryKeyword("WHERE")) {
+    do {
+      const size_t lhs_offset = cur.Offset();
+      ColumnRef lhs = ParseColumnRef(&cur);
+      check_alias(lhs.table, lhs_offset);
+      cur.Expect("=");
+      const size_t rhs_offset = cur.Offset();
+      ColumnRef rhs = ParseColumnRef(&cur);
+      check_alias(rhs.table, rhs_offset);
+      syn.equalities.emplace_back(std::move(lhs), std::move(rhs));
+    } while (cur.TryKeyword("AND"));
+  }
+
+  if (cur.TryKeyword("ORDER")) {
+    cur.Expect("BY");
+    cur.Expect("WEIGHT");
+    if (cur.TryKeyword("DESC")) {
+      syn.ascending = false;
+    } else {
+      cur.TryKeyword("ASC");
+    }
+  }
+  if (cur.TryKeyword("LIMIT")) {
+    const Token k = cur.Take();
+    ANYK_CHECK(!k.text.empty() &&
+               std::all_of(k.text.begin(), k.text.end(), [](unsigned char c) {
+                 return std::isdigit(c);
+               }))
+        << "SQL:" << k.offset << ": LIMIT expects a positive integer, got '"
+        << k.text << "'";
+    syn.limit = static_cast<size_t>(std::stoull(k.text));
+    // LIMIT 0 would silently mean "unlimited" downstream (the k_budget
+    // sentinel); reject it so "no answers" can never be misread as "all".
+    ANYK_CHECK(syn.limit > 0)
+        << "SQL:" << k.offset
+        << ": LIMIT 0 is not a query; omit LIMIT to enumerate everything";
+  }
+  cur.TryKeyword(";");
+  ANYK_CHECK(cur.AtEnd()) << "SQL:" << cur.Offset()
+                          << ": trailing input near '" << cur.Peek().text
+                          << "'";
+  return syn;
 }
 
 // Union-find over (table, column) slots.
@@ -115,96 +234,28 @@ struct Slots {
 }  // namespace
 
 SqlStatement ParseSql(const std::string& sql, const Database* db) {
-  const std::vector<Token> toks = Tokenize(sql);
-  Cursor cur{toks};
-  cur.Expect("SELECT");
-
-  // SELECT list (resolved after FROM).
-  bool select_all = false;
-  std::vector<std::pair<std::string, std::string>> select_raw;  // (tbl, col)
-  if (cur.TryKeyword("*")) {
-    select_all = true;
-  } else {
-    do {
-      const std::string tbl = cur.Take().text;
-      cur.Expect(".");
-      select_raw.emplace_back(tbl, cur.Take().text);
-    } while (cur.TryKeyword(","));
-  }
-
-  cur.Expect("FROM");
-  std::vector<std::pair<std::string, std::string>> tables;  // (relation, alias)
-  std::unordered_map<std::string, size_t> alias_idx;
-  do {
-    const std::string rel = cur.Take().text;
-    std::string alias = rel;
-    if (!cur.AtEnd() && cur.Peek().upper != "WHERE" &&
-        cur.Peek().upper != "ORDER" && cur.Peek().upper != "LIMIT" &&
-        cur.Peek().upper != "," && cur.Peek().upper != ";") {
-      alias = cur.Take().text;
-    }
-    ANYK_CHECK(alias_idx.emplace(alias, tables.size()).second)
-        << "SQL: duplicate table alias '" << alias << "'";
-    tables.emplace_back(rel, alias);
-  } while (cur.TryKeyword(","));
-  ANYK_CHECK(!tables.empty()) << "SQL: empty FROM clause";
-
-  // Equality conditions.
-  std::vector<std::pair<ColumnRef, ColumnRef>> equalities;
-  if (cur.TryKeyword("WHERE")) {
-    do {
-      ColumnRef lhs = ParseColumnRef(&cur);
-      cur.Expect("=");
-      ColumnRef rhs = ParseColumnRef(&cur);
-      equalities.emplace_back(lhs, rhs);
-    } while (cur.TryKeyword("AND"));
-  }
-
-  SqlStatement stmt;
-  if (cur.TryKeyword("ORDER")) {
-    cur.Expect("BY");
-    cur.Expect("WEIGHT");
-    if (cur.TryKeyword("DESC")) {
-      stmt.ascending = false;
-    } else {
-      cur.TryKeyword("ASC");
-    }
-  }
-  if (cur.TryKeyword("LIMIT")) {
-    stmt.limit = static_cast<size_t>(std::stoull(cur.Take().text));
-  }
-  cur.TryKeyword(";");
-  ANYK_CHECK(cur.AtEnd()) << "SQL: trailing input near '" << cur.Peek().text
-                          << "'";
+  const ParsedSyntax syn = ParseSyntax(sql);
 
   // Build the CQ: one variable slot per (table, column); equalities merge
   // slots. First find how many columns each table needs.
-  std::vector<size_t> max_col(tables.size(), 0);
+  std::vector<size_t> max_col(syn.tables.size(), 0);
   auto touch = [&](const ColumnRef& ref) {
-    auto it = alias_idx.find(ref.table);
-    ANYK_CHECK(it != alias_idx.end())
-        << "SQL: unknown table alias '" << ref.table << "'";
-    max_col[it->second] = std::max(max_col[it->second], ref.column + 1);
-    return it->second;
+    const size_t t = syn.alias_idx.at(ref.table);
+    max_col[t] = std::max(max_col[t], ref.column + 1);
+    return t;
   };
-  for (const auto& [lhs, rhs] : equalities) {
+  for (const auto& [lhs, rhs] : syn.equalities) {
     touch(lhs);
     touch(rhs);
   }
-  for (const auto& [tbl, col] : select_raw) {
-    ColumnRef ref;
-    ref.table = tbl;
-    ANYK_CHECK(col.size() >= 2) << "SQL: bad column '" << col << "'";
-    ref.column = static_cast<size_t>(std::strtol(col.c_str() + 1, nullptr, 10) - 1);
-    touch(ref);
-  }
+  for (const ColumnRef& ref : syn.select_refs) touch(ref);
   // With a database the true arities are known; otherwise default tables to
   // binary unless more columns were referenced.
-  for (size_t t = 0; t < tables.size(); ++t) {
+  for (size_t t = 0; t < syn.tables.size(); ++t) {
     if (db != nullptr) {
-      const size_t arity = db->Get(tables[t].first).arity();
+      const size_t arity = db->Get(syn.tables[t].first).arity();
       ANYK_CHECK_LE(max_col[t], arity)
-          << "SQL: column out of range for " << tables[t].first;
+          << "SQL: column out of range for " << syn.tables[t].first;
       max_col[t] = arity;
     } else {
       max_col[t] = std::max<size_t>(max_col[t], 2);
@@ -212,19 +263,19 @@ SqlStatement ParseSql(const std::string& sql, const Database* db) {
   }
 
   // Slot ids: prefix sums.
-  std::vector<size_t> slot_base(tables.size() + 1, 0);
-  for (size_t t = 0; t < tables.size(); ++t) {
+  std::vector<size_t> slot_base(syn.tables.size() + 1, 0);
+  for (size_t t = 0; t < syn.tables.size(); ++t) {
     slot_base[t + 1] = slot_base[t] + max_col[t];
   }
   Slots slots;
   slots.parent.resize(slot_base.back());
   std::iota(slots.parent.begin(), slots.parent.end(), 0);
   auto slot_of = [&](const ColumnRef& ref) {
-    const size_t t = alias_idx.at(ref.table);
+    const size_t t = syn.alias_idx.at(ref.table);
     ANYK_CHECK_LT(ref.column, max_col[t]) << "SQL: column out of range";
     return static_cast<int>(slot_base[t] + ref.column);
   };
-  for (const auto& [lhs, rhs] : equalities) {
+  for (const auto& [lhs, rhs] : syn.equalities) {
     slots.Union(slot_of(lhs), slot_of(rhs));
   }
 
@@ -236,30 +287,74 @@ SqlStatement ParseSql(const std::string& sql, const Database* db) {
         class_name.emplace(root, "v" + std::to_string(class_name.size()));
     return it->second;
   };
-  for (size_t t = 0; t < tables.size(); ++t) {
+  SqlStatement stmt;
+  stmt.ascending = syn.ascending;
+  stmt.limit = syn.limit;
+  for (size_t t = 0; t < syn.tables.size(); ++t) {
     std::vector<std::string> vars;
     for (size_t c = 0; c < max_col[t]; ++c) {
       vars.push_back(var_name(static_cast<int>(slot_base[t] + c)));
     }
-    stmt.query.AddAtom(tables[t].first, vars);
+    stmt.query.AddAtom(syn.tables[t].first, vars);
   }
 
-  if (!select_all) {
-    std::vector<std::string> head;
-    for (const auto& [tbl, col] : select_raw) {
-      ColumnRef ref;
-      ref.table = tbl;
-      ref.column = static_cast<size_t>(
-          std::strtol(col.c_str() + 1, nullptr, 10) - 1);
-      head.push_back(var_name(slot_of(ref)));
-      stmt.select_vars.push_back(static_cast<uint32_t>(
-          stmt.query.FindVar(head.back())));
+  if (!syn.select_all) {
+    for (const ColumnRef& ref : syn.select_refs) {
+      const std::string name = var_name(slot_of(ref));
+      stmt.select_vars.push_back(
+          static_cast<uint32_t>(stmt.query.FindVar(name)));
     }
     // Note: we do NOT call SetFreeVars — SQL projection uses all-weight
     // semantics (enumerate the full query, project each result), so the CQ
     // stays full and select_vars drives the projection at output time.
   }
   return stmt;
+}
+
+std::string NormalizeSql(const std::string& sql) {
+  ParsedSyntax syn = ParseSyntax(sql);
+  std::string out = "SELECT ";
+  if (syn.select_all) {
+    out += "*";
+  } else {
+    for (size_t i = 0; i < syn.select_refs.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += RenderColumnRef(syn.select_refs[i]);
+    }
+  }
+  out += " FROM ";
+  for (size_t t = 0; t < syn.tables.size(); ++t) {
+    if (t > 0) out += ", ";
+    out += syn.tables[t].first;
+    if (syn.tables[t].second != syn.tables[t].first) {
+      out += " " + syn.tables[t].second;
+    }
+  }
+  if (!syn.equalities.empty()) {
+    // Equality is symmetric and AND commutes, so both the side order within
+    // a conjunct and the conjunct order are canonicalized. (Union-find makes
+    // the resulting variable classes — and the variable ids, which follow
+    // table/column order — independent of either order.)
+    std::vector<std::pair<std::string, std::string>> conjuncts;
+    conjuncts.reserve(syn.equalities.size());
+    for (const auto& [lhs, rhs] : syn.equalities) {
+      std::string a = RenderColumnRef(lhs);
+      std::string b = RenderColumnRef(rhs);
+      if (b < a) std::swap(a, b);
+      conjuncts.emplace_back(std::move(a), std::move(b));
+    }
+    std::sort(conjuncts.begin(), conjuncts.end());
+    out += " WHERE ";
+    for (size_t i = 0; i < conjuncts.size(); ++i) {
+      if (i > 0) out += " AND ";
+      out += conjuncts[i].first + " = " + conjuncts[i].second;
+    }
+  }
+  // Always explicit, so "ORDER BY WEIGHT ASC", "ORDER BY WEIGHT" and no
+  // ORDER BY at all (ascending is the default) share one spelling.
+  out += syn.ascending ? " ORDER BY WEIGHT ASC" : " ORDER BY WEIGHT DESC";
+  if (syn.limit > 0) out += " LIMIT " + std::to_string(syn.limit);
+  return out;
 }
 
 namespace {
@@ -269,6 +364,7 @@ std::vector<SqlResult> Run(const Database& db, const SqlStatement& stmt) {
   typename RankedQuery<D>::Options opts;
   opts.algorithm = Algorithm::kLazy;
   opts.enum_opts.with_witness = false;
+  opts.enum_opts.k_budget = stmt.limit;
   RankedQuery<D> rq(db, stmt.query, opts);
   std::vector<SqlResult> out;
   while (stmt.limit == 0 || out.size() < stmt.limit) {

@@ -31,15 +31,30 @@ namespace anyk {
 struct SqlStatement {
   ConjunctiveQuery query;
   bool ascending = true;  // ORDER BY WEIGHT ASC (lightest first)
-  size_t limit = 0;       // 0 = unlimited
+  // 0 = no LIMIT clause (unlimited) — the same "0 means unbounded" sentinel
+  // as EnumOptions::k_budget. An explicit `LIMIT 0` is rejected at parse
+  // time so the sentinel can never be spelled by accident.
+  size_t limit = 0;
   // Variable ids of the SELECT list (empty for SELECT *).
   std::vector<uint32_t> select_vars;
 };
 
-/// Parse the SQL dialect above; CHECK-fails with a message on syntax errors.
-/// With a database, relation arities are taken from it (otherwise every
-/// table defaults to the largest referenced column, at least binary).
+/// Parse the SQL dialect above; CHECK-fails on syntax errors with a
+/// `SQL:<byte offset>:` prefix locating the offending token. With a
+/// database, relation arities are taken from it (otherwise every table
+/// defaults to the largest referenced column, at least binary).
 SqlStatement ParseSql(const std::string& sql, const Database* db = nullptr);
+
+/// Canonical form of a statement, for use as a cache key: keywords
+/// uppercased, whitespace collapsed to single spaces, the implicit ASC made
+/// explicit, the trailing semicolon dropped, column names canonicalized
+/// (a3 -> A3), each WHERE equality ordered smaller-side-first and the
+/// conjunct list sorted — so case/whitespace/conjunct-order variants of the
+/// same query map to one key. FROM order is preserved: it determines the
+/// SELECT * column order, so reordering it would change results. The
+/// normalized text re-parses to an equivalent statement (sql_test pins
+/// this); CHECK-fails like ParseSql on syntax errors.
+std::string NormalizeSql(const std::string& sql);
 
 struct SqlResult {
   double weight;

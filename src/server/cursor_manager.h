@@ -1,0 +1,143 @@
+// Resumable cursors: the server-side registry mapping cursor ids to live
+// enumeration streams.
+//
+// A cursor owns the per-stream mutable state (the CursorStream and its
+// session arenas), *pins* the cache entry it streams from (a shared_ptr —
+// LRU eviction can drop the entry from the cache without invalidating open
+// cursors) and holds one SessionTicket of the admission gauge. Each cursor
+// has its own mutex: a request pages from a cursor under try_lock, so two
+// concurrent requests on the same cursor never interleave — the loser gets
+// 409 instead of blocking a worker thread.
+//
+// Cursors idle longer than the TTL are reclaimed by SweepExpired(), which
+// the server calls on every request; a reclaimed or unknown id answers 410.
+
+#ifndef ANYK_SERVER_CURSOR_MANAGER_H_
+#define ANYK_SERVER_CURSOR_MANAGER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "server/query_handle.h"
+#include "server/rate_limiter.h"
+
+namespace anyk {
+namespace server {
+
+struct Cursor {
+  std::mutex mu;  // held for the duration of one page request
+  std::unique_ptr<CursorStream> stream;
+  std::shared_ptr<void> pin;  // keeps the cache entry alive past eviction
+  SessionTicket ticket;
+  std::string algorithm;  // for /statz and re-open diagnostics
+  // Atomic, not mu-guarded: requests refresh it under mu, but SweepExpired
+  // reads it from other workers without taking mu (taking every cursor's
+  // mutex per sweep would serialize sweeps against paging).
+  std::atomic<std::chrono::steady_clock::rep> last_used_ns{0};
+
+  void Touch() {
+    last_used_ns.store(
+        std::chrono::steady_clock::now().time_since_epoch().count(),
+        std::memory_order_relaxed);
+  }
+  double IdleSeconds(std::chrono::steady_clock::time_point now) const {
+    const std::chrono::steady_clock::duration idle =
+        now.time_since_epoch() -
+        std::chrono::steady_clock::duration(
+            last_used_ns.load(std::memory_order_relaxed));
+    return std::chrono::duration<double>(idle).count();
+  }
+};
+
+struct CursorStats {
+  size_t live = 0;
+  size_t opened = 0;
+  size_t closed = 0;
+  size_t expired = 0;
+};
+
+class CursorManager {
+ public:
+  /// ttl_seconds == 0 disables expiry.
+  explicit CursorManager(double ttl_seconds) : ttl_seconds_(ttl_seconds) {}
+
+  /// Register a stream and return its id ("c1", "c2", ...).
+  std::string Open(std::unique_ptr<CursorStream> stream,
+                   std::shared_ptr<void> pin, SessionTicket ticket,
+                   std::string algorithm) {
+    auto cursor = std::make_shared<Cursor>();
+    cursor->stream = std::move(stream);
+    cursor->pin = std::move(pin);
+    cursor->ticket = std::move(ticket);
+    cursor->algorithm = std::move(algorithm);
+    cursor->Touch();
+    std::unique_lock<std::mutex> lock(mu_);
+    const std::string id = "c" + std::to_string(++next_id_);
+    map_.emplace(id, std::move(cursor));
+    ++stats_.opened;
+    return id;
+  }
+
+  /// nullptr when the id is unknown (never existed, closed, or expired).
+  std::shared_ptr<Cursor> Find(const std::string& id) {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = map_.find(id);
+    return it == map_.end() ? nullptr : it->second;
+  }
+
+  /// Drop the id; the Cursor object dies once the last in-flight request
+  /// releases its shared_ptr. False when the id is unknown.
+  bool Close(const std::string& id) {
+    std::unique_lock<std::mutex> lock(mu_);
+    const bool found = map_.erase(id) > 0;
+    if (found) ++stats_.closed;
+    return found;
+  }
+
+  /// Reclaim cursors idle past the TTL. Only cursors with no in-flight
+  /// request are taken (sole shared_ptr owner and an uncontended mutex);
+  /// busy ones are retried on a later sweep.
+  size_t SweepExpired() {
+    if (ttl_seconds_ <= 0) return 0;
+    const auto now = std::chrono::steady_clock::now();
+    std::unique_lock<std::mutex> lock(mu_);
+    std::vector<std::string> victims;
+    for (const auto& [id, cursor] : map_) {
+      if (cursor.use_count() != 1) continue;  // a request holds it
+      if (cursor->IdleSeconds(now) <= ttl_seconds_) continue;
+      if (!cursor->mu.try_lock()) continue;
+      cursor->mu.unlock();
+      victims.push_back(id);
+    }
+    for (const std::string& id : victims) map_.erase(id);
+    stats_.expired += victims.size();
+    return victims.size();
+  }
+
+  CursorStats stats() const {
+    std::unique_lock<std::mutex> lock(mu_);
+    CursorStats s = stats_;
+    s.live = map_.size();
+    return s;
+  }
+
+ private:
+  const double ttl_seconds_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<Cursor>> map_;
+  uint64_t next_id_ = 0;
+  CursorStats stats_;
+};
+
+}  // namespace server
+}  // namespace anyk
+
+#endif  // ANYK_SERVER_CURSOR_MANAGER_H_

@@ -1,0 +1,196 @@
+// Single-flight LRU cache for prepared queries.
+//
+// The server keys entries by (normalized SQL, dioid, database epoch); the
+// cache itself is agnostic — keys are strings, values are produced by a
+// caller-supplied factory. "Single-flight" means that when N sessions ask
+// for the same missing key concurrently, exactly one runs the (expensive)
+// factory while the other N-1 block on a condition variable and then share
+// the result; a failed preparation is not cached, so the next request
+// retries. Eviction is strict LRU over *ready* entries; entries still being
+// prepared are never evicted. Callers hold results via shared_ptr, so an
+// entry evicted while a cursor still streams from it stays alive until that
+// cursor closes (docs/SERVER.md, "Cache keying").
+//
+// Thread-safe; every public method may be called from any worker thread.
+
+#ifndef ANYK_SERVER_LRU_CACHE_H_
+#define ANYK_SERVER_LRU_CACHE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace anyk {
+namespace server {
+
+struct CacheStats {
+  size_t hits = 0;        // entry was ready, no wait
+  size_t misses = 0;      // this request ran the factory
+  size_t coalesced = 0;   // waited on another request's in-flight preparation
+  size_t evictions = 0;
+  size_t size = 0;        // current number of ready entries
+};
+
+template <typename V>
+class LruCache {
+ public:
+  /// `capacity` is the maximum number of *ready* entries kept; must be >= 1.
+  explicit LruCache(size_t capacity) : capacity_(capacity) {
+    ANYK_CHECK_GT(capacity, 0u) << "LruCache capacity must be >= 1";
+  }
+
+  enum class Outcome { kHit, kMiss, kCoalesced };
+
+  /// Get the value for `key`, running `factory` (outside the lock) to build
+  /// it on a miss. Returns nullptr only when the factory threw — the
+  /// exception is rethrown to the thread that ran the factory, while
+  /// coalesced waiters get nullptr and should surface "preparation failed".
+  std::shared_ptr<V> GetOrCreate(const std::string& key,
+                                 const std::function<std::shared_ptr<V>()>& factory,
+                                 Outcome* outcome = nullptr) {
+    std::shared_ptr<Slot> slot;
+    bool owner = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      auto it = map_.find(key);
+      if (it != map_.end()) {
+        slot = it->second;
+        if (slot->ready) {
+          ++stats_.hits;
+          if (outcome != nullptr) *outcome = Outcome::kHit;
+          Touch(key);
+          return slot->value;
+        }
+        ++stats_.coalesced;
+        if (outcome != nullptr) *outcome = Outcome::kCoalesced;
+      } else {
+        slot = std::make_shared<Slot>();
+        map_.emplace(key, slot);
+        ++stats_.misses;
+        if (outcome != nullptr) *outcome = Outcome::kMiss;
+        owner = true;
+      }
+    }
+
+    if (!owner) {
+      std::unique_lock<std::mutex> lock(slot->mu);
+      slot->cv.wait(lock, [&] { return slot->done; });
+      return slot->value;  // nullptr if the owner's factory failed
+    }
+
+    std::shared_ptr<V> value;
+    try {
+      value = factory();
+    } catch (...) {
+      Finish(key, slot, nullptr);
+      throw;
+    }
+    Finish(key, slot, value);
+    return value;
+  }
+
+  /// Drop every entry (ready or not — in-flight preparations finish but are
+  /// not re-inserted). Used by /v1/flush.
+  void Clear() {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (auto it = map_.begin(); it != map_.end();) {
+      if (it->second->ready) {
+        ++stats_.evictions;
+        it = map_.erase(it);
+      } else {
+        it->second->orphaned = true;
+        ++it;
+      }
+    }
+    lru_.clear();
+    stats_.size = 0;
+  }
+
+  CacheStats stats() const {
+    std::unique_lock<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+ private:
+  struct Slot {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;      // factory finished (successfully or not)
+    bool ready = false;     // value is valid; guarded by the cache mutex
+    bool orphaned = false;  // Clear() ran mid-preparation; don't insert
+    std::shared_ptr<V> value;
+  };
+
+  // Move `key` to the MRU end. Caller holds mu_.
+  void Touch(const std::string& key) {
+    for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+      if (*it == key) {
+        lru_.erase(it);
+        break;
+      }
+    }
+    lru_.push_back(key);
+  }
+
+  void Finish(const std::string& key, const std::shared_ptr<Slot>& slot,
+              std::shared_ptr<V> value) {
+    // Publish the value BEFORE marking the slot ready: the hit path returns
+    // `slot->value` as soon as it sees `ready` under mu_, so ordering these
+    // the other way round hands a brief null to any request landing between
+    // the two critical sections (seen as a spurious 500 under load).
+    {
+      std::unique_lock<std::mutex> lock(slot->mu);
+      slot->value = value;
+      slot->done = true;
+    }
+    slot->cv.notify_all();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (value != nullptr && !slot->orphaned) {
+        slot->ready = true;
+        lru_.push_back(key);
+        stats_.size = CountReady();
+        while (stats_.size > capacity_) EvictOldest();
+      } else {
+        map_.erase(key);
+      }
+    }
+  }
+
+  size_t CountReady() const {
+    size_t n = 0;
+    for (const auto& kv : map_) {
+      if (kv.second->ready) ++n;
+    }
+    return n;
+  }
+
+  // Caller holds mu_ and guarantees at least one ready entry exists.
+  void EvictOldest() {
+    ANYK_CHECK(!lru_.empty());
+    const std::string victim = lru_.front();
+    lru_.pop_front();
+    map_.erase(victim);
+    ++stats_.evictions;
+    --stats_.size;
+  }
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<Slot>> map_;
+  std::list<std::string> lru_;  // front = LRU, back = MRU; ready keys only
+  CacheStats stats_;
+};
+
+}  // namespace server
+}  // namespace anyk
+
+#endif  // ANYK_SERVER_LRU_CACHE_H_

@@ -1,0 +1,178 @@
+// Type erasure between the HTTP layer and the templated any-k stack.
+//
+// A QueryHandle wraps one PreparedQuery<D> (for whichever of the four
+// dioids the request asked for) together with its parsed statement; it is
+// the value stored in the server's LRU cache and shared read-only by every
+// session. Open() starts a CursorStream — an EnumerationSession plus the
+// projection / rank bookkeeping — which is the per-cursor mutable state and
+// stays confined to one request at a time (the cursor mutex in
+// cursor_manager.h enforces that).
+
+#ifndef ANYK_SERVER_QUERY_HANDLE_H_
+#define ANYK_SERVER_QUERY_HANDLE_H_
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "anyk/factory.h"
+#include "anyk/prepared_query.h"
+#include "dioid/max_plus.h"
+#include "dioid/max_times.h"
+#include "dioid/min_max.h"
+#include "dioid/tropical.h"
+#include "query/sql.h"
+#include "storage/database.h"
+#include "storage/value.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace anyk {
+namespace server {
+
+/// Called once per answer of a page, in rank order. `rank` is 1-based and
+/// global across the cursor's pages; `values` follow the SELECT list.
+using RowFn =
+    std::function<void(size_t rank, double weight, const std::vector<Value>&)>;
+
+/// One ranked answer stream, paged. Not thread-safe — the owning cursor
+/// serializes access.
+class CursorStream {
+ public:
+  virtual ~CursorStream() = default;
+
+  /// Pull up to `n` answers, invoking `fn` for each. Returns how many were
+  /// produced; after the stream is exhausted (done() true) it returns 0.
+  virtual size_t FetchPage(size_t n, const RowFn& fn) = 0;
+
+  virtual bool done() const = 0;
+  virtual size_t produced() const = 0;
+};
+
+/// A prepared query behind a dioid-erased interface. Immutable after
+/// construction; Open() may be called concurrently from any thread.
+class QueryHandle {
+ public:
+  virtual ~QueryHandle() = default;
+  virtual std::unique_ptr<CursorStream> Open(Algorithm algo) const = 0;
+  virtual const char* plan_name() const = 0;
+  /// The SQL LIMIT, 0 when absent — it bounds the whole cursor stream and is
+  /// passed to each session as its EnumOptions::k_budget.
+  virtual size_t limit() const = 0;
+};
+
+namespace internal {
+
+inline const char* PlanName(QueryPlan plan) {
+  switch (plan) {
+    case QueryPlan::kAcyclicTree: return "acyclic-tree";
+    case QueryPlan::kCycleUnion: return "cycle-union";
+    case QueryPlan::kGenericJoinBatch: return "generic-join-batch";
+  }
+  return "?";
+}
+
+template <SelectiveDioid D>
+class TypedStream : public CursorStream {
+ public:
+  TypedStream(const PreparedQuery<D>* pq, Algorithm algo, size_t k_budget,
+              const std::vector<uint32_t>* select_vars)
+      : select_vars_(select_vars),
+        session_(pq->NewSession(algo, BudgetedOptions(pq, k_budget))) {}
+
+  size_t FetchPage(size_t n, const RowFn& fn) override {
+    if (done_ || n == 0) return 0;
+    batch_.resize(n);
+    const size_t got = session_.NextBatch(batch_.data(), n);
+    if (got < n) done_ = true;
+    for (size_t b = 0; b < got; ++b) {
+      const ResultRow<D>& row = batch_[b];
+      const std::vector<Value>* values = &row.assignment;
+      if (!select_vars_->empty()) {
+        projected_.clear();
+        for (uint32_t v : *select_vars_) projected_.push_back(row.assignment[v]);
+        values = &projected_;
+      }
+      fn(++rank_, static_cast<double>(row.weight), *values);
+    }
+    return got;
+  }
+
+  bool done() const override { return done_; }
+  size_t produced() const override { return rank_; }
+
+ private:
+  static EnumOptions BudgetedOptions(const PreparedQuery<D>* pq,
+                                     size_t k_budget) {
+    EnumOptions opts = pq->default_enum_options();
+    opts.k_budget = k_budget;
+    return opts;
+  }
+
+  const std::vector<uint32_t>* select_vars_;  // owned by the TypedHandle
+  EnumerationSession<D> session_;
+  std::vector<ResultRow<D>> batch_;
+  std::vector<Value> projected_;
+  size_t rank_ = 0;
+  bool done_ = false;
+};
+
+template <SelectiveDioid D>
+class TypedHandle : public QueryHandle {
+ public:
+  TypedHandle(const Database& db, SqlStatement stmt, ThreadPool* pool)
+      : stmt_(std::move(stmt)) {
+    typename PreparedQuery<D>::Options qopts;
+    qopts.enum_opts.with_witness = false;
+    qopts.pool = pool;
+    pq_ = std::make_unique<PreparedQuery<D>>(db, stmt_.query, qopts);
+  }
+
+  std::unique_ptr<CursorStream> Open(Algorithm algo) const override {
+    return std::make_unique<TypedStream<D>>(pq_.get(), algo, stmt_.limit,
+                                            &stmt_.select_vars);
+  }
+  const char* plan_name() const override { return PlanName(pq_->plan()); }
+  size_t limit() const override { return stmt_.limit; }
+
+ private:
+  SqlStatement stmt_;
+  std::unique_ptr<PreparedQuery<D>> pq_;
+};
+
+}  // namespace internal
+
+/// Prepare `stmt` under the named dioid (min-sum | max-sum | min-max |
+/// max-times). `pool` parallelizes preprocessing only and is not retained.
+inline std::unique_ptr<QueryHandle> MakeQueryHandle(const Database& db,
+                                                    const SqlStatement& stmt,
+                                                    const std::string& dioid,
+                                                    ThreadPool* pool) {
+  if (dioid == "min-sum") {
+    return std::make_unique<internal::TypedHandle<TropicalDioid>>(db, stmt,
+                                                                  pool);
+  }
+  if (dioid == "max-sum") {
+    return std::make_unique<internal::TypedHandle<MaxPlusDioid>>(db, stmt,
+                                                                 pool);
+  }
+  if (dioid == "min-max") {
+    return std::make_unique<internal::TypedHandle<MinMaxDioid>>(db, stmt,
+                                                                pool);
+  }
+  if (dioid == "max-times") {
+    return std::make_unique<internal::TypedHandle<MaxTimesDioid>>(db, stmt,
+                                                                  pool);
+  }
+  ANYK_CHECK(false) << "unknown dioid '" << dioid
+                    << "' (expected min-sum|max-sum|min-max|max-times)";
+  return nullptr;
+}
+
+}  // namespace server
+}  // namespace anyk
+
+#endif  // ANYK_SERVER_QUERY_HANDLE_H_

@@ -1,0 +1,114 @@
+// Admission control for anykd: a token-bucket rate limiter (requests per
+// second with a burst allowance) plus a bounded concurrent-session gauge.
+// Both answer in O(1) under one mutex; over-limit requests are rejected with
+// 429 rather than queued, so a slow client can never occupy a worker thread
+// while waiting for capacity (docs/SERVER.md, "Admission control").
+
+#ifndef ANYK_SERVER_RATE_LIMITER_H_
+#define ANYK_SERVER_RATE_LIMITER_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+
+namespace anyk {
+namespace server {
+
+/// Token bucket: `qps` tokens are added per second up to `burst`; each
+/// request takes one. qps == 0 disables limiting (always admits).
+class RateLimiter {
+ public:
+  RateLimiter(double qps, double burst)
+      : qps_(qps), burst_(burst), tokens_(burst),
+        last_(Clock::now()) {}
+
+  bool Admit() {
+    if (qps_ <= 0) return true;
+    std::unique_lock<std::mutex> lock(mu_);
+    const auto now = Clock::now();
+    const double elapsed =
+        std::chrono::duration<double>(now - last_).count();
+    last_ = now;
+    tokens_ = std::min(burst_, tokens_ + elapsed * qps_);
+    if (tokens_ < 1.0) return false;
+    tokens_ -= 1.0;
+    return true;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  const double qps_;
+  const double burst_;
+  double tokens_;
+  Clock::time_point last_;
+  std::mutex mu_;
+};
+
+/// Bounded gauge of live enumeration sessions. TryAcquire/Release pairs are
+/// wrapped in SessionTicket so an exception path can't leak a slot.
+class SessionGauge {
+ public:
+  explicit SessionGauge(size_t max_sessions) : max_(max_sessions) {}
+
+  bool TryAcquire() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (live_ >= max_) return false;
+    ++live_;
+    peak_ = std::max(peak_, live_);
+    return true;
+  }
+
+  void Release() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (live_ > 0) --live_;
+  }
+
+  size_t live() const {
+    std::unique_lock<std::mutex> lock(mu_);
+    return live_;
+  }
+  size_t peak() const {
+    std::unique_lock<std::mutex> lock(mu_);
+    return peak_;
+  }
+  size_t max() const { return max_; }
+
+ private:
+  const size_t max_;
+  mutable std::mutex mu_;
+  size_t live_ = 0;
+  size_t peak_ = 0;
+};
+
+/// Move-only RAII slot of a SessionGauge; releases on destruction. A
+/// default-constructed ticket holds nothing.
+class SessionTicket {
+ public:
+  SessionTicket() = default;
+  explicit SessionTicket(SessionGauge* gauge) : gauge_(gauge) {}
+  ~SessionTicket() {
+    if (gauge_ != nullptr) gauge_->Release();
+  }
+  SessionTicket(SessionTicket&& other) noexcept : gauge_(other.gauge_) {
+    other.gauge_ = nullptr;
+  }
+  SessionTicket& operator=(SessionTicket&& other) noexcept {
+    if (this != &other) {
+      if (gauge_ != nullptr) gauge_->Release();
+      gauge_ = other.gauge_;
+      other.gauge_ = nullptr;
+    }
+    return *this;
+  }
+  SessionTicket(const SessionTicket&) = delete;
+  SessionTicket& operator=(const SessionTicket&) = delete;
+
+ private:
+  SessionGauge* gauge_ = nullptr;
+};
+
+}  // namespace server
+}  // namespace anyk
+
+#endif  // ANYK_SERVER_RATE_LIMITER_H_

@@ -1,0 +1,76 @@
+// anykd — the any-k serving daemon.
+//
+// AnykServer owns one immutable Database and serves ranked enumeration over
+// it via a line-oriented HTTP/1.1 protocol (docs/SERVER.md):
+//
+//   GET /healthz                      liveness probe
+//   GET /statz                        JSON stats (cache, sessions, cursors)
+//   GET|POST /v1/query?sql=..&k=..&algorithm=..&dioid=..&format=text|json
+//       prepare (LRU-cached, single-flight) + stream the first page; when
+//       more answers remain the response ends with a resumable cursor id
+//   GET /v1/next?cursor=ID&k=N        next page of an open cursor
+//   GET /v1/close?cursor=ID           drop a cursor early
+//   POST /v1/flush                    bump the database epoch + clear cache
+//
+// Prepared queries are cached by (dioid, epoch, NormalizeSql(sql)) and
+// shared by all sessions; every page request drains the cursor's own
+// EnumerationSession, so concurrent clients never share mutable state
+// (tests/server_test.cc byte-matches concurrent paged drains against serial
+// RankedQuery drains, also under TSan).
+
+#ifndef ANYK_SERVER_SERVER_H_
+#define ANYK_SERVER_SERVER_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "storage/database.h"
+
+namespace anyk {
+namespace server {
+
+struct ServerOptions {
+  int port = 0;               // 0 = pick an ephemeral port (see bound_port())
+  size_t workers = 4;         // connection-serving threads
+  size_t prepare_threads = 1; // preprocessing parallelism per preparation
+  size_t cache_capacity = 16; // prepared queries kept (LRU beyond this)
+  size_t max_sessions = 64;   // open cursors + in-flight first pages
+  size_t max_page_k = 10000;  // largest accepted k= page size
+  size_t default_page_k = 100;
+  double cursor_ttl_seconds = 300;  // idle cursors reclaimed after this
+  double qps = 0;                   // token-bucket rate limit (0 = off)
+  double burst = 100;               // token-bucket burst allowance
+};
+
+class AnykServer {
+ public:
+  /// Takes a copy of the database; it never changes while serving (use
+  /// /v1/flush + restart-with-new-data for updates — the epoch exists so a
+  /// future mutable path invalidates cache keys, see docs/SERVER.md).
+  AnykServer(Database db, ServerOptions opts);
+  ~AnykServer();
+  AnykServer(const AnykServer&) = delete;
+  AnykServer& operator=(const AnykServer&) = delete;
+
+  /// Bind, listen and start the accept + worker threads. CHECK-fails if the
+  /// port cannot be bound. Also installs the throwing check-failure handler
+  /// (process-global) so bad requests surface as 400s instead of aborts.
+  void Start();
+
+  /// Stop accepting, drain the worker threads, close the listener.
+  /// Idempotent; also called by the destructor.
+  void Stop();
+
+  /// The actual listening port (== options.port unless that was 0).
+  int bound_port() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace server
+}  // namespace anyk
+
+#endif  // ANYK_SERVER_SERVER_H_

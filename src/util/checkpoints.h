@@ -10,19 +10,29 @@
 
 namespace anyk {
 
-/// Checkpoints 1, 2, 5, 10, 20, 50, ... up to max_k.
+/// Checkpoints 1, 2, 5, 10, 20, 50, ... up to (and never past) max_k.
+///
+/// Contract (util_test pins all of it): the list is strictly increasing —
+/// no duplicates, so checkpoint-aligned drains never stall on a zero-size
+/// batch and a TT(k) timestamp is stamped at most once per k. max_k == 0
+/// yields the empty list (no answers will be pulled, so there is nothing to
+/// stamp; callers that want "unbounded" pass SIZE_MAX, not 0 — same sentinel
+/// convention as EnumOptions::k_budget). max_k == 1 yields {1}, so a
+/// budgeted single-answer session still gets its TT(1) row. The arithmetic
+/// is overflow-safe all the way to SIZE_MAX: candidates are divided against,
+/// never multiplied into, before the bounds check.
 inline std::vector<size_t> GeometricCheckpoints(size_t max_k) {
   std::vector<size_t> cps;
-  size_t decade = 1;
-  while (decade <= max_k && decade < (size_t{1} << 62)) {
-    for (size_t mult : {1, 2, 5}) {
-      const size_t k = decade * mult;
-      if (k <= max_k) cps.push_back(k);
+  if (max_k == 0) return cps;
+  for (size_t decade = 1;; decade *= 10) {
+    for (size_t mult : {size_t{1}, size_t{2}, size_t{5}}) {
+      // Within a decade the multipliers increase, so the first candidate
+      // past max_k ends the whole list.
+      if (mult > max_k / decade) return cps;
+      cps.push_back(decade * mult);
     }
-    if (decade > max_k / 10) break;
-    decade *= 10;
+    if (decade > max_k / 10) return cps;  // next decade would overflow/exceed
   }
-  return cps;
 }
 
 }  // namespace anyk

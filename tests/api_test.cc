@@ -97,6 +97,34 @@ TEST(TopKTest, KLargerThanOutput) {
   ASSERT_EQ(top.size(), 1u);
 }
 
+TEST(TopKTest, KZeroReturnsNothing) {
+  // k == 0 forwards into EnumOptions::k_budget, where 0 is the "unbounded"
+  // sentinel — but TopK's drain pulls exactly k answers, so a zero request
+  // yields an empty vector rather than a full enumeration. User-facing
+  // boundaries (CLI --k, SQL LIMIT, server k=) reject 0 outright; this is
+  // the one place a literal 0 is accepted, and it must mean "nothing".
+  Database db = MakePathDatabase(20, 2, 404, {.fanout = 4.0});
+  auto top = TopK<TropicalDioid>(db, ConjunctiveQuery::Path(2), 0);
+  EXPECT_TRUE(top.empty());
+}
+
+TEST(TopKTest, KBudgetZeroSentinelIsUnbounded) {
+  // Direct engine use of the sentinel: k_budget = 0 (the RankedQuery
+  // default) enumerates the entire output, identically to an explicit
+  // over-budget session.
+  Database db = MakePathDatabase(25, 2, 405, {.fanout = 4.0});
+  ConjunctiveQuery q = ConjunctiveQuery::Path(2);
+  const size_t total = CountOutput<TropicalDioid>(db, q);
+  ASSERT_GT(total, 0u);
+
+  typename RankedQuery<TropicalDioid>::Options opts;
+  opts.enum_opts.k_budget = 0;  // sentinel: no budget, never "zero answers"
+  RankedQuery<TropicalDioid> rq(db, q, opts);
+  size_t n = 0;
+  while (rq.Next()) ++n;
+  EXPECT_EQ(n, total);
+}
+
 TEST(ExplainTest, DescribesPlans) {
   Database db = MakePathDatabase(30, 4, 402, {.fanout = 5.0});
   {

@@ -89,11 +89,28 @@ TEST(CliTest, RankedJoinGoldenOutput) {
   EXPECT_NE(run.output.find("TIMING,ttl,3,"), std::string::npos);
 }
 
-TEST(CliTest, KZeroOverridesLimitAndExhausts) {
+// `--k 0` used to silently mean "enumerate everything" because 0 is the
+// internal EnumOptions::k_budget sentinel for unbounded; the flag now
+// rejects it at the usage boundary so a zero request can never become a
+// full drain. Omitting --k (or the SQL LIMIT) is the way to ask for all
+// answers — the next test pins that still works.
+TEST(CliTest, KZeroIsAUsageError) {
   CliRun run = RunCli(
       TwoRelationArgs() +
       " --k 0 --query \"SELECT * FROM R, S WHERE R.A2 = S.A1"
       " ORDER BY WEIGHT ASC LIMIT 3\"");
+  ASSERT_EQ(run.exit_code, 2) << run.output;
+  EXPECT_NE(run.output.find("--k expects a positive integer"),
+            std::string::npos)
+      << run.output;
+  EXPECT_TRUE(ResultLines(run.output).empty());
+}
+
+TEST(CliTest, OmittingKEnumeratesEverything) {
+  CliRun run = RunCli(
+      TwoRelationArgs() +
+      " --query \"SELECT * FROM R, S WHERE R.A2 = S.A1"
+      " ORDER BY WEIGHT ASC\"");
   ASSERT_EQ(run.exit_code, 0) << run.output;
   EXPECT_EQ(ResultLines(run.output).size(), 5u) << run.output;
   EXPECT_NE(run.output.find("exhausted=yes"), std::string::npos);

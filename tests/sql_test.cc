@@ -57,6 +57,64 @@ TEST(SqlParseTest, RejectsBadSyntax) {
   EXPECT_DEATH({ ParseSql("SELECT * FROM R1, R1"); }, "duplicate table");
 }
 
+TEST(SqlParseTest, RejectsTrailingGarbageWithOffset) {
+  // A complete statement followed by junk must not parse. The error carries
+  // the byte offset of the first unconsumed token so server clients can
+  // point at the problem. Note `FROM R1 garbage` alone is legal (alias
+  // syntax); only input after a complete statement is trailing.
+  EXPECT_DEATH(
+      { ParseSql("SELECT * FROM R1 ORDER BY WEIGHT ASC garbage"); },
+      "SQL:37: trailing input");
+  EXPECT_DEATH({ ParseSql("SELECT * FROM R1 LIMIT 3 x"); },
+               "SQL:[0-9]+: trailing input");
+  EXPECT_DEATH({ ParseSql("SELECT * FROM R1; SELECT * FROM R1"); },
+               "SQL:[0-9]+: trailing input");
+}
+
+TEST(SqlParseTest, RejectsBadLimit) {
+  EXPECT_DEATH({ ParseSql("SELECT * FROM R1 LIMIT ten"); },
+               "LIMIT expects a positive integer");
+  // LIMIT 0 must never reach the engine, where a 0 budget is the
+  // "unbounded" sentinel (EnumOptions::k_budget) and would drain everything.
+  EXPECT_DEATH({ ParseSql("SELECT * FROM R1 LIMIT 0"); },
+               "LIMIT 0 is not a query");
+}
+
+TEST(SqlNormalizeTest, CanonicalizesSpellingVariants) {
+  const std::string canonical = NormalizeSql(
+      "SELECT * FROM R1, R2 WHERE R1.A2 = R2.A1 ORDER BY WEIGHT ASC");
+  // Keyword case, whitespace, implicit ASC, lowercase columns, swapped
+  // equality sides, and a trailing semicolon all normalize to the same
+  // cache key. (Table aliases stay case-sensitive, like the parser.)
+  EXPECT_EQ(NormalizeSql("select  *  from R1 ,R2 where R2.a1=R1.a2;"),
+            canonical);
+  EXPECT_EQ(NormalizeSql(
+                "SELECT * FROM R1, R2 WHERE R2.A1 = R1.A2 ORDER BY WEIGHT"),
+            canonical);
+  // Conjunct order is sorted, so permuted WHERE clauses agree too.
+  EXPECT_EQ(
+      NormalizeSql("SELECT * FROM R1, R2, R3 "
+                   "WHERE R2.A2 = R3.A1 AND R1.A2 = R2.A1"),
+      NormalizeSql("SELECT * FROM R1, R2, R3 "
+                   "WHERE R1.A2 = R2.A1 AND R2.A2 = R3.A1"));
+}
+
+TEST(SqlNormalizeTest, PreservesFromOrderAndReparses) {
+  // FROM order determines the SELECT * column order, so it must survive
+  // normalization (R2 before R1 here is semantically distinct output).
+  const std::string n1 =
+      NormalizeSql("SELECT * FROM R2, R1 WHERE R1.A2 = R2.A1");
+  const std::string n2 =
+      NormalizeSql("SELECT * FROM R1, R2 WHERE R1.A2 = R2.A1");
+  EXPECT_NE(n1, n2);
+  EXPECT_NE(n1.find("FROM R2, R1"), std::string::npos) << n1;
+  // Normalization is idempotent and its output reparses to the same shape.
+  EXPECT_EQ(NormalizeSql(n1), n1);
+  auto stmt = ParseSql(n2);
+  EXPECT_EQ(stmt.query.NumAtoms(), 2u);
+  EXPECT_TRUE(stmt.ascending);
+}
+
 TEST(SqlExecuteTest, MatchesOracleAscending) {
   Database db = MakePathDatabase(40, 3, 501, {.fanout = 6.0});
   auto results = ExecuteSql(

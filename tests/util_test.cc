@@ -17,6 +17,7 @@
 #include <gtest/gtest.h>
 
 #include "util/binary_heap.h"
+#include "util/checkpoints.h"
 #include "util/dary_heap.h"
 #include "util/pairing_heap.h"
 #include "util/random.h"
@@ -754,6 +755,43 @@ TEST(ThreadPoolTest, ReusableAcrossManyParallelFors) {
     });
     ASSERT_EQ(count.load(), 10u) << "round " << round;
   }
+}
+
+TEST(CheckpointsTest, ZeroMeansNoCheckpoints) {
+  // max_k == 0 is "nothing will be pulled", not the unbounded sentinel
+  // (that's SIZE_MAX here), so there is nothing to stamp.
+  EXPECT_TRUE(GeometricCheckpoints(0).empty());
+}
+
+TEST(CheckpointsTest, SmallEdgeCases) {
+  EXPECT_EQ(GeometricCheckpoints(1), (std::vector<size_t>{1}));
+  EXPECT_EQ(GeometricCheckpoints(2), (std::vector<size_t>{1, 2}));
+  EXPECT_EQ(GeometricCheckpoints(4), (std::vector<size_t>{1, 2}));
+  EXPECT_EQ(GeometricCheckpoints(10), (std::vector<size_t>{1, 2, 5, 10}));
+}
+
+TEST(CheckpointsTest, StrictlyIncreasingAndBounded) {
+  const auto cps = GeometricCheckpoints(123456);
+  ASSERT_FALSE(cps.empty());
+  EXPECT_EQ(cps.front(), 1u);
+  for (size_t i = 1; i < cps.size(); ++i) {
+    EXPECT_LT(cps[i - 1], cps[i]);
+  }
+  EXPECT_LE(cps.back(), 123456u);
+  EXPECT_EQ(cps.back(), 100000u);  // 1-2-5 decades: last decade head fits
+}
+
+TEST(CheckpointsTest, SizeMaxDoesNotOverflowOrHang) {
+  // The unbounded spelling. The decade walk must terminate without wrapping;
+  // every candidate is divided against max_k, never multiplied first.
+  const auto cps = GeometricCheckpoints(SIZE_MAX);
+  ASSERT_FALSE(cps.empty());
+  for (size_t i = 1; i < cps.size(); ++i) {
+    ASSERT_LT(cps[i - 1], cps[i]);  // wrap-around would break monotonicity
+  }
+  // The list reaches the top decade that still fits: more than 10^18 on
+  // 64-bit size_t, i.e. the walk did not bail out early.
+  EXPECT_GT(cps.back(), SIZE_MAX / 20);
 }
 
 }  // namespace
