@@ -19,6 +19,7 @@
 
 #include <thread>
 
+#include "anyk/explain.h"
 #include "anyk/factory.h"
 #include "anyk/prepared_query.h"
 #include "anyk/ranked_query.h"
@@ -46,8 +47,10 @@ namespace {
 
 // v2 added the memory section (enumeration allocs, peak RSS) to `timings`;
 // v3 adds the concurrent-drain fields (threads, and — with --sessions N —
-// timings.sessions[] plus timings.aggregate_answers_per_sec).
-constexpr int kSchemaVersion = 3;
+// timings.sessions[] plus timings.aggregate_answers_per_sec); v4 adds the
+// planner section (resolved_algorithm + planner{} always, explain with
+// --explain).
+constexpr int kSchemaVersion = 4;
 
 const char* PlanName(QueryPlan plan) {
   switch (plan) {
@@ -66,6 +69,7 @@ std::optional<Algorithm> AlgorithmFromName(std::string name) {
   if (name == "eager") return Algorithm::kEager;
   if (name == "all") return Algorithm::kAll;
   if (name == "batch") return Algorithm::kBatch;
+  if (name == "auto") return Algorithm::kAuto;
   return std::nullopt;
 }
 
@@ -126,6 +130,12 @@ struct RunReport {
   // was a single serial session.
   std::vector<SessionReport> sessions;
   double aggregate_answers_per_sec = 0;
+  // Planner section (schema v4): what ran (identical to the request except
+  // for `auto`, where the prepare-time decision substitutes), the one-line
+  // planner summary, and — on request — the full EXPLAIN text.
+  std::string resolved_algorithm;
+  std::string planner_summary;
+  std::string explain_text;
 };
 
 using RowSink =
@@ -140,7 +150,8 @@ template <typename D>
 RunReport RunRanked(const Database& db, const SqlStatement& stmt,
                     Algorithm algo, size_t limit,
                     const std::vector<size_t>& cps, const RowSink& sink,
-                    ThreadPool* pool, size_t num_sessions) {
+                    ThreadPool* pool, size_t num_sessions,
+                    bool want_explain) {
   RunReport rep;
   const AllocCounts at_start = CurrentAllocCounts();
   Timer timer;
@@ -151,8 +162,15 @@ RunReport RunRanked(const Database& db, const SqlStatement& stmt,
   // sort) instead of merely truncating the drain loop below.
   qopts.enum_opts.k_budget = limit;
   qopts.pool = pool;
+  // `auto` also unlocks the planner's topology choice (join-tree root /
+  // stage order), not just the strategy pick.
+  qopts.auto_plan = algo == Algorithm::kAuto;
   PreparedQuery<D> pq(db, stmt.query, qopts);
   rep.plan = PlanName(pq.plan());
+  rep.resolved_algorithm = AlgorithmName(
+      algo == Algorithm::kAuto ? pq.decision().algorithm : algo);
+  rep.planner_summary = pq.decision().Summary();
+  if (want_explain) rep.explain_text = Explain(pq);
 
   if (num_sessions > 1) {
     rep.preprocessing_seconds = timer.Seconds();
@@ -298,6 +316,14 @@ std::vector<std::string> ColumnNames(const SqlStatement& stmt) {
   return names;
 }
 
+// Emit a multi-line block as text-mode comment lines ("# " prefix), so the
+// RESULT/TIMING stream stays machine-parseable around the EXPLAIN output.
+void WriteCommented(std::ostream& out, const std::string& block) {
+  std::istringstream in(block);
+  std::string line;
+  while (std::getline(in, line)) out << "# " << line << "\n";
+}
+
 void WriteTextReport(std::ostream& out, const RunReport& rep) {
   out << "TIMING,preprocessing,0," << rep.preprocessing_seconds << "\n";
   if (rep.produced > 0) out << "TIMING,ttf,1," << rep.ttf_seconds << "\n";
@@ -338,6 +364,11 @@ void WriteJsonReport(std::ostream& out, const CliOptions& opt,
   w.KV("sql", opt.query);
   w.KV("plan", rep.plan);
   w.KV("algorithm", algorithm);
+  w.KV("resolved_algorithm", rep.resolved_algorithm);
+  w.Key("planner").BeginObject();
+  w.KV("summary", rep.planner_summary);
+  if (!rep.explain_text.empty()) w.KV("explain", rep.explain_text);
+  w.EndObject();
   w.KV("dioid", dioid);
   w.KV("limit", static_cast<uint64_t>(limit));
   w.KV("threads", static_cast<uint64_t>(opt.threads));
@@ -444,6 +475,12 @@ const char* UsageText() {
       "  --query-file FILE     read the SQL text from FILE\n"
       "  --algorithm NAME      recursive | take2 | lazy (default) | eager | "
       "all | batch\n"
+      "                        | auto (cost-based planner picks strategy,\n"
+      "                        heap arity and join-tree orientation; see\n"
+      "                        docs/PLANNER.md)\n"
+      "  --explain             print the EXPLAIN block (plan shape + "
+      "planner\n"
+      "                        decision) with the report\n"
       "  --dioid NAME          min-sum | max-sum | min-max | max-times\n"
       "                        (default: min-sum for ASC, max-sum for DESC)\n"
       "  --k N                 top-k budget (N >= 1): propagated to the "
@@ -525,6 +562,8 @@ bool ParseCliArgs(int argc, char** argv, CliOptions* opt, std::string* error) {
       opt->csv.has_header = true;
     } else if (a == "--no-results") {
       opt->print_results = false;
+    } else if (a == "--explain") {
+      opt->explain = true;
     } else if (is_flag(a, "--relation")) {
       if (!value_of(&i, "--relation", &v)) return false;
       const size_t eq = v.find('=');
@@ -550,7 +589,7 @@ bool ParseCliArgs(int argc, char** argv, CliOptions* opt, std::string* error) {
       if (!value_of(&i, "--algorithm", &v)) return false;
       if (!AlgorithmFromName(v)) {
         *error = "unknown algorithm '" + v +
-                 "' (expected recursive|take2|lazy|eager|all|batch)";
+                 "' (expected recursive|take2|lazy|eager|all|batch|auto)";
         return false;
       }
       opt->algorithm = v;
@@ -745,20 +784,23 @@ int RunCli(const CliOptions& opt) {
   RunReport rep;
   if (dioid == "min-sum") {
     rep = RunRanked<TropicalDioid>(db, stmt, algo, limit, cps, sink, &pool,
-                                   opt.sessions);
+                                   opt.sessions, opt.explain);
   } else if (dioid == "max-sum") {
     rep = RunRanked<MaxPlusDioid>(db, stmt, algo, limit, cps, sink, &pool,
-                                  opt.sessions);
+                                  opt.sessions, opt.explain);
   } else if (dioid == "min-max") {
     rep = RunRanked<MinMaxDioid>(db, stmt, algo, limit, cps, sink, &pool,
-                                 opt.sessions);
+                                 opt.sessions, opt.explain);
   } else {
     rep = RunRanked<MaxTimesDioid>(db, stmt, algo, limit, cps, sink, &pool,
-                                   opt.sessions);
+                                   opt.sessions, opt.explain);
   }
 
   if (text) {
     out << "# plan=" << rep.plan << "\n";
+    out << "# planner: " << rep.planner_summary << "\n";
+    out << "# resolved_algorithm=" << rep.resolved_algorithm << "\n";
+    if (!rep.explain_text.empty()) WriteCommented(out, rep.explain_text);
     WriteTextReport(out, rep);
   } else {
     WriteJsonReport(out, opt, print_results, rels, stmt, AlgorithmName(algo),

@@ -1,7 +1,9 @@
 // The `anyk` command-line driver: load CSV relations into a Database, parse
 // the paper-dialect SQL (src/query/sql.h), pick an any-k algorithm
-// (Eager/Lazy/All/Take2/Recursive/Batch) and a selective dioid, and stream
-// ranked answers with TTF / TT(k) / TTL timings in text or JSON.
+// (Eager/Lazy/All/Take2/Recursive/Batch, or `auto` for the cost-based
+// planner) and a selective dioid, and stream ranked answers with TTF /
+// TT(k) / TTL timings in text or JSON. --explain prints the plan and the
+// planner decision (src/anyk/explain.h) before the timings.
 //
 // Split from main() so the option parser and runner are linkable from tests;
 // the binary itself is cli/anyk_main.cc.
@@ -42,6 +44,8 @@ struct CliOptions {
   // independent EnumerationSession of the same PreparedQuery; implies
   // --no-results and reports per-session TTL + aggregate answers/sec.
   size_t sessions = 1;
+  // Print the EXPLAIN block (plan shape + planner decision) before running.
+  bool explain = false;
   bool show_help = false;
   bool show_version = false;
 };

@@ -132,6 +132,24 @@ def main():
         [record("figX", 1.0), record("figX", 99.0, threads=4)])
     check("threads!=1 series ignored by the gate", rc == 0, out)
 
+    # 8. Planner regret in the bench_plan style: each (shape, k) reports
+    #    "auto" next to "oracle-best"/"oracle-worst". The series are keyed
+    #    by algorithm, so an auto pick that degrades from best-of-6 to
+    #    worst-of-6 must fail the gate even though the oracle rows (the
+    #    strategies themselves) are unchanged.
+    def plan_rows(auto_s):
+        return [record("plan", auto_s, k=1, algorithm="auto",
+                       dataset="k=1"),
+                record("plan", 1.0, k=1, algorithm="oracle-best",
+                       dataset="k=1"),
+                record("plan", 8.0, k=1, algorithm="oracle-worst",
+                       dataset="k=1")]
+    rc, out = run_compare(plan_rows(1.0), plan_rows(1.05))
+    check("planner regret: auto tracking oracle-best passes", rc == 0, out)
+    rc, out = run_compare(plan_rows(1.0), plan_rows(8.0))
+    check("planner regret: auto at worst-of-6 fails the gate", rc == 1, out)
+    check("the regressed series is the auto one", "auto" in out, out)
+
     if FAILURES:
         print(f"\n{len(FAILURES)} bench_compare regression checks failed")
         return 1

@@ -45,6 +45,12 @@ struct EnumOptions {
   // identical modulo canonicalized tie groups under the non-cancellative
   // ones); differential_test's BoundedKSweep enforces this.
   size_t k_budget = 0;
+  // Candidate-heap arity for the ANYK-PART strategies: 2, 4 (default) or 8,
+  // dispatched to the matching BoundedHeap instantiation in MakeEnumerator.
+  // Other values fall back to 4. Normally left alone; `--algorithm auto`
+  // sets it from the cost model (docs/PLANNER.md, "Heap arity"). Ignored by
+  // Recursive and the batch variants.
+  size_t heap_arity = 4;
   // Bytes to pre-reserve in the enumerator's per-query arena at construction
   // (i.e. during preprocessing). With a large enough reservation the whole
   // enumeration phase performs zero global heap allocations — candidates,

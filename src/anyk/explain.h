@@ -1,5 +1,6 @@
 // Plan inspection: sizes and shape of the DP structures behind a ranked
-// query, for debugging and for the size-bound tests of the decompositions.
+// query plus the cost-based planner's decision, for the CLI's EXPLAIN
+// output, debugging, and the size-bound tests of the decompositions.
 
 #ifndef ANYK_ANYK_EXPLAIN_H_
 #define ANYK_ANYK_EXPLAIN_H_
@@ -10,6 +11,7 @@
 
 #include "anyk/ranked_query.h"
 #include "dp/stage_graph.h"
+#include "plan/planner.h"
 
 namespace anyk {
 
@@ -31,27 +33,41 @@ GraphStatsSummary SummarizeGraph(const StageGraph<D>& g) {
 }
 
 template <SelectiveDioid D>
-std::string Explain(const RankedQuery<D>& rq) {
+std::string Explain(const PreparedQuery<D>& pq) {
   std::ostringstream out;
-  switch (rq.plan()) {
+  switch (pq.plan()) {
     case QueryPlan::kAcyclicTree:
       out << "plan: acyclic join tree (GYO), 1 T-DP problem\n";
       break;
     case QueryPlan::kCycleUnion:
       out << "plan: simple-cycle decomposition, UT-DP union of "
-          << rq.NumTrees() << " trees\n";
+          << pq.NumTrees() << " trees\n";
       break;
     case QueryPlan::kGenericJoinBatch:
       out << "plan: worst-case-optimal generic join + sort (batch fallback)\n";
       break;
   }
-  for (size_t t = 0; t < rq.graphs().size(); ++t) {
-    GraphStatsSummary s = SummarizeGraph(*rq.graphs()[t]);
+  for (size_t t = 0; t < pq.graphs().size(); ++t) {
+    GraphStatsSummary s = SummarizeGraph(*pq.graphs()[t]);
     out << "  tree " << t << ": " << s.stages << " stages, " << s.input_rows
         << " bag rows, " << s.states << " surviving states, " << s.connectors
         << " connectors\n";
   }
+  const plan::PlanDecision& d = pq.decision();
+  out << "planner: " << d.Summary() << "\n";
+  out << "  topology: " << (d.auto_topology ? "planner-chosen (auto)"
+                                            : "construction order")
+      << ", stats: output=" << d.stats.output_count << " states="
+      << d.stats.states << " connectors=" << d.stats.connectors
+      << " avg_fanout=" << d.stats.avg_fanout << " max_fanout="
+      << d.stats.max_fanout << (d.stats.serial() ? " (serial chain)" : "")
+      << "\n";
   return out.str();
+}
+
+template <SelectiveDioid D>
+std::string Explain(const RankedQuery<D>& rq) {
+  return Explain(rq.prepared());
 }
 
 }  // namespace anyk

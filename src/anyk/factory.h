@@ -1,6 +1,6 @@
 // Algorithm registry: constructs any of the six ranked-enumeration
 // algorithms of the paper's experimental study (Section 7) over a stage
-// graph.
+// graph, plus the `kAuto` marker resolved by the cost-based planner.
 
 #ifndef ANYK_ANYK_FACTORY_H_
 #define ANYK_ANYK_FACTORY_H_
@@ -13,6 +13,7 @@
 #include "anyk/anyk_rec.h"
 #include "anyk/batch.h"
 #include "anyk/enumerator.h"
+#include "util/dary_heap.h"
 #include "util/logging.h"
 
 namespace anyk {
@@ -24,7 +25,10 @@ enum class Algorithm {
   kEager,      // ANYK-PART, pre-sorted choice sets
   kAll,        // ANYK-PART, insert all siblings (Yang et al.)
   kBatch,      // full result via Yannakakis-style DFS + sort
-  kBatchNoSort // full result, unranked (reference only)
+  kBatchNoSort,// full result, unranked (reference only)
+  kAuto        // cost-based planner picks one of the above (docs/PLANNER.md);
+               // resolved at prepare time by PreparedQuery, never passed to
+               // MakeEnumerator directly
 };
 
 inline const char* AlgorithmName(Algorithm a) {
@@ -36,22 +40,45 @@ inline const char* AlgorithmName(Algorithm a) {
     case Algorithm::kAll: return "All";
     case Algorithm::kBatch: return "Batch";
     case Algorithm::kBatchNoSort: return "BatchNoSort";
+    case Algorithm::kAuto: return "Auto";
   }
   return "?";
 }
 
-/// The five any-k algorithms (no batch variants).
+/// The five any-k algorithms (no batch variants, no auto).
 inline std::vector<Algorithm> AllAnyKAlgorithms() {
   return {Algorithm::kRecursive, Algorithm::kTake2, Algorithm::kLazy,
           Algorithm::kEager, Algorithm::kAll};
 }
 
-/// All ranked algorithms including Batch.
+/// All ranked algorithms including Batch (still no auto: these lists feed
+/// differential oracles, and auto resolves to a member of this set).
 inline std::vector<Algorithm> AllRankedAlgorithms() {
   auto v = AllAnyKAlgorithms();
   v.push_back(Algorithm::kBatch);
   return v;
 }
+
+namespace internal {
+
+/// One ANYK-PART strategy at the candidate-heap arity requested in
+/// EnumOptions::heap_arity (2 / 4 / 8; anything else = the default 4).
+template <SelectiveDioid D, template <class> class Strategy>
+std::unique_ptr<Enumerator<D>> MakePartEnumerator(const StageGraph<D>* g,
+                                                  const EnumOptions& opts) {
+  switch (opts.heap_arity) {
+    case 2:
+      return std::make_unique<
+          AnyKPartEnumerator<D, Strategy, BoundedBinaryHeap>>(g, opts);
+    case 8:
+      return std::make_unique<AnyKPartEnumerator<D, Strategy, BoundedOctHeap>>(
+          g, opts);
+    default:
+      return std::make_unique<AnyKPartEnumerator<D, Strategy>>(g, opts);
+  }
+}
+
+}  // namespace internal
 
 /// Construct an enumerator over `g`. Only reads the graph, so concurrent
 /// calls against one shared (immutable) StageGraph are safe — this is what
@@ -64,19 +91,24 @@ std::unique_ptr<Enumerator<D>> MakeEnumerator(const StageGraph<D>* g,
     case Algorithm::kRecursive:
       return std::make_unique<RecursiveEnumerator<D>>(g, opts);
     case Algorithm::kTake2:
-      return std::make_unique<AnyKPartEnumerator<D, Take2Strategy>>(g, opts);
+      return internal::MakePartEnumerator<D, Take2Strategy>(g, opts);
     case Algorithm::kLazy:
-      return std::make_unique<AnyKPartEnumerator<D, LazyStrategy>>(g, opts);
+      return internal::MakePartEnumerator<D, LazyStrategy>(g, opts);
     case Algorithm::kEager:
-      return std::make_unique<AnyKPartEnumerator<D, EagerStrategy>>(g, opts);
+      return internal::MakePartEnumerator<D, EagerStrategy>(g, opts);
     case Algorithm::kAll:
-      return std::make_unique<AnyKPartEnumerator<D, AllStrategy>>(g, opts);
+      return internal::MakePartEnumerator<D, AllStrategy>(g, opts);
     case Algorithm::kBatch:
       return std::make_unique<BatchEnumerator<D>>(g,
                                                   BatchOptions{true, opts});
     case Algorithm::kBatchNoSort:
       return std::make_unique<BatchEnumerator<D>>(g,
                                                   BatchOptions{false, opts});
+    case Algorithm::kAuto:
+      ANYK_CHECK(false) << "Algorithm::kAuto must be resolved by "
+                           "PreparedQuery::NewSession before reaching "
+                           "MakeEnumerator";
+      return nullptr;
   }
   ANYK_CHECK(false) << "unknown algorithm";
   return nullptr;

@@ -40,6 +40,7 @@
 #include "dioid/tropical.h"
 #include "dp/stage_graph.h"
 #include "join/generic_join.h"
+#include "plan/planner.h"
 #include "query/cycle_decomposition.h"
 #include "query/gyo.h"
 #include "query/join_tree.h"
@@ -130,6 +131,13 @@ class PreparedQuery {
     // Preprocessing parallelism (not owned; may be null = serial). Only
     // used during construction — the PreparedQuery keeps no reference.
     ThreadPool* pool = nullptr;
+    // Cost-based planning (docs/PLANNER.md): when true, the prepare phase
+    // also chooses the join-tree root/orientation and stage order from
+    // relation cardinalities (plan::PlanTopology) instead of the fixed
+    // construction order. The strategy + heap-arity decision is computed
+    // either way (the statistics are free) and cached in decision();
+    // NewSession(Algorithm::kAuto) applies it.
+    bool auto_plan = false;
   };
 
   PreparedQuery(const Database& db, const ConjunctiveQuery& q,
@@ -143,12 +151,17 @@ class PreparedQuery {
     GyoResult gyo = GyoReduce(Hypergraph::FromQuery(q));
     if (gyo.acyclic) {
       plan_ = QueryPlan::kAcyclicTree;
-      instances_.push_back(
-          BuildInstanceFromTopology(
-              db, q, RerootChains(NormalizeTopology(gyo.tree, q))));
+      // Orientation + stage order: the planner's cardinality-driven choice
+      // under auto_plan, the fixed chain re-rooting otherwise.
+      const JoinTreeTopology normalized = NormalizeTopology(gyo.tree, q);
+      instances_.push_back(BuildInstanceFromTopology(
+          db, q,
+          opts_.auto_plan ? plan::PlanTopology(db, q, normalized)
+                          : RerootChains(normalized)));
       graphs_.push_back(std::make_unique<StageGraph<D>>(BuildStageGraph<D>(
           instances_.back(), /*num_atoms_override=*/0, /*hook=*/nullptr,
           pool)));
+      DecideStrategy();
       return;
     }
     CycleShape shape = DetectSimpleCycle(q);
@@ -163,19 +176,56 @@ class PreparedQuery {
         graphs_[i] = std::make_unique<StageGraph<D>>(
             BuildStageGraph<D>(instances_[i]));
       });
+      DecideStrategy();
       return;
     }
     // General cyclic query: batch fallback via worst-case optimal join,
     // sorted once here and shared read-only by every session.
     plan_ = QueryPlan::kGenericJoinBatch;
     batch_rows_ = GenericJoinFallback(db, q);
+    decision_ = plan::BatchOnlyDecision(
+        static_cast<double>(batch_rows_->size()));
+    decision_.auto_topology = opts_.auto_plan;
   }
 
   /// Open an independent enumeration stream. Thread-safe on a const
   /// PreparedQuery: sessions only read the stage graphs and allocate their
   /// own arenas, so any number may be created and drained concurrently.
+  ///
+  /// Algorithm::kAuto resolves to the prepare-time decision() — strategy
+  /// AND candidate-heap arity — here, without recomputing anything: the
+  /// plan is chosen once per PreparedQuery, never per session.
   EnumerationSession<D> NewSession(Algorithm algo,
                                    const EnumOptions& enum_opts) const {
+    EnumOptions opts = enum_opts;
+    if (algo == Algorithm::kAuto) {
+      algo = decision_.algorithm;
+      opts.heap_arity = decision_.heap_arity;
+    }
+    return NewResolvedSession(algo, opts);
+  }
+  EnumerationSession<D> NewSession(Algorithm algo) const {
+    return NewSession(algo, opts_.enum_opts);
+  }
+
+  QueryPlan plan() const { return plan_; }
+  size_t NumTrees() const { return instances_.size(); }
+  const ConjunctiveQuery& query() const { return query_; }
+  /// The cached planner decision (docs/PLANNER.md): what kAuto sessions
+  /// run, what EXPLAIN and the server's /statz expose. Always populated —
+  /// with auto_plan=false the topology part is skipped but the strategy
+  /// pick is still computed from the (free) build statistics.
+  const plan::PlanDecision& decision() const { return decision_; }
+  /// Session defaults from the prepare-time options (e.g. for callers that
+  /// want to tweak one knob — TopK sets k_budget on a copy of these).
+  const EnumOptions& default_enum_options() const { return opts_.enum_opts; }
+  const std::vector<std::unique_ptr<StageGraph<D>>>& graphs() const {
+    return graphs_;
+  }
+
+ private:
+  EnumerationSession<D> NewResolvedSession(Algorithm algo,
+                                           const EnumOptions& enum_opts) const {
     switch (plan_) {
       case QueryPlan::kAcyclicTree:
         return EnumerationSession<D>(
@@ -204,21 +254,14 @@ class PreparedQuery {
     ANYK_CHECK(false) << "unknown plan";
     return EnumerationSession<D>(nullptr);
   }
-  EnumerationSession<D> NewSession(Algorithm algo) const {
-    return NewSession(algo, opts_.enum_opts);
+
+  /// Strategy + heap-arity decision over the built graphs, made once at
+  /// prepare time against the prepare-time k_budget.
+  void DecideStrategy() {
+    decision_ = plan::DecideStrategy<D>(graphs_, opts_.enum_opts.k_budget);
+    decision_.auto_topology = opts_.auto_plan;
   }
 
-  QueryPlan plan() const { return plan_; }
-  size_t NumTrees() const { return instances_.size(); }
-  const ConjunctiveQuery& query() const { return query_; }
-  /// Session defaults from the prepare-time options (e.g. for callers that
-  /// want to tweak one knob — TopK sets k_budget on a copy of these).
-  const EnumOptions& default_enum_options() const { return opts_.enum_opts; }
-  const std::vector<std::unique_ptr<StageGraph<D>>>& graphs() const {
-    return graphs_;
-  }
-
- private:
   std::shared_ptr<const std::vector<ResultRow<D>>> GenericJoinFallback(
       const Database& db, const ConjunctiveQuery& q) const {
     JoinResultSet join = GenericJoin(db, q);
@@ -253,6 +296,7 @@ class PreparedQuery {
   ConjunctiveQuery query_;
   Options opts_;
   QueryPlan plan_;
+  plan::PlanDecision decision_;
   // const after construction: sessions hold pointers into these, which stay
   // stable because the vectors are never touched again (and their elements
   // live on the heap, so moving the PreparedQuery itself is also safe).

@@ -48,7 +48,8 @@ class RankedQuery {
       : prepared_(db, q,
                   typename PreparedQuery<D>::Options{
                       opts.enum_opts, opts.dedup_union, opts.cycle_opts,
-                      opts.pool}),
+                      opts.pool,
+                      /*auto_plan=*/opts.algorithm == Algorithm::kAuto}),
         session_(prepared_.NewSession(opts.algorithm, opts.enum_opts)) {}
 
   /// Next answer in rank order, or nullopt when exhausted.
@@ -56,6 +57,8 @@ class RankedQuery {
 
   QueryPlan plan() const { return prepared_.plan(); }
   size_t NumTrees() const { return prepared_.NumTrees(); }
+  /// The cached planner decision (what Algorithm::kAuto resolved to).
+  const plan::PlanDecision& decision() const { return prepared_.decision(); }
   Enumerator<D>* enumerator() { return session_.enumerator(); }
   const std::vector<std::unique_ptr<StageGraph<D>>>& graphs() const {
     return prepared_.graphs();

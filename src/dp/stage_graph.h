@@ -71,6 +71,17 @@ struct StageGraph {
     std::vector<uint32_t> conn_second;
     uint32_t conn_global_base = 0;     // first global connector id
 
+    // --- build-time statistics (planner inputs, src/plan/stats.h) ---
+    // Exact number of subtree solutions rooted at each connector: the DP
+    //   count(s)    = prod over child slots of conn_count(connector),
+    //   conn_count(c) = sum over members s of count(s),
+    // piggybacked on the state loop and the CSR scatter — no extra pass.
+    // Doubles saturate to +inf on astronomically large outputs, which is
+    // all the cost model needs. conn_count[kRootConn] of the root stage is
+    // the query's total output size.
+    std::vector<double> conn_count;
+    uint32_t max_fanout = 0;  // largest connector (members per choice set)
+
     size_t NumStates() const { return row_of_state.size(); }
     size_t NumConns() const { return conn_begin.size() - 1; }
     uint32_t ConnSize(uint32_t c) const {
@@ -91,6 +102,12 @@ struct StageGraph {
   std::vector<FlatKeyIndex> conn_of_key;
 
   bool Empty() const { return stages[0].NumConns() == 0; }
+
+  /// Exact output cardinality of this graph (0 when empty; +inf when the
+  /// counting DP saturated).
+  double OutputCount() const {
+    return Empty() ? 0.0 : stages[0].conn_count[kRootConn];
+  }
 
   /// Weight of the top-1 solution (D::Zero() if the output is empty).
   V TopWeight() const {
@@ -187,11 +204,15 @@ StageGraph<D> BuildStageGraph(const TDPInstance& inst,
     // Scratch buffers are per stage invocation (no cross-thread sharing).
     std::vector<Value> key_buf;
     std::vector<uint32_t> row_conns(slots);
+    std::vector<double> state_count;  // subtree solutions per surviving state
+    state_count.reserve(rows);
     for (size_t r = 0; r < rows; ++r) {
       // Resolve one connector per child slot; prune if any child has no
-      // matching key (dangling tuple).
+      // matching key (dangling tuple). The solution-count DP rides along:
+      // a state's count is the product of its child connectors' counts.
       bool alive = true;
       V pi1 = D::One();
+      double cnt = 1.0;
       for (size_t j = 0; j < slots && alive; ++j) {
         const uint32_t cs = g.child_stage[kk][j];
         const TDPNode& cnd = inst.nodes[g.stages[cs].node_idx];
@@ -206,6 +227,7 @@ StageGraph<D> BuildStageGraph(const TDPInstance& inst,
           row_conns[j] = static_cast<uint32_t>(conn);
           pi1 = D::Combine(pi1, g.stages[cs].ConnBestVal(
                                     static_cast<uint32_t>(conn)));
+          cnt *= g.stages[cs].conn_count[static_cast<uint32_t>(conn)];
         }
       }
       if (!alive) continue;
@@ -224,6 +246,7 @@ StageGraph<D> BuildStageGraph(const TDPInstance& inst,
       st.row_of_state.push_back(static_cast<uint32_t>(r));
       st.weight.push_back(w);
       st.pi1.push_back(pi1);
+      state_count.push_back(cnt);
       for (size_t j = 0; j < slots; ++j) st.conn_of_state.push_back(row_conns[j]);
     }
 
@@ -257,14 +280,17 @@ StageGraph<D> BuildStageGraph(const TDPInstance& inst,
     st.members.resize(ns);
     st.member_val.resize(ns, D::Zero());
     std::vector<uint32_t> cursor(st.conn_begin.begin(), st.conn_begin.end() - 1);
+    st.conn_count.assign(conns, 0.0);
     for (size_t s = 0; s < ns; ++s) {
       const uint32_t pos = cursor[conn_of_state_local[s]]++;
       st.members[pos] = static_cast<uint32_t>(s);
       st.member_val[pos] = D::Combine(st.weight[s], st.pi1[s]);
+      st.conn_count[conn_of_state_local[s]] += state_count[s];
     }
     st.conn_best.resize(conns);
     st.conn_second.resize(conns);
     for (size_t c = 0; c < conns; ++c) {
+      st.max_fanout = std::max(st.max_fanout, st.ConnSize(static_cast<uint32_t>(c)));
       uint32_t best_pos = st.conn_begin[c];
       uint32_t second_pos = StageGraph<D>::kNoMember;
       for (uint32_t p = best_pos + 1; p < st.conn_begin[c + 1]; ++p) {

@@ -1,0 +1,91 @@
+// Statistics for the cost-based planner (docs/PLANNER.md).
+//
+// Everything here is read off structures that already exist after load and
+// BuildStageGraph: relation cardinalities come straight from the storage
+// layer, and the per-stage counters (states, distinct join keys, fanout,
+// exact output counts) were piggybacked on the CSR connector build — no
+// extra pass over the data. CollectGraphStats is a scalar reduction over
+// O(stages) precomputed fields and performs zero heap allocations, so it is
+// safe to call on the serving path (invariants_test pins this).
+
+#ifndef ANYK_PLAN_STATS_H_
+#define ANYK_PLAN_STATS_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+#include "dp/stage_graph.h"
+#include "query/cq.h"
+#include "storage/database.h"
+
+namespace anyk {
+namespace plan {
+
+/// Scalar summary of one stage graph, the strategy cost model's input.
+struct GraphStats {
+  size_t stages = 0;
+  size_t states = 0;       // surviving tuples across stages
+  size_t connectors = 0;   // shared choice sets
+  size_t input_rows = 0;   // bag rows before bottom-up pruning
+  uint32_t max_fanout = 0; // largest choice set
+  uint32_t max_slots = 0;  // widest stage (0/1 = serial chain DP)
+  double avg_fanout = 1.0; // states / connectors
+  double output_count = 0; // exact answers (+inf if the count DP saturated)
+
+  /// Serial DP: every stage has at most one child slot, the shape where
+  /// ANYK-REC's suffix-ranking reuse applies without Cartesian combination.
+  bool serial() const { return max_slots <= 1; }
+};
+
+/// Reduce one built stage graph to its planner stats. Pure scalar pass over
+/// per-stage counters the build already computed: zero allocations.
+template <SelectiveDioid D>
+GraphStats CollectGraphStats(const StageGraph<D>& g) {
+  GraphStats s;
+  s.stages = g.stages.size();
+  s.connectors = g.total_connectors;
+  s.output_count = g.OutputCount();
+  for (const auto& st : g.stages) {
+    s.states += st.NumStates();
+    s.max_fanout = std::max(s.max_fanout, st.max_fanout);
+    s.max_slots = std::max(s.max_slots, st.num_slots);
+  }
+  for (const auto& node : g.instance->nodes) s.input_rows += node.NumRows();
+  s.avg_fanout = s.connectors > 0
+                     ? static_cast<double>(s.states) /
+                           static_cast<double>(s.connectors)
+                     : 1.0;
+  return s;
+}
+
+/// Accumulate `b` into `a` across the parts of a union plan: sizes add,
+/// shape bounds take the max, outputs add (the cycle decomposition's parts
+/// are disjoint; for overlapping decompositions this is an upper bound,
+/// which is the safe direction for the Batch-vs-any-k crossover).
+inline void MergeGraphStats(GraphStats* a, const GraphStats& b) {
+  a->stages = std::max(a->stages, b.stages);
+  a->states += b.states;
+  a->connectors += b.connectors;
+  a->input_rows += b.input_rows;
+  a->max_fanout = std::max(a->max_fanout, b.max_fanout);
+  a->max_slots = std::max(a->max_slots, b.max_slots);
+  a->output_count += b.output_count;
+  a->avg_fanout = a->connectors > 0
+                      ? static_cast<double>(a->states) /
+                            static_cast<double>(a->connectors)
+                      : 1.0;
+}
+
+/// Cardinality of the relation behind one query atom — the "index probe"
+/// of Themis's chooseOrderForAndQuery, free here because relations are
+/// in-memory.
+inline size_t AtomCardinality(const Database& db, const ConjunctiveQuery& q,
+                              size_t atom) {
+  return db.Get(q.atom(atom).relation).NumRows();
+}
+
+}  // namespace plan
+}  // namespace anyk
+
+#endif  // ANYK_PLAN_STATS_H_

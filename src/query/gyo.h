@@ -16,6 +16,10 @@ namespace anyk {
 struct JoinTreeTopology {
   std::vector<int> parent;  // parent[i] = parent atom index, -1 for the root
   int root = -1;
+  // Optional stage-order hint from the planner: when sized like `parent`,
+  // FinalizeTopology visits each node's children in ascending priority
+  // (stable) instead of index order. Empty = legacy index order.
+  std::vector<double> child_priority;
 
   std::vector<std::vector<int>> Children() const {
     std::vector<std::vector<int>> ch(parent.size());

@@ -27,6 +27,19 @@ void FinalizeTopology(TDPInstance* inst) {
   }
   ANYK_CHECK_GE(root, 0) << "join tree has no root";
 
+  // Planner stage-order hint: visit children in ascending priority (stable,
+  // so equal priorities keep index order — identical to the legacy order
+  // when the hint is absent or uniform).
+  if (inst->child_priority.size() == nodes.size()) {
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      std::stable_sort(nodes[i].children.begin(), nodes[i].children.end(),
+                       [&](int a, int b) {
+                         return inst->child_priority[a] <
+                                inst->child_priority[b];
+                       });
+    }
+  }
+
   // Iterative preorder DFS.
   inst->order.clear();
   inst->order.reserve(nodes.size());
@@ -140,6 +153,7 @@ TDPInstance BuildInstanceFromTopology(const Database& db,
   TDPInstance inst;
   inst.num_vars = q.NumVars();
   inst.num_atoms = q.NumAtoms();
+  inst.child_priority = topo.child_priority;
   inst.nodes.reserve(q.NumAtoms());
   for (size_t i = 0; i < q.NumAtoms(); ++i) {
     TDPNode node = MakeAtomNode(db, q, i);

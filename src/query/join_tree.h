@@ -55,6 +55,9 @@ struct TDPInstance {
   size_t num_atoms = 0;  // atoms of the original query (the paper's l)
   std::vector<TDPNode> nodes;
   std::vector<uint32_t> order;  // preorder serialization; order[0] = root
+  // Planner stage-order hint (JoinTreeTopology::child_priority): when sized
+  // like `nodes`, FinalizeTopology visits children ascending by priority.
+  std::vector<double> child_priority;
 
   const TDPNode& Root() const { return nodes[order[0]]; }
 };

@@ -119,6 +119,19 @@ class LruCache {
     return stats_;
   }
 
+  /// Visit every *ready* entry (key + value) under the cache lock, in LRU ->
+  /// MRU order. `fn` must be cheap and must not call back into the cache.
+  /// Used by /statz to list the prepared queries and their plans.
+  void ForEachReady(
+      const std::function<void(const std::string& key,
+                               const std::shared_ptr<V>& value)>& fn) const {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (const std::string& key : lru_) {
+      auto it = map_.find(key);
+      if (it != map_.end() && it->second->ready) fn(key, it->second->value);
+    }
+  }
+
  private:
   struct Slot {
     std::mutex mu;

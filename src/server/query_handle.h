@@ -24,6 +24,7 @@
 #include "dioid/max_times.h"
 #include "dioid/min_max.h"
 #include "dioid/tropical.h"
+#include "plan/planner.h"
 #include "query/sql.h"
 #include "storage/database.h"
 #include "storage/value.h"
@@ -62,6 +63,9 @@ class QueryHandle {
   /// The SQL LIMIT, 0 when absent — it bounds the whole cursor stream and is
   /// passed to each session as its EnumOptions::k_budget.
   virtual size_t limit() const = 0;
+  /// The prepare-time planner decision: what `algorithm=auto` resolves to
+  /// for every session of this handle (exposed via /statz).
+  virtual const plan::PlanDecision& decision() const = 0;
 };
 
 namespace internal {
@@ -127,7 +131,12 @@ class TypedHandle : public QueryHandle {
       : stmt_(std::move(stmt)) {
     typename PreparedQuery<D>::Options qopts;
     qopts.enum_opts.with_witness = false;
+    // The planner budget is the SQL LIMIT of the statement (0 = unbounded):
+    // the strategy for `algorithm=auto` is decided once here, at prepare
+    // time, and shared by every session of this handle.
+    qopts.enum_opts.k_budget = stmt_.limit;
     qopts.pool = pool;
+    qopts.auto_plan = true;
     pq_ = std::make_unique<PreparedQuery<D>>(db, stmt_.query, qopts);
   }
 
@@ -137,6 +146,9 @@ class TypedHandle : public QueryHandle {
   }
   const char* plan_name() const override { return PlanName(pq_->plan()); }
   size_t limit() const override { return stmt_.limit; }
+  const plan::PlanDecision& decision() const override {
+    return pq_->decision();
+  }
 
  private:
   SqlStatement stmt_;

@@ -42,7 +42,9 @@ namespace server {
 namespace {
 
 // A prepared query as cached + shared by all sessions. Immutable once the
-// single-flight factory returns it.
+// single-flight factory returns it. The plan decision for `algorithm=auto`
+// is made once, inside the handle's preparation, and rides along here so
+// /statz can list it without touching the templated stack.
 struct CacheEntry {
   std::unique_ptr<QueryHandle> handle;
   double prepare_seconds = 0;
@@ -58,6 +60,7 @@ std::optional<Algorithm> AlgorithmFromName(std::string name) {
   if (name == "eager") return Algorithm::kEager;
   if (name == "all") return Algorithm::kAll;
   if (name == "batch") return Algorithm::kBatch;
+  if (name == "auto") return Algorithm::kAuto;
   return std::nullopt;
 }
 
@@ -319,12 +322,14 @@ HttpResponse AnykServer::Impl::HandleQuery(const HttpRequest& req) {
   const std::optional<size_t> page_k = PageK(req, &err);
   if (!page_k.has_value()) return err;
 
-  const std::string algo_name = req.Param("algorithm", "lazy");
+  // Default: the cost-based planner. The decision was made at prepare time
+  // and cached inside the entry, so `auto` adds nothing per request.
+  const std::string algo_name = req.Param("algorithm", "auto");
   const std::optional<Algorithm> algo = AlgorithmFromName(algo_name);
   if (!algo.has_value()) {
     return TextError(400, "unknown algorithm '" + algo_name +
                               "' (expected recursive|take2|lazy|eager|all|"
-                              "batch)");
+                              "batch|auto)");
   }
   const bool json = req.Param("format", "text") == "json";
 
@@ -350,9 +355,9 @@ HttpResponse AnykServer::Impl::HandleQuery(const HttpRequest& req) {
                 ? "max-sum"
                 : "min-sum";
   }
-  const std::string key = dioid + "\x1f" +
-                          std::to_string(epoch.load(std::memory_order_relaxed)) +
-                          "\x1f" + normalized;
+  const std::string key =
+      QueryCacheKey(dioid, opts.planner_version,
+                    epoch.load(std::memory_order_relaxed), normalized);
 
   QueryCache::Outcome outcome = QueryCache::Outcome::kMiss;
   std::shared_ptr<CacheEntry> entry = cache.GetOrCreate(
@@ -456,6 +461,22 @@ HttpResponse AnykServer::Impl::HandleStatz() {
   w.KV("opened", static_cast<uint64_t>(curs.opened));
   w.KV("closed", static_cast<uint64_t>(curs.closed));
   w.KV("expired", static_cast<uint64_t>(curs.expired));
+  w.EndObject();
+  // The planner decisions currently cached: one entry per ready prepared
+  // query, LRU -> MRU, each with the algorithm `auto` resolves to.
+  w.Key("planner").BeginObject();
+  w.KV("version", static_cast<int64_t>(opts.planner_version));
+  w.Key("prepared").BeginArray();
+  cache.ForEachReady(
+      [&](const std::string&, const std::shared_ptr<CacheEntry>& e) {
+        w.BeginObject();
+        w.KV("plan", e->handle->plan_name());
+        w.KV("algorithm", AlgorithmName(e->handle->decision().algorithm));
+        w.KV("summary", e->handle->decision().Summary());
+        w.KV("prepare_seconds", e->prepare_seconds);
+        w.EndObject();
+      });
+  w.EndArray();
   w.EndObject();
   w.EndObject();
   w.Finish();

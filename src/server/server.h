@@ -12,23 +12,38 @@
 //   GET /v1/close?cursor=ID           drop a cursor early
 //   POST /v1/flush                    bump the database epoch + clear cache
 //
-// Prepared queries are cached by (dioid, epoch, NormalizeSql(sql)) and
-// shared by all sessions; every page request drains the cursor's own
-// EnumerationSession, so concurrent clients never share mutable state
-// (tests/server_test.cc byte-matches concurrent paged drains against serial
-// RankedQuery drains, also under TSan).
+// Prepared queries are cached by (dioid, planner version, epoch,
+// NormalizeSql(sql)) and shared by all sessions; every page request drains
+// the cursor's own EnumerationSession, so concurrent clients never share
+// mutable state (tests/server_test.cc byte-matches concurrent paged drains
+// against serial RankedQuery drains, also under TSan). The planner version
+// component means a cost-model change can never revive a plan decision
+// cached under the old model (see docs/PLANNER.md).
 
 #ifndef ANYK_SERVER_SERVER_H_
 #define ANYK_SERVER_SERVER_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 
+#include "plan/cost_model.h"
 #include "storage/database.h"
 
 namespace anyk {
 namespace server {
+
+/// The prepared-query cache key. Exposed so tests can assert its exact
+/// composition — in particular that two planner versions can never share an
+/// entry. Components are joined with \x1f (US), which NormalizeSql can never
+/// emit, so no component can masquerade as another.
+inline std::string QueryCacheKey(const std::string& dioid, int planner_version,
+                                 uint64_t epoch,
+                                 const std::string& normalized_sql) {
+  return dioid + "\x1f" + std::to_string(planner_version) + "\x1f" +
+         std::to_string(epoch) + "\x1f" + normalized_sql;
+}
 
 struct ServerOptions {
   int port = 0;               // 0 = pick an ephemeral port (see bound_port())
@@ -41,6 +56,10 @@ struct ServerOptions {
   double cursor_ttl_seconds = 300;  // idle cursors reclaimed after this
   double qps = 0;                   // token-bucket rate limit (0 = off)
   double burst = 100;               // token-bucket burst allowance
+  // Cache-key component: bumping the cost model (plan::kPlannerVersion)
+  // invalidates every cached plan decision. Overridable so tests can force
+  // a key mismatch without recompiling.
+  int planner_version = plan::kPlannerVersion;
 };
 
 class AnykServer {

@@ -331,6 +331,16 @@ using QuadHeap = DAryHeap<T, Less, Alloc, 4>;
 template <typename T, typename Less, typename Alloc>
 using BoundedQuadHeap = BoundedHeap<T, Less, Alloc, 4>;
 
+/// Arity variants the cost-based planner can pick instead of the default 4
+/// (EnumOptions::heap_arity, dispatched in MakeEnumerator): binary heaps
+/// win on tiny candidate sets (shallow sift-up dominates), arity 8 trades
+/// more comparisons per level for fewer cache-missing levels on deep
+/// drains. See docs/PLANNER.md, "Heap arity".
+template <typename T, typename Less, typename Alloc>
+using BoundedBinaryHeap = BoundedHeap<T, Less, Alloc, 2>;
+template <typename T, typename Less, typename Alloc>
+using BoundedOctHeap = BoundedHeap<T, Less, Alloc, 8>;
+
 }  // namespace anyk
 
 #endif  // ANYK_UTIL_DARY_HEAP_H_

@@ -192,12 +192,18 @@ TEST(CliTest, JsonReportHasDocumentedSchema) {
       " --format json --query \"SELECT * FROM R, S WHERE R.A2 = S.A1"
       " ORDER BY WEIGHT ASC LIMIT 3\"");
   ASSERT_EQ(run.exit_code, 0) << run.output;
-  EXPECT_NE(run.output.find("\"schema_version\": 3"), std::string::npos);
+  EXPECT_NE(run.output.find("\"schema_version\": 4"), std::string::npos);
   EXPECT_NE(run.output.find("\"tool\": \"anyk\""), std::string::npos);
   EXPECT_NE(run.output.find("\"threads\": 1"), std::string::npos);
   EXPECT_NE(run.output.find("\"sessions\": 1"), std::string::npos);
   EXPECT_NE(run.output.find("\"plan\": \"acyclic-tree\""), std::string::npos);
   EXPECT_NE(run.output.find("\"algorithm\": \"Lazy\""), std::string::npos);
+  // v4: the planner section is always present; a pinned --algorithm
+  // resolves to itself.
+  EXPECT_NE(run.output.find("\"resolved_algorithm\": \"Lazy\""),
+            std::string::npos);
+  EXPECT_NE(run.output.find("\"planner\""), std::string::npos);
+  EXPECT_NE(run.output.find("\"summary\""), std::string::npos);
   EXPECT_NE(run.output.find("\"dioid\": \"min-sum\""), std::string::npos);
   EXPECT_NE(run.output.find("\"results\""), std::string::npos);
   EXPECT_NE(run.output.find("\"weight\": 2"), std::string::npos);
@@ -205,6 +211,58 @@ TEST(CliTest, JsonReportHasDocumentedSchema) {
   EXPECT_NE(run.output.find("\"ttl_seconds\""), std::string::npos);
   EXPECT_NE(run.output.find("\"checkpoints\""), std::string::npos);
   EXPECT_NE(run.output.find("\"produced\": 3"), std::string::npos);
+}
+
+// ---- Planner (--algorithm auto / --explain) ----
+
+TEST(CliTest, AutoAlgorithmMatchesExplicitResults) {
+  const std::string query =
+      " --query \"SELECT * FROM R, S WHERE R.A2 = S.A1"
+      " ORDER BY WEIGHT ASC LIMIT 3\"";
+  CliRun pinned = RunCli(TwoRelationArgs() + query);
+  CliRun autorun = RunCli(TwoRelationArgs() + " --algorithm auto" + query);
+  ASSERT_EQ(autorun.exit_code, 0) << autorun.output;
+  // The planner picks a strategy, but the ranked answers are identical.
+  EXPECT_EQ(ResultLines(autorun.output), ResultLines(pinned.output));
+  EXPECT_NE(autorun.output.find("# planner: v"), std::string::npos)
+      << autorun.output;
+  EXPECT_NE(autorun.output.find("# resolved_algorithm="), std::string::npos)
+      << autorun.output;
+  // auto never reaches the sink as a literal algorithm name.
+  EXPECT_EQ(autorun.output.find("# resolved_algorithm=Auto"),
+            std::string::npos)
+      << autorun.output;
+}
+
+TEST(CliTest, ExplainPrintsPlanAndDecision) {
+  CliRun run = RunCli(
+      TwoRelationArgs() +
+      " --algorithm auto --explain --query \"SELECT * FROM R, S"
+      " WHERE R.A2 = S.A1 ORDER BY WEIGHT ASC LIMIT 3\"");
+  ASSERT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_NE(run.output.find("# plan: acyclic join tree"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("topology: planner-chosen (auto)"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("stats: output="), std::string::npos)
+      << run.output;
+  // EXPLAIN is diagnostic only: results still stream.
+  EXPECT_EQ(ResultLines(run.output).size(), 3u) << run.output;
+}
+
+TEST(CliTest, AutoJsonCarriesPlannerExplain) {
+  CliRun run = RunCli(
+      TwoRelationArgs() +
+      " --algorithm auto --explain --format json --query \"SELECT * FROM"
+      " R, S WHERE R.A2 = S.A1 ORDER BY WEIGHT ASC LIMIT 3\"");
+  ASSERT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_NE(run.output.find("\"algorithm\": \"Auto\""), std::string::npos);
+  EXPECT_NE(run.output.find("\"resolved_algorithm\""), std::string::npos);
+  EXPECT_EQ(run.output.find("\"resolved_algorithm\": \"Auto\""),
+            std::string::npos);
+  EXPECT_NE(run.output.find("\"planner\""), std::string::npos);
+  EXPECT_NE(run.output.find("\"explain\""), std::string::npos);
 }
 
 TEST(CliTest, NoResultsSuppressesRows) {

@@ -28,6 +28,7 @@
 #include "dioid/min_max.h"
 #include "dioid/tiebreak.h"
 #include "dioid/tropical.h"
+#include "plan/planner.h"
 #include "query/cq.h"
 #include "storage/database.h"
 #include "util/alloc_stats.h"
@@ -193,6 +194,27 @@ TEST(ConcurrencyTest, MixedAlgorithmsShareOnePreparedQuery) {
       {Algorithm::kLazy, Algorithm::kTake2, Algorithm::kEager,
        Algorithm::kRecursive},
       want, /*canonical=*/false, 50000);
+}
+
+TEST(ConcurrencyTest, AutoPlannedSessionsMatchSerialDrainExactOrder) {
+  // `auto`: the strategy is decided ONCE at prepare time; every concurrent
+  // session resolves kAuto to that same cached decision (no per-session
+  // re-planning), and the streams byte-match a serial auto drain.
+  using TB = TieBreakDioid<TropicalDioid, kMaxAtoms>;
+  Case c = MakeStarCase(105, 3, 40);
+  typename PreparedQuery<TB>::Options popts;
+  popts.auto_plan = true;
+  const PreparedQuery<TB> pq(c.db, c.q, popts);
+  const plan::PlanDecision before = pq.decision();
+  EXPECT_TRUE(before.auto_topology);
+  std::vector<Answer> want = Drain<TB>(pq.NewSession(Algorithm::kAuto), 50000);
+  ASSERT_GT(want.size(), 100u) << "instance too small to be meaningful";
+  ExpectConcurrentDrainsMatch<TB>(pq, {Algorithm::kAuto}, want,
+                                  /*canonical=*/false, 50000);
+  // Sessions never re-plan: the prepare-time decision is untouched.
+  EXPECT_EQ(before.algorithm, pq.decision().algorithm);
+  EXPECT_EQ(before.heap_arity, pq.decision().heap_arity);
+  EXPECT_EQ(before.Summary(), pq.decision().Summary());
 }
 
 TEST(ConcurrencyTest, NonCancellativeDioidMatchesModuloTieGroups) {

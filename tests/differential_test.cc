@@ -1,9 +1,10 @@
 // Differential test oracle for the flat-memory enumeration hot path.
 //
-// Generates 200 seeded random full CQs — paths, stars, simple cycles,
-// mixed-arity random trees, duplicate-weight-heavy instances — and asserts
-// that all six ranked algorithms (Recursive / Take2 / Lazy / Eager / All /
-// Batch) emit the same ranked sequence under all four dioids of the
+// Generates 200 seeded random full CQs (tests/corpus.h — paths, stars,
+// simple cycles, mixed-arity random trees, duplicate-weight-heavy
+// instances) and asserts that all six ranked algorithms (Recursive / Take2
+// / Lazy / Eager / All / Batch) plus the planner-resolved seventh column
+// (`auto`) emit the same ranked sequence under all four dioids of the
 // experimental study (min-sum, max-sum, min-max, max-times). BatchSorting
 // doubles as the reference executor: it materializes the full output by DFS
 // and sorts, never touching the any-k candidate machinery, so any bug in
@@ -43,8 +44,22 @@
 #include "storage/database.h"
 #include "util/random.h"
 
+#include "corpus.h"
+
 namespace anyk {
 namespace {
+
+using corpus::GeneratedCase;
+using corpus::MakeCase;
+
+/// The seven algorithm columns of the differential matrix: the six concrete
+/// strategies plus `auto`, whose planner-resolved pick must agree with the
+/// oracle rank for rank (and prefix for prefix in the bounded-k sweep).
+std::vector<Algorithm> DifferentialColumns() {
+  auto v = AllAnyKAlgorithms();
+  v.push_back(Algorithm::kAuto);
+  return v;
+}
 
 constexpr size_t kMaxAtoms = 8;
 
@@ -65,130 +80,6 @@ struct Answer {
     return assignment < o.assignment;
   }
 };
-
-struct GeneratedCase {
-  Database db;
-  ConjunctiveQuery q;
-  std::string label;
-};
-
-// ---------------------------------------------------------------------------
-// Query/instance generators (all driven by one seed for reproducibility).
-// ---------------------------------------------------------------------------
-
-void FillBinaryRelation(Rng* rng, Relation* rel, size_t rows, int64_t domain,
-                        int64_t weight_max) {
-  for (size_t r = 0; r < rows; ++r) {
-    rel->Add({rng->Uniform(0, domain), rng->Uniform(0, domain)},
-             static_cast<double>(rng->Uniform(0, weight_max)));
-  }
-}
-
-GeneratedCase MakePathCase(uint64_t seed) {
-  Rng rng(seed);
-  const size_t l = 2 + rng.Below(4);              // 2..5 atoms
-  const size_t rows = 8 + rng.Below(25);          // 8..32 rows
-  const int64_t domain = 2 + rng.Uniform(0, 4);   // join selectivity knob
-  const int64_t wmax = rng.Bernoulli(0.3) ? 2 : 50;  // 30%: heavy ties
-  GeneratedCase c;
-  c.label = "path" + std::to_string(l);
-  for (size_t i = 1; i <= l; ++i) {
-    auto& rel = c.db.AddRelation("R" + std::to_string(i), 2);
-    FillBinaryRelation(&rng, &rel, rows, domain, wmax);
-  }
-  c.q = ConjunctiveQuery::Path(l);
-  return c;
-}
-
-GeneratedCase MakeStarCase(uint64_t seed) {
-  Rng rng(seed);
-  const size_t leaves = 2 + rng.Below(4);         // 2..5 atoms around center
-  const size_t rows = 8 + rng.Below(20);
-  const int64_t domain = 2 + rng.Uniform(0, 3);
-  const int64_t wmax = rng.Bernoulli(0.3) ? 3 : 40;
-  GeneratedCase c;
-  c.label = "star" + std::to_string(leaves);
-  // Star: all atoms share the center variable x0: Si(x0, yi).
-  for (size_t i = 1; i <= leaves; ++i) {
-    auto& rel = c.db.AddRelation("S" + std::to_string(i), 2);
-    FillBinaryRelation(&rng, &rel, rows, domain, wmax);
-    c.q.AddAtom("S" + std::to_string(i), {"x0", "y" + std::to_string(i)});
-  }
-  return c;
-}
-
-GeneratedCase MakeCycleCase(uint64_t seed) {
-  Rng rng(seed);
-  const size_t l = 4 + rng.Below(3);              // 4..6 atoms
-  const size_t rows = 8 + rng.Below(14);
-  const int64_t domain = 2 + rng.Uniform(0, 2);
-  const int64_t wmax = rng.Bernoulli(0.3) ? 2 : 30;
-  GeneratedCase c;
-  c.label = "cycle" + std::to_string(l);
-  for (size_t i = 1; i <= l; ++i) {
-    auto& rel = c.db.AddRelation("C" + std::to_string(i), 2);
-    FillBinaryRelation(&rng, &rel, rows, domain, wmax);
-  }
-  c.q = ConjunctiveQuery::Cycle(l, "C");
-  return c;
-}
-
-// Random tree-shaped CQ with mixed arities 2..4: atom i joins a random
-// earlier atom on one shared variable and introduces 1-3 fresh variables.
-GeneratedCase MakeTreeCase(uint64_t seed) {
-  Rng rng(seed);
-  const size_t atoms = 2 + rng.Below(4);          // 2..5 atoms
-  const size_t rows = 6 + rng.Below(16);
-  const int64_t domain = 2 + rng.Uniform(0, 3);
-  const int64_t wmax = rng.Bernoulli(0.3) ? 2 : 60;
-  GeneratedCase c;
-  c.label = "tree" + std::to_string(atoms);
-  std::vector<std::vector<std::string>> atom_vars(atoms);
-  size_t fresh = 0;
-  for (size_t i = 0; i < atoms; ++i) {
-    std::vector<std::string> vars;
-    if (i > 0) {
-      const auto& pv = atom_vars[rng.Below(i)];
-      vars.push_back(pv[rng.Below(pv.size())]);
-    }
-    const size_t extra = 1 + rng.Below(3);
-    for (size_t e = 0; e < extra; ++e) {
-      vars.push_back("v" + std::to_string(fresh++));
-    }
-    rng.Shuffle(&vars);
-    atom_vars[i] = vars;
-    auto& rel = c.db.AddRelation("T" + std::to_string(i), vars.size());
-    std::vector<Value> buf(vars.size());
-    for (size_t r = 0; r < rows; ++r) {
-      for (auto& v : buf) v = rng.Uniform(0, domain);
-      rel.AddRow(buf, static_cast<double>(rng.Uniform(0, wmax)));
-    }
-    c.q.AddAtom("T" + std::to_string(i), vars);
-  }
-  return c;
-}
-
-GeneratedCase MakeCase(uint64_t seed) {
-  switch (seed % 5) {
-    case 0: return MakePathCase(seed);
-    case 1: return MakeStarCase(seed);
-    case 2: return MakeTreeCase(seed);
-    case 3: return MakeCycleCase(seed);
-    default: {
-      // Duplicate-weight stress: every weight equal — the ranking is
-      // decided purely by the tie-breaking dimension.
-      GeneratedCase c = MakePathCase(seed * 31 + 7);
-      c.label += "-allties";
-      for (size_t i = 1; i <= 5; ++i) {
-        const std::string name = "R" + std::to_string(i);
-        if (!c.db.Has(name)) break;
-        Relation& rel = c.db.GetMutable(name);
-        for (size_t r = 0; r < rel.NumRows(); ++r) rel.SetWeight(r, 1.0);
-      }
-      return c;
-    }
-  }
-}
 
 // ---------------------------------------------------------------------------
 // Differential drivers
@@ -242,7 +133,7 @@ void ExpectExactOrder(const GeneratedCase& c, const char* dioid_name,
                       size_t cap) {
   const std::vector<Answer> want =
       DrainExact<B>(c.db, c.q, Algorithm::kBatch, cap);
-  for (Algorithm algo : AllAnyKAlgorithms()) {
+  for (Algorithm algo : DifferentialColumns()) {
     const std::vector<Answer> got = DrainExact<B>(c.db, c.q, algo, cap);
     ASSERT_EQ(got.size(), want.size())
         << c.label << "/" << dioid_name << "/" << AlgorithmName(algo)
@@ -293,7 +184,7 @@ void ExpectCanonicalOrder(const GeneratedCase& c, const char* dioid_name,
   std::vector<Answer> want = DrainRaw<B>(c.db, c.q, Algorithm::kBatch, cap);
   TrimIncompleteTailGroup<B>(&want, cap);
   CanonicalizeTieGroups<B>(&want);
-  for (Algorithm algo : AllAnyKAlgorithms()) {
+  for (Algorithm algo : DifferentialColumns()) {
     std::vector<Answer> got = DrainRaw<B>(c.db, c.q, algo, cap);
     TrimIncompleteTailGroup<B>(&got, cap);
     CanonicalizeTieGroups<B>(&got);
@@ -345,6 +236,14 @@ INSTANTIATE_TEST_SUITE_P(Blocks, DifferentialTest,
 // at the budget (the drain below has no external cap).
 // ---------------------------------------------------------------------------
 
+/// Batch rejoins the matrix here (against its own unbounded run), and auto
+/// rides along so the planner's pick is budget-correct at every swept k.
+std::vector<Algorithm> SweepColumns() {
+  auto v = AllRankedAlgorithms();
+  v.push_back(Algorithm::kAuto);
+  return v;
+}
+
 std::vector<size_t> SweepBudgets(size_t out_size) {
   // k ∈ {1, 2, |out|-1, |out|, |out|+7}, deduplicated for tiny outputs.
   std::vector<size_t> ks = {1, 2};
@@ -362,7 +261,7 @@ void ExpectBudgetedPrefixExact(const GeneratedCase& c,
   const std::vector<Answer> full =
       DrainExact<B>(c.db, c.q, Algorithm::kBatch, SIZE_MAX);
   for (const size_t k : SweepBudgets(full.size())) {
-    for (Algorithm algo : AllRankedAlgorithms()) {
+    for (Algorithm algo : SweepColumns()) {
       // No external cap: the k_budget alone must stop the enumerator.
       const std::vector<Answer> got =
           DrainExact<B>(c.db, c.q, algo, /*cap=*/k + 16, /*k_budget=*/k);
@@ -385,7 +284,7 @@ void ExpectBudgetedPrefixCanonical(const GeneratedCase& c,
   const std::vector<Answer> full =
       DrainRaw<B>(c.db, c.q, Algorithm::kBatch, SIZE_MAX);
   for (const size_t k : SweepBudgets(full.size())) {
-    for (Algorithm algo : AllRankedAlgorithms()) {
+    for (Algorithm algo : SweepColumns()) {
       std::vector<Answer> got =
           DrainRaw<B>(c.db, c.q, algo, /*cap=*/k + 16, /*k_budget=*/k);
       const size_t want_count = std::min(k, full.size());

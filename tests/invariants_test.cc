@@ -17,6 +17,7 @@
 #include "dioid/min_max.h"
 #include "dioid/tropical.h"
 #include "dp/stage_graph.h"
+#include "plan/stats.h"
 #include "query/cq.h"
 #include "query/join_tree.h"
 #include "util/alloc_stats.h"
@@ -309,6 +310,26 @@ TEST(InvariantTest, BatchEnumerationIsAllocationFreeAfterMaterialize) {
       << "batch enumeration of " << produced << " results hit the global "
       << "heap " << delta.news << " times (" << delta.bytes << " bytes)";
   EXPECT_GT(produced, 1000u) << "instance too small to be meaningful";
+}
+
+TEST(InvariantTest, StatsCollectionNeverTouchesTheGlobalHeap) {
+  // The planner reads CollectGraphStats on the serving path (anykd prepares
+  // under load); it must stay a pure scalar reduction over counters the
+  // build already produced — zero operator-new calls, however often it runs.
+  Fixture f(300, 4, 86, 8.0);
+  plan::GraphStats warm = plan::CollectGraphStats(f.g);
+  const AllocCounts before = CurrentAllocCounts();
+  plan::GraphStats merged;
+  for (int i = 0; i < 100; ++i) {
+    const plan::GraphStats s = plan::CollectGraphStats(f.g);
+    plan::MergeGraphStats(&merged, s);
+  }
+  const AllocCounts delta = AllocDelta(before, CurrentAllocCounts());
+  EXPECT_EQ(delta.news, 0u)
+      << "stats collection hit the global heap " << delta.news << " times";
+  EXPECT_EQ(merged.stages, warm.stages);
+  EXPECT_EQ(merged.states, 100 * warm.states);
+  EXPECT_GT(warm.output_count, 0.0);
 }
 
 TEST(InvariantTest, WeightsMatchRecomputationFromWitness) {

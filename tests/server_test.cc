@@ -24,6 +24,7 @@
 #include "anyk/ranked_query.h"
 #include "dioid/max_plus.h"
 #include "dioid/tropical.h"
+#include "plan/cost_model.h"
 #include "query/sql.h"
 #include "server/http_client.h"
 #include "server/server.h"
@@ -53,24 +54,27 @@ constexpr const char* kProjectedDescSql =
     "SELECT R1.A1, R2.A2 FROM R1, R2 WHERE R1.A2 = R2.A1 "
     "ORDER BY WEIGHT DESC LIMIT 40";
 
-/// The serial ground truth: drain a RankedQuery of the same algorithm and
-/// format every answer exactly like the server's text pages.
+/// The serial ground truth: drain a session of the same algorithm over a
+/// PreparedQuery configured exactly like the server's QueryHandle
+/// (auto_plan topology, LIMIT as the budget) and format every answer
+/// exactly like the server's text pages.
 template <typename D>
 std::string SerialDrainText(const Database& db, const std::string& sql,
                             Algorithm algo) {
   const SqlStatement stmt = ParseSql(sql, &db);
-  typename RankedQuery<D>::Options opts;
-  opts.algorithm = algo;
-  opts.enum_opts.with_witness = false;
-  opts.enum_opts.k_budget = stmt.limit;
-  RankedQuery<D> rq(db, stmt.query, opts);
+  typename PreparedQuery<D>::Options qopts;
+  qopts.enum_opts.with_witness = false;
+  qopts.enum_opts.k_budget = stmt.limit;
+  qopts.auto_plan = true;
+  const PreparedQuery<D> pq(db, stmt.query, qopts);
+  EnumerationSession<D> sess = pq.NewSession(algo);
   std::ostringstream out;
   char weight_buf[32];
   size_t rank = 0;
   size_t produced = 0;
   ResultRow<D> row;
   while ((stmt.limit == 0 || produced < stmt.limit) &&
-         rq.enumerator()->NextInto(&row)) {
+         sess.NextInto(&row)) {
     ++produced;
     std::snprintf(weight_buf, sizeof(weight_buf), "%.6g",
                   static_cast<double>(row.weight));
@@ -333,6 +337,61 @@ TEST(ServerTest, StatzAndFlush) {
       "/v1/query?sql=" + HttpClient::Encode(kPathSql) + "&k=1");
   EXPECT_EQ(LineWithPrefix(after.body, "CACHE,"), "CACHE,miss");
   srv.Stop();
+}
+
+TEST(ServerTest, AutoDefaultMatchesSerialAutoDrain) {
+  // `auto` is the server default: a request without an algorithm parameter
+  // runs the prepare-time planner decision, and its paged stream must
+  // byte-match a serial auto drain (the decision is cached in the entry, so
+  // every page and every client sees the same strategy).
+  const Database db = TestDatabase();
+  AnykServer srv(db, ServerOptions{});
+  srv.Start();
+  const int port = srv.bound_port();
+
+  HttpClient client(port);
+  ClientResponse untyped = client.Get(
+      "/v1/query?sql=" + HttpClient::Encode(kPathSql) + "&k=5");
+  ASSERT_EQ(untyped.status, 200) << untyped.body;
+  EXPECT_FALSE(ResultLines(untyped.body).empty());
+
+  const std::string paged = PagedDrain(port, kPathSql, "auto", 11);
+  EXPECT_EQ(paged, SerialDrainText<TropicalDioid>(db, kPathSql,
+                                                  Algorithm::kAuto));
+
+  // /statz lists the cached plan decisions (plan + resolved algorithm).
+  ClientResponse stats = client.Get("/statz");
+  ASSERT_EQ(stats.status, 200);
+  EXPECT_NE(stats.body.find("\"planner\""), std::string::npos) << stats.body;
+  EXPECT_NE(stats.body.find("\"prepared\""), std::string::npos) << stats.body;
+  EXPECT_NE(stats.body.find("\"plan\": \"acyclic-tree\""), std::string::npos)
+      << stats.body;
+  EXPECT_NE(stats.body.find("\"version\": " +
+                            std::to_string(plan::kPlannerVersion)),
+            std::string::npos)
+      << stats.body;
+  srv.Stop();
+}
+
+TEST(ServerTest, CacheKeyBindsPlannerVersion) {
+  // The prepared-query cache key must separate planner versions: after a
+  // cost-model bump (plan::kPlannerVersion), a warm cache can never serve a
+  // plan decided by the old model — the new key misses by construction.
+  using server::QueryCacheKey;
+  const std::string sql = "SELECT * FROM R1 ORDER BY WEIGHT ASC";
+  EXPECT_EQ(QueryCacheKey("min-sum", 1, 0, sql),
+            QueryCacheKey("min-sum", 1, 0, sql));
+  EXPECT_NE(QueryCacheKey("min-sum", 1, 0, sql),
+            QueryCacheKey("min-sum", 2, 0, sql));
+  EXPECT_NE(QueryCacheKey("min-sum", 1, 0, sql),
+            QueryCacheKey("min-sum", 1, 1, sql));
+  EXPECT_NE(QueryCacheKey("min-sum", 1, 0, sql),
+            QueryCacheKey("max-sum", 1, 0, sql));
+  // Components must not bleed into each other across the separator.
+  EXPECT_NE(QueryCacheKey("min-sum", 12, 3, sql),
+            QueryCacheKey("min-sum", 1, 23, sql));
+  // The default option tracks the compiled-in model version.
+  EXPECT_EQ(ServerOptions{}.planner_version, plan::kPlannerVersion);
 }
 
 TEST(ServerTest, JsonFormatPagesParse) {

@@ -1,0 +1,280 @@
+// Planner statistics on hand-counted fixtures: the per-stage counters that
+// BuildStageGraph piggybacks on the CSR build (exact output counts, fanout,
+// distinct join keys) must match counts done by hand — on skewed keys,
+// all-ties weights, zero-arity relations and empty relations — and the
+// cost model built on top must respect its documented thresholds.
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "dioid/tropical.h"
+#include "dp/stage_graph.h"
+#include "join/brute_force.h"
+#include "plan/cost_model.h"
+#include "plan/planner.h"
+#include "plan/stats.h"
+#include "query/cq.h"
+#include "query/join_tree.h"
+#include "storage/database.h"
+
+namespace anyk {
+namespace {
+
+using plan::GraphStats;
+
+StageGraph<TropicalDioid> BuildGraph(const Database& db,
+                                     const ConjunctiveQuery& q,
+                                     TDPInstance* inst) {
+  *inst = BuildAcyclicInstance(db, q);
+  return BuildStageGraph<TropicalDioid>(*inst);
+}
+
+// ---------------------------------------------------------------------------
+// Hand-counted fixtures
+// ---------------------------------------------------------------------------
+
+TEST(StatsTest, SkewedJoinKeyHandCounted) {
+  // R(x,y) |><| S(y,z), with the join key skewed: y=10 has 3 partners on
+  // both sides, y=20 exactly one, and S's y=30 row dangles (pruned by the
+  // bottom-up pass).
+  Database db;
+  auto& r = db.AddRelation("R1", 2);
+  r.Add({1, 10}, 1.0);
+  r.Add({2, 10}, 2.0);
+  r.Add({3, 10}, 3.0);
+  r.Add({4, 20}, 4.0);
+  auto& s = db.AddRelation("R2", 2);
+  s.Add({10, 100}, 1.0);
+  s.Add({10, 200}, 2.0);
+  s.Add({10, 300}, 3.0);
+  s.Add({20, 400}, 4.0);
+  s.Add({30, 500}, 5.0);  // dangling: no R partner
+  ConjunctiveQuery q = ConjunctiveQuery::Path(2);
+  TDPInstance inst;
+  StageGraph<TropicalDioid> g = BuildGraph(db, q, &inst);
+  const GraphStats st = plan::CollectGraphStats(g);
+
+  EXPECT_EQ(st.stages, 2u);
+  EXPECT_EQ(st.input_rows, 9u);          // 4 + 5 bag rows before pruning
+  EXPECT_EQ(st.states, 8u);              // 4 R states + 4 surviving S states
+  // Connectors: the root connector plus one per distinct referenced key
+  // ({10, 20}) in the child stage.
+  EXPECT_EQ(st.connectors, 3u);
+  // Exact output: 3*3 (y=10) + 1*1 (y=20) = 10 answers.
+  EXPECT_DOUBLE_EQ(st.output_count, 10.0);
+  // Widest choice set: the root connector holds all 4 root states; the
+  // skewed key y=10 holds 3 — so 4.
+  EXPECT_EQ(st.max_fanout, 4u);
+  EXPECT_DOUBLE_EQ(st.avg_fanout, 8.0 / 3.0);
+  EXPECT_TRUE(st.serial());              // path query: one child slot
+  // Cross-check the exact-count DP against the brute-force join.
+  EXPECT_DOUBLE_EQ(st.output_count,
+                   static_cast<double>(BruteForceJoin(db, q).size()));
+}
+
+TEST(StatsTest, AllTiesWeightsDoNotAffectCounts) {
+  // Statistics are weight-blind: a path with every weight identical must
+  // produce the same counts as the brute-force join's cardinality.
+  Database db;
+  for (int i = 1; i <= 3; ++i) {
+    auto& rel = db.AddRelation("R" + std::to_string(i), 2);
+    for (int a = 0; a < 3; ++a) {
+      for (int b = 0; b < 3; ++b) rel.Add({a, b}, 1.0);
+    }
+  }
+  ConjunctiveQuery q = ConjunctiveQuery::Path(3);
+  TDPInstance inst;
+  StageGraph<TropicalDioid> g = BuildGraph(db, q, &inst);
+  const GraphStats st = plan::CollectGraphStats(g);
+  // Full 3x3 bipartite joins: 9 * 3 * 3 = 81 answers, all weight 3.
+  EXPECT_DOUBLE_EQ(st.output_count, 81.0);
+  EXPECT_DOUBLE_EQ(st.output_count,
+                   static_cast<double>(BruteForceJoin(db, q).size()));
+  EXPECT_EQ(st.states, 27u);  // every row survives in every stage
+  EXPECT_EQ(st.input_rows, 27u);
+}
+
+TEST(StatsTest, EmptyRelationYieldsZeroOutput) {
+  Database db;
+  auto& r1 = db.AddRelation("R1", 2);
+  r1.Add({1, 2}, 1.0);
+  db.AddRelation("R2", 2);  // no rows: the conjunction is empty
+  ConjunctiveQuery q = ConjunctiveQuery::Path(2);
+  TDPInstance inst;
+  StageGraph<TropicalDioid> g = BuildGraph(db, q, &inst);
+  const GraphStats st = plan::CollectGraphStats(g);
+  EXPECT_TRUE(g.Empty());
+  EXPECT_DOUBLE_EQ(st.output_count, 0.0);
+  // The bottom-up pass prunes dangling child rows; root rows stay in the
+  // CSR with a zero count (they never enumerate), so the state/fanout
+  // counters still see them. The cost model keys off output_count == 0.
+  EXPECT_EQ(st.states, 1u);
+  EXPECT_EQ(st.max_fanout, 1u);
+}
+
+TEST(StatsTest, DisjointKeysPruneEverything) {
+  // Both relations populated but no key matches: counts must agree that the
+  // output is exactly zero (not merely small).
+  Database db;
+  auto& r1 = db.AddRelation("R1", 2);
+  auto& r2 = db.AddRelation("R2", 2);
+  for (int i = 0; i < 10; ++i) {
+    r1.Add({i, 100 + i}, 1.0);
+    r2.Add({500 + i, i}, 1.0);
+  }
+  ConjunctiveQuery q = ConjunctiveQuery::Path(2);
+  TDPInstance inst;
+  StageGraph<TropicalDioid> g = BuildGraph(db, q, &inst);
+  const GraphStats st = plan::CollectGraphStats(g);
+  EXPECT_DOUBLE_EQ(st.output_count, 0.0);
+  EXPECT_EQ(st.input_rows, 20u);  // the bags saw the rows...
+  // ...every child row is pruned (no key matches a root row), while the 10
+  // zero-count root rows stay resident — see the note in the test above.
+  EXPECT_EQ(st.states, 10u);
+}
+
+TEST(StatsTest, ZeroArityRelationCardinality) {
+  // Zero-arity relations are nullary facts with multiplicity; the planner's
+  // "index probe" must count the facts, not the (absent) columns.
+  Database db;
+  auto& r = db.AddRelation("R", 2);
+  r.Add({1, 10}, 1.0);
+  r.Add({2, 20}, 2.0);
+  auto& z = db.AddRelation("Z", 0);
+  z.AddRow({}, 5.0);
+  z.AddRow({}, 7.0);
+  z.AddRow({}, 9.0);
+  ConjunctiveQuery q;
+  q.AddAtom("R", {"x", "y"});
+  q.AddAtom("Z", {});
+  EXPECT_EQ(plan::AtomCardinality(db, q, 0), 2u);
+  EXPECT_EQ(plan::AtomCardinality(db, q, 1), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Merging across union parts
+// ---------------------------------------------------------------------------
+
+TEST(StatsTest, MergeAddsSizesAndMaxesShapes) {
+  GraphStats a;
+  a.stages = 3;
+  a.states = 100;
+  a.connectors = 10;
+  a.input_rows = 50;
+  a.max_fanout = 4;
+  a.max_slots = 1;
+  a.output_count = 1000;
+  GraphStats b;
+  b.stages = 2;
+  b.states = 20;
+  b.connectors = 10;
+  b.input_rows = 30;
+  b.max_fanout = 9;
+  b.max_slots = 2;
+  b.output_count = 500;
+  plan::MergeGraphStats(&a, b);
+  EXPECT_EQ(a.stages, 3u);
+  EXPECT_EQ(a.states, 120u);
+  EXPECT_EQ(a.connectors, 20u);
+  EXPECT_EQ(a.input_rows, 80u);
+  EXPECT_EQ(a.max_fanout, 9u);
+  EXPECT_EQ(a.max_slots, 2u);
+  EXPECT_DOUBLE_EQ(a.output_count, 1500.0);
+  EXPECT_DOUBLE_EQ(a.avg_fanout, 6.0);
+  EXPECT_FALSE(a.serial());
+}
+
+TEST(StatsTest, MergePreservesSaturatedCounts) {
+  // The count DP saturates to +inf on astronomically large outputs; merging
+  // must keep the saturation instead of producing NaN.
+  GraphStats a;
+  a.output_count = std::numeric_limits<double>::infinity();
+  GraphStats b;
+  b.output_count = 42;
+  plan::MergeGraphStats(&a, b);
+  EXPECT_TRUE(std::isinf(a.output_count));
+}
+
+// ---------------------------------------------------------------------------
+// Cost-model thresholds
+// ---------------------------------------------------------------------------
+
+plan::PlanInput BigInput(size_t k_budget) {
+  plan::PlanInput in;
+  in.stats.stages = 4;
+  in.stats.states = 100000;
+  in.stats.connectors = 20000;
+  in.stats.input_rows = 120000;
+  in.stats.max_fanout = 50;
+  in.stats.max_slots = 1;
+  in.stats.avg_fanout = 5.0;
+  in.stats.output_count = 1e9;
+  in.k_budget = k_budget;
+  return in;
+}
+
+TEST(StatsTest, SmallBudgetNeverPicksBatch) {
+  // k=10 of a billion answers: materializing everything cannot win.
+  const plan::StrategyChoice c = plan::ChooseStrategy(BigInput(10));
+  EXPECT_NE(c.algorithm, Algorithm::kBatch);
+  EXPECT_GT(c.est_batch, c.est_cost);
+}
+
+TEST(StatsTest, EmptyOutputShortCircuits) {
+  plan::PlanInput in = BigInput(0);
+  in.stats.output_count = 0;
+  const plan::StrategyChoice c = plan::ChooseStrategy(in);
+  EXPECT_EQ(c.algorithm, Algorithm::kLazy);
+  EXPECT_NE(std::string(c.reason).find("empty"), std::string::npos);
+}
+
+TEST(StatsTest, HeapArityFollowsBudget) {
+  EXPECT_EQ(plan::ChooseStrategy(BigInput(1)).heap_arity, 2u);
+  EXPECT_EQ(plan::ChooseStrategy(BigInput(64)).heap_arity, 2u);
+  EXPECT_EQ(plan::ChooseStrategy(BigInput(1000)).heap_arity, 4u);
+  EXPECT_EQ(plan::ChooseStrategy(BigInput(1u << 20)).heap_arity, 8u);
+  // Unbounded = effective k is the whole (huge) output.
+  EXPECT_EQ(plan::ChooseStrategy(BigInput(0)).heap_arity, 8u);
+}
+
+TEST(StatsTest, ChoiceIsDeterministic) {
+  const plan::PlanInput in = BigInput(100);
+  const plan::StrategyChoice a = plan::ChooseStrategy(in);
+  const plan::StrategyChoice b = plan::ChooseStrategy(in);
+  EXPECT_EQ(a.algorithm, b.algorithm);
+  EXPECT_EQ(a.heap_arity, b.heap_arity);
+  EXPECT_DOUBLE_EQ(a.est_cost, b.est_cost);
+  EXPECT_STREQ(a.reason, b.reason);
+}
+
+TEST(StatsTest, NonInvertibleDioidTaxesPartStrategies) {
+  plan::PlanInput inv = BigInput(1000);
+  plan::PlanInput noinv = inv;
+  noinv.has_inverse = false;
+  const plan::StrategyCosts a = plan::EstimateCosts(inv);
+  const plan::StrategyCosts b = plan::EstimateCosts(noinv);
+  EXPECT_GT(b.lazy, a.lazy);
+  EXPECT_GT(b.take2, a.take2);
+  EXPECT_GT(b.eager, a.eager);
+  EXPECT_GT(b.all, a.all);
+  EXPECT_DOUBLE_EQ(b.batch, a.batch);       // batch never deviates
+  EXPECT_DOUBLE_EQ(b.recursive, a.recursive);
+}
+
+TEST(StatsTest, PlanDecisionSummaryNamesTheChoice) {
+  plan::PlanDecision d;
+  d.algorithm = Algorithm::kEager;
+  d.heap_arity = 8;
+  d.stats.output_count = 123;
+  d.reason = "test reason";
+  const std::string s = d.Summary();
+  EXPECT_NE(s.find("algorithm=Eager"), std::string::npos);
+  EXPECT_NE(s.find("heap_arity=8"), std::string::npos);
+  EXPECT_NE(s.find("test reason"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace anyk
