@@ -128,12 +128,16 @@ struct TTSeries {
   size_t peak_rss_kb = 0;     // process peak RSS at the end of the series
 };
 
-/// Run `make()` (preprocessing) + NextInto() until `max_k` results or
+/// Run `make()` (preprocessing) + a drain until `max_k` results or
 /// exhaustion, recording cumulative time at each checkpoint plus the
 /// allocation counts of both phases (the preprocessing/enumeration split the
-/// flat-memory work targets; see util/alloc_stats.h). When `track_delay` is
-/// set, every result is timestamped to report the maximum inter-result delay
-/// (Fig. 5's Delay(k) column, measured).
+/// flat-memory work targets; see util/alloc_stats.h). The drain pulls
+/// through NextBatch with checkpoint-aligned batches — the production drain
+/// path (what the CLI and TopK use), which binds stage-wise through the
+/// column segments; batch boundaries land exactly on the checkpoints so
+/// TT(k) timestamps are unchanged. When `track_delay` is set, results are
+/// instead pulled one NextInto at a time and timestamped to report the
+/// maximum inter-result delay (Fig. 5's Delay(k) column, measured).
 template <typename D>
 TTSeries MeasureTT(
     const std::function<std::unique_ptr<Enumerator<D>>()>& make, size_t max_k,
@@ -147,22 +151,41 @@ TTSeries MeasureTT(
   series.prep_allocs = AllocDelta(at_start, at_enum).news;
   size_t next_cp = 0;
   double last = series.preprocessing;
-  ResultRow<D> row;
-  while (series.produced < max_k) {
-    if (!e->NextInto(&row)) {
-      series.exhausted = true;
-      break;
-    }
-    ++series.produced;
-    if (track_delay) {
+  if (track_delay) {
+    ResultRow<D> row;
+    while (series.produced < max_k) {
+      if (!e->NextInto(&row)) {
+        series.exhausted = true;
+        break;
+      }
+      ++series.produced;
       const double now = timer.Seconds();
       series.max_delay = std::max(series.max_delay, now - last);
       last = now;
+      if (next_cp < checkpoints.size() &&
+          series.produced == checkpoints[next_cp]) {
+        series.points.emplace_back(series.produced, timer.Seconds());
+        ++next_cp;
+      }
     }
-    if (next_cp < checkpoints.size() &&
-        series.produced == checkpoints[next_cp]) {
-      series.points.emplace_back(series.produced, timer.Seconds());
-      ++next_cp;
+  } else {
+    std::vector<ResultRow<D>> batch(64);
+    while (series.produced < max_k) {
+      size_t want = std::min(batch.size(), max_k - series.produced);
+      if (next_cp < checkpoints.size()) {
+        want = std::min(want, checkpoints[next_cp] - series.produced);
+      }
+      const size_t got = e->NextBatch(batch.data(), want);
+      series.produced += got;
+      if (next_cp < checkpoints.size() &&
+          series.produced == checkpoints[next_cp]) {
+        series.points.emplace_back(series.produced, timer.Seconds());
+        ++next_cp;
+      }
+      if (got < want) {  // short return == exhausted (the NextBatch contract)
+        series.exhausted = true;
+        break;
+      }
     }
   }
   series.total_seconds = timer.Seconds();

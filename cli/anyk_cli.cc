@@ -29,6 +29,7 @@
 #include "dioid/tropical.h"
 #include "query/sql.h"
 #include "storage/database.h"
+#include "storage/kernels.h"
 #include "util/alloc_stats.h"
 #include "util/checkpoints.h"
 #include "util/json.h"
@@ -151,12 +152,13 @@ RunReport RunRanked(const Database& db, const SqlStatement& stmt,
                     Algorithm algo, size_t limit,
                     const std::vector<size_t>& cps, const RowSink& sink,
                     ThreadPool* pool, size_t num_sessions,
-                    bool want_explain) {
+                    bool want_explain, KernelKind kernels) {
   RunReport rep;
   const AllocCounts at_start = CurrentAllocCounts();
   Timer timer;
   typename PreparedQuery<D>::Options qopts;
   qopts.enum_opts.with_witness = false;
+  qopts.enum_opts.kernels = kernels;
   // Budget-aware top-k fast path: --k / SQL LIMIT reaches every enumerator
   // as EnumOptions::k_budget (bounded O(k) candidate heaps, batch partial
   // sort) instead of merely truncating the drain loop below.
@@ -501,6 +503,13 @@ const char* UsageText() {
       "per-\n"
       "                        session TTL + aggregate answers/sec "
       "(default 1)\n"
+      "  --kernels NAME        bind-kernel flavor: auto (default; honors "
+      "the\n"
+      "                        ANYK_KERNELS env), scalar, or unrolled — "
+      "same\n"
+      "                        output either way (docs/ARCHITECTURE.md, "
+      "'Memory\n"
+      "                        layout')\n"
       "\n"
       "CSV loading (applies to every --relation):\n"
       "  --delimiter C         field delimiter (default ',')\n"
@@ -677,6 +686,15 @@ bool ParseCliArgs(int argc, char** argv, CliOptions* opt, std::string* error) {
         *error = "--sessions expects a positive integer, got '" + v + "'";
         return false;
       }
+    } else if (is_flag(a, "--kernels")) {
+      if (!value_of(&i, "--kernels", &v)) return false;
+      KernelKind kk;
+      if (!ParseKernelKind(v, &kk)) {
+        *error = "--kernels expects auto, scalar or unrolled, got '" + v +
+                 "'";
+        return false;
+      }
+      opt->kernels = v;
     } else if (is_flag(a, "--row-limit")) {
       if (!value_of(&i, "--row-limit", &v)) return false;
       if (!ParseSize(v, &opt->csv.limit)) {
@@ -781,19 +799,22 @@ int RunCli(const CliOptions& opt) {
     };
   }
 
+  KernelKind kernels = KernelKind::kAuto;
+  ParseKernelKind(opt.kernels, &kernels);  // validated at flag-parse time
+
   RunReport rep;
   if (dioid == "min-sum") {
     rep = RunRanked<TropicalDioid>(db, stmt, algo, limit, cps, sink, &pool,
-                                   opt.sessions, opt.explain);
+                                   opt.sessions, opt.explain, kernels);
   } else if (dioid == "max-sum") {
     rep = RunRanked<MaxPlusDioid>(db, stmt, algo, limit, cps, sink, &pool,
-                                  opt.sessions, opt.explain);
+                                  opt.sessions, opt.explain, kernels);
   } else if (dioid == "min-max") {
     rep = RunRanked<MinMaxDioid>(db, stmt, algo, limit, cps, sink, &pool,
-                                 opt.sessions, opt.explain);
+                                 opt.sessions, opt.explain, kernels);
   } else {
     rep = RunRanked<MaxTimesDioid>(db, stmt, algo, limit, cps, sink, &pool,
-                                   opt.sessions, opt.explain);
+                                   opt.sessions, opt.explain, kernels);
   }
 
   if (text) {

@@ -44,6 +44,10 @@ struct CliOptions {
   // independent EnumerationSession of the same PreparedQuery; implies
   // --no-results and reports per-session TTL + aggregate answers/sec.
   size_t sessions = 1;
+  // Bind-kernel flavor (--kernels): "auto" (default; honors the
+  // ANYK_KERNELS env override), "scalar" or "unrolled". Reaches the stage
+  // graph build and the batched NextBatch binds via EnumOptions::kernels.
+  std::string kernels = "auto";
   // Print the EXPLAIN block (plan shape + planner decision) before running.
   bool explain = false;
   bool show_help = false;

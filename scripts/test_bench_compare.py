@@ -150,6 +150,26 @@ def main():
     check("planner regret: auto at worst-of-6 fails the gate", rc == 1, out)
     check("the regressed series is the auto one", "auto" in out, out)
 
+    # 9. TTF series in the bench_ttf style: the Engine prepare+TTF row and
+    #    the paired layout-replica rows (Prefill-columnar vs Prefill-rowref)
+    #    are independent series keyed by algorithm. Losing the columnar
+    #    advantage (Prefill-columnar regressing to rowref's time) must fail
+    #    even though Prefill-rowref itself is unchanged.
+    def ttf_rows(engine_s, col_s, row_s):
+        return [record("ttf", engine_s, k=1, algorithm="Engine",
+                       dataset="prepare+first"),
+                record("ttf", col_s, k=1, algorithm="Prefill-columnar",
+                       dataset="prefill"),
+                record("ttf", row_s, k=1, algorithm="Prefill-rowref",
+                       dataset="prefill")]
+    rc, out = run_compare(ttf_rows(2.0, 1.0, 2.0), ttf_rows(2.1, 1.05, 2.0))
+    check("ttf: steady columnar advantage passes", rc == 0, out)
+    rc, out = run_compare(ttf_rows(2.0, 1.0, 2.0), ttf_rows(2.0, 2.0, 2.0))
+    check("ttf: columnar prefill regressing to rowref time fails",
+          rc == 1, out)
+    check("the regressed series is Prefill-columnar",
+          "Prefill-columnar" in out, out)
+
     if FAILURES:
         print(f"\n{len(FAILURES)} bench_compare regression checks failed")
         return 1

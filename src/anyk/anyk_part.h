@@ -91,7 +91,10 @@ class AnyKPartEnumerator : public Enumerator<D> {
         succ_buf_(ArenaAllocator<uint32_t>(&arena_)),
         frontier_(ArenaAllocator<std::pair<uint32_t, uint32_t>>(&arena_)),
         batch_states_(ArenaAllocator<uint32_t>(&arena_)),
-        batch_weights_(ArenaAllocator<V>(&arena_)) {
+        batch_weights_(ArenaAllocator<V>(&arena_)),
+        batch_ids_(ArenaAllocator<uint32_t>(&arena_)),
+        batch_vals_(ArenaAllocator<Value>(&arena_)),
+        kx_(&GetGatherKernels(opts.kernels)) {
     arena_.Reserve(opts_.arena_reserve_bytes);
     if constexpr (requires { cand_.SetBudget(size_t{0}); }) {
       cand_.SetBudget(opts_.k_budget);
@@ -128,9 +131,12 @@ class AnyKPartEnumerator : public Enumerator<D> {
 
   /// Batched pull: pop up to `n` answers first (stashing each answer's stage
   /// states and weight in arena scratch), then bind variables stage-wise
-  /// across the whole batch — one pass per stage keeps that stage's member /
-  /// weight / binding arrays hot instead of re-touching all L stages per
-  /// answer.
+  /// across the whole batch via the gather kernels — per stage, one strided
+  /// extraction of the batch's state column, one row-id gather, and one
+  /// column-segment gather per variable (BindStateBatch), instead of
+  /// re-touching all L stages tuple-at-a-time per answer. Short return ⇒
+  /// exhausted (the only early exit is Advance() == false); see the
+  /// contract in anyk/enumerator.h.
   size_t NextBatch(ResultRow<D>* rows, size_t n) override {
     const size_t L = g_->stages.size();
     batch_states_.clear();
@@ -145,11 +151,12 @@ class AnyKPartEnumerator : public Enumerator<D> {
     for (size_t b = 0; b < produced; ++b) {
       PrepareRow(batch_weights_[b], &rows[b]);
     }
+    batch_ids_.resize(2 * produced);
+    batch_vals_.resize(produced);
     for (uint32_t j = 0; j < L; ++j) {
-      for (size_t b = 0; b < produced; ++b) {
-        BindState(*g_, j, batch_states_[b * L + j], &rows[b].assignment,
-                  opts_.with_witness ? &rows[b].witness : nullptr);
-      }
+      BindStateBatch(*g_, j, batch_states_.data(), L, j, produced, rows,
+                     opts_.with_witness, *kx_, batch_ids_.data(),
+                     batch_vals_.data());
     }
     return produced;
   }
@@ -438,6 +445,9 @@ class AnyKPartEnumerator : public Enumerator<D> {
   ArenaVector<std::pair<uint32_t, uint32_t>> frontier_;  // (stage, conn)
   ArenaVector<uint32_t> batch_states_;  // NextBatch scratch: L states per row
   ArenaVector<V> batch_weights_;
+  ArenaVector<uint32_t> batch_ids_;  // BindStateBatch id scratch (2 per row)
+  ArenaVector<Value> batch_vals_;    // BindStateBatch value scratch
+  const GatherKernels* kx_;          // bound once at construction
   V assigned_weight_ = D::One();
   V cur_total_{};            // weight of the answer Advance() just produced
   size_t emitted_ = 0;       // answers popped so far (budget accounting)

@@ -33,7 +33,8 @@ class BatchEnumerator : public Enumerator<D> {
 
  public:
   explicit BatchEnumerator(const StageGraph<D>* g, BatchOptions opts = {})
-      : g_(g), opts_(opts) {}
+      : g_(g), opts_(opts),
+        kx_(&GetGatherKernels(opts.enum_opts.kernels)) {}
 
   bool NextInto(ResultRow<D>* row) override {
     if (!materialized_) Materialize();
@@ -49,9 +50,14 @@ class BatchEnumerator : public Enumerator<D> {
     return true;
   }
 
-  /// Batched pull, bound stage-wise: for each stage one pass over the whole
-  /// batch, so the stage's binding metadata stays hot instead of being
-  /// re-fetched L times per answer.
+  /// Batched pull, bound stage-wise through the gather kernels: the batch's
+  /// rank window of `order_` becomes a dense state matrix (one strided
+  /// gather per stage out of the materialized solutions), then each stage
+  /// binds its whole column of the batch in one BindStateBatch pass. Short
+  /// return ⇒ the rank order is exhausted (contract in anyk/enumerator.h);
+  /// the only possible short count is the tail min() below. Scratch buffers
+  /// are plain members reused across calls (no allocation after warm-up;
+  /// the batch variant's enumeration phase is already post-materialize).
   size_t NextBatch(ResultRow<D>* rows, size_t n) override {
     if (!materialized_) Materialize();
     const size_t L = g_->stages.size();
@@ -59,13 +65,21 @@ class BatchEnumerator : public Enumerator<D> {
     for (size_t b = 0; b < produced; ++b) {
       PrepareRow(weights_[order_[cursor_ + b]], &rows[b]);
     }
+    // Flatten the batch's states in rank order: batch_states_[b * L + j] =
+    // answer b's state at stage j (one contiguous L-copy per answer out of
+    // the materialized solutions).
+    batch_states_.resize(produced * L);
+    batch_ids_.resize(2 * produced);
+    batch_vals_.resize(produced);
+    const uint32_t* order_win = order_.data() + cursor_;
+    for (size_t b = 0; b < produced; ++b) {
+      std::copy_n(solutions_.data() + static_cast<size_t>(order_win[b]) * L,
+                  L, batch_states_.data() + b * L);
+    }
     for (uint32_t j = 0; j < L; ++j) {
-      for (size_t b = 0; b < produced; ++b) {
-        const uint32_t idx = order_[cursor_ + b];
-        BindState(*g_, j, solutions_[static_cast<size_t>(idx) * L + j],
-                  &rows[b].assignment,
-                  opts_.enum_opts.with_witness ? &rows[b].witness : nullptr);
-      }
+      BindStateBatch(*g_, j, batch_states_.data(), L, j, produced, rows,
+                     opts_.enum_opts.with_witness, *kx_, batch_ids_.data(),
+                     batch_vals_.data());
     }
     cursor_ += produced;
     return produced;
@@ -176,11 +190,16 @@ class BatchEnumerator : public Enumerator<D> {
 
   const StageGraph<D>* g_;
   BatchOptions opts_;
+  const GatherKernels* kx_;  // bound once at construction
   bool materialized_ = false;
   std::vector<uint32_t> solutions_;  // |out| * L state ids
   std::vector<V> weights_;
   std::vector<uint32_t> order_;
   size_t cursor_ = 0;
+  // NextBatch scratch, reused across calls (capacity sticks after warm-up).
+  std::vector<uint32_t> batch_states_;
+  std::vector<uint32_t> batch_ids_;
+  std::vector<Value> batch_vals_;
 };
 
 }  // namespace anyk

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "dioid/dioid.h"
+#include "storage/kernels.h"
 #include "storage/value.h"
 
 namespace anyk {
@@ -63,6 +64,13 @@ struct EnumOptions {
   // frequent block chaining — used by fuzz tests to stress arena
   // boundaries; production code should leave this alone.
   size_t arena_block_bytes = 0;
+  // Bind-kernel flavor for the batched NextBatch paths (and, through
+  // PreparedQuery, the stage-graph build): resolved ONCE at prepare /
+  // construction time via GetGatherKernels, never per batch. kAuto defers
+  // to DefaultKernelKind() (ANYK_KERNELS env override; see
+  // storage/kernels.h). Both flavors produce byte-identical output — this
+  // knob trades debuggability against throughput only.
+  KernelKind kernels = KernelKind::kAuto;
 };
 
 /// Pull-based enumerator: answers come out in non-decreasing rank order
@@ -98,11 +106,32 @@ class Enumerator {
 
   /// Batched pull: write up to `n` answers into `rows[0..n)` (caller-owned,
   /// buffers reused across calls like NextInto) and return how many were
-  /// written. A short count (< n) means the enumerator is exhausted — either
-  /// the output or its `k_budget` ran out — so callers may stop on the first
-  /// short batch. ANYK-PART and the batch enumerator override this to bind
-  /// variables stage-wise across the whole batch; enumerators with no such
-  /// cross-answer structure keep this NextInto loop.
+  /// written.
+  ///
+  /// PARTIAL-FILL CONTRACT (pinned; invariants_test::NextBatchContract
+  /// sweeps every strategy and wrapper against it):
+  ///  1. A return of exactly `n` promises nothing about remaining output —
+  ///     keep calling.
+  ///  2. A short count (< n, including 0) means EXHAUSTED: the output — or
+  ///     the enumerator's `k_budget` — ran out. There are no other legal
+  ///     short returns: an override may not return early because a buffer
+  ///     filled, a shard ended, or an internal batch boundary was hit.
+  ///     Callers (DrainTopK, the CLI writers, the server cursor loop)
+  ///     rely on this to stop on the first short batch without a
+  ///     confirming extra call.
+  ///  3. After a short return, every further call returns 0 — exhaustion
+  ///     is sticky.
+  ///  4. rows[0..returned) are fully bound; rows beyond the returned count
+  ///     are scratch with unspecified contents.
+  ///  5. Interleaving NextBatch with Next()/NextInto() is legal; the
+  ///     answer stream stays the same regardless of pull granularity.
+  ///
+  /// This base fallback inherits the contract from NextInto (its only
+  /// short-stop is NextInto returning false, i.e. exhaustion — clause 2
+  /// holds by construction). ANYK-PART and the batch enumerator override it
+  /// to bind variables stage-wise across the whole batch via the gather
+  /// kernels (storage/kernels.h); enumerators with no such cross-answer
+  /// structure keep this NextInto loop.
   virtual size_t NextBatch(ResultRow<D>* rows, size_t n) {
     size_t produced = 0;
     while (produced < n && NextInto(&rows[produced])) ++produced;

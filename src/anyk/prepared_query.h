@@ -160,7 +160,7 @@ class PreparedQuery {
                           : RerootChains(normalized)));
       graphs_.push_back(std::make_unique<StageGraph<D>>(BuildStageGraph<D>(
           instances_.back(), /*num_atoms_override=*/0, /*hook=*/nullptr,
-          pool)));
+          pool, opts_.enum_opts.kernels)));
       DecideStrategy();
       return;
     }
@@ -173,8 +173,9 @@ class PreparedQuery {
       // untouched afterwards, which is what NewSession relies on).
       graphs_.resize(instances_.size());
       ParallelFor(pool, instances_.size(), [&](size_t i) {
-        graphs_[i] = std::make_unique<StageGraph<D>>(
-            BuildStageGraph<D>(instances_[i]));
+        graphs_[i] = std::make_unique<StageGraph<D>>(BuildStageGraph<D>(
+            instances_[i], /*num_atoms_override=*/0, /*hook=*/nullptr,
+            /*pool=*/nullptr, opts_.enum_opts.kernels));
       });
       DecideStrategy();
       return;

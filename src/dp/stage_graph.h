@@ -23,14 +23,17 @@
 #include <functional>
 #include <limits>
 #include <optional>
+#include <span>
 #include <utility>
 #include <vector>
 
+#include "anyk/enumerator.h"  // ResultRow, bound by BindStateBatch
 #include "dioid/dioid.h"
 #include "dioid/lift.h"
 #include "query/join_tree.h"
 #include "storage/flat_index.h"
 #include "storage/group_index.h"
+#include "storage/kernels.h"
 #include "storage/value.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
@@ -49,6 +52,12 @@ struct StageGraph {
     int parent_stage = -1;    // serialized index of the parent stage
     uint32_t parent_slot = 0; // which child slot of the parent we occupy
     uint32_t num_slots = 0;   // number of child stages of this stage
+
+    // Flat per-column segment pointers of the node's table (col_segs[c] ==
+    // table->ColumnData(c)), cached at build time: the per-answer BindState
+    // on the NextInto drain path reads one Value per column, and going
+    // through Relation each time costs two extra dependent loads per read.
+    std::vector<const Value*> col_segs;
 
     // --- states (surviving rows) ---
     std::vector<uint32_t> row_of_state;  // original row in the node table
@@ -150,8 +159,11 @@ template <SelectiveDioid D>
 StageGraph<D> BuildStageGraph(const TDPInstance& inst,
                               size_t num_atoms_override = 0,
                               const StateWeightHook<D>* hook = nullptr,
-                              ThreadPool* pool = nullptr) {
+                              ThreadPool* pool = nullptr,
+                              KernelKind kernels = KernelKind::kAuto) {
   using V = typename D::Value;
+  const GatherKernels& kx = GetGatherKernels(kernels);
+  const DioidKernels<D>& dk = GetDioidKernels<D>(kernels);
   const size_t num_atoms =
       num_atoms_override == 0 ? inst.num_atoms : num_atoms_override;
   const size_t L = inst.nodes.size();
@@ -169,6 +181,10 @@ StageGraph<D> BuildStageGraph(const TDPInstance& inst,
     auto& st = g.stages[k];
     st.node_idx = inst.order[k];
     const TDPNode& nd = inst.nodes[st.node_idx];
+    st.col_segs.resize(nd.vars.size());
+    for (size_t c = 0; c < nd.vars.size(); ++c) {
+      st.col_segs[c] = nd.table->NumRows() ? nd.table->ColumnData(c) : nullptr;
+    }
     if (nd.parent >= 0) {
       st.parent_stage = static_cast<int>(stage_of_node[nd.parent]);
     }
@@ -202,10 +218,28 @@ StageGraph<D> BuildStageGraph(const TDPInstance& inst,
     st.conn_of_state.reserve(rows * slots);
 
     // Scratch buffers are per stage invocation (no cross-thread sharing).
-    std::vector<Value> key_buf;
     std::vector<uint32_t> row_conns(slots);
     std::vector<double> state_count;  // subtree solutions per surviving state
     state_count.reserve(rows);
+
+    // Pre-fill one row-major key matrix per child slot, column-strided: each
+    // parent key column is one sequential read of its contiguous segment
+    // (spread kernel) instead of a per-row random At() walk. The DP loop
+    // below then probes with a plain span into the matrix.
+    std::vector<std::vector<Value>> slot_keys(slots);
+    std::vector<size_t> slot_width(slots);
+    for (size_t j = 0; j < slots; ++j) {
+      const uint32_t cs = g.child_stage[kk][j];
+      const TDPNode& cnd = inst.nodes[g.stages[cs].node_idx];
+      const size_t width = cnd.parent_key_cols.size();
+      slot_width[j] = width;
+      slot_keys[j].resize(rows * width);
+      for (size_t c = 0; c < width; ++c) {
+        kx.spread_to_stride(nd.table->ColumnData(cnd.parent_key_cols[c]),
+                            rows, slot_keys[j].data() + c, width);
+      }
+    }
+
     for (size_t r = 0; r < rows; ++r) {
       // Resolve one connector per child slot; prune if any child has no
       // matching key (dangling tuple). The solution-count DP rides along:
@@ -215,12 +249,8 @@ StageGraph<D> BuildStageGraph(const TDPInstance& inst,
       double cnt = 1.0;
       for (size_t j = 0; j < slots && alive; ++j) {
         const uint32_t cs = g.child_stage[kk][j];
-        const TDPNode& cnd = inst.nodes[g.stages[cs].node_idx];
-        key_buf.clear();
-        for (uint32_t pc : cnd.parent_key_cols) {
-          key_buf.push_back(nd.table->At(r, pc));
-        }
-        const int64_t conn = conn_of_key[cs].Find(key_buf);
+        const int64_t conn = conn_of_key[cs].Find(std::span<const Value>(
+            slot_keys[j].data() + r * slot_width[j], slot_width[j]));
         if (conn < 0) {
           alive = false;
         } else {
@@ -263,13 +293,20 @@ StageGraph<D> BuildStageGraph(const TDPInstance& inst,
         for (size_t s = 0; s < ns; ++s) conn_of_state_local[s] = 0;
       }
     } else {
-      conn_of_key[kk].Init(nd.key_cols.size(), ns);
+      // Gather each key column's surviving values straight from its segment
+      // (row ids are the surviving rows) into a row-major key matrix, then
+      // intern row-wise.
+      const size_t width = nd.key_cols.size();
+      conn_of_key[kk].Init(width, ns);
+      std::vector<Value> key_rows(ns * width);
+      for (size_t c = 0; c < width; ++c) {
+        kx.gather_to_stride(nd.table->ColumnData(nd.key_cols[c]),
+                            st.row_of_state.data(), ns, key_rows.data() + c,
+                            width);
+      }
       for (size_t s = 0; s < ns; ++s) {
-        key_buf.clear();
-        for (uint32_t c : nd.key_cols) {
-          key_buf.push_back(nd.table->At(st.row_of_state[s], c));
-        }
-        conn_of_state_local[s] = conn_of_key[kk].Intern(key_buf);
+        conn_of_state_local[s] = conn_of_key[kk].Intern(
+            std::span<const Value>(key_rows.data() + s * width, width));
       }
     }
 
@@ -279,12 +316,16 @@ StageGraph<D> BuildStageGraph(const TDPInstance& inst,
     for (size_t c = 0; c < conns; ++c) st.conn_begin[c + 1] += st.conn_begin[c];
     st.members.resize(ns);
     st.member_val.resize(ns, D::Zero());
+    // member_val is weight ⊗ pi1 per state; batch the ⊗ over the two flat
+    // arrays (dioid kernel) before the scatter permutes it into CSR order.
+    std::vector<V> comb(ns);
+    dk.combine(st.weight.data(), st.pi1.data(), ns, comb.data());
     std::vector<uint32_t> cursor(st.conn_begin.begin(), st.conn_begin.end() - 1);
     st.conn_count.assign(conns, 0.0);
     for (size_t s = 0; s < ns; ++s) {
       const uint32_t pos = cursor[conn_of_state_local[s]]++;
       st.members[pos] = static_cast<uint32_t>(s);
-      st.member_val[pos] = D::Combine(st.weight[s], st.pi1[s]);
+      st.member_val[pos] = comb[s];
       st.conn_count[conn_of_state_local[s]] += state_count[s];
     }
     st.conn_best.resize(conns);
@@ -347,13 +388,61 @@ void BindState(const StageGraph<D>& g, uint32_t stage, uint32_t state,
   const auto& st = g.stages[stage];
   const TDPNode& nd = g.instance->nodes[st.node_idx];
   const uint32_t row = st.row_of_state[state];
+  const Value* const* segs = st.col_segs.data();
+  const uint32_t* vars = nd.vars.data();
+  Value* out = assignment->data();
   for (size_t c = 0; c < nd.vars.size(); ++c) {
-    (*assignment)[nd.vars[c]] = nd.table->At(row, c);
+    out[vars[c]] = segs[c][row];
   }
   if (witness != nullptr) {
     const size_t pins = nd.NumPins();
     for (size_t p = 0; p < pins; ++p) {
       (*witness)[nd.pinned_atoms[p]] = nd.pin_rows[row * pins + p];
+    }
+  }
+}
+
+/// Batched BindState: bind `count` answers' states of one stage in a single
+/// stage-wise pass. `states_base[i * stride + offset]` is answer i's state
+/// id at this stage (the enumerators stash answers as L-strided state
+/// matrices). Per variable column the values are gathered from the column
+/// segment into `val_scratch` (one sequential write, one random read — the
+/// bind-kernel layer's core move) and then scattered into each answer's
+/// ResultRow; witnesses go the same way through the strided pin_rows gather.
+///
+/// Scratch is caller-owned so the enumerators can keep it in their arena
+/// (zero-global-alloc enumeration): `id_scratch` holds at least 2 * count
+/// uint32s, `val_scratch` at least count Values.
+template <SelectiveDioid D>
+void BindStateBatch(const StageGraph<D>& g, uint32_t stage,
+                    const uint32_t* states_base, size_t stride, size_t offset,
+                    size_t count, ResultRow<D>* rows, bool with_witness,
+                    const GatherKernels& kx, uint32_t* id_scratch,
+                    Value* val_scratch) {
+  if (count == 0) return;
+  const auto& st = g.stages[stage];
+  const TDPNode& nd = g.instance->nodes[st.node_idx];
+  uint32_t* state_ids = id_scratch;
+  uint32_t* row_ids = id_scratch + count;
+  kx.copy_strided_u32(states_base, stride, offset, count, state_ids);
+  kx.gather_u32(st.row_of_state.data(), state_ids, count, row_ids);
+  for (size_t c = 0; c < nd.vars.size(); ++c) {
+    const uint32_t var = nd.vars[c];
+    kx.gather(nd.table->ColumnData(c), row_ids, count, val_scratch);
+    for (size_t b = 0; b < count; ++b) {
+      rows[b].assignment[var] = val_scratch[b];
+    }
+  }
+  if (with_witness) {
+    const size_t pins = nd.NumPins();
+    for (size_t p = 0; p < pins; ++p) {
+      const uint32_t atom = nd.pinned_atoms[p];
+      // state_ids is dead past this point; reuse it as the witness scratch.
+      kx.gather_u32_strided(nd.pin_rows.data(), pins, p, row_ids, count,
+                            state_ids);
+      for (size_t b = 0; b < count; ++b) {
+        rows[b].witness[atom] = state_ids[b];
+      }
     }
   }
 }

@@ -87,6 +87,11 @@ ThetaPathProblem<D> BuildThetaPathGraph(
   for (size_t k = 0; k < L; ++k) {
     auto& st = g.stages[k];
     st.node_idx = static_cast<uint32_t>(k);
+    st.col_segs.resize(relations[k]->arity());
+    for (size_t c = 0; c < relations[k]->arity(); ++c) {
+      st.col_segs[c] =
+          relations[k]->NumRows() ? relations[k]->ColumnData(c) : nullptr;
+    }
     st.parent_stage = (k == 0) ? -1 : static_cast<int>(k - 1);
     st.parent_slot = 0;
     st.num_slots = (k + 1 < L) ? 1 : 0;
@@ -110,13 +115,19 @@ ThetaPathProblem<D> BuildThetaPathGraph(
       }
     } else {
       auto& child = g.stages[k + 1];
+      // Predicates take row spans; storage is columnar, so materialize each
+      // candidate pair into flat buffers (left once per r, right per state).
+      const Relation& child_rel = *relations[k + 1];
+      std::vector<Value> left_buf(rel.arity());
+      std::vector<Value> right_buf(child_rel.arity());
       for (size_t r = 0; r < rows; ++r) {
+        rel.Row(r).CopyInto(left_buf.data());
         // Private connector: matching surviving child states.
         const uint32_t begin = static_cast<uint32_t>(child.members.size());
         uint32_t best_pos = begin;
         for (uint32_t cs = 0; cs < child.NumStates(); ++cs) {
-          if (!thetas[k](rel.Row(r), relations[k + 1]->Row(
-                                         child.row_of_state[cs]))) {
+          child_rel.Row(child.row_of_state[cs]).CopyInto(right_buf.data());
+          if (!thetas[k](left_buf, right_buf)) {
             continue;
           }
           const V val = D::Combine(child.weight[cs], child.pi1[cs]);

@@ -45,7 +45,8 @@ class RankJoin::Scan : public RankJoin::Operator {
     ++stats_->input_tuples_pulled;
     RankJoinTuple t;
     t.weight = rel_.Weight(r);
-    t.values.assign(rel_.Row(r).begin(), rel_.Row(r).end());
+    t.values.resize(rel_.arity());
+    rel_.Row(r).CopyInto(t.values.data());
     return t;
   }
 

@@ -85,6 +85,27 @@ inline size_t AtomCardinality(const Database& db, const ConjunctiveQuery& q,
   return db.Get(q.atom(atom).relation).NumRows();
 }
 
+/// Distinct-value upper bound for one column of a relation, off the
+/// append-maintained per-column min/max counters (ColumnStats — free: the
+/// columnar storage layer updates them on every AddRow/AppendColumnChunk).
+/// min(|range|, rows): a column can't have more distinct values than rows,
+/// nor more than its value range holds. This is the classic V(R, a) input
+/// of selectivity estimation, costing zero passes over the data.
+inline double ColumnDistinctBound(const Relation& rel, size_t col) {
+  const ColumnStats& cs = rel.ColumnStatsOf(col);
+  if (cs.empty()) return 0.0;
+  return std::min(cs.SpanSize(), static_cast<double>(rel.NumRows()));
+}
+
+/// Equi-join key selectivity estimate for an atom's column under uniform
+/// assumptions: rows / distinct (the expected matching-group size). Returns
+/// 1.0 for empty columns so multiplying estimators stay well-defined.
+inline double ColumnAvgGroupSize(const Relation& rel, size_t col) {
+  const double d = ColumnDistinctBound(rel, col);
+  if (d <= 0.0) return 1.0;
+  return static_cast<double>(rel.NumRows()) / d;
+}
+
 }  // namespace plan
 }  // namespace anyk
 

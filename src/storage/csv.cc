@@ -1,6 +1,7 @@
 #include "storage/csv.h"
 
 #include <charconv>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <fstream>
@@ -46,23 +47,30 @@ int64_t ParseInt(const std::string& s, const std::string& path, size_t line) {
   return v;
 }
 
+// std::from_chars, not std::stod: stod honors the process locale, so under
+// a comma-decimal locale (de_DE style) it silently truncates "3.5" to 3.
+// from_chars always parses the C locale ("." radix) regardless of any
+// setlocale() the embedding process performed.
 double ParseDouble(const std::string& s, const std::string& path, size_t line) {
-  try {
-    size_t consumed = 0;
-    const double v = std::stod(s, &consumed);
-    while (consumed < s.size() &&
-           (s[consumed] == ' ' || s[consumed] == '\t')) {
-      ++consumed;
-    }
-    ANYK_CHECK(consumed == s.size())
-        << At(path, line) << ": bad weight '" << s << "'";
-    return v;
-  } catch (const CheckError&) {
-    throw;
-  } catch (...) {
-    ANYK_CHECK(false) << At(path, line) << ": bad weight '" << s << "'";
-    return 0;
+  double v = 0;
+  const char* begin = s.data();
+  const char* end = s.data() + s.size();
+  while (begin < end && (*begin == ' ' || *begin == '\t')) ++begin;
+  // from_chars rejects an explicit leading '+' (stod accepted it, and CSVs
+  // in the wild carry it); skip it when a digit or '.' follows.
+  if (begin + 1 < end && *begin == '+' &&
+      ((begin[1] >= '0' && begin[1] <= '9') || begin[1] == '.')) {
+    ++begin;
   }
+  auto [ptr, ec] = std::from_chars(begin, end, v);
+  while (ptr < end && (*ptr == ' ' || *ptr == '\t')) ++ptr;
+  ANYK_CHECK(ec == std::errc() && ptr == end)
+      << At(path, line) << ": bad weight '" << s << "'";
+  // NaN is incomparable and ±∞ absorbs ⊗, so either breaks the total order
+  // a selective dioid needs (Section 2.2); reject at the boundary.
+  ANYK_CHECK(std::isfinite(v))
+      << At(path, line) << ": non-finite weight '" << s << "'";
+  return v;
 }
 
 }  // namespace
@@ -86,7 +94,21 @@ Relation& LoadRelationCsv(Database* db, const std::string& name,
   size_t arity = 0;
   int weight_column = opts.weight_column;
   Relation* rel = nullptr;
-  std::vector<Value> row;
+  // Parsed rows are staged column-major into fixed-size shards and appended
+  // with one contiguous insert per column segment (AppendColumnChunk)
+  // instead of a per-row push into every column.
+  constexpr size_t kShardRows = 4096;
+  std::vector<std::vector<Value>> shard_cols;
+  std::vector<double> shard_weights;
+  std::vector<const Value*> shard_ptrs;
+  const auto flush_shard = [&] {
+    if (shard_weights.empty()) return;
+    shard_ptrs.clear();
+    for (const auto& col : shard_cols) shard_ptrs.push_back(col.data());
+    rel->AppendColumnChunk(shard_ptrs, shard_weights);
+    for (auto& col : shard_cols) col.clear();
+    shard_weights.clear();
+  };
   size_t loaded = 0;
   while (std::getline(in, line)) {
     ++lineno;
@@ -103,23 +125,28 @@ Relation& LoadRelationCsv(Database* db, const std::string& name,
       ANYK_CHECK(arity >= 1)
           << At(path, lineno) << ": no value columns";
       rel = &db->AddRelation(name, arity);
+      shard_cols.resize(arity);
+      for (auto& col : shard_cols) col.reserve(kShardRows);
+      shard_weights.reserve(kShardRows);
     }
     const size_t expected_cols = arity + (weight_column >= 0 ? 1 : 0);
     ANYK_CHECK(fields.size() == expected_cols)
         << At(path, lineno) << ": ragged row (expected " << expected_cols
         << " columns, got " << fields.size() << ")";
-    row.clear();
     double weight = 0;
+    size_t out_c = 0;
     for (size_t c = 0; c < fields.size(); ++c) {
       if (static_cast<int>(c) == weight_column) {
         weight = ParseDouble(fields[c], path, lineno);
       } else {
-        row.push_back(ParseInt(fields[c], path, lineno));
+        shard_cols[out_c++].push_back(ParseInt(fields[c], path, lineno));
       }
     }
-    rel->AddRow(row, weight);
+    shard_weights.push_back(weight);
+    if (shard_weights.size() >= kShardRows) flush_shard();
     if (opts.limit > 0 && ++loaded >= opts.limit) break;
   }
+  if (rel != nullptr) flush_shard();
   // Header-only files land here too: the header was consumed above, so
   // "empty" would mislead — the file exists and may even be non-empty, it
   // just has no data rows to infer the arity (and load anything) from.

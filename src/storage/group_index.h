@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "storage/flat_index.h"
+#include "storage/kernels.h"
 #include "storage/relation.h"
 #include "storage/value.h"
 
@@ -33,22 +34,33 @@ class GroupIndex {
   GroupIndex() = default;
 
   /// Build in expected O(rows) time.
-  GroupIndex(const Relation& rel, std::span<const uint32_t> key_cols) {
-    Build(rel, key_cols);
+  GroupIndex(const Relation& rel, std::span<const uint32_t> key_cols,
+             KernelKind kernels = KernelKind::kAuto) {
+    Build(rel, key_cols, kernels);
   }
 
-  void Build(const Relation& rel, std::span<const uint32_t> key_cols) {
+  void Build(const Relation& rel, std::span<const uint32_t> key_cols,
+             KernelKind kernels = KernelKind::kAuto) {
+    const GatherKernels& kx = GetGatherKernels(kernels);
     key_cols_.assign(key_cols.begin(), key_cols.end());
     const size_t rows = rel.NumRows();
     const size_t width = key_cols_.size();
     keys_.Init(width, rows);
 
-    // Pass 1: intern every row's key; remember the group per row.
+    // Pass 1a: spread each key column segment into a row-major scratch
+    // matrix. One sequential read per column segment (the columnar layout's
+    // whole point) instead of striding over every row's interleaved values.
+    std::vector<Value> key_rows(rows * width);
+    for (size_t c = 0; c < width; ++c) {
+      kx.spread_to_stride(rel.ColumnData(key_cols_[c]), rows,
+                          key_rows.data() + c, width);
+    }
+
+    // Pass 1b: intern every row's key; remember the group per row.
     std::vector<uint32_t> group_of_row(rows);
-    std::vector<Value> key_buf(width);
     for (size_t r = 0; r < rows; ++r) {
-      for (size_t c = 0; c < width; ++c) key_buf[c] = rel.At(r, key_cols_[c]);
-      group_of_row[r] = keys_.Intern(key_buf);
+      group_of_row[r] = keys_.Intern(
+          std::span<const Value>(key_rows.data() + r * width, width));
     }
 
     // Pass 2: counting scatter into CSR form (stable: rows of a group keep

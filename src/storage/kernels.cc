@@ -1,0 +1,68 @@
+#include "storage/kernels.h"
+
+#include <cstdlib>
+
+namespace anyk {
+
+namespace {
+
+KernelKind ComputeDefaultKind() {
+  if (const char* env = std::getenv("ANYK_KERNELS")) {
+    KernelKind k;
+    if (ParseKernelKind(env, &k) && k != KernelKind::kAuto) return k;
+  }
+  return KernelKind::kUnrolled;
+}
+
+}  // namespace
+
+KernelKind DefaultKernelKind() {
+  static const KernelKind kDefault = ComputeDefaultKind();
+  return kDefault;
+}
+
+KernelKind ResolveKernelKind(KernelKind kind) {
+  return kind == KernelKind::kAuto ? DefaultKernelKind() : kind;
+}
+
+bool ParseKernelKind(std::string_view name, KernelKind* out) {
+  if (name == "scalar") {
+    *out = KernelKind::kScalar;
+    return true;
+  }
+  if (name == "unrolled") {
+    *out = KernelKind::kUnrolled;
+    return true;
+  }
+  if (name == "auto") {
+    *out = KernelKind::kAuto;
+    return true;
+  }
+  return false;
+}
+
+const char* KernelKindName(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::kScalar:
+      return "scalar";
+    case KernelKind::kUnrolled:
+      return "unrolled";
+    case KernelKind::kAuto:
+      return "auto";
+  }
+  return "?";
+}
+
+const GatherKernels& GetGatherKernels(KernelKind kind) {
+  using namespace kernel_impl;
+  static const GatherKernels kTable[2] = {
+      {"scalar", &GatherScalar, &GatherToStrideScalar, &GatherU32Scalar,
+       &GatherU32StridedScalar, &CopyStridedU32Scalar, &SpreadToStrideScalar},
+      {"unrolled", &GatherUnrolled, &GatherToStrideUnrolled,
+       &GatherU32Unrolled, &GatherU32StridedUnrolled, &CopyStridedU32Unrolled,
+       &SpreadToStrideUnrolled},
+  };
+  return kTable[static_cast<size_t>(ResolveKernelKind(kind))];
+}
+
+}  // namespace anyk

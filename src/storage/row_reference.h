@@ -1,0 +1,74 @@
+// Row-major reference table: the pre-columnar storage layout, kept as a
+// *reference reader* only.
+//
+// PR-8 converted Relation to structure-of-arrays column segments; everything
+// in src/ now reads columnar. To still be able to byte-match results against
+// a genuinely row-oriented pipeline — and to measure what the conversion
+// bought (bench_ttf's "rowref" series) — this header preserves the old
+// layout: one interleaved values_ array (row r occupies
+// values_[r*arity .. r*arity+arity)) plus the weight array, with the old
+// span-returning Row(). Tests (tests/columnar_test.cc) drive a reference
+// ranked join over it as the oracle; nothing in the library proper links
+// against this.
+
+#ifndef ANYK_STORAGE_ROW_REFERENCE_H_
+#define ANYK_STORAGE_ROW_REFERENCE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "storage/relation.h"
+#include "storage/value.h"
+#include "util/logging.h"
+
+namespace anyk {
+
+/// Interleaved row-major table (the seed repo's Relation layout).
+class RowMajorTable {
+ public:
+  RowMajorTable() = default;
+  explicit RowMajorTable(size_t arity) : arity_(arity) {}
+
+  /// Snapshot a columnar relation into row-major bytes.
+  explicit RowMajorTable(const Relation& rel) : arity_(rel.arity()) {
+    const size_t rows = rel.NumRows();
+    values_.resize(rows * arity_);
+    weights_.resize(rows);
+    for (size_t r = 0; r < rows; ++r) {
+      for (size_t c = 0; c < arity_; ++c) values_[r * arity_ + c] = rel.At(r, c);
+      weights_[r] = rel.Weight(r);
+    }
+  }
+
+  size_t arity() const { return arity_; }
+  size_t NumRows() const { return weights_.size(); }
+
+  void AddRow(std::span<const Value> row, double weight) {
+    ANYK_DCHECK(row.size() == arity_);
+    values_.insert(values_.end(), row.begin(), row.end());
+    weights_.push_back(weight);
+  }
+
+  /// The old span-returning row accessor: contiguous interleaved bytes.
+  std::span<const Value> Row(size_t r) const {
+    return {values_.data() + r * arity_, arity_};
+  }
+  Value At(size_t r, size_t c) const { return values_[r * arity_ + c]; }
+  double Weight(size_t r) const { return weights_[r]; }
+
+  void Reserve(size_t rows) {
+    values_.reserve(rows * arity_);
+    weights_.reserve(rows);
+  }
+
+ private:
+  size_t arity_ = 0;
+  std::vector<Value> values_;   // rows * arity_, interleaved
+  std::vector<double> weights_;
+};
+
+}  // namespace anyk
+
+#endif  // ANYK_STORAGE_ROW_REFERENCE_H_

@@ -2,6 +2,7 @@
 // save/load roundtrip, and — the part the CLI depends on for diagnosable
 // failures — error messages that carry the file name and line number.
 
+#include <clocale>
 #include <cstddef>
 #include <fstream>
 #include <string>
@@ -167,6 +168,98 @@ TEST(CsvTest, WeightColumnPlusWeightLastIsRejected) {
   EXPECT_DEATH(LoadRelationCsv(&db, "R", path, opts),
                "conflict\\.csv: CsvOptions sets both weight_column \\(2\\) "
                "and weight_last");
+}
+
+// ---- Weight parsing: locale independence and dioid-safe values. ----
+
+TEST(CsvTest, WeightParsingIsLocaleIndependent) {
+  // Under a comma-decimal locale, std::stod would have parsed "2.5" as 2
+  // (stopping at the '.') or accepted "2,5"; the loader now uses
+  // std::from_chars, which is locale-blind. Skip if the locale is absent
+  // from the image.
+  const char* prev = std::setlocale(LC_NUMERIC, "de_DE.UTF-8");
+  if (prev == nullptr) {
+    GTEST_SKIP() << "de_DE.UTF-8 locale not installed";
+  }
+  const std::string path = WriteTemp("locale.csv", "1,2,2.5\n3,4,0.125\n");
+  Database db;
+  CsvOptions opts;
+  opts.weight_last = true;
+  const Relation& rel = LoadRelationCsv(&db, "R", path, opts);
+  std::setlocale(LC_NUMERIC, "C");
+  ASSERT_EQ(rel.NumRows(), 2u);
+  EXPECT_DOUBLE_EQ(rel.Weight(0), 2.5);
+  EXPECT_DOUBLE_EQ(rel.Weight(1), 0.125);
+}
+
+TEST(CsvTest, ScientificAndSignedWeightsParse) {
+  const std::string path =
+      WriteTemp("sci.csv", "1,2,1e-3\n3,4,-2.5E2\n5,6,+0.5\n");
+  Database db;
+  CsvOptions opts;
+  opts.weight_last = true;
+  const Relation& rel = LoadRelationCsv(&db, "R", path, opts);
+  ASSERT_EQ(rel.NumRows(), 3u);
+  EXPECT_DOUBLE_EQ(rel.Weight(0), 1e-3);
+  EXPECT_DOUBLE_EQ(rel.Weight(1), -250.0);
+  EXPECT_DOUBLE_EQ(rel.Weight(2), 0.5);
+}
+
+TEST(CsvTest, NanWeightIsRejectedWithFileAndLine) {
+  // NaN breaks the dioids' total order (every comparison is false), so a
+  // NaN weight must be a load-time diagnostic, not a silent heap poison.
+  const std::string path = WriteTemp("nan.csv", "1,2,1\n3,4,nan\n");
+  Database db;
+  CsvOptions opts;
+  opts.weight_last = true;
+  EXPECT_DEATH(LoadRelationCsv(&db, "R", path, opts),
+               "nan\\.csv:2: non-finite weight 'nan'");
+}
+
+TEST(CsvTest, InfiniteWeightIsRejectedWithFileAndLine) {
+  // ±∞ collides with the dioids' Zero() sentinels.
+  const std::string path = WriteTemp("inf.csv", "1,2,inf\n");
+  Database db;
+  CsvOptions opts;
+  opts.weight_last = true;
+  EXPECT_DEATH(LoadRelationCsv(&db, "R", path, opts),
+               "inf\\.csv:1: non-finite weight 'inf'");
+}
+
+TEST(CsvTest, TrailingGarbageAfterWeightIsRejected) {
+  // from_chars reports where parsing stopped; "1.5x" must not load as 1.5.
+  const std::string path = WriteTemp("garbage.csv", "1,2,1.5x\n");
+  Database db;
+  CsvOptions opts;
+  opts.weight_last = true;
+  EXPECT_DEATH(LoadRelationCsv(&db, "R", path, opts),
+               "garbage\\.csv:1: bad weight '1\\.5x'");
+}
+
+// ---- Columnar shard staging: loads larger than one shard stay exact. ----
+
+TEST(CsvTest, MultiShardLoadMatchesRowByRowAppend) {
+  // The loader stages rows column-major in 4096-row shards before flushing
+  // via AppendColumnChunk; a file crossing several shard boundaries must
+  // load byte-identically to row-at-a-time appends.
+  constexpr size_t kRows = 10000;  // 2 full shards + a partial tail
+  std::string content;
+  content.reserve(kRows * 16);
+  for (size_t i = 0; i < kRows; ++i) {
+    content += std::to_string(i) + "," + std::to_string(i * 7 % 911) + "," +
+               std::to_string(i % 13) + ".5\n";
+  }
+  const std::string path = WriteTemp("shards.csv", content);
+  Database db;
+  CsvOptions opts;
+  opts.weight_last = true;
+  const Relation& rel = LoadRelationCsv(&db, "R", path, opts);
+  ASSERT_EQ(rel.NumRows(), kRows);
+  for (size_t i = 0; i < kRows; ++i) {
+    ASSERT_EQ(rel.At(i, 0), static_cast<Value>(i));
+    ASSERT_EQ(rel.At(i, 1), static_cast<Value>(i * 7 % 911));
+    ASSERT_DOUBLE_EQ(rel.Weight(i), static_cast<double>(i % 13) + 0.5);
+  }
 }
 
 // ---- The throwing check handler (what the CLI installs). ----

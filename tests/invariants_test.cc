@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -12,6 +13,7 @@
 #include "anyk/anyk_part.h"
 #include "anyk/anyk_rec.h"
 #include "anyk/batch.h"
+#include "anyk/factory.h"
 #include "anyk/strategies.h"
 #include "util/dary_heap.h"
 #include "dioid/min_max.h"
@@ -330,6 +332,115 @@ TEST(InvariantTest, StatsCollectionNeverTouchesTheGlobalHeap) {
   EXPECT_EQ(merged.stages, warm.stages);
   EXPECT_EQ(merged.states, 100 * warm.states);
   EXPECT_GT(warm.output_count, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// NextBatch partial-fill contract (anyk/enumerator.h): a short return —
+// fewer rows than requested, including zero — is exclusively the exhaustion
+// signal; exhaustion is sticky; every returned row is fully bound; and
+// NextBatch interleaves freely with NextInto. Swept across every ranked
+// algorithm (base-class fallback and the kernelized overrides alike) and
+// across batch sizes that don't divide the output count.
+// ---------------------------------------------------------------------------
+
+TEST(InvariantTest, NextBatchContract) {
+  Fixture f(80, 4, 87, 6.0);
+  size_t total = 0;
+  {
+    auto ref = MakeEnumerator<TropicalDioid>(&f.g, Algorithm::kLazy);
+    ResultRow<TropicalDioid> row;
+    while (ref->NextInto(&row)) ++total;
+  }
+  ASSERT_GT(total, 100u) << "instance too small to exercise batching";
+  for (Algorithm algo : AllRankedAlgorithms()) {
+    for (const size_t n : {1u, 3u, 64u, 1000u}) {
+      auto e = MakeEnumerator<TropicalDioid>(&f.g, algo);
+      std::vector<ResultRow<TropicalDioid>> rows(n);
+      size_t got_total = 0;
+      double prev_weight = -std::numeric_limits<double>::infinity();
+      while (true) {
+        const size_t got = e->NextBatch(rows.data(), rows.size());
+        ASSERT_LE(got, n);
+        for (size_t b = 0; b < got; ++b) {
+          // Fully bound: assignment, witness, and a weight that recomputes
+          // exactly from the witness rows.
+          ASSERT_EQ(rows[b].assignment.size(), f.q.NumVars())
+              << AlgorithmName(algo) << " n=" << n;
+          ASSERT_EQ(rows[b].witness.size(), f.q.NumAtoms());
+          double sum = 0;
+          for (size_t a = 0; a < f.q.NumAtoms(); ++a) {
+            sum += f.db.Get(f.q.atom(a).relation).Weight(rows[b].witness[a]);
+          }
+          ASSERT_EQ(rows[b].weight, sum)
+              << AlgorithmName(algo) << " n=" << n << " rank=" << got_total + b;
+          ASSERT_GE(rows[b].weight, prev_weight) << "ranked order violated";
+          prev_weight = rows[b].weight;
+        }
+        got_total += got;
+        if (got < n) {
+          // Short return means exhausted — and stays exhausted.
+          EXPECT_EQ(e->NextBatch(rows.data(), rows.size()), 0u)
+              << AlgorithmName(algo) << ": exhaustion must be sticky";
+          ResultRow<TropicalDioid> one;
+          EXPECT_FALSE(e->NextInto(&one))
+              << AlgorithmName(algo) << ": NextInto after a short NextBatch";
+          EXPECT_EQ(e->NextBatch(rows.data(), rows.size()), 0u);
+          break;
+        }
+      }
+      EXPECT_EQ(got_total, total)
+          << AlgorithmName(algo) << " n=" << n
+          << ": a short return hid results instead of signaling exhaustion";
+    }
+  }
+}
+
+TEST(InvariantTest, NextBatchInterleavesWithNextInto) {
+  Fixture f(80, 4, 88, 6.0);
+  size_t total = 0;
+  {
+    auto ref = MakeEnumerator<TropicalDioid>(&f.g, Algorithm::kLazy);
+    ResultRow<TropicalDioid> row;
+    while (ref->NextInto(&row)) ++total;
+  }
+  for (Algorithm algo : AllRankedAlgorithms()) {
+    auto e = MakeEnumerator<TropicalDioid>(&f.g, algo);
+    std::vector<ResultRow<TropicalDioid>> rows(5);
+    ResultRow<TropicalDioid> one;
+    size_t got_total = 0;
+    while (true) {
+      const size_t got = e->NextBatch(rows.data(), rows.size());
+      got_total += got;
+      if (got < rows.size()) break;
+      if (!e->NextInto(&one)) break;
+      ++got_total;
+    }
+    EXPECT_EQ(got_total, total) << AlgorithmName(algo);
+  }
+}
+
+TEST(InvariantTest, ZeroHeapAllocationsDuringBatchedEnumeration) {
+  // The kernelized NextBatch override gathers through caller-owned +
+  // arena-backed scratch; like the scalar path it must never touch the
+  // global heap once the row buffers are warm.
+  Fixture f(300, 4, 89, 8.0);
+  EnumOptions opts;
+  opts.arena_reserve_bytes = size_t{16} << 20;
+  AnyKPartEnumerator<TropicalDioid, LazyStrategy> e(&f.g, opts);
+  std::vector<ResultRow<TropicalDioid>> rows(64);
+  ASSERT_EQ(e.NextBatch(rows.data(), rows.size()), rows.size());  // warm
+  const AllocCounts before = CurrentAllocCounts();
+  size_t produced = 0;
+  while (produced < 3000) {
+    const size_t got = e.NextBatch(rows.data(), rows.size());
+    produced += got;
+    if (got < rows.size()) break;
+  }
+  const AllocCounts delta = AllocDelta(before, CurrentAllocCounts());
+  EXPECT_EQ(delta.news, 0u)
+      << "batched enumeration of " << produced << " results hit the global "
+      << "heap " << delta.news << " times (" << delta.bytes << " bytes)";
+  EXPECT_GT(produced, 1000u) << "instance too small to be meaningful";
 }
 
 TEST(InvariantTest, WeightsMatchRecomputationFromWitness) {

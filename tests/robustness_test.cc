@@ -20,6 +20,7 @@
 #include "query/cq.h"
 #include "query/join_tree.h"
 #include "storage/group_index.h"
+#include "storage/kernels.h"
 #include "test_util.h"
 #include "workload/generators.h"
 
@@ -212,6 +213,70 @@ TEST(ZeroArityTest, ZeroArityJoinWithNoFactsIsEmpty) {
   q.AddAtom("Z", {});
   const JoinResultSet join = BruteForceJoin(db, q);
   EXPECT_EQ(join.size(), 0u);
+}
+
+TEST(ZeroArityTest, ColumnViewsAreWellDefinedForDegenerateShapes) {
+  // Columnar storage must keep every accessor total on the degenerate
+  // shapes: arity-0 relations (no columns at all) and 0-row relations
+  // (columns exist but every ColumnView is empty).
+  Relation nullary("Z", 0);
+  nullary.AddRow({}, 1.0);
+  EXPECT_TRUE(nullary.Row(0).empty());
+  EXPECT_EQ(nullary.Weights().size(), 1u);
+
+  Relation empty("E", 2);
+  EXPECT_EQ(empty.NumRows(), 0u);
+  for (size_t c = 0; c < empty.arity(); ++c) {
+    ColumnView col = empty.Column(c);
+    EXPECT_TRUE(col.empty());
+    EXPECT_TRUE(empty.ColumnStatsOf(c).empty());
+  }
+  EXPECT_TRUE(empty.Weights().empty());
+
+  // The bind kernels must accept n=0 over these (possibly null) column
+  // pointers without touching memory — this is exactly what a dead-ended
+  // stage hands them.
+  for (const KernelKind kind : {KernelKind::kScalar, KernelKind::kUnrolled}) {
+    const GatherKernels& kx = GetGatherKernels(kind);
+    Value out = -1;
+    uint32_t uout = 7;
+    kx.gather(empty.ColumnData(0), nullptr, 0, &out);
+    kx.gather_to_stride(empty.ColumnData(0), nullptr, 0, &out, 3);
+    kx.gather_u32(nullptr, nullptr, 0, &uout);
+    kx.gather_u32_strided(nullptr, 2, 1, nullptr, 0, &uout);
+    kx.copy_strided_u32(nullptr, 2, 0, 0, &uout);
+    kx.spread_to_stride(empty.ColumnData(1), 0, &out, 2);
+    EXPECT_EQ(out, -1);
+    EXPECT_EQ(uout, 7u);
+  }
+}
+
+TEST(ZeroArityTest, ColumnChunkAppendOnDegenerateShapes) {
+  // AppendColumnChunk (the CSV loader's shard flush) with zero rows is a
+  // no-op; on a zero-arity relation it appends facts (weights) only.
+  Relation rel("R", 2);
+  rel.AppendColumnChunk({}, {});
+  EXPECT_EQ(rel.NumRows(), 0u);
+
+  Relation nullary("Z", 0);
+  const double w[] = {2.5, 0.5};
+  nullary.AppendColumnChunk({}, w);
+  ASSERT_EQ(nullary.NumRows(), 2u);
+  EXPECT_DOUBLE_EQ(nullary.Weight(1), 0.5);
+  EXPECT_TRUE(nullary.Row(1).empty());
+}
+
+TEST(ZeroArityTest, GroupIndexOverEmptyRelationBothKernelFlavors) {
+  // The column-strided GroupIndex build must be total on 0-row input for
+  // both kernel flavors (spread_to_stride over an empty column).
+  Relation empty("E", 2);
+  const std::vector<uint32_t> key_cols = {0};
+  for (const KernelKind kind : {KernelKind::kScalar, KernelKind::kUnrolled}) {
+    GroupIndex idx(empty, key_cols, kind);
+    EXPECT_EQ(idx.NumGroups(), 0u);
+    EXPECT_EQ(idx.Find(Key{42}), -1);
+    EXPECT_TRUE(idx.Lookup(Key{42}).empty());
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Algos, RobustnessTest,

@@ -264,6 +264,33 @@ TEST(StatsTest, NonInvertibleDioidTaxesPartStrategies) {
   EXPECT_DOUBLE_EQ(b.recursive, a.recursive);
 }
 
+TEST(StatsTest, ColumnDistinctBoundOffColumnStats) {
+  // The bound reads the append-maintained per-column min/max (ColumnStats):
+  // min(|value range|, rows), hand-counted here.
+  Database db;
+  auto& r = db.AddRelation("R", 2);
+  r.Add({10, 7}, 1.0);
+  r.Add({14, 7}, 1.0);
+  r.Add({12, 7}, 1.0);
+  // Column 0 spans [10,14] -> 5 possible values, but only 3 rows: bound 3.
+  EXPECT_DOUBLE_EQ(plan::ColumnDistinctBound(r, 0), 3.0);
+  // Column 1 is constant: span size 1.
+  EXPECT_DOUBLE_EQ(plan::ColumnDistinctBound(r, 1), 1.0);
+  EXPECT_DOUBLE_EQ(plan::ColumnAvgGroupSize(r, 0), 1.0);
+  EXPECT_DOUBLE_EQ(plan::ColumnAvgGroupSize(r, 1), 3.0);
+
+  // Wide value range, few rows: rows win the min.
+  auto& w = db.AddRelation("W", 1);
+  w.Add({-1000000}, 1.0);
+  w.Add({1000000}, 1.0);
+  EXPECT_DOUBLE_EQ(plan::ColumnDistinctBound(w, 0), 2.0);
+
+  // Empty column: bound 0, group size degenerates to the safe 1.0.
+  auto& e = db.AddRelation("E", 1);
+  EXPECT_DOUBLE_EQ(plan::ColumnDistinctBound(e, 0), 0.0);
+  EXPECT_DOUBLE_EQ(plan::ColumnAvgGroupSize(e, 0), 1.0);
+}
+
 TEST(StatsTest, PlanDecisionSummaryNamesTheChoice) {
   plan::PlanDecision d;
   d.algorithm = Algorithm::kEager;

@@ -33,9 +33,12 @@ std::vector<double> ThetaOracle(const std::vector<const Relation*>& rels,
       return;
     }
     for (size_t r = 0; r < rels[i]->NumRows(); ++r) {
-      if (i > 0 && !thetas[i - 1](rels[i - 1]->Row(pick[i - 1]),
-                                  rels[i]->Row(r))) {
-        continue;
+      if (i > 0) {
+        std::vector<Value> left(rels[i - 1]->arity());
+        std::vector<Value> right(rels[i]->arity());
+        rels[i - 1]->Row(pick[i - 1]).CopyInto(left.data());
+        rels[i]->Row(r).CopyInto(right.data());
+        if (!thetas[i - 1](left, right)) continue;
       }
       pick[i] = r;
       self(self, i + 1, w + rels[i]->Weight(r));
