@@ -2,6 +2,7 @@
 // enumeration over HTTP until SIGINT/SIGTERM (see docs/SERVER.md and
 // scripts/anyk_client.py for the matching client).
 
+#include <charconv>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -66,6 +67,19 @@ bool ParseSize(const std::string& s, size_t* out) {
     if (c < '0' || c > '9') return false;
   }
   *out = static_cast<size_t>(std::strtoull(s.c_str(), nullptr, 10));
+  return true;
+}
+
+// from_chars, not strtod: strtod honors the process locale, so a daemon
+// started under e.g. LC_NUMERIC=de_DE would silently misread "--qps 0.5".
+// Same policy as the CSV weight parser (src/storage/csv.cc).
+bool ParseNonNegativeDouble(const std::string& s, double* out) {
+  const char* begin = s.c_str();
+  const char* end = begin + s.size();
+  double v = 0;
+  auto [ptr, ec] = std::from_chars(begin, end, v);
+  if (ec != std::errc() || ptr != end || v < 0) return false;
+  *out = v;
   return true;
 }
 
@@ -175,18 +189,16 @@ bool ParseArgs(int argc, char** argv, DaemonOptions* opt, std::string* error) {
       opt->server.default_page_k = n;
     } else if (is_flag(a, "--cursor-ttl")) {
       if (!value_of(&i, "--cursor-ttl", &v)) return false;
-      char* end = nullptr;
-      const double secs = std::strtod(v.c_str(), &end);
-      if (end == v.c_str() || *end != '\0' || secs < 0) {
+      double secs = 0;
+      if (!ParseNonNegativeDouble(v, &secs)) {
         *error = "--cursor-ttl expects seconds >= 0, got '" + v + "'";
         return false;
       }
       opt->server.cursor_ttl_seconds = secs;
     } else if (is_flag(a, "--qps")) {
       if (!value_of(&i, "--qps", &v)) return false;
-      char* end = nullptr;
-      const double qps = std::strtod(v.c_str(), &end);
-      if (end == v.c_str() || *end != '\0' || qps < 0) {
+      double qps = 0;
+      if (!ParseNonNegativeDouble(v, &qps)) {
         *error = "--qps expects a rate >= 0, got '" + v + "'";
         return false;
       }

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Run clang-tidy over every translation unit in compile_commands.json.
+#
+# Usage: scripts/run_clang_tidy.sh [BUILD_DIR] [-- extra clang-tidy args]
+#   BUILD_DIR defaults to ./build and must contain compile_commands.json
+#   (configure with `cmake -B build -S .`; CMAKE_EXPORT_COMPILE_COMMANDS is
+#   always on for this project).
+#
+# Checks come from the repo-root .clang-tidy. Any diagnostic fails the run
+# (--warnings-as-errors='*'), which is what the CI static-analysis job and
+# the optional `clang_tidy_test` ctest rely on. Exits 3 when no clang-tidy
+# binary exists so callers can distinguish "unavailable" from "findings".
+
+set -u -o pipefail
+
+BUILD_DIR="${1:-build}"
+shift || true
+[ "${1:-}" = "--" ] && shift
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+DB="$BUILD_DIR/compile_commands.json"
+
+if [ ! -f "$DB" ]; then
+  echo "run_clang_tidy: $DB not found; configure first: cmake -B $BUILD_DIR -S ." >&2
+  exit 2
+fi
+
+TIDY=""
+for cand in clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17 \
+            clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+  if command -v "$cand" >/dev/null 2>&1; then
+    TIDY="$cand"
+    break
+  fi
+done
+if [ -z "$TIDY" ]; then
+  echo "run_clang_tidy: no clang-tidy binary on PATH; skipping" >&2
+  exit 3
+fi
+
+# Project sources only — keep third-party/test-framework TUs (gtest etc.)
+# out of the run.
+mapfile -t FILES < <(
+  python3 - "$DB" "$ROOT" <<'EOF'
+import json, os, sys
+db, root = sys.argv[1], sys.argv[2]
+seen = set()
+for entry in json.load(open(db)):
+    path = os.path.normpath(os.path.join(entry["directory"], entry["file"]))
+    rel = os.path.relpath(path, root)
+    if rel.startswith(("src/", "cli/", "tests/", "bench/")):
+        seen.add(path)
+print("\n".join(sorted(seen)))
+EOF
+)
+
+if [ "${#FILES[@]}" -eq 0 ]; then
+  echo "run_clang_tidy: no project sources in $DB" >&2
+  exit 2
+fi
+
+echo "run_clang_tidy: $TIDY over ${#FILES[@]} translation units"
+STATUS=0
+for f in "${FILES[@]}"; do
+  "$TIDY" -p "$BUILD_DIR" --quiet --warnings-as-errors='*' "$@" "$f" \
+    || STATUS=1
+done
+
+if [ "$STATUS" -eq 0 ]; then
+  echo "run_clang_tidy: clean"
+else
+  echo "run_clang_tidy: findings above" >&2
+fi
+exit "$STATUS"

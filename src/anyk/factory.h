@@ -1,6 +1,10 @@
 // Algorithm registry: constructs any of the six ranked-enumeration
 // algorithms of the paper's experimental study (Section 7) over a stage
 // graph, plus the `kAuto` marker resolved by the cost-based planner.
+//
+// anyk-lint: allow-file(heap-hot-path): every allocation here is the
+// one-time construction of an enumerator at session-open, charged to TTF —
+// never per-result work (invariants_test pins the zero-alloc guarantee).
 
 #ifndef ANYK_ANYK_FACTORY_H_
 #define ANYK_ANYK_FACTORY_H_

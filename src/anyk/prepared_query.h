@@ -14,6 +14,10 @@
 // memory layout work, which is exactly what makes this split sound; the
 // concurrency_test suite and the TSan CI job enforce it).
 //
+// anyk-lint: allow-file(heap-hot-path): all allocations here are Prepare()
+// or OpenSession() time — the enumeration loop itself allocates only from
+// the session arena (invariants_test pins the zero-alloc guarantee).
+//
 // Construction itself can be parallelized by passing a ThreadPool: the
 // per-partition DP over the cycle-decomposition union instances builds one
 // stage graph per worker, and within each instance BuildStageGraph runs its

@@ -41,6 +41,7 @@ class MinWeightProjection : public Enumerator<D> {
                       Algorithm algo = Algorithm::kTake2,
                       EnumOptions opts = {})
       : layered_(BuildLayeredInstance(db, q)) {
+    // anyk-lint: allow(heap-hot-path): constructor-time graph build (TTF)
     full_graph_ = std::make_unique<StageGraph<D>>(
         BuildStageGraph<D>(layered_.full));
 
@@ -96,6 +97,7 @@ class MinWeightProjection : public Enumerator<D> {
       }
       return extra;
     };
+    // anyk-lint: allow(heap-hot-path): constructor-time graph build (TTF)
     pruned_graph_ = std::make_unique<StageGraph<D>>(BuildStageGraph<D>(
         pruned_, layered_.full.num_atoms, &hook_));
     enumerator_ = MakeEnumerator<D>(pruned_graph_.get(), algo, opts);

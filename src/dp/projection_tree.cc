@@ -1,5 +1,10 @@
 #include "dp/projection_tree.h"
 
+// anyk-lint: allow-file(heap-hot-path): plan construction — validates the
+// running-intersection property and materializes projected relations once
+// per Prepare(); nothing here runs during enumeration, so node-based sets
+// and shared_ptr ownership are fine (and the dedup sets are query-sized).
+
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>

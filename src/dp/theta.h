@@ -52,6 +52,7 @@ ThetaPathProblem<D> BuildThetaPathGraph(
   ANYK_CHECK_EQ(thetas.size(), L - 1);
 
   ThetaPathProblem<D> out;
+  // anyk-lint: allow(heap-hot-path): problem setup before any enumeration
   out.instance = std::make_unique<TDPInstance>();
   TDPInstance& inst = *out.instance;
   inst.num_atoms = L;
@@ -78,6 +79,7 @@ ThetaPathProblem<D> BuildThetaPathGraph(
   FinalizeTopology(&inst);
   // No key columns: connectors are assigned explicitly below.
 
+  // anyk-lint: allow(heap-hot-path): problem setup before any enumeration
   out.graph = std::make_unique<StageGraph<D>>();
   StageGraph<D>& g = *out.graph;
   g.instance = &inst;

@@ -5,12 +5,18 @@
 // session arenas), *pins* the cache entry it streams from (a shared_ptr —
 // LRU eviction can drop the entry from the cache without invalidating open
 // cursors) and holds one SessionTicket of the admission gauge. Each cursor
-// has its own mutex: a request pages from a cursor under try_lock, so two
+// has its own mutex: a request pages from a cursor under TryLock, so two
 // concurrent requests on the same cursor never interleave — the loser gets
 // 409 instead of blocking a worker thread.
 //
 // Cursors idle longer than the TTL are reclaimed by SweepExpired(), which
 // the server calls on every request; a reclaimed or unknown id answers 410.
+//
+// Locking (compile-checked via src/util/sync.h annotations): Cursor::mu
+// guards the stream; the manager's mu_ guards the id map and stats. A page
+// request holds Cursor::mu and only takes the manager mutex (Close) after
+// releasing it; SweepExpired holds the manager mutex and *probes* Cursor::mu
+// with TryLock, which never blocks, so the reversed order cannot deadlock.
 
 #ifndef ANYK_SERVER_CURSOR_MANAGER_H_
 #define ANYK_SERVER_CURSOR_MANAGER_H_
@@ -20,7 +26,6 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -28,16 +33,29 @@
 
 #include "server/query_handle.h"
 #include "server/rate_limiter.h"
+#include "util/sync.h"
 
 namespace anyk {
 namespace server {
 
 struct Cursor {
-  std::mutex mu;  // held for the duration of one page request
-  std::unique_ptr<CursorStream> stream;
-  std::shared_ptr<void> pin;  // keeps the cache entry alive past eviction
-  SessionTicket ticket;
-  std::string algorithm;  // for /statz and re-open diagnostics
+  /// `pin`, `ticket` and `algorithm` are immutable after construction (set
+  /// before the cursor is published into the manager's map), so only the
+  /// stream needs the mutex.
+  Cursor(std::unique_ptr<CursorStream> stream_in, std::shared_ptr<void> pin_in,
+         SessionTicket ticket_in, std::string algorithm_in)
+      : stream(std::move(stream_in)),
+        pin(std::move(pin_in)),
+        ticket(std::move(ticket_in)),
+        algorithm(std::move(algorithm_in)) {
+    Touch();
+  }
+
+  Mutex mu;  // held for the duration of one page request
+  std::unique_ptr<CursorStream> stream ANYK_GUARDED_BY(mu);
+  const std::shared_ptr<void> pin;  // keeps the cache entry alive past eviction
+  const SessionTicket ticket;
+  const std::string algorithm;  // for /statz and re-open diagnostics
   // Atomic, not mu-guarded: requests refresh it under mu, but SweepExpired
   // reads it from other workers without taking mu (taking every cursor's
   // mutex per sweep would serialize sweeps against paging).
@@ -72,14 +90,11 @@ class CursorManager {
   /// Register a stream and return its id ("c1", "c2", ...).
   std::string Open(std::unique_ptr<CursorStream> stream,
                    std::shared_ptr<void> pin, SessionTicket ticket,
-                   std::string algorithm) {
-    auto cursor = std::make_shared<Cursor>();
-    cursor->stream = std::move(stream);
-    cursor->pin = std::move(pin);
-    cursor->ticket = std::move(ticket);
-    cursor->algorithm = std::move(algorithm);
-    cursor->Touch();
-    std::unique_lock<std::mutex> lock(mu_);
+                   std::string algorithm) ANYK_EXCLUDES(mu_) {
+    auto cursor = std::make_shared<Cursor>(std::move(stream), std::move(pin),
+                                           std::move(ticket),
+                                           std::move(algorithm));
+    MutexLock lock(&mu_);
     const std::string id = "c" + std::to_string(++next_id_);
     map_.emplace(id, std::move(cursor));
     ++stats_.opened;
@@ -87,16 +102,16 @@ class CursorManager {
   }
 
   /// nullptr when the id is unknown (never existed, closed, or expired).
-  std::shared_ptr<Cursor> Find(const std::string& id) {
-    std::unique_lock<std::mutex> lock(mu_);
+  std::shared_ptr<Cursor> Find(const std::string& id) ANYK_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     auto it = map_.find(id);
     return it == map_.end() ? nullptr : it->second;
   }
 
   /// Drop the id; the Cursor object dies once the last in-flight request
   /// releases its shared_ptr. False when the id is unknown.
-  bool Close(const std::string& id) {
-    std::unique_lock<std::mutex> lock(mu_);
+  bool Close(const std::string& id) ANYK_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     const bool found = map_.erase(id) > 0;
     if (found) ++stats_.closed;
     return found;
@@ -105,25 +120,26 @@ class CursorManager {
   /// Reclaim cursors idle past the TTL. Only cursors with no in-flight
   /// request are taken (sole shared_ptr owner and an uncontended mutex);
   /// busy ones are retried on a later sweep.
-  size_t SweepExpired() {
+  size_t SweepExpired() ANYK_EXCLUDES(mu_) {
     if (ttl_seconds_ <= 0) return 0;
     const auto now = std::chrono::steady_clock::now();
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     std::vector<std::string> victims;
-    for (const auto& [id, cursor] : map_) {
+    for (const auto& kv : map_) {
+      const std::shared_ptr<Cursor>& cursor = kv.second;
       if (cursor.use_count() != 1) continue;  // a request holds it
       if (cursor->IdleSeconds(now) <= ttl_seconds_) continue;
-      if (!cursor->mu.try_lock()) continue;
-      cursor->mu.unlock();
-      victims.push_back(id);
+      if (!cursor->mu.TryLock()) continue;
+      cursor->mu.Unlock();
+      victims.push_back(kv.first);
     }
     for (const std::string& id : victims) map_.erase(id);
     stats_.expired += victims.size();
     return victims.size();
   }
 
-  CursorStats stats() const {
-    std::unique_lock<std::mutex> lock(mu_);
+  CursorStats stats() const ANYK_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     CursorStats s = stats_;
     s.live = map_.size();
     return s;
@@ -131,10 +147,14 @@ class CursorManager {
 
  private:
   const double ttl_seconds_;
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, std::shared_ptr<Cursor>> map_;
-  uint64_t next_id_ = 0;
-  CursorStats stats_;
+  mutable Mutex mu_;
+  // anyk-lint: allow(unordered-map): cold control plane — bounded by
+  // the session gauge (max_sessions open cursors), touched once per page
+  // request (decision recorded in docs/STATIC_ANALYSIS.md).
+  std::unordered_map<std::string, std::shared_ptr<Cursor>> map_
+      ANYK_GUARDED_BY(mu_);
+  uint64_t next_id_ ANYK_GUARDED_BY(mu_) = 0;
+  CursorStats stats_ ANYK_GUARDED_BY(mu_);
 };
 
 }  // namespace server

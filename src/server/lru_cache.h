@@ -12,21 +12,27 @@
 // cursor closes (docs/SERVER.md, "Cache keying").
 //
 // Thread-safe; every public method may be called from any worker thread.
+//
+// Locking (compile-checked via src/util/sync.h annotations): the cache-wide
+// mu_ guards the key map, the LRU list and the stats; each in-flight Slot has
+// its own mutex guarding the completion flag and the value handed to
+// coalesced waiters. The two are NEVER nested — GetOrCreate releases mu_
+// before waiting on a slot, and Finish takes slot->mu and mu_ strictly one
+// after the other — so no ordering constraint exists between them.
 
 #ifndef ANYK_SERVER_LRU_CACHE_H_
 #define ANYK_SERVER_LRU_CACHE_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 
 #include "util/logging.h"
+#include "util/sync.h"
 
 namespace anyk {
 namespace server {
@@ -55,25 +61,28 @@ class LruCache {
   /// coalesced waiters get nullptr and should surface "preparation failed".
   std::shared_ptr<V> GetOrCreate(const std::string& key,
                                  const std::function<std::shared_ptr<V>()>& factory,
-                                 Outcome* outcome = nullptr) {
+                                 Outcome* outcome = nullptr)
+      ANYK_EXCLUDES(mu_) {
     std::shared_ptr<Slot> slot;
     bool owner = false;
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       auto it = map_.find(key);
+      if (it != map_.end() && it->second.ready) {
+        ++stats_.hits;
+        if (outcome != nullptr) *outcome = Outcome::kHit;
+        Touch(key);
+        return it->second.value;
+      }
       if (it != map_.end()) {
-        slot = it->second;
-        if (slot->ready) {
-          ++stats_.hits;
-          if (outcome != nullptr) *outcome = Outcome::kHit;
-          Touch(key);
-          return slot->value;
-        }
+        slot = it->second.slot;
         ++stats_.coalesced;
         if (outcome != nullptr) *outcome = Outcome::kCoalesced;
       } else {
         slot = std::make_shared<Slot>();
-        map_.emplace(key, slot);
+        Entry entry;
+        entry.slot = slot;
+        map_.emplace(key, std::move(entry));
         ++stats_.misses;
         if (outcome != nullptr) *outcome = Outcome::kMiss;
         owner = true;
@@ -81,8 +90,8 @@ class LruCache {
     }
 
     if (!owner) {
-      std::unique_lock<std::mutex> lock(slot->mu);
-      slot->cv.wait(lock, [&] { return slot->done; });
+      MutexLock lock(&slot->mu);
+      while (!slot->done) slot->cv.Wait(slot->mu);
       return slot->value;  // nullptr if the owner's factory failed
     }
 
@@ -97,25 +106,21 @@ class LruCache {
     return value;
   }
 
-  /// Drop every entry (ready or not — in-flight preparations finish but are
-  /// not re-inserted). Used by /v1/flush.
-  void Clear() {
-    std::unique_lock<std::mutex> lock(mu_);
+  /// Drop every entry (ready or not — an in-flight preparation finishes,
+  /// notifies its waiters, but is not inserted: Finish no longer finds its
+  /// slot in the map). Used by /v1/flush.
+  void Clear() ANYK_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     for (auto it = map_.begin(); it != map_.end();) {
-      if (it->second->ready) {
-        ++stats_.evictions;
-        it = map_.erase(it);
-      } else {
-        it->second->orphaned = true;
-        ++it;
-      }
+      if (it->second.ready) ++stats_.evictions;
+      it = map_.erase(it);
     }
     lru_.clear();
     stats_.size = 0;
   }
 
-  CacheStats stats() const {
-    std::unique_lock<std::mutex> lock(mu_);
+  CacheStats stats() const ANYK_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return stats_;
   }
 
@@ -124,26 +129,37 @@ class LruCache {
   /// Used by /statz to list the prepared queries and their plans.
   void ForEachReady(
       const std::function<void(const std::string& key,
-                               const std::shared_ptr<V>& value)>& fn) const {
-    std::unique_lock<std::mutex> lock(mu_);
+                               const std::shared_ptr<V>& value)>& fn) const
+      ANYK_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     for (const std::string& key : lru_) {
       auto it = map_.find(key);
-      if (it != map_.end() && it->second->ready) fn(key, it->second->value);
+      if (it != map_.end() && it->second.ready) fn(key, it->second.value);
     }
   }
 
  private:
+  // One in-flight preparation. Waiters hold the shared_ptr, block on cv and
+  // read `value` once `done` — all under the slot's own mutex, independent of
+  // the cache-wide one.
   struct Slot {
-    std::mutex mu;
-    std::condition_variable cv;
-    bool done = false;      // factory finished (successfully or not)
-    bool ready = false;     // value is valid; guarded by the cache mutex
-    bool orphaned = false;  // Clear() ran mid-preparation; don't insert
+    Mutex mu;
+    CondVar cv;
+    bool done ANYK_GUARDED_BY(mu) = false;   // factory finished (ok or not)
+    std::shared_ptr<V> value ANYK_GUARDED_BY(mu);  // null iff factory threw
+  };
+
+  // Cache-side per-key state; the containing map is guarded by mu_, so every
+  // field here is too. `slot` is non-null while a preparation is in flight;
+  // `ready`/`value` are set once it succeeds.
+  struct Entry {
+    std::shared_ptr<Slot> slot;
+    bool ready = false;
     std::shared_ptr<V> value;
   };
 
-  // Move `key` to the MRU end. Caller holds mu_.
-  void Touch(const std::string& key) {
+  // Move `key` to the MRU end.
+  void Touch(const std::string& key) ANYK_REQUIRES(mu_) {
     for (auto it = lru_.begin(); it != lru_.end(); ++it) {
       if (*it == key) {
         lru_.erase(it);
@@ -153,41 +169,44 @@ class LruCache {
     lru_.push_back(key);
   }
 
+  // Publish the factory result: waiters first (slot mutex), then the cache
+  // entry (cache mutex). A Clear() that ran mid-preparation erased the
+  // entry — or a post-Clear request re-created it with a fresh slot — and in
+  // both cases this preparation is orphaned: waiters still get the value,
+  // but the map is left alone.
   void Finish(const std::string& key, const std::shared_ptr<Slot>& slot,
-              std::shared_ptr<V> value) {
-    // Publish the value BEFORE marking the slot ready: the hit path returns
-    // `slot->value` as soon as it sees `ready` under mu_, so ordering these
-    // the other way round hands a brief null to any request landing between
-    // the two critical sections (seen as a spurious 500 under load).
+              std::shared_ptr<V> value) ANYK_EXCLUDES(mu_) {
     {
-      std::unique_lock<std::mutex> lock(slot->mu);
+      MutexLock lock(&slot->mu);
       slot->value = value;
       slot->done = true;
     }
-    slot->cv.notify_all();
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      if (value != nullptr && !slot->orphaned) {
-        slot->ready = true;
-        lru_.push_back(key);
-        stats_.size = CountReady();
-        while (stats_.size > capacity_) EvictOldest();
-      } else {
-        map_.erase(key);
-      }
+    slot->cv.NotifyAll();
+    MutexLock lock(&mu_);
+    auto it = map_.find(key);
+    if (it == map_.end() || it->second.slot != slot) return;  // orphaned
+    if (value == nullptr) {
+      map_.erase(it);  // failed preparations are not cached
+      return;
     }
+    it->second.ready = true;
+    it->second.value = std::move(value);
+    it->second.slot.reset();  // waiter machinery no longer needed
+    lru_.push_back(key);
+    stats_.size = CountReady();
+    while (stats_.size > capacity_) EvictOldest();
   }
 
-  size_t CountReady() const {
+  size_t CountReady() const ANYK_REQUIRES(mu_) {
     size_t n = 0;
     for (const auto& kv : map_) {
-      if (kv.second->ready) ++n;
+      if (kv.second.ready) ++n;
     }
     return n;
   }
 
-  // Caller holds mu_ and guarantees at least one ready entry exists.
-  void EvictOldest() {
+  // Caller guarantees at least one ready entry exists.
+  void EvictOldest() ANYK_REQUIRES(mu_) {
     ANYK_CHECK(!lru_.empty());
     const std::string victim = lru_.front();
     lru_.pop_front();
@@ -197,10 +216,13 @@ class LruCache {
   }
 
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, std::shared_ptr<Slot>> map_;
-  std::list<std::string> lru_;  // front = LRU, back = MRU; ready keys only
-  CacheStats stats_;
+  mutable Mutex mu_;
+  // anyk-lint: allow(unordered-map): cold control plane — at most
+  // `capacity` + in-flight entries, touched once per request, never on the
+  // enumeration hot path (decision recorded in docs/STATIC_ANALYSIS.md).
+  std::unordered_map<std::string, Entry> map_ ANYK_GUARDED_BY(mu_);
+  std::list<std::string> lru_ ANYK_GUARDED_BY(mu_);  // front = LRU; ready only
+  CacheStats stats_ ANYK_GUARDED_BY(mu_);
 };
 
 }  // namespace server

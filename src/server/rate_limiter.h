@@ -3,6 +3,9 @@
 // Both answer in O(1) under one mutex; over-limit requests are rejected with
 // 429 rather than queued, so a slow client can never occupy a worker thread
 // while waiting for capacity (docs/SERVER.md, "Admission control").
+//
+// Both mutexes are leaves of the lock hierarchy (src/util/sync.h): no other
+// lock is ever acquired while one of them is held.
 
 #ifndef ANYK_SERVER_RATE_LIMITER_H_
 #define ANYK_SERVER_RATE_LIMITER_H_
@@ -10,7 +13,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cstddef>
-#include <mutex>
+
+#include "util/sync.h"
 
 namespace anyk {
 namespace server {
@@ -19,14 +23,24 @@ namespace server {
 /// request takes one. qps == 0 disables limiting (always admits).
 class RateLimiter {
  public:
-  RateLimiter(double qps, double burst)
-      : qps_(qps), burst_(burst), tokens_(burst),
-        last_(Clock::now()) {}
+  using Clock = std::chrono::steady_clock;
 
-  bool Admit() {
+  RateLimiter(double qps, double burst) : RateLimiter(qps, burst, Clock::now()) {}
+
+  /// `start` anchors the first refill computation; tests pass a fixed
+  /// time_point so AdmitAt sequences are fully deterministic.
+  RateLimiter(double qps, double burst, Clock::time_point start)
+      : qps_(qps), burst_(burst), tokens_(burst), last_(start) {}
+
+  bool Admit() { return AdmitAt(Clock::now()); }
+
+  /// Deterministic-time seam for tests: refill as if the wall clock read
+  /// `now`. `now` values must be non-decreasing across calls and never
+  /// precede the constructor's `start` (Admit guarantees this via the
+  /// monotonic clock).
+  bool AdmitAt(Clock::time_point now) ANYK_EXCLUDES(mu_) {
     if (qps_ <= 0) return true;
-    std::unique_lock<std::mutex> lock(mu_);
-    const auto now = Clock::now();
+    MutexLock lock(&mu_);
     const double elapsed =
         std::chrono::duration<double>(now - last_).count();
     last_ = now;
@@ -37,12 +51,11 @@ class RateLimiter {
   }
 
  private:
-  using Clock = std::chrono::steady_clock;
   const double qps_;
   const double burst_;
-  double tokens_;
-  Clock::time_point last_;
-  std::mutex mu_;
+  mutable Mutex mu_;
+  double tokens_ ANYK_GUARDED_BY(mu_);
+  Clock::time_point last_ ANYK_GUARDED_BY(mu_);
 };
 
 /// Bounded gauge of live enumeration sessions. TryAcquire/Release pairs are
@@ -51,34 +64,34 @@ class SessionGauge {
  public:
   explicit SessionGauge(size_t max_sessions) : max_(max_sessions) {}
 
-  bool TryAcquire() {
-    std::unique_lock<std::mutex> lock(mu_);
+  bool TryAcquire() ANYK_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     if (live_ >= max_) return false;
     ++live_;
     peak_ = std::max(peak_, live_);
     return true;
   }
 
-  void Release() {
-    std::unique_lock<std::mutex> lock(mu_);
+  void Release() ANYK_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     if (live_ > 0) --live_;
   }
 
-  size_t live() const {
-    std::unique_lock<std::mutex> lock(mu_);
+  size_t live() const ANYK_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return live_;
   }
-  size_t peak() const {
-    std::unique_lock<std::mutex> lock(mu_);
+  size_t peak() const ANYK_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return peak_;
   }
   size_t max() const { return max_; }
 
  private:
   const size_t max_;
-  mutable std::mutex mu_;
-  size_t live_ = 0;
-  size_t peak_ = 0;
+  mutable Mutex mu_;
+  size_t live_ ANYK_GUARDED_BY(mu_) = 0;
+  size_t peak_ ANYK_GUARDED_BY(mu_) = 0;
 };
 
 /// Move-only RAII slot of a SessionGauge; releases on destruction. A

@@ -10,7 +10,6 @@
 #include <atomic>
 #include <cctype>
 #include <cerrno>
-#include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
@@ -18,7 +17,6 @@
 #include <deque>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -34,6 +32,7 @@
 #include "server/rate_limiter.h"
 #include "util/json.h"
 #include "util/logging.h"
+#include "util/sync.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -187,14 +186,17 @@ struct AnykServer::Impl {
   std::atomic<uint64_t> rejected{0};
 
   std::atomic<bool> stop{false};
+  // Lifecycle state below is confined to the thread that drives Start/Stop
+  // (the daemon's main thread); worker threads only read `stop` (atomic).
   bool started = false;
   int listen_fd = -1;
   int port = 0;
   std::thread accept_thread;
   std::vector<std::thread> workers;
-  std::deque<int> conn_queue;
-  std::mutex queue_mu;
-  std::condition_variable queue_cv;
+  // queue_mu is a leaf lock: connections are served with no lock held.
+  Mutex queue_mu;
+  CondVar queue_cv;
+  std::deque<int> conn_queue ANYK_GUARDED_BY(queue_mu);
 
   void AcceptLoop();
   void WorkerLoop();
@@ -242,10 +244,10 @@ void AnykServer::Impl::AcceptLoop() {
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     {
-      std::unique_lock<std::mutex> lock(queue_mu);
+      MutexLock lock(&queue_mu);
       conn_queue.push_back(fd);
     }
-    queue_cv.notify_one();
+    queue_cv.NotifyOne();
   }
 }
 
@@ -253,10 +255,10 @@ void AnykServer::Impl::WorkerLoop() {
   for (;;) {
     int fd = -1;
     {
-      std::unique_lock<std::mutex> lock(queue_mu);
-      queue_cv.wait(lock, [&] {
-        return stop.load(std::memory_order_relaxed) || !conn_queue.empty();
-      });
+      MutexLock lock(&queue_mu);
+      while (!stop.load(std::memory_order_relaxed) && conn_queue.empty()) {
+        queue_cv.Wait(queue_mu);
+      }
       if (conn_queue.empty()) return;  // stop requested, queue drained
       fd = conn_queue.front();
       conn_queue.pop_front();
@@ -400,17 +402,24 @@ HttpResponse AnykServer::Impl::HandleNext(const HttpRequest& req) {
   if (cursor == nullptr) {
     return TextError(410, "unknown or expired cursor '" + id + "'");
   }
-  std::unique_lock<std::mutex> lock(cursor->mu, std::try_to_lock);
-  if (!lock.owns_lock()) {
+  if (!cursor->mu.TryLock()) {
     return TextError(409, "cursor '" + id + "' is busy in another request");
   }
 
   PageWriter page(json, nullptr, nullptr);
-  cursor->stream->FetchPage(*page_k, page.Sink());
-  cursor->Touch();
-  const size_t produced = cursor->stream->produced();
-  const bool done = cursor->stream->done();
-  lock.unlock();
+  size_t produced = 0;
+  bool done = false;
+  {
+    // Adopt the TryLock success so an exception inside FetchPage (surfaced
+    // as a 400 by ServeConnection) cannot leave the cursor locked forever.
+    MutexLock lock(&cursor->mu, AdoptLock());
+    cursor->stream->FetchPage(*page_k, page.Sink());
+    cursor->Touch();
+    produced = cursor->stream->produced();
+    done = cursor->stream->done();
+  }
+  // Cursor lock released before taking the manager lock (see the lock order
+  // note in cursor_manager.h).
   if (done) cursors.Close(id);
   return page.Finish(done ? "" : id, produced);
 }
@@ -528,13 +537,18 @@ void AnykServer::Start() {
 void AnykServer::Stop() {
   if (!impl_->started) return;
   if (!impl_->stop.exchange(true)) {
-    impl_->queue_cv.notify_all();
+    impl_->queue_cv.NotifyAll();
     impl_->accept_thread.join();
     for (std::thread& w : impl_->workers) w.join();
     impl_->workers.clear();
-    // Connections still queued but never served: close them outright.
-    for (int fd : impl_->conn_queue) ::close(fd);
-    impl_->conn_queue.clear();
+    // Connections still queued but never served: close them outright. All
+    // threads are joined, but the lock keeps the annotation contract honest
+    // (and is free — nobody contends it anymore).
+    {
+      MutexLock lock(&impl_->queue_mu);
+      for (int fd : impl_->conn_queue) ::close(fd);
+      impl_->conn_queue.clear();
+    }
     ::close(impl_->listen_fd);
     impl_->listen_fd = -1;
   }

@@ -58,6 +58,9 @@ class Database {
   size_t NumRelations() const { return relations_.size(); }
 
  private:
+  // anyk-lint: allow(unordered-map): catalog lookup by relation name —
+  // a handful of entries, hit once per query during planning, never during
+  // enumeration (hot-path joins go through FlatKeyIndex).
   std::unordered_map<std::string, Relation> relations_;
 };
 

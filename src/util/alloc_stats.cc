@@ -15,6 +15,13 @@
 
 namespace {
 
+// Concurrency contract: lock-free by necessity — operator new/delete run on
+// every thread, including inside the allocator paths a mutex would recurse
+// into. All three counters are independent monotonic tallies updated with
+// relaxed atomics; CurrentAllocCounts() reads are likewise relaxed, so a
+// snapshot taken while other threads allocate is approximate per counter
+// (exact whenever the caller quiesces allocation first, which is what
+// invariants_test's zero-alloc assertions do).
 std::atomic<uint64_t> g_news{0};
 std::atomic<uint64_t> g_deletes{0};
 std::atomic<uint64_t> g_bytes{0};

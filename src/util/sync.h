@@ -1,0 +1,173 @@
+// Thread-safety-annotated synchronization primitives.
+//
+// Wrappers over std::mutex / std::condition_variable carrying Clang Thread
+// Safety Analysis attributes (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html),
+// so the lock discipline of the serving stack is checked at *compile time* on
+// every path — not just the interleavings the test suites happen to execute
+// under TSan. Clang builds compile with -Wthread-safety -Werror=thread-safety
+// (see CMakeLists.txt); under GCC every macro expands to nothing and the
+// wrappers cost exactly a std::mutex / std::condition_variable.
+//
+// House rules (enforced by scripts/anyk_lint.py, rule `raw-mutex`):
+//  * `std::mutex` / `std::condition_variable` / `std::unique_lock` /
+//    `std::lock_guard` may appear only in this header. Everything else uses
+//    Mutex / MutexLock / CondVar.
+//  * Every field a Mutex protects carries ANYK_GUARDED_BY(mu); every private
+//    helper that expects the lock held carries ANYK_REQUIRES(mu).
+//  * Condition waits are explicit loops (`while (!pred) cv.Wait(mu);`), not
+//    predicate lambdas: the analysis checks guarded reads in the loop body,
+//    whereas a lambda predicate would need its own annotations.
+//
+// Lock-ordering hierarchy (see docs/STATIC_ANALYSIS.md for the diagram).
+// Locks are leaf-only unless listed; "A -> B" means A may be held while
+// acquiring B, never the reverse:
+//
+//   LruCache::mu_   and  Slot::mu      — never nested: GetOrCreate releases
+//                                        the cache mutex before waiting on a
+//                                        slot, and Finish takes them strictly
+//                                        one after the other.
+//   Cursor::mu      ->  CursorManager::mu_ — a page request locks its cursor,
+//                                        and Close (manager mutex) runs only
+//                                        after the cursor lock is released;
+//                                        SweepExpired probes Cursor::mu with
+//                                        TryLock while holding the manager
+//                                        mutex, which cannot deadlock because
+//                                        it never blocks.
+//   ThreadPool::mu_                    — leaf; tasks run outside the lock.
+//   AnykServer::Impl::queue_mu         — leaf; connections are served outside.
+//   RateLimiter::mu_ / SessionGauge::mu_ — leaf, O(1) critical sections.
+
+#ifndef ANYK_UTIL_SYNC_H_
+#define ANYK_UTIL_SYNC_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+// ---------------------------------------------------------------------------
+// Annotation macros. Clang-only; GCC (and clang without TSA, e.g. -fsyntax-
+// only consumers) get empty expansions.
+// ---------------------------------------------------------------------------
+
+#if defined(__clang__)
+#define ANYK_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define ANYK_THREAD_ANNOTATION(x)
+#endif
+
+#define ANYK_CAPABILITY(x) ANYK_THREAD_ANNOTATION(capability(x))
+#define ANYK_SCOPED_CAPABILITY ANYK_THREAD_ANNOTATION(scoped_lockable)
+#define ANYK_GUARDED_BY(x) ANYK_THREAD_ANNOTATION(guarded_by(x))
+#define ANYK_PT_GUARDED_BY(x) ANYK_THREAD_ANNOTATION(pt_guarded_by(x))
+#define ANYK_ACQUIRED_BEFORE(...) \
+  ANYK_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ANYK_ACQUIRED_AFTER(...) \
+  ANYK_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define ANYK_REQUIRES(...) \
+  ANYK_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define ANYK_ACQUIRE(...) \
+  ANYK_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ANYK_RELEASE(...) \
+  ANYK_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define ANYK_TRY_ACQUIRE(...) \
+  ANYK_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define ANYK_EXCLUDES(...) ANYK_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define ANYK_ASSERT_CAPABILITY(x) \
+  ANYK_THREAD_ANNOTATION(assert_capability(x))
+#define ANYK_RETURN_CAPABILITY(x) ANYK_THREAD_ANNOTATION(lock_returned(x))
+#define ANYK_NO_THREAD_SAFETY_ANALYSIS \
+  ANYK_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace anyk {
+
+class CondVar;
+
+/// Annotated exclusive mutex. Prefer MutexLock over manual Lock/Unlock;
+/// TryLock is for non-blocking probes (adopt the success with
+/// MutexLock(mu, AdoptLock()) so an exception cannot leak the lock).
+class ANYK_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ANYK_ACQUIRE() { mu_.lock(); }
+  void Unlock() ANYK_RELEASE() { mu_.unlock(); }
+  bool TryLock() ANYK_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// Tag for MutexLock: the calling thread already holds the mutex (a
+/// successful Mutex::TryLock) and hands ownership to the scope.
+struct AdoptLock {};
+
+/// RAII scope for a Mutex. The destructor releases the lock unless Unlock()
+/// already did — early release is legal exactly once, for the
+/// "finish-read-state, then call something that takes another lock" pattern.
+class ANYK_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ANYK_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  MutexLock(Mutex* mu, AdoptLock) ANYK_REQUIRES(mu) : mu_(mu) {}
+
+  ~MutexLock() ANYK_RELEASE() {
+    if (held_) mu_->Unlock();
+  }
+
+  /// Release before scope end (at most once).
+  void Unlock() ANYK_RELEASE() {
+    held_ = false;
+    mu_->Unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+  bool held_ = true;
+};
+
+/// Condition variable paired with Mutex. Waits require the mutex held and
+/// reacquire it before returning; write waits as explicit loops so the
+/// analysis sees every guarded read:
+///
+///   MutexLock lock(&mu_);
+///   while (!condition) cv_.Wait(mu_);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically release `mu`, block, and reacquire before returning. Spurious
+  /// wakeups happen; always re-check the condition.
+  void Wait(Mutex& mu) ANYK_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // the caller's scope still owns the mutex
+  }
+
+  /// Wait with a deadline; returns false on timeout (mutex reacquired
+  /// either way).
+  template <typename Rep, typename Period>
+  bool WaitFor(Mutex& mu, std::chrono::duration<Rep, Period> timeout)
+      ANYK_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_for(lock, timeout);
+    lock.release();
+    return status == std::cv_status::no_timeout;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace anyk
+
+#endif  // ANYK_UTIL_SYNC_H_

@@ -14,21 +14,26 @@
 // unconditionally route through ParallelFor and let the configuration decide
 // whether anything actually runs concurrently (tests and single-threaded
 // embedders pay nothing).
+//
+// Locking (compile-checked via src/util/sync.h annotations): the pool's mu_
+// guards the task queue and the stop flag; ParallelFor's per-call Shared
+// block has its own mutex guarding the exit count and the first exception.
+// Both are leaf locks — tasks always run with no lock held.
 
 #ifndef ANYK_UTIL_THREAD_POOL_H_
 #define ANYK_UTIL_THREAD_POOL_H_
 
+#include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "util/logging.h"
+#include "util/sync.h"
 
 namespace anyk {
 
@@ -49,10 +54,10 @@ class ThreadPool {
 
   ~ThreadPool() {
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       stop_ = true;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
     for (std::thread& w : workers_) w.join();
   }
 
@@ -64,22 +69,22 @@ class ThreadPool {
 
   /// Enqueue one task. The caller is responsible for joining (ParallelFor
   /// does this; prefer it).
-  void Submit(std::function<void()> task) {
+  void Submit(std::function<void()> task) ANYK_EXCLUDES(mu_) {
     ANYK_DCHECK(!workers_.empty());
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       queue_.push_back(std::move(task));
     }
-    cv_.notify_one();
+    cv_.NotifyOne();
   }
 
  private:
-  void WorkerLoop() {
+  void WorkerLoop() ANYK_EXCLUDES(mu_) {
     while (true) {
       std::function<void()> task;
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        MutexLock lock(&mu_);
+        while (!stop_ && queue_.empty()) cv_.Wait(mu_);
         if (queue_.empty()) return;  // stop_ and drained
         task = std::move(queue_.front());
         queue_.erase(queue_.begin());
@@ -89,10 +94,10 @@ class ThreadPool {
   }
 
   std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::vector<std::function<void()>> queue_;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::vector<std::function<void()>> queue_ ANYK_GUARDED_BY(mu_);
+  bool stop_ ANYK_GUARDED_BY(mu_) = false;
 };
 
 /// Run body(i) for i in [0, n), blocking until all iterations finished.
@@ -111,10 +116,10 @@ inline void ParallelFor(ThreadPool* pool, size_t n,
   }
   struct Shared {
     std::atomic<size_t> next{0};
-    std::mutex mu;
-    std::condition_variable cv;
-    size_t exited = 0;  // helper tasks that finished their run loop
-    std::exception_ptr error;
+    Mutex mu;
+    CondVar cv;
+    size_t exited ANYK_GUARDED_BY(mu) = 0;  // helpers done with the run loop
+    std::exception_ptr error ANYK_GUARDED_BY(mu);
   };
   Shared shared;
   auto loop = [&shared, n, &body] {
@@ -124,7 +129,7 @@ inline void ParallelFor(ThreadPool* pool, size_t n,
       try {
         body(i);
       } catch (...) {
-        std::unique_lock<std::mutex> lock(shared.mu);
+        MutexLock lock(&shared.mu);
         if (!shared.error) shared.error = std::current_exception();
       }
     }
@@ -140,14 +145,14 @@ inline void ParallelFor(ThreadPool* pool, size_t n,
   for (size_t t = 0; t < helpers; ++t) {
     pool->Submit([&shared, loop] {
       loop();
-      std::unique_lock<std::mutex> lock(shared.mu);
+      MutexLock lock(&shared.mu);
       ++shared.exited;
-      shared.cv.notify_all();
+      shared.cv.NotifyAll();
     });
   }
   loop();
-  std::unique_lock<std::mutex> lock(shared.mu);
-  shared.cv.wait(lock, [&shared, helpers] { return shared.exited == helpers; });
+  MutexLock lock(&shared.mu);
+  while (shared.exited != helpers) shared.cv.Wait(shared.mu);
   if (shared.error) std::rethrow_exception(shared.error);
 }
 

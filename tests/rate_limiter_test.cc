@@ -1,0 +1,235 @@
+// Direct unit tests for the admission-control primitives in
+// src/server/rate_limiter.h: the token-bucket RateLimiter (via the AdmitAt
+// deterministic-time seam), the SessionGauge, and the SessionTicket RAII
+// wrapper — including release on exception paths, which previously was only
+// covered indirectly through server_test's 429 scenarios.
+
+#include "server/rate_limiter.h"
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace anyk {
+namespace server {
+namespace {
+
+using Clock = RateLimiter::Clock;
+using std::chrono::milliseconds;
+
+Clock::time_point T0() {
+  // Any fixed point works; AdmitAt only looks at differences.
+  return Clock::time_point(std::chrono::seconds(1000));
+}
+
+// ---------------------------------------------------------------------------
+// RateLimiter: token-bucket refill and burst behavior
+// ---------------------------------------------------------------------------
+
+TEST(RateLimiterTest, BurstAdmitsThenRejectsWithoutRefill) {
+  const auto t = T0();
+  RateLimiter limiter(/*qps=*/10, /*burst=*/3, t);
+  // The bucket starts full at `burst`; with no time passing exactly `burst`
+  // requests are admitted.
+  EXPECT_TRUE(limiter.AdmitAt(t));
+  EXPECT_TRUE(limiter.AdmitAt(t));
+  EXPECT_TRUE(limiter.AdmitAt(t));
+  EXPECT_FALSE(limiter.AdmitAt(t));
+  EXPECT_FALSE(limiter.AdmitAt(t));
+}
+
+TEST(RateLimiterTest, RefillsAtQpsRate) {
+  auto t = T0();
+  RateLimiter limiter(/*qps=*/10, /*burst=*/1, t);
+  EXPECT_TRUE(limiter.AdmitAt(t));   // drain the single token
+  EXPECT_FALSE(limiter.AdmitAt(t));  // empty
+  // 10 qps = one token per 100ms. After 50ms only half a token exists.
+  t += milliseconds(50);
+  EXPECT_FALSE(limiter.AdmitAt(t));
+  // 50ms later the bucket holds a full token again.
+  t += milliseconds(50);
+  EXPECT_TRUE(limiter.AdmitAt(t));
+  EXPECT_FALSE(limiter.AdmitAt(t));
+}
+
+TEST(RateLimiterTest, RefillCapsAtBurst) {
+  auto t = T0();
+  RateLimiter limiter(/*qps=*/100, /*burst=*/2, t);
+  // A long idle period must not accumulate more than `burst` tokens.
+  t += std::chrono::seconds(60);
+  EXPECT_TRUE(limiter.AdmitAt(t));
+  EXPECT_TRUE(limiter.AdmitAt(t));
+  EXPECT_FALSE(limiter.AdmitAt(t));
+}
+
+TEST(RateLimiterTest, SteadyStateThroughputMatchesQps) {
+  auto t = T0();
+  RateLimiter limiter(/*qps=*/5, /*burst=*/1, t);
+  EXPECT_TRUE(limiter.AdmitAt(t));  // initial burst token
+  // Over 2 simulated seconds at 10 probes/second, exactly qps * 2 = 10 more
+  // requests get through (one per 200ms refill).
+  size_t admitted = 0;
+  for (int i = 0; i < 20; ++i) {
+    t += milliseconds(100);
+    if (limiter.AdmitAt(t)) ++admitted;
+  }
+  EXPECT_EQ(admitted, 10u);
+}
+
+TEST(RateLimiterTest, ZeroQpsMeansUnlimited) {
+  RateLimiter limiter(/*qps=*/0, /*burst=*/0);
+  const auto t = T0();
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(limiter.AdmitAt(t));
+  }
+  // The real-clock entry point takes the same path.
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(limiter.Admit());
+  }
+}
+
+TEST(RateLimiterTest, NegativeQpsAlsoDisablesLimiting) {
+  RateLimiter limiter(/*qps=*/-1, /*burst=*/0);
+  EXPECT_TRUE(limiter.AdmitAt(T0()));
+}
+
+TEST(RateLimiterTest, ConcurrentAdmitsNeverExceedBudget) {
+  // 4 threads hammer a bucket holding exactly 16 tokens (no refill: all
+  // probes use the same timestamp). The mutex must make admissions exact.
+  const auto t = T0();
+  RateLimiter limiter(/*qps=*/0.001, /*burst=*/16, t);
+  std::vector<std::thread> threads;
+  std::vector<size_t> admitted(4, 0);
+  for (int w = 0; w < 4; ++w) {
+    threads.emplace_back([&limiter, &admitted, t, w] {
+      for (int i = 0; i < 1000; ++i) {
+        if (limiter.AdmitAt(t)) ++admitted[w];
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  size_t total = 0;
+  for (size_t a : admitted) total += a;
+  EXPECT_EQ(total, 16u);
+}
+
+// ---------------------------------------------------------------------------
+// SessionGauge
+// ---------------------------------------------------------------------------
+
+TEST(SessionGaugeTest, AcquireUpToMaxThenReject) {
+  SessionGauge gauge(2);
+  EXPECT_EQ(gauge.max(), 2u);
+  EXPECT_TRUE(gauge.TryAcquire());
+  EXPECT_TRUE(gauge.TryAcquire());
+  EXPECT_FALSE(gauge.TryAcquire());
+  EXPECT_EQ(gauge.live(), 2u);
+  gauge.Release();
+  EXPECT_EQ(gauge.live(), 1u);
+  EXPECT_TRUE(gauge.TryAcquire());
+  EXPECT_FALSE(gauge.TryAcquire());
+}
+
+TEST(SessionGaugeTest, PeakTracksHighWaterMark) {
+  SessionGauge gauge(8);
+  EXPECT_TRUE(gauge.TryAcquire());
+  EXPECT_TRUE(gauge.TryAcquire());
+  EXPECT_TRUE(gauge.TryAcquire());
+  gauge.Release();
+  gauge.Release();
+  EXPECT_EQ(gauge.live(), 1u);
+  EXPECT_EQ(gauge.peak(), 3u);
+}
+
+TEST(SessionGaugeTest, ZeroMaxRejectsEverything) {
+  SessionGauge gauge(0);
+  EXPECT_FALSE(gauge.TryAcquire());
+  EXPECT_EQ(gauge.live(), 0u);
+}
+
+TEST(SessionGaugeTest, ReleaseWithoutAcquireIsHarmless) {
+  SessionGauge gauge(1);
+  gauge.Release();  // must not underflow
+  EXPECT_EQ(gauge.live(), 0u);
+  EXPECT_TRUE(gauge.TryAcquire());
+}
+
+// ---------------------------------------------------------------------------
+// SessionTicket RAII
+// ---------------------------------------------------------------------------
+
+TEST(SessionTicketTest, ReleasesOnScopeExit) {
+  SessionGauge gauge(1);
+  ASSERT_TRUE(gauge.TryAcquire());
+  {
+    SessionTicket ticket(&gauge);
+    EXPECT_EQ(gauge.live(), 1u);
+  }
+  EXPECT_EQ(gauge.live(), 0u);
+}
+
+TEST(SessionTicketTest, ReleasesWhenAnExceptionUnwindsTheScope) {
+  SessionGauge gauge(1);
+  ASSERT_TRUE(gauge.TryAcquire());
+  EXPECT_EQ(gauge.live(), 1u);
+  try {
+    SessionTicket ticket(&gauge);
+    throw std::runtime_error("request handler blew up");
+  } catch (const std::runtime_error&) {
+    // The ticket's destructor ran during unwinding.
+  }
+  EXPECT_EQ(gauge.live(), 0u);
+  // The slot is genuinely reusable afterwards.
+  EXPECT_TRUE(gauge.TryAcquire());
+  EXPECT_FALSE(gauge.TryAcquire());
+}
+
+TEST(SessionTicketTest, DefaultConstructedHoldsNothing) {
+  { SessionTicket ticket; }  // must not crash or touch any gauge
+  SUCCEED();
+}
+
+TEST(SessionTicketTest, MoveTransfersOwnershipExactlyOnce) {
+  SessionGauge gauge(2);
+  ASSERT_TRUE(gauge.TryAcquire());
+  {
+    SessionTicket a(&gauge);
+    SessionTicket b(std::move(a));  // a is now empty
+    EXPECT_EQ(gauge.live(), 1u);
+  }  // only b releases
+  EXPECT_EQ(gauge.live(), 0u);
+}
+
+TEST(SessionTicketTest, MoveAssignmentReleasesThePreviousSlot) {
+  SessionGauge gauge(2);
+  ASSERT_TRUE(gauge.TryAcquire());
+  ASSERT_TRUE(gauge.TryAcquire());
+  EXPECT_EQ(gauge.live(), 2u);
+  {
+    SessionTicket a(&gauge);
+    SessionTicket b(&gauge);
+    b = std::move(a);  // b's original slot is released immediately
+    EXPECT_EQ(gauge.live(), 1u);
+  }
+  EXPECT_EQ(gauge.live(), 0u);
+}
+
+TEST(SessionTicketTest, SelfMoveAssignmentIsSafe) {
+  SessionGauge gauge(1);
+  ASSERT_TRUE(gauge.TryAcquire());
+  {
+    SessionTicket a(&gauge);
+    SessionTicket& alias = a;
+    a = std::move(alias);
+    EXPECT_EQ(gauge.live(), 1u);
+  }
+  EXPECT_EQ(gauge.live(), 0u);
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace anyk
