@@ -23,6 +23,7 @@
 #include "anyk/factory.h"
 #include "anyk/prepared_query.h"
 #include "anyk/ranked_query.h"
+#include "anyk/sharded_query.h"
 #include "dioid/max_plus.h"
 #include "dioid/max_times.h"
 #include "dioid/min_max.h"
@@ -50,8 +51,8 @@ namespace {
 // v3 adds the concurrent-drain fields (threads, and — with --sessions N —
 // timings.sessions[] plus timings.aggregate_answers_per_sec); v4 adds the
 // planner section (resolved_algorithm + planner{} always, explain with
-// --explain).
-constexpr int kSchemaVersion = 4;
+// --explain); v5 adds the sharding field (`shards`, --shards N).
+constexpr int kSchemaVersion = 5;
 
 const char* PlanName(QueryPlan plan) {
   switch (plan) {
@@ -145,18 +146,25 @@ using RowSink =
 /// Build the shared pipeline (charged to preprocessing, as in the paper) and
 /// pull answers until `limit` (0 = all), timing TTF / TT(k) / TTL. With
 /// `num_sessions` > 1, N threads each drain their own EnumerationSession of
-/// the one PreparedQuery concurrently (no per-answer sink; per-session TTLs
-/// and the aggregate answers/sec land in the report instead).
+/// the one prepared query concurrently (no per-answer sink; per-session TTLs
+/// and the aggregate answers/sec land in the report instead). `shards` > 1
+/// hash-partitions the data and prepares S per-shard pipelines whose
+/// sessions merge through a ranked union (anyk/sharded_query.h); with
+/// `parallel_drain` each shard session additionally drains on its own
+/// worker thread. shards == 1 is the unsharded passthrough, byte-identical
+/// to the pre-sharding CLI.
 template <typename D>
 RunReport RunRanked(const Database& db, const SqlStatement& stmt,
                     Algorithm algo, size_t limit,
                     const std::vector<size_t>& cps, const RowSink& sink,
-                    ThreadPool* pool, size_t num_sessions,
-                    bool want_explain, KernelKind kernels) {
+                    ThreadPool* pool, size_t num_sessions, size_t shards,
+                    bool parallel_drain, bool want_explain,
+                    KernelKind kernels) {
   RunReport rep;
   const AllocCounts at_start = CurrentAllocCounts();
   Timer timer;
-  typename PreparedQuery<D>::Options qopts;
+  typename ShardedPreparedQuery<D>::Options sopts;
+  typename PreparedQuery<D>::Options& qopts = sopts.prepare;
   qopts.enum_opts.with_witness = false;
   qopts.enum_opts.kernels = kernels;
   // Budget-aware top-k fast path: --k / SQL LIMIT reaches every enumerator
@@ -167,12 +175,16 @@ RunReport RunRanked(const Database& db, const SqlStatement& stmt,
   // `auto` also unlocks the planner's topology choice (join-tree root /
   // stage order), not just the strategy pick.
   qopts.auto_plan = algo == Algorithm::kAuto;
-  PreparedQuery<D> pq(db, stmt.query, qopts);
+  sopts.shards = shards;
+  sopts.parallel_drain = parallel_drain;
+  ShardedPreparedQuery<D> pq(db, stmt.query, sopts);
   rep.plan = PlanName(pq.plan());
   rep.resolved_algorithm = AlgorithmName(
       algo == Algorithm::kAuto ? pq.decision().algorithm : algo);
   rep.planner_summary = pq.decision().Summary();
-  if (want_explain) rep.explain_text = Explain(pq);
+  // EXPLAIN shows shard 0's pipeline shape (all shards share it — only the
+  // data differs); the planner summary above is the cross-shard decision.
+  if (want_explain) rep.explain_text = Explain(pq.shard(0));
 
   if (num_sessions > 1) {
     rep.preprocessing_seconds = timer.Seconds();
@@ -375,6 +387,7 @@ void WriteJsonReport(std::ostream& out, const CliOptions& opt,
   w.KV("limit", static_cast<uint64_t>(limit));
   w.KV("threads", static_cast<uint64_t>(opt.threads));
   w.KV("sessions", static_cast<uint64_t>(opt.sessions));
+  w.KV("shards", static_cast<uint64_t>(opt.shards));
   w.Key("relations").BeginArray();
   for (const LoadedRelation& r : rels) {
     w.BeginObject();
@@ -503,6 +516,16 @@ const char* UsageText() {
       "per-\n"
       "                        session TTL + aggregate answers/sec "
       "(default 1)\n"
+      "  --shards S            hash-partition the data into S shards, "
+      "prepare S\n"
+      "                        per-shard pipelines in parallel (uses "
+      "--threads\n"
+      "                        workers) and merge their ranked streams per\n"
+      "                        session; with --threads > 1 each shard "
+      "session\n"
+      "                        drains on its own worker (default 1 = "
+      "unsharded;\n"
+      "                        docs/ARCHITECTURE.md 'Sharding')\n"
       "  --kernels NAME        bind-kernel flavor: auto (default; honors "
       "the\n"
       "                        ANYK_KERNELS env), scalar, or unrolled — "
@@ -686,6 +709,12 @@ bool ParseCliArgs(int argc, char** argv, CliOptions* opt, std::string* error) {
         *error = "--sessions expects a positive integer, got '" + v + "'";
         return false;
       }
+    } else if (is_flag(a, "--shards")) {
+      if (!value_of(&i, "--shards", &v)) return false;
+      if (!ParseSize(v, &opt->shards) || opt->shards == 0) {
+        *error = "--shards expects a positive integer, got '" + v + "'";
+        return false;
+      }
     } else if (is_flag(a, "--kernels")) {
       if (!value_of(&i, "--kernels", &v)) return false;
       KernelKind kk;
@@ -773,7 +802,7 @@ int RunCli(const CliOptions& opt) {
     }
     out << "# algorithm=" << AlgorithmName(algo) << " dioid=" << dioid
         << " limit=" << limit << " threads=" << opt.threads << " sessions="
-        << opt.sessions << "\n";
+        << opt.sessions << " shards=" << opt.shards << "\n";
     out << "# columns: k,weight";
     for (const std::string& c : ColumnNames(stmt)) out << "," << c;
     out << "\n";
@@ -802,19 +831,27 @@ int RunCli(const CliOptions& opt) {
   KernelKind kernels = KernelKind::kAuto;
   ParseKernelKind(opt.kernels, &kernels);  // validated at flag-parse time
 
+  // With both worker threads and shards, the merged drain also runs one
+  // worker per shard session (same output bytes as the serial merge).
+  const bool parallel_drain = opt.threads > 1 && opt.shards > 1;
+
   RunReport rep;
   if (dioid == "min-sum") {
     rep = RunRanked<TropicalDioid>(db, stmt, algo, limit, cps, sink, &pool,
-                                   opt.sessions, opt.explain, kernels);
+                                   opt.sessions, opt.shards, parallel_drain,
+                                   opt.explain, kernels);
   } else if (dioid == "max-sum") {
     rep = RunRanked<MaxPlusDioid>(db, stmt, algo, limit, cps, sink, &pool,
-                                  opt.sessions, opt.explain, kernels);
+                                  opt.sessions, opt.shards, parallel_drain,
+                                  opt.explain, kernels);
   } else if (dioid == "min-max") {
     rep = RunRanked<MinMaxDioid>(db, stmt, algo, limit, cps, sink, &pool,
-                                 opt.sessions, opt.explain, kernels);
+                                 opt.sessions, opt.shards, parallel_drain,
+                                 opt.explain, kernels);
   } else {
     rep = RunRanked<MaxTimesDioid>(db, stmt, algo, limit, cps, sink, &pool,
-                                   opt.sessions, opt.explain, kernels);
+                                   opt.sessions, opt.shards, parallel_drain,
+                                   opt.explain, kernels);
   }
 
   if (text) {

@@ -48,6 +48,11 @@ struct CliOptions {
   // ANYK_KERNELS env override), "scalar" or "unrolled". Reaches the stage
   // graph build and the batched NextBatch binds via EnumOptions::kernels.
   std::string kernels = "auto";
+  // Intra-query data shards (--shards): hash-partition the relations on the
+  // query's partition variable and prepare S independent per-shard
+  // pipelines, merged per session through a ranked union
+  // (src/anyk/sharded_query.h). 1 = unsharded passthrough.
+  size_t shards = 1;
   // Print the EXPLAIN block (plan shape + planner decision) before running.
   bool explain = false;
   bool show_help = false;

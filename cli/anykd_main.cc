@@ -40,6 +40,11 @@ const char* UsageText() {
       "                        bound port is printed on startup)\n"
       "  --workers N           connection worker threads (4)\n"
       "  --threads N           preprocessing workers per preparation (1)\n"
+      "  --shards S            hash-partition every prepared query's data "
+      "into S\n"
+      "                        per-shard pipelines merged per cursor (1 =\n"
+      "                        unsharded; also a prepared-query cache-key\n"
+      "                        component — docs/SERVER.md)\n"
       "  --cache-capacity N    prepared queries kept, LRU beyond it (16)\n"
       "  --max-sessions N      open cursors / concurrent first pages (64)\n"
       "  --max-page-k N        largest accepted k= page size (10000)\n"
@@ -159,6 +164,12 @@ bool ParseArgs(int argc, char** argv, DaemonOptions* opt, std::string* error) {
         return false;
       }
       opt->server.prepare_threads = n;
+    } else if (is_flag(a, "--shards")) {
+      if (!size_flag(&i, "--shards", &n) || n == 0) {
+        if (error->empty()) *error = "--shards expects a positive integer";
+        return false;
+      }
+      opt->server.shards = n;
     } else if (is_flag(a, "--cache-capacity")) {
       if (!size_flag(&i, "--cache-capacity", &n) || n == 0) {
         if (error->empty()) {

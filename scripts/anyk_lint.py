@@ -58,7 +58,12 @@ from dataclasses import dataclass, field
 # Rule table
 # ---------------------------------------------------------------------------
 
-HOT_PATH_DIRS = ("src/anyk/", "src/dp/")
+# Prefix-matched: whole directories, plus individual files that feed the
+# enumeration hot path from elsewhere (the sharding storage layer: ShardHash
+# runs per row in the partition pass, and ShardedDatabase's staging loops are
+# the same batch-bind kernels the enumerators drain through).
+HOT_PATH_DIRS = ("src/anyk/", "src/dp/",
+                 "src/storage/shard_hash.h", "src/storage/sharded_database.h")
 UNORDERED_MAP_ALLOWED_DIRS = ("src/query/", "src/join/", "src/workload/")
 SYNC_HEADER = "src/util/sync.h"
 
@@ -430,6 +435,15 @@ SELF_TEST_CASES = [
      "std::unique_lock<std::mutex> lock(mu_);\n", {"raw-mutex"}),
     ("sync.h itself may use std::mutex",
      "src/util/sync.h", "std::mutex mu_;\n", set()),
+    ("sharding storage files are hot-path",
+     "src/storage/shard_hash.h", "int* p = new int[8];\n",
+     {"heap-hot-path"}),
+    ("sharded database staging is hot-path",
+     "src/storage/sharded_database.h", "std::unordered_set<int> seen;\n",
+     {"heap-hot-path"}),
+    ("other storage files stay cold-path",
+     "src/storage/columnar.h", "auto s = std::make_unique<Segment>();\n",
+     set()),
     ("multi-line justification comment still suppresses",
      "src/server/ok.h",
      "// anyk-lint: allow(unordered-map): cold control plane, bounded by\n"

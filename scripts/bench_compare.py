@@ -23,8 +23,17 @@ this is what CI uses, since the checked-in baseline comes from a different
 machine. Without --calibrate, times are compared absolutely (right for
 same-machine before/after runs).
 
+--current may be repeated, one directory per benchmark repetition (the
+bench-smoke CMake target runs every bench ANYK_BENCH_SMOKE_REPS times into
+rep1/, rep2/, ...). Each series' TTL is then the MINIMUM across the
+repetitions that measured it: on noisy shared runners the minimum is the
+best estimate of the true cost (outside interference only ever adds time),
+so min-of-N flakes far less than any single run.
+
 Usage:
   scripts/bench_compare.py --baseline bench/baselines --current build/bench-json
+  scripts/bench_compare.py --baseline bench/baselines \
+      --current build/bench-json/rep1 --current build/bench-json/rep2
 """
 
 import argparse
@@ -89,12 +98,32 @@ def fmt_key(key):
     return f"{figure}/{query}/{dataset}/{algorithm}@n={n}"
 
 
+def merged_current_series(current_dirs, fname):
+    """Per-series (k, seconds) for `fname`, min seconds across rep dirs.
+
+    A series' TTL is the minimum over every repetition that measured it
+    (reps that miss the file entirely contribute nothing). The k recorded
+    alongside is the one from the winning rep.
+    """
+    merged = {}
+    for d in current_dirs:
+        path = os.path.join(d, fname)
+        if not os.path.exists(path):
+            continue
+        for key, (k, seconds) in ttl_by_series(load_report(path)).items():
+            if key not in merged or seconds < merged[key][1]:
+                merged[key] = (k, seconds)
+    return merged
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", required=True,
                         help="directory with baseline BENCH_*.json files")
-    parser.add_argument("--current", required=True,
-                        help="directory with freshly produced BENCH_*.json")
+    parser.add_argument("--current", required=True, action="append",
+                        help="directory with freshly produced BENCH_*.json; "
+                             "repeat once per benchmark repetition — each "
+                             "series' TTL is the minimum across reps")
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="maximum tolerated relative TTL regression "
                              "(default 0.25 = +25%%)")
@@ -112,11 +141,11 @@ def main():
                         help="print every compared series")
     args = parser.parse_args()
 
-    current_files = sorted(
-        f for f in os.listdir(args.current)
-        if f.startswith("BENCH_") and f.endswith(".json"))
+    current_files = sorted({
+        f for d in args.current for f in os.listdir(d)
+        if f.startswith("BENCH_") and f.endswith(".json")})
     if not current_files:
-        print(f"error: no BENCH_*.json files in {args.current}",
+        print(f"error: no BENCH_*.json files in {', '.join(args.current)}",
               file=sys.stderr)
         return 2
 
@@ -129,20 +158,23 @@ def main():
     missing_files = [f for f in baseline_files if f not in current_files]
     if missing_files:
         for f in missing_files:
-            print(f"error: baseline {f} has no report in {args.current}",
-                  file=sys.stderr)
+            print(f"error: baseline {f} has no report in "
+                  f"{', '.join(args.current)}", file=sys.stderr)
         return 1
+
+    if len(args.current) > 1:
+        print(f"current TTLs are the min over {len(args.current)} "
+              f"repetition directories")
 
     # Pass 1: pair every current series with its baseline.
     rows = []  # (fname, key, base_k, base_ttl, cur_k, cur_ttl)
     skipped_small = missing_series = 0
     for fname in current_files:
-        cur_path = os.path.join(args.current, fname)
         base_path = os.path.join(args.baseline, fname)
         if not os.path.exists(base_path):
             print(f"note: no baseline for {fname} (new bench?) — skipping")
             continue
-        current = ttl_by_series(load_report(cur_path))
+        current = merged_current_series(args.current, fname)
         baseline = ttl_by_series(load_report(base_path))
 
         for key, (base_k, base_ttl) in sorted(baseline.items()):

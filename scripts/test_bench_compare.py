@@ -43,16 +43,25 @@ def write_report(directory, records, schema_version=3):
 
 
 def run_compare(baseline_records, current_records, extra_args=()):
+    """Run the gate; current_records is one rep (list of records) or many
+    (list of lists) — each rep becomes its own --current directory, the
+    shape the bench-smoke CMake target produces (rep1/, rep2/, ...)."""
+    reps = (current_records
+            if current_records and isinstance(current_records[0], list)
+            else [current_records])
     with tempfile.TemporaryDirectory() as tmp:
         base_dir = os.path.join(tmp, "baseline")
-        cur_dir = os.path.join(tmp, "current")
         os.mkdir(base_dir)
-        os.mkdir(cur_dir)
         write_report(base_dir, baseline_records)
-        write_report(cur_dir, current_records)
+        current_args = []
+        for i, rep_records in enumerate(reps):
+            rep_dir = os.path.join(tmp, f"rep{i + 1}")
+            os.mkdir(rep_dir)
+            write_report(rep_dir, rep_records)
+            current_args += ["--current", rep_dir]
         proc = subprocess.run(
             [sys.executable, SCRIPT, "--baseline", base_dir,
-             "--current", cur_dir, *extra_args],
+             *current_args, *extra_args],
             capture_output=True, text=True)
         return proc.returncode, proc.stdout + proc.stderr
 
@@ -169,6 +178,53 @@ def main():
           rc == 1, out)
     check("the regressed series is Prefill-columnar",
           "Prefill-columnar" in out, out)
+
+    # 10. Repeated --current (min of N reps): one noisy rep must not fail
+    #     the gate when another rep measured the true (baseline) time — the
+    #     minimum across reps is what gets judged. A regression present in
+    #     EVERY rep must still fail.
+    rc, out = run_compare([record("figX", 1.0)],
+                          [[record("figX", 2.0)], [record("figX", 1.0)]])
+    check("min-of-reps: one noisy rep passes", rc == 0, out)
+    check("min-of-reps announced", "min over 2 repetition" in out, out)
+    rc, out = run_compare([record("figX", 1.0)],
+                          [[record("figX", 2.0)], [record("figX", 2.1)]])
+    check("min-of-reps: regression in every rep still fails", rc == 1, out)
+    # A series measured by only one rep is still gated (min over the reps
+    # that have it), and a series missing from ALL reps trips the gate.
+    rc, out = run_compare(
+        [record("figX", 1.0), record("figX", 1.0, k=10, dataset="k=10")],
+        [[record("figX", 1.0)],
+         [record("figX", 1.0), record("figX", 0.9, k=10, dataset="k=10")]])
+    check("min-of-reps: series in a single rep is gated", rc == 0, out)
+    rc, out = run_compare(
+        [record("figX", 1.0), record("figX", 1.0, k=10, dataset="k=10")],
+        [[record("figX", 1.0)], [record("figX", 1.0)]])
+    check("min-of-reps: series missing from all reps fails", rc == 1, out)
+
+    # 11. Shard scaling in the bench_shard style: per-S prepare and drain
+    #     rows are independent series keyed by algorithm ("prepare(S=4)",
+    #     "Lazy(S=4)", ...). The sharded prepare regressing must fail even
+    #     when the S=1 anchor is unchanged, and min-of-reps applies to the
+    #     shard rows like any other series.
+    def shard_rows(prep_s1, prep_s4, drain_s4):
+        return [record("shard", prep_s1, k=1, algorithm="prepare(S=1)",
+                       dataset="prepare"),
+                record("shard", prep_s4, k=1, algorithm="prepare(S=4)",
+                       dataset="prepare"),
+                record("shard", drain_s4, k=100, algorithm="Lazy(S=4)",
+                       dataset="ranked-union")]
+    rc, out = run_compare(shard_rows(2.0, 1.0, 1.0),
+                          shard_rows(2.0, 1.05, 1.0))
+    check("shard scaling: steady per-S series pass", rc == 0, out)
+    rc, out = run_compare(shard_rows(2.0, 1.0, 1.0),
+                          shard_rows(2.0, 2.0, 1.0))
+    check("shard scaling: S=4 prepare regression fails", rc == 1, out)
+    check("the regressed series is prepare(S=4)", "prepare(S=4)" in out, out)
+    rc, out = run_compare(shard_rows(2.0, 1.0, 1.0),
+                          [shard_rows(2.0, 2.0, 1.0),
+                           shard_rows(2.0, 1.0, 2.5)])
+    check("shard scaling: min-of-reps covers per-S series", rc == 0, out)
 
     if FAILURES:
         print(f"\n{len(FAILURES)} bench_compare regression checks failed")

@@ -113,6 +113,8 @@ class EnumerationSession {
  private:
   template <SelectiveDioid>
   friend class PreparedQuery;
+  template <SelectiveDioid>
+  friend class ShardedPreparedQuery;  // anyk/sharded_query.h
 
   explicit EnumerationSession(std::unique_ptr<Enumerator<D>> e)
       : enumerator_(std::move(e)) {}
@@ -213,6 +215,20 @@ class PreparedQuery {
     return NewSession(algo, opts_.enum_opts);
   }
 
+  /// Build a session's enumerator directly, without the EnumerationSession
+  /// wrapper. The sharded layer (anyk/sharded_query.h) unions one of these
+  /// per shard into a single merged session; the same kAuto resolution as
+  /// NewSession applies. Thread-safe on a const PreparedQuery.
+  std::unique_ptr<Enumerator<D>> NewSessionEnumerator(
+      Algorithm algo, const EnumOptions& enum_opts) const {
+    EnumOptions opts = enum_opts;
+    if (algo == Algorithm::kAuto) {
+      algo = decision_.algorithm;
+      opts.heap_arity = decision_.heap_arity;
+    }
+    return MakeResolvedEnumerator(algo, opts);
+  }
+
   QueryPlan plan() const { return plan_; }
   size_t NumTrees() const { return instances_.size(); }
   const ConjunctiveQuery& query() const { return query_; }
@@ -231,10 +247,14 @@ class PreparedQuery {
  private:
   EnumerationSession<D> NewResolvedSession(Algorithm algo,
                                            const EnumOptions& enum_opts) const {
+    return EnumerationSession<D>(MakeResolvedEnumerator(algo, enum_opts));
+  }
+
+  std::unique_ptr<Enumerator<D>> MakeResolvedEnumerator(
+      Algorithm algo, const EnumOptions& enum_opts) const {
     switch (plan_) {
       case QueryPlan::kAcyclicTree:
-        return EnumerationSession<D>(
-            MakeEnumerator<D>(graphs_[0].get(), algo, enum_opts));
+        return MakeEnumerator<D>(graphs_[0].get(), algo, enum_opts);
       case QueryPlan::kCycleUnion: {
         // Each part keeps the full k budget: a single partition may supply
         // the entire top-k. With dedup (overlapping decompositions) a part
@@ -248,16 +268,15 @@ class PreparedQuery {
         for (const auto& g : graphs_) {
           parts.push_back(MakeEnumerator<D>(g.get(), algo, part_opts));
         }
-        return EnumerationSession<D>(std::make_unique<UnionEnumerator<D>>(
-            std::move(parts), opts_.dedup_union, enum_opts.k_budget));
+        return std::make_unique<UnionEnumerator<D>>(
+            std::move(parts), opts_.dedup_union, enum_opts.k_budget);
       }
       case QueryPlan::kGenericJoinBatch:
-        return EnumerationSession<D>(
-            std::make_unique<SharedVectorEnumerator<D>>(
-                batch_rows_, enum_opts.k_budget));
+        return std::make_unique<SharedVectorEnumerator<D>>(
+            batch_rows_, enum_opts.k_budget);
     }
     ANYK_CHECK(false) << "unknown plan";
-    return EnumerationSession<D>(nullptr);
+    return nullptr;
   }
 
   /// Strategy + heap-arity decision over the built graphs, made once at

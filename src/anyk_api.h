@@ -14,6 +14,7 @@
 #include "anyk/factory.h"
 #include "anyk/range.h"
 #include "anyk/ranked_query.h"
+#include "anyk/sharded_query.h"
 #include "anyk/topk.h"
 #include "dioid/boolean.h"
 #include "dioid/lex.h"
@@ -31,5 +32,7 @@
 #include "query/sql.h"
 #include "storage/csv.h"
 #include "storage/database.h"
+#include "storage/shard_hash.h"
+#include "storage/sharded_database.h"
 
 #endif  // ANYK_ANYK_API_H_

@@ -125,10 +125,14 @@ inline JoinTreeTopology PlanTopology(const Database& db,
 
 /// Decide strategy + heap arity for built tree/union graphs. `k_budget` is
 /// the prepare-time budget (EnumOptions sentinel: 0 = unbounded).
+///
+/// The non-owning overload exists for cross-shard planning: the sharded
+/// layer (anyk/sharded_query.h) concatenates the graph lists of S per-shard
+/// PreparedQueries it does not own and decides ONCE over the merged
+/// statistics, so every shard session runs the same strategy.
 template <SelectiveDioid D>
-PlanDecision DecideStrategy(
-    const std::vector<std::unique_ptr<StageGraph<D>>>& graphs,
-    size_t k_budget) {
+PlanDecision DecideStrategy(const std::vector<const StageGraph<D>*>& graphs,
+                            size_t k_budget) {
   PlanInput in;
   in.k_budget = k_budget;
   in.has_inverse = D::kHasInverse;
@@ -150,6 +154,16 @@ PlanDecision DecideStrategy(
   d.est_batch = choice.est_batch;
   d.reason = choice.reason;
   return d;
+}
+
+template <SelectiveDioid D>
+PlanDecision DecideStrategy(
+    const std::vector<std::unique_ptr<StageGraph<D>>>& graphs,
+    size_t k_budget) {
+  std::vector<const StageGraph<D>*> ptrs;
+  ptrs.reserve(graphs.size());
+  for (const auto& g : graphs) ptrs.push_back(g.get());
+  return DecideStrategy<D>(ptrs, k_budget);
 }
 
 /// Decision for the generic-join fallback, where the output is already

@@ -1,12 +1,15 @@
 // Type erasure between the HTTP layer and the templated any-k stack.
 //
-// A QueryHandle wraps one PreparedQuery<D> (for whichever of the four
-// dioids the request asked for) together with its parsed statement; it is
-// the value stored in the server's LRU cache and shared read-only by every
-// session. Open() starts a CursorStream — an EnumerationSession plus the
-// projection / rank bookkeeping — which is the per-cursor mutable state and
-// stays confined to one request at a time (the cursor mutex in
-// cursor_manager.h enforces that).
+// A QueryHandle wraps one ShardedPreparedQuery<D> (for whichever of the
+// four dioids the request asked for) together with its parsed statement; it
+// is the value stored in the server's LRU cache and shared read-only by
+// every session. With ServerOptions::shards == 1 that is a true passthrough
+// around a single PreparedQuery<D>; with S > 1 the handle owns S per-shard
+// pipelines over hash-partitioned data and every cursor merges their ranked
+// streams (src/anyk/sharded_query.h). Open() starts a CursorStream — an
+// EnumerationSession plus the projection / rank bookkeeping — which is the
+// per-cursor mutable state and stays confined to one request at a time (the
+// cursor mutex in cursor_manager.h enforces that).
 
 #ifndef ANYK_SERVER_QUERY_HANDLE_H_
 #define ANYK_SERVER_QUERY_HANDLE_H_
@@ -20,6 +23,7 @@
 
 #include "anyk/factory.h"
 #include "anyk/prepared_query.h"
+#include "anyk/sharded_query.h"
 #include "dioid/max_plus.h"
 #include "dioid/max_times.h"
 #include "dioid/min_max.h"
@@ -82,8 +86,8 @@ inline const char* PlanName(QueryPlan plan) {
 template <SelectiveDioid D>
 class TypedStream : public CursorStream {
  public:
-  TypedStream(const PreparedQuery<D>* pq, Algorithm algo, size_t k_budget,
-              const std::vector<uint32_t>* select_vars)
+  TypedStream(const ShardedPreparedQuery<D>* pq, Algorithm algo,
+              size_t k_budget, const std::vector<uint32_t>* select_vars)
       : select_vars_(select_vars),
         session_(pq->NewSession(algo, BudgetedOptions(pq, k_budget))) {}
 
@@ -109,7 +113,7 @@ class TypedStream : public CursorStream {
   size_t produced() const override { return rank_; }
 
  private:
-  static EnumOptions BudgetedOptions(const PreparedQuery<D>* pq,
+  static EnumOptions BudgetedOptions(const ShardedPreparedQuery<D>* pq,
                                      size_t k_budget) {
     EnumOptions opts = pq->default_enum_options();
     opts.k_budget = k_budget;
@@ -127,17 +131,25 @@ class TypedStream : public CursorStream {
 template <SelectiveDioid D>
 class TypedHandle : public QueryHandle {
  public:
-  TypedHandle(const Database& db, SqlStatement stmt, ThreadPool* pool)
+  TypedHandle(const Database& db, SqlStatement stmt, ThreadPool* pool,
+              size_t shards)
       : stmt_(std::move(stmt)) {
-    typename PreparedQuery<D>::Options qopts;
+    typename ShardedPreparedQuery<D>::Options sopts;
+    typename PreparedQuery<D>::Options& qopts = sopts.prepare;
     qopts.enum_opts.with_witness = false;
     // The planner budget is the SQL LIMIT of the statement (0 = unbounded):
     // the strategy for `algorithm=auto` is decided once here, at prepare
-    // time, and shared by every session of this handle.
+    // time — across all shards, via the merged-statistics decision — and
+    // shared by every session of this handle.
     qopts.enum_opts.k_budget = stmt_.limit;
     qopts.pool = pool;
     qopts.auto_plan = true;
-    pq_ = std::make_unique<PreparedQuery<D>>(db, stmt_.query, qopts);
+    sopts.shards = shards;
+    // Cursors stay on the serial merge: a paged server session may sit idle
+    // between requests, and parking S worker threads per open cursor would
+    // let max_sessions cursors pin S * max_sessions threads.
+    sopts.parallel_drain = false;
+    pq_ = std::make_unique<ShardedPreparedQuery<D>>(db, stmt_.query, sopts);
   }
 
   std::unique_ptr<CursorStream> Open(Algorithm algo) const override {
@@ -152,32 +164,35 @@ class TypedHandle : public QueryHandle {
 
  private:
   SqlStatement stmt_;
-  std::unique_ptr<PreparedQuery<D>> pq_;
+  std::unique_ptr<ShardedPreparedQuery<D>> pq_;
 };
 
 }  // namespace internal
 
 /// Prepare `stmt` under the named dioid (min-sum | max-sum | min-max |
-/// max-times). `pool` parallelizes preprocessing only and is not retained.
+/// max-times), partitioned into `shards` per-shard pipelines (1 =
+/// unsharded). `pool` parallelizes preprocessing only and is not retained.
 inline std::unique_ptr<QueryHandle> MakeQueryHandle(const Database& db,
                                                     const SqlStatement& stmt,
                                                     const std::string& dioid,
-                                                    ThreadPool* pool) {
+                                                    ThreadPool* pool,
+                                                    size_t shards = 1) {
   if (dioid == "min-sum") {
     return std::make_unique<internal::TypedHandle<TropicalDioid>>(db, stmt,
-                                                                  pool);
+                                                                  pool, shards);
   }
   if (dioid == "max-sum") {
     return std::make_unique<internal::TypedHandle<MaxPlusDioid>>(db, stmt,
-                                                                 pool);
+                                                                 pool, shards);
   }
   if (dioid == "min-max") {
     return std::make_unique<internal::TypedHandle<MinMaxDioid>>(db, stmt,
-                                                                pool);
+                                                                pool, shards);
   }
   if (dioid == "max-times") {
     return std::make_unique<internal::TypedHandle<MaxTimesDioid>>(db, stmt,
-                                                                  pool);
+                                                                  pool,
+                                                                  shards);
   }
   ANYK_CHECK(false) << "unknown dioid '" << dioid
                     << "' (expected min-sum|max-sum|min-max|max-times)";

@@ -359,7 +359,8 @@ HttpResponse AnykServer::Impl::HandleQuery(const HttpRequest& req) {
   }
   const std::string key =
       QueryCacheKey(dioid, opts.planner_version,
-                    epoch.load(std::memory_order_relaxed), normalized);
+                    epoch.load(std::memory_order_relaxed), opts.shards,
+                    normalized);
 
   QueryCache::Outcome outcome = QueryCache::Outcome::kMiss;
   std::shared_ptr<CacheEntry> entry = cache.GetOrCreate(
@@ -368,7 +369,8 @@ HttpResponse AnykServer::Impl::HandleQuery(const HttpRequest& req) {
         auto e = std::make_shared<CacheEntry>();
         Timer timer;
         const SqlStatement stmt = ParseSql(normalized, &db);
-        e->handle = MakeQueryHandle(db, stmt, dioid, &prepare_pool);
+        e->handle =
+            MakeQueryHandle(db, stmt, dioid, &prepare_pool, opts.shards);
         e->prepare_seconds = timer.Seconds();
         return e;
       },
@@ -475,6 +477,7 @@ HttpResponse AnykServer::Impl::HandleStatz() {
   // query, LRU -> MRU, each with the algorithm `auto` resolves to.
   w.Key("planner").BeginObject();
   w.KV("version", static_cast<int64_t>(opts.planner_version));
+  w.KV("shards", static_cast<uint64_t>(opts.shards));
   w.Key("prepared").BeginArray();
   cache.ForEachReady(
       [&](const std::string&, const std::shared_ptr<CacheEntry>& e) {

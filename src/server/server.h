@@ -37,12 +37,16 @@ namespace server {
 /// The prepared-query cache key. Exposed so tests can assert its exact
 /// composition — in particular that two planner versions can never share an
 /// entry. Components are joined with \x1f (US), which NormalizeSql can never
-/// emit, so no component can masquerade as another.
+/// emit, so no component can masquerade as another. `shards` is a component
+/// because the partitioned per-shard pipelines of a --shards S server differ
+/// physically from the unsharded ones (same answers, different prepared
+/// state) — a restart with a different shard count must never revive them.
 inline std::string QueryCacheKey(const std::string& dioid, int planner_version,
-                                 uint64_t epoch,
+                                 uint64_t epoch, size_t shards,
                                  const std::string& normalized_sql) {
   return dioid + "\x1f" + std::to_string(planner_version) + "\x1f" +
-         std::to_string(epoch) + "\x1f" + normalized_sql;
+         std::to_string(epoch) + "\x1f" + std::to_string(shards) + "\x1f" +
+         normalized_sql;
 }
 
 struct ServerOptions {
@@ -60,6 +64,11 @@ struct ServerOptions {
   // invalidates every cached plan decision. Overridable so tests can force
   // a key mismatch without recompiling.
   int planner_version = plan::kPlannerVersion;
+  // Intra-query data shards (--shards): every prepared query hash-partitions
+  // its relations into S per-shard pipelines whose sessions merge through a
+  // ranked union (src/anyk/sharded_query.h). Also a cache-key component.
+  // 1 = unsharded passthrough.
+  size_t shards = 1;
 };
 
 class AnykServer {

@@ -1,0 +1,66 @@
+// Pinned partition hash for intra-query data sharding.
+//
+// ShardHash decides which shard a tuple lands in (storage/sharded_database.h)
+// and therefore which shard serves which part of a ranked answer stream. The
+// assignment leaks into user-visible artifacts — per-shard witnesses, the
+// server's cache keys (which embed the shard count), checked-in bench
+// baselines — so the algorithm is PINNED: it must produce the same value for
+// the same key on every platform, build and release, forever. shard_test's
+// known-hash vector enforces this; changing any constant below is a breaking
+// change that invalidates persisted cache keys and requires bumping the
+// server cache epoch.
+//
+// It is deliberately a *separate* function from KeyHash (storage/value.h):
+// KeyHash feeds in-process hash tables and may be tuned freely; ShardHash
+// may not. The mixer is murmur3's fmix64 (distinct constants from KeyHash's
+// splitmix64 finalizer, so accidental unification shows up in tests), chained
+// with a length-seeded accumulator.
+//
+// Shard selection uses the multiply-shift range reduction ("fastrange")
+// instead of modulo: no division on the per-tuple partition path, and the
+// high hash bits — the best-mixed ones — pick the shard.
+
+#ifndef ANYK_STORAGE_SHARD_HASH_H_
+#define ANYK_STORAGE_SHARD_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "storage/value.h"
+
+namespace anyk {
+
+/// Pinned 64-bit hash of a partition key (usually a single join-variable
+/// value; composite keys hash all components order-sensitively).
+inline uint64_t ShardHash(std::span<const Value> key) {
+  // Pinned constants — see the header comment before touching these.
+  uint64_t h = 0x8C2E4A15D3F7B961ULL ^ (key.size() * 0xA24BAED4963EE407ULL);
+  for (Value v : key) {
+    uint64_t x = static_cast<uint64_t>(v);
+    x ^= x >> 33;  // murmur3 fmix64
+    x *= 0xFF51AFD7ED558CCDULL;
+    x ^= x >> 33;
+    x *= 0xC4CEB9FE1A85EC53ULL;
+    x ^= x >> 33;
+    h = (h ^ x) * 0x2545F4914F6CDD1DULL;
+    h ^= h >> 29;
+  }
+  return h;
+}
+
+/// Single-value convenience overload (the common one-join-variable case).
+inline uint64_t ShardHash(Value v) {
+  return ShardHash(std::span<const Value>(&v, 1));
+}
+
+/// Map a hash to [0, num_shards) via multiply-shift range reduction.
+/// `num_shards` must be >= 1; with 1 shard everything maps to shard 0.
+inline uint32_t ShardOf(uint64_t hash, size_t num_shards) {
+  return static_cast<uint32_t>(
+      (static_cast<unsigned __int128>(hash) * num_shards) >> 64);
+}
+
+}  // namespace anyk
+
+#endif  // ANYK_STORAGE_SHARD_HASH_H_

@@ -192,10 +192,11 @@ TEST(CliTest, JsonReportHasDocumentedSchema) {
       " --format json --query \"SELECT * FROM R, S WHERE R.A2 = S.A1"
       " ORDER BY WEIGHT ASC LIMIT 3\"");
   ASSERT_EQ(run.exit_code, 0) << run.output;
-  EXPECT_NE(run.output.find("\"schema_version\": 4"), std::string::npos);
+  EXPECT_NE(run.output.find("\"schema_version\": 5"), std::string::npos);
   EXPECT_NE(run.output.find("\"tool\": \"anyk\""), std::string::npos);
   EXPECT_NE(run.output.find("\"threads\": 1"), std::string::npos);
   EXPECT_NE(run.output.find("\"sessions\": 1"), std::string::npos);
+  EXPECT_NE(run.output.find("\"shards\": 1"), std::string::npos);
   EXPECT_NE(run.output.find("\"plan\": \"acyclic-tree\""), std::string::npos);
   EXPECT_NE(run.output.find("\"algorithm\": \"Lazy\""), std::string::npos);
   // v4: the planner section is always present; a pinned --algorithm
@@ -287,6 +288,45 @@ TEST(CliTest, ThreadsFlagLoadsInParallelWithSameResults) {
   // Same ranked answers regardless of how the CSVs were loaded.
   EXPECT_EQ(ResultLines(parallel.output), ResultLines(serial.output));
   EXPECT_NE(parallel.output.find("threads=4"), std::string::npos);
+}
+
+// ---- Sharding (--shards) ----
+
+TEST(CliTest, ShardsFlagKeepsRankedWeightsAndReportsShards) {
+  const std::string query =
+      " --query \"SELECT * FROM R, S WHERE R.A2 = S.A1"
+      " ORDER BY WEIGHT ASC\"";
+  CliRun unsharded = RunCli(TwoRelationArgs() + query);
+  // --threads 2 --shards 3 exercises the parallel merged drain; equal-weight
+  // answers may reorder across shard boundaries, so compare the weight
+  // column, not the whole RESULT lines.
+  CliRun sharded =
+      RunCli(TwoRelationArgs() + " --threads 2 --shards 3" + query);
+  ASSERT_EQ(sharded.exit_code, 0) << sharded.output;
+  auto weights = [](const CliRun& run) {
+    std::vector<std::string> out;
+    for (const std::string& r : ResultLines(run.output)) {
+      // RESULT,<k>,<weight>,...
+      const size_t w_begin = r.find(',', 7) + 1;
+      out.push_back(r.substr(w_begin, r.find(',', w_begin) - w_begin));
+    }
+    return out;
+  };
+  EXPECT_EQ(weights(sharded), weights(unsharded)) << sharded.output;
+  EXPECT_NE(sharded.output.find(" shards=3"), std::string::npos)
+      << sharded.output;
+  EXPECT_NE(sharded.output.find("exhausted=yes"), std::string::npos);
+}
+
+TEST(CliTest, ShardsZeroIsAUsageError) {
+  CliRun run = RunCli(
+      TwoRelationArgs() +
+      " --shards 0 --query \"SELECT * FROM R, S WHERE R.A2 = S.A1"
+      " ORDER BY WEIGHT ASC\"");
+  ASSERT_EQ(run.exit_code, 2) << run.output;
+  EXPECT_NE(run.output.find("--shards expects a positive integer"),
+            std::string::npos)
+      << run.output;
 }
 
 TEST(CliTest, SessionsFlagReportsPerSessionAndAggregate) {

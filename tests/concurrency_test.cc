@@ -23,6 +23,7 @@
 
 #include "anyk/factory.h"
 #include "anyk/prepared_query.h"
+#include "anyk/sharded_query.h"
 #include "anyk/topk.h"
 #include "dioid/dioid.h"
 #include "dioid/min_max.h"
@@ -136,11 +137,12 @@ Case MakeCycleCase(uint64_t seed, size_t l, size_t rows) {
   return c;
 }
 
-/// N concurrent drains of one PreparedQuery, one algorithm per thread
-/// (cycled through `algos`), compared against `want`. `canonical` relaxes
-/// the comparison to canonicalized tie groups.
-template <typename D>
-void ExpectConcurrentDrainsMatch(const PreparedQuery<D>& pq,
+/// N concurrent drains of one prepared query (PreparedQuery or
+/// ShardedPreparedQuery), one algorithm per thread (cycled through `algos`),
+/// compared against `want`. `canonical` relaxes the comparison to
+/// canonicalized tie groups.
+template <typename D, typename PQ>
+void ExpectConcurrentDrainsMatch(const PQ& pq,
                                  const std::vector<Algorithm>& algos,
                                  std::vector<Answer> want, bool canonical,
                                  size_t cap) {
@@ -336,6 +338,105 @@ TEST(ConcurrencyTest, BudgetedCycleUnionSessionsMatchSerialPrefix) {
       ASSERT_EQ(got[t][i], want[i]) << "session " << t << " rank " << i;
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded sessions (the --shards S serving shape): every session of one
+// ShardedPreparedQuery merges S per-shard streams, and the merge is
+// deterministic — so N concurrent sharded sessions must byte-match a serial
+// drain of the SAME sharded query, exactly like unsharded sessions match a
+// serial session. (Comparing against an UNsharded drain is the differential
+// suite's job, canonically; here the bar is byte-for-byte.) Runs under TSan
+// in CI: racy shard state — the shared per-shard PreparedQueries, the union
+// heap, the parallel-drain rings — shows up here.
+// ---------------------------------------------------------------------------
+
+TEST(ConcurrencyTest, ShardedSessionsMatchSerialShardedDrain) {
+  using TB = TieBreakDioid<TropicalDioid, kMaxAtoms>;
+  Case c = MakeStarCase(110, 3, 40);
+  typename ShardedPreparedQuery<TB>::Options sopts;
+  sopts.shards = 4;
+  const ShardedPreparedQuery<TB> pq(c.db, c.q, sopts);
+  ASSERT_EQ(pq.NumShards(), 4u);
+  std::vector<Answer> want =
+      Drain<TB>(pq.NewSession(Algorithm::kLazy), 50000);
+  ASSERT_GT(want.size(), 100u) << "instance too small to be meaningful";
+  // Mixed algorithms: under the tie-break dioid the answer order is total,
+  // so every strategy's merged stream is identical rank for rank.
+  ExpectConcurrentDrainsMatch<TB>(
+      pq,
+      {Algorithm::kLazy, Algorithm::kTake2, Algorithm::kEager,
+       Algorithm::kRecursive},
+      want, /*canonical=*/false, 50000);
+}
+
+TEST(ConcurrencyTest, ParallelDrainShardedSessionsMatchSerialMerge) {
+  // parallel_drain: each of the S shard streams is produced on its own
+  // worker thread while the session's caller merges — with 4 concurrent
+  // sessions that is 4 * (S + 1) threads hammering the shared shard
+  // PreparedQueries. Output must stay byte-identical to the serial merge.
+  using TB = TieBreakDioid<TropicalDioid, kMaxAtoms>;
+  Case c = MakeStarCase(111, 3, 35);
+  typename ShardedPreparedQuery<TB>::Options serial_opts;
+  serial_opts.shards = 3;
+  const ShardedPreparedQuery<TB> serial(c.db, c.q, serial_opts);
+  typename ShardedPreparedQuery<TB>::Options par_opts = serial_opts;
+  par_opts.parallel_drain = true;
+  const ShardedPreparedQuery<TB> parallel(c.db, c.q, par_opts);
+  std::vector<Answer> want =
+      Drain<TB>(serial.NewSession(Algorithm::kLazy), 50000);
+  ASSERT_GT(want.size(), 100u);
+  ExpectConcurrentDrainsMatch<TB>(parallel,
+                                  {Algorithm::kLazy, Algorithm::kTake2},
+                                  want, /*canonical=*/false, 50000);
+}
+
+TEST(ConcurrencyTest, ShardedCycleUnionWithEmptyShardsDrainsConcurrently) {
+  // Cycle-union plan nested inside the shard union, with S = 7 far above
+  // the join-key domain (4): several shards are guaranteed empty and must
+  // behave as immediately-exhausted sources, concurrently.
+  using TB = TieBreakDioid<TropicalDioid, kMaxAtoms>;
+  Case c = MakeCycleCase(112, 4, 24);
+  ThreadPool pool(kSessions);
+  typename ShardedPreparedQuery<TB>::Options sopts;
+  sopts.shards = 7;
+  sopts.prepare.pool = &pool;  // partition + per-shard builds in parallel
+  const ShardedPreparedQuery<TB> pq(c.db, c.q, sopts);
+  ASSERT_EQ(pq.plan(), QueryPlan::kCycleUnion);
+  std::vector<Answer> want =
+      Drain<TB>(pq.NewSession(Algorithm::kLazy), 50000);
+  ASSERT_GT(want.size(), 20u);
+  ExpectConcurrentDrainsMatch<TB>(pq,
+                                  {Algorithm::kLazy, Algorithm::kRecursive},
+                                  want, /*canonical=*/false, 50000);
+}
+
+TEST(ConcurrencyTest, SkewedAllTiesShardedSessionsMatch) {
+  // Adversarial partitioning: every weight equal (ranking decided purely by
+  // tie-breaking) and ~85% of the center join keys a single hot value, so
+  // one shard carries almost all rows while its siblings run near-empty.
+  using TB = TieBreakDioid<TropicalDioid, kMaxAtoms>;
+  Rng rng(113);
+  Case c;
+  for (size_t i = 1; i <= 3; ++i) {
+    auto& rel = c.db.AddRelation("S" + std::to_string(i), 2);
+    for (size_t r = 0; r < 40; ++r) {
+      const Value center = rng.Bernoulli(0.85) ? 7 : rng.Uniform(0, 4);
+      rel.Add({center, rng.Uniform(0, 20)}, 1.0);
+    }
+    c.q.AddAtom("S" + std::to_string(i), {"x0", "y" + std::to_string(i)});
+  }
+  typename ShardedPreparedQuery<TB>::Options sopts;
+  sopts.shards = 4;
+  const ShardedPreparedQuery<TB> pq(c.db, c.q, sopts);
+  std::vector<Answer> want =
+      Drain<TB>(pq.NewSession(Algorithm::kLazy), 50000);
+  ASSERT_GT(want.size(), 100u) << "instance too small to be meaningful";
+  ExpectConcurrentDrainsMatch<TB>(
+      pq,
+      {Algorithm::kLazy, Algorithm::kTake2, Algorithm::kEager,
+       Algorithm::kRecursive},
+      want, /*canonical=*/false, 50000);
 }
 
 TEST(ConcurrencyTest, TopKOverPreparedQueryMatchesSessionPrefix) {

@@ -34,6 +34,7 @@
 
 #include "anyk/factory.h"
 #include "anyk/ranked_query.h"
+#include "anyk/sharded_query.h"
 #include "dioid/dioid.h"
 #include "dioid/max_plus.h"
 #include "dioid/max_times.h"
@@ -327,6 +328,91 @@ INSTANTIATE_TEST_SUITE_P(Shapes, BoundedKSweepTest,
                          ::testing::Values(5, 6, 7, 8, 9, 10, 11, 12, 13, 14),
                          [](const ::testing::TestParamInfo<uint64_t>& info) {
                            return "seed" + std::to_string(info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// Sharded sweep: a ShardedPreparedQuery at S ∈ {1, 2, 4, 7} must emit the
+// same answer stream as the unsharded BatchSorting oracle under every dioid,
+// for `auto` plus explicit strategies. Comparison is canonical (equal-weight
+// runs sorted, witnesses dropped): partitioning renumbers rows per shard, so
+// tie-break order within an equal-weight group and witness row ids may
+// legitimately differ from the unsharded drain — the answer set and its
+// weight order may not. The corpus domains are 2..6, so S = 7 always leaves
+// at least one shard empty, and every fifth seed is the all-ties stress
+// (uniform weights) — both acceptance cases of the sweep.
+// ---------------------------------------------------------------------------
+
+template <typename B>
+std::vector<Answer> DrainSharded(const Database& db, const ConjunctiveQuery& q,
+                                 Algorithm algo, size_t shards, size_t cap) {
+  typename ShardedPreparedQuery<B>::Options sopts;
+  sopts.shards = shards;
+  const ShardedPreparedQuery<B> pq(db, q, sopts);
+  EnumerationSession<B> sess = pq.NewSession(algo);
+  std::vector<Answer> out;
+  ResultRow<B> row;
+  while (out.size() < cap && sess.NextInto(&row)) {
+    Answer a;
+    a.base_weight = static_cast<double>(row.weight);
+    a.assignment = row.assignment;
+    // Witnesses stay empty: shard-local row ids are not comparable.
+    out.push_back(std::move(a));
+  }
+  return out;
+}
+
+template <typename B>
+void ExpectShardedCanonical(const GeneratedCase& c, const char* dioid_name,
+                            size_t cap) {
+  std::vector<Answer> want = DrainRaw<B>(c.db, c.q, Algorithm::kBatch, cap);
+  for (Answer& a : want) a.witness.clear();
+  // A cap-truncated drain cuts its last tie group at an arbitrary member;
+  // compare complete groups only (no-op when the output fits the cap).
+  TrimIncompleteTailGroup<B>(&want, cap);
+  CanonicalizeTieGroups<B>(&want);
+  for (const size_t shards : {size_t{1}, size_t{2}, size_t{4}, size_t{7}}) {
+    for (Algorithm algo :
+         {Algorithm::kAuto, Algorithm::kLazy, Algorithm::kTake2}) {
+      std::vector<Answer> got =
+          DrainSharded<B>(c.db, c.q, algo, shards, cap);
+      TrimIncompleteTailGroup<B>(&got, cap);
+      CanonicalizeTieGroups<B>(&got);
+      ASSERT_EQ(got.size(), want.size())
+          << c.label << "/" << dioid_name << "/" << AlgorithmName(algo)
+          << "/S=" << shards << ": result count diverges from BatchSorting";
+      for (size_t i = 0; i < got.size(); ++i) {
+        ASSERT_EQ(got[i], want[i])
+            << c.label << "/" << dioid_name << "/" << AlgorithmName(algo)
+            << "/S=" << shards << ": rank " << i << " diverges (weight "
+            << got[i].base_weight << " vs " << want[i].base_weight << ")";
+      }
+    }
+  }
+}
+
+class ShardSweepTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ShardSweepTest, ShardedDrainsMatchUnshardedOracle) {
+  // Each parameter is a block of 5 consecutive seeds — one full pass over
+  // the shape families (path, star, tree, cycle, all-ties) per block.
+  const uint64_t block = GetParam();
+  constexpr uint64_t kBlockSize = 5;
+  constexpr size_t kCap = 20000;
+  for (uint64_t s = 0; s < kBlockSize; ++s) {
+    const uint64_t seed = block * kBlockSize + s + 1;
+    const GeneratedCase c = MakeCase(seed);
+    SCOPED_TRACE("seed=" + std::to_string(seed) + " " + c.label + " " +
+                 c.q.ToString());
+    ExpectShardedCanonical<TropicalDioid>(c, "min-sum", kCap);
+    ExpectShardedCanonical<MaxPlusDioid>(c, "max-sum", kCap);
+    ExpectShardedCanonical<MinMaxDioid>(c, "min-max", kCap);
+    ExpectShardedCanonical<MaxTimesDioid>(c, "max-times", kCap);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Blocks, ShardSweepTest, ::testing::Values(0, 1, 2),
+                         [](const ::testing::TestParamInfo<uint64_t>& info) {
+                           return "block" + std::to_string(info.param);
                          });
 
 }  // namespace

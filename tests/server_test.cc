@@ -22,6 +22,7 @@
 
 #include "anyk/factory.h"
 #include "anyk/ranked_query.h"
+#include "anyk/sharded_query.h"
 #include "dioid/max_plus.h"
 #include "dioid/tropical.h"
 #include "plan/cost_model.h"
@@ -373,25 +374,127 @@ TEST(ServerTest, AutoDefaultMatchesSerialAutoDrain) {
   srv.Stop();
 }
 
+// A --shards S server: every page request merges S per-shard streams. The
+// ground truth is a serial in-process drain of a ShardedPreparedQuery built
+// exactly like the server's TypedHandle (same shard count, same serial
+// union merge), which is byte-identical by construction — comparing against
+// an UNsharded drain would be flaky, since the integer-weight fixture ties
+// constantly and shard-local row ids reorder equal-weight answers.
+template <typename D>
+std::string SerialShardedDrainText(const Database& db, const std::string& sql,
+                                   Algorithm algo, size_t shards) {
+  const SqlStatement stmt = ParseSql(sql, &db);
+  typename ShardedPreparedQuery<D>::Options sopts;
+  sopts.prepare.enum_opts.with_witness = false;
+  sopts.prepare.enum_opts.k_budget = stmt.limit;
+  sopts.prepare.auto_plan = true;
+  sopts.shards = shards;
+  const ShardedPreparedQuery<D> pq(db, stmt.query, sopts);
+  EnumerationSession<D> sess = pq.NewSession(algo);
+  std::ostringstream out;
+  char weight_buf[32];
+  size_t rank = 0;
+  size_t produced = 0;
+  ResultRow<D> row;
+  while ((stmt.limit == 0 || produced < stmt.limit) && sess.NextInto(&row)) {
+    ++produced;
+    std::snprintf(weight_buf, sizeof(weight_buf), "%.6g",
+                  static_cast<double>(row.weight));
+    out << "RESULT," << ++rank << "," << weight_buf;
+    if (stmt.select_vars.empty()) {
+      for (Value v : row.assignment) out << "," << v;
+    } else {
+      for (uint32_t var : stmt.select_vars) out << "," << row.assignment[var];
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+TEST(ServerTest, ShardedServerPagedDrainsMatchSerialShardedDrains) {
+  const Database db = TestDatabase();
+  ServerOptions opts;
+  opts.shards = 3;
+  AnykServer srv(db, opts);
+  srv.Start();
+  const int port = srv.bound_port();
+
+  // Concurrent sharded clients, mixed algorithms and plans (path + cycle),
+  // small unequal pages so the merged cursors interleave across workers.
+  struct Case {
+    const char* sql;
+    const char* algorithm;
+    Algorithm algo;
+    size_t page_k;
+    bool desc;
+  };
+  const std::vector<Case> cases = {
+      {kPathSql, "lazy", Algorithm::kLazy, 7, false},
+      {kPathSql, "auto", Algorithm::kAuto, 13, false},
+      {kCycleSql, "take2", Algorithm::kTake2, 5, false},
+      {kProjectedDescSql, "eager", Algorithm::kEager, 9, true},
+  };
+  std::vector<std::string> expected(cases.size());
+  for (size_t i = 0; i < cases.size(); ++i) {
+    expected[i] =
+        cases[i].desc
+            ? SerialShardedDrainText<MaxPlusDioid>(db, cases[i].sql,
+                                                   cases[i].algo, opts.shards)
+            : SerialShardedDrainText<TropicalDioid>(db, cases[i].sql,
+                                                    cases[i].algo,
+                                                    opts.shards);
+    ASSERT_FALSE(expected[i].empty()) << "degenerate test instance " << i;
+  }
+
+  std::vector<std::string> actual(cases.size());
+  std::vector<std::thread> clients;
+  clients.reserve(cases.size());
+  for (size_t i = 0; i < cases.size(); ++i) {
+    clients.emplace_back([&, i] {
+      actual[i] =
+          PagedDrain(port, cases[i].sql, cases[i].algorithm, cases[i].page_k);
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  for (size_t i = 0; i < cases.size(); ++i) {
+    EXPECT_EQ(actual[i], expected[i]) << "case " << i;
+  }
+
+  // /statz reports the server-wide shard count.
+  HttpClient client(port);
+  ClientResponse stats = client.Get("/statz");
+  ASSERT_EQ(stats.status, 200);
+  EXPECT_NE(stats.body.find("\"shards\": 3"), std::string::npos)
+      << stats.body;
+  srv.Stop();
+}
+
 TEST(ServerTest, CacheKeyBindsPlannerVersion) {
   // The prepared-query cache key must separate planner versions: after a
   // cost-model bump (plan::kPlannerVersion), a warm cache can never serve a
   // plan decided by the old model — the new key misses by construction.
   using server::QueryCacheKey;
   const std::string sql = "SELECT * FROM R1 ORDER BY WEIGHT ASC";
-  EXPECT_EQ(QueryCacheKey("min-sum", 1, 0, sql),
-            QueryCacheKey("min-sum", 1, 0, sql));
-  EXPECT_NE(QueryCacheKey("min-sum", 1, 0, sql),
-            QueryCacheKey("min-sum", 2, 0, sql));
-  EXPECT_NE(QueryCacheKey("min-sum", 1, 0, sql),
-            QueryCacheKey("min-sum", 1, 1, sql));
-  EXPECT_NE(QueryCacheKey("min-sum", 1, 0, sql),
-            QueryCacheKey("max-sum", 1, 0, sql));
+  EXPECT_EQ(QueryCacheKey("min-sum", 1, 0, 1, sql),
+            QueryCacheKey("min-sum", 1, 0, 1, sql));
+  EXPECT_NE(QueryCacheKey("min-sum", 1, 0, 1, sql),
+            QueryCacheKey("min-sum", 2, 0, 1, sql));
+  EXPECT_NE(QueryCacheKey("min-sum", 1, 0, 1, sql),
+            QueryCacheKey("min-sum", 1, 1, 1, sql));
+  EXPECT_NE(QueryCacheKey("min-sum", 1, 0, 1, sql),
+            QueryCacheKey("max-sum", 1, 0, 1, sql));
+  // The shard count is a key component: a server restarted with a different
+  // --shards must never revive the other layout's prepared state.
+  EXPECT_NE(QueryCacheKey("min-sum", 1, 0, 1, sql),
+            QueryCacheKey("min-sum", 1, 0, 4, sql));
   // Components must not bleed into each other across the separator.
-  EXPECT_NE(QueryCacheKey("min-sum", 12, 3, sql),
-            QueryCacheKey("min-sum", 1, 23, sql));
-  // The default option tracks the compiled-in model version.
+  EXPECT_NE(QueryCacheKey("min-sum", 12, 3, 1, sql),
+            QueryCacheKey("min-sum", 1, 23, 1, sql));
+  EXPECT_NE(QueryCacheKey("min-sum", 1, 12, 3, sql),
+            QueryCacheKey("min-sum", 1, 1, 23, sql));
+  // The default options track the compiled-in model version, unsharded.
   EXPECT_EQ(ServerOptions{}.planner_version, plan::kPlannerVersion);
+  EXPECT_EQ(ServerOptions{}.shards, 1u);
 }
 
 TEST(ServerTest, JsonFormatPagesParse) {
